@@ -1,0 +1,430 @@
+(* Benchmark harness — one bechamel test (or group) per experiment table
+   E1..E12 of DESIGN.md / EXPERIMENTS.md, all in one executable.
+
+   The paper is theory and publishes no numbers; what these benches
+   regenerate are (a) the SHAPE facts each experiment certifies (object
+   counts, the §4.2 bound D, blowup factors — printed first, deterministic)
+   and (b) the cost of every construction in this library, so the "price"
+   columns of EXPERIMENTS.md can be reproduced:
+
+   $ dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+open Wfc_consensus
+open Wfc_core
+
+(* --- tiny driver ------------------------------------------------------------ *)
+
+let run_test test =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ ns ] ->
+        if ns > 1_000_000.0 then
+          Fmt.pr "  %-52s %10.3f ms/run@." name (ns /. 1_000_000.0)
+        else if ns > 1_000.0 then
+          Fmt.pr "  %-52s %10.3f us/run@." name (ns /. 1_000.0)
+        else Fmt.pr "  %-52s %10.1f ns/run@." name ns
+      | _ -> Fmt.pr "  %-52s (no estimate)@." name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let staged f = Staged.stage f
+
+let rr = Wfc_sim.Schedulers.round_robin
+
+let run_ops impl workloads () =
+  ignore
+    (Wfc_sim.Exec.run impl ~workloads
+       ~pick_proc:rr.Wfc_sim.Schedulers.pick_proc
+       ~pick_alt:rr.Wfc_sim.Schedulers.pick_alt ())
+
+(* --- shape facts (deterministic, printed once) -------------------------------- *)
+
+let shape_facts () =
+  Fmt.pr "==== shape facts (deterministic) ====@.";
+  let d_of impl =
+    match Access_bounds.analyze impl with
+    | Ok r -> r.Access_bounds.bound_d
+    | Error e -> Fmt.failwith "%s" e
+  in
+  Fmt.pr "E3  D: tas=%d faa=%d swap=%d queue=%d cas2=%d cas3=%d sticky3=%d@."
+    (d_of (Protocols.from_tas ()))
+    (d_of (Protocols.from_faa ()))
+    (d_of (Protocols.from_swap ()))
+    (d_of (Protocols.from_queue ()))
+    (d_of (Protocols.from_cas ~procs:2 ()))
+    (d_of (Protocols.from_cas ~procs:3 ()))
+    (d_of (Protocols.from_sticky ~procs:3 ()));
+  Fmt.pr "E4  one-use bits per bounded bit: r2w1=%d r4w3=%d r8w7=%d@."
+    (Bounded_bit.bit_count ~reads:2 ~writes:1)
+    (Bounded_bit.bit_count ~reads:4 ~writes:3)
+    (Bounded_bit.bit_count ~reads:8 ~writes:7);
+  Fmt.pr
+    "E2  chain footprints: regular3(2rdrs)=%d safe bits; atomicMRSW(2rdrs)=%d \
+     regs; atomicMRMW(2wr)=%d regs@."
+    (Wfc_registers.Chain.srsw_bit_count
+       (Wfc_registers.Chain.regular_bounded_from_safe_bits ~readers:2 ~values:3
+          ~init:0 ()))
+    (Wfc_registers.Chain.srsw_bit_count
+       (Wfc_registers.Chain.atomic_mrsw_from_regular_srsw ~readers:2
+          ~init:(Value.int 0) ()))
+    (Wfc_registers.Chain.srsw_bit_count
+       (Wfc_registers.Chain.atomic_mrmw_from_regular_srsw ~writers:2
+          ~extra_readers:0 ~init:(Value.int 0) ()));
+  let strat name =
+    match Theorem5.strategy_for (Catalog.find ~ports:2 name).Catalog.spec with
+    | Ok s -> s
+    | Error e -> Fmt.failwith "%s" e
+  in
+  (match
+     Theorem5.eliminate_registers ~strategy:(strat "test-and-set")
+       (Protocols.from_tas ())
+   with
+  | Ok r ->
+    Fmt.pr
+      "E8  tas→tas: D=%d, %d regs → %d one-use bits → %d base objects@."
+      r.Theorem5.bounds.Access_bounds.bound_d r.Theorem5.registers_eliminated
+      r.Theorem5.one_use_bits r.Theorem5.t_objects
+  | Error e -> Fmt.pr "E8  compile error: %s@." e);
+  let target = Rmw.fetch_add_mod ~ports:2 ~modulus:5 in
+  let universal = Universal.construct ~target ~procs:2 ~cells:8 () in
+  let stats =
+    Wfc_sim.Exec.explore universal
+      ~workloads:[| [ Ops.fetch_add 1 ]; [ Ops.fetch_add 2 ] |]
+      ()
+  in
+  Fmt.pr "E10 universal faa: max %d steps/op (direct: 1)@."
+    stats.Wfc_sim.Exec.max_op_steps;
+  Fmt.pr "@."
+
+(* --- E1: one-use bit micro ------------------------------------------------------ *)
+
+let e1 =
+  let spec = One_use.spec in
+  Test.make_grouped ~name:"E1 one-use bit spec"
+    [
+      Test.make ~name:"transition table walk"
+        (staged (fun () ->
+             List.iter
+               (fun q ->
+                 List.iter
+                   (fun inv ->
+                     ignore (Type_spec.alternatives spec q ~port:0 ~inv))
+                   spec.Type_spec.invocations)
+               (Option.get spec.Type_spec.states)));
+      Test.make ~name:"identity impl: write;read"
+        (staged
+           (run_ops (One_use_bit.identity ~procs:2)
+              [| [ One_use.write ]; [ One_use.read ] |]));
+    ]
+
+(* --- E2: register chain --------------------------------------------------------- *)
+
+let e2 =
+  let w1r = [| [ Ops.write (Value.int 1) ]; [ Ops.read ] |] in
+  let native =
+    Implementation.identity (Register.bounded ~ports:2 ~values:3) ~procs:2
+  in
+  let stacked_regular =
+    Wfc_registers.Chain.regular_bounded_from_safe_bits ~readers:1 ~values:3
+      ~init:0 ()
+  in
+  let stacked_mrsw =
+    Wfc_registers.Chain.atomic_mrsw_from_regular_srsw ~readers:1
+      ~init:(Value.int 0) ()
+  in
+  let mrmw =
+    Wfc_registers.Multi_writer.atomic_mrmw ~writers:2 ~extra_readers:0
+      ~init:(Value.int 0) ()
+  in
+  Test.make_grouped ~name:"E2 register chain (write;read through the stack)"
+    [
+      Test.make ~name:"native register" (staged (run_ops native w1r));
+      Test.make ~name:"regular from safe bits (C3.C2.C1)"
+        (staged (run_ops stacked_regular w1r));
+      Test.make ~name:"atomic MRSW from regular SRSW (C5.C4)"
+        (staged (run_ops stacked_mrsw w1r));
+      Test.make ~name:"atomic MRMW (C6)" (staged (run_ops mrmw w1r));
+      Test.make ~name:"Simpson four-slot (E14)"
+        (staged
+           (run_ops
+              (Wfc_registers.Simpson.atomic_srsw
+                 ~domain:[ Value.int 0; Value.int 1; Value.int 2 ]
+                 ~init:(Value.int 0) ())
+              w1r));
+      Test.make ~name:"snapshot update;scan (E16)"
+        (staged
+           (run_ops
+              (Wfc_registers.Snapshot.single_writer ~procs:2
+                 ~domain:[ Value.int 0; Value.int 1 ]
+                 ())
+              [| [ Snapshot_type.update (Value.int 1) ]; [ Snapshot_type.scan ] |]));
+    ]
+
+(* --- E3: access-bound analysis ---------------------------------------------------- *)
+
+let e3 =
+  Test.make_grouped ~name:"E3 section-4.2 tree exploration"
+    [
+      Test.make ~name:"analyze tas (n=2)"
+        (staged (fun () ->
+             ignore (Access_bounds.analyze (Protocols.from_tas ()))));
+      Test.make ~name:"analyze cas (n=2)"
+        (staged (fun () ->
+             ignore (Access_bounds.analyze (Protocols.from_cas ~procs:2 ()))));
+      Test.make ~name:"analyze cas (n=3)"
+        (staged (fun () ->
+             ignore (Access_bounds.analyze (Protocols.from_cas ~procs:3 ()))));
+      Test.make ~name:"analyze sticky (n=3)"
+        (staged (fun () ->
+             ignore (Access_bounds.analyze (Protocols.from_sticky ~procs:3 ()))));
+    ]
+
+(* --- E4: bounded bit sweep ---------------------------------------------------------- *)
+
+let e4 =
+  let bench ~reads ~writes =
+    let impl = Bounded_bit.from_one_use ~reads ~writes ~init:false () in
+    let writes_list =
+      List.init writes (fun i -> Ops.write (Value.bool (i mod 2 = 0)))
+    in
+    let reads_list = List.init reads (fun _ -> Ops.read) in
+    Test.make
+      ~name:
+        (Fmt.str "r=%d w=%d (%d bits)" reads writes
+           (Bounded_bit.bit_count ~reads ~writes))
+      (staged (run_ops impl [| writes_list; reads_list |]))
+  in
+  Test.make_grouped ~name:"E4 section-4.3 bounded bit (full budget of ops)"
+    [
+      bench ~reads:2 ~writes:1;
+      bench ~reads:4 ~writes:3;
+      bench ~reads:8 ~writes:7;
+      bench ~reads:16 ~writes:15;
+    ]
+
+(* --- E5/E6: decision procedures ------------------------------------------------------ *)
+
+let e5 =
+  Test.make_grouped ~name:"E5/E6 section-5 decision procedures"
+    [
+      Test.make ~name:"5.1 triviality over the whole catalog"
+        (staged (fun () ->
+             List.iter
+               (fun (e : Catalog.entry) ->
+                 ignore (Triviality.decide e.Catalog.spec))
+               (Catalog.all ~ports:2)));
+      Test.make ~name:"5.2 pair search (test-and-set)"
+        (staged (fun () ->
+             ignore
+               (Nontrivial_pair.search
+                  (Catalog.find ~ports:2 "test-and-set").Catalog.spec)));
+      Test.make ~name:"5.2 general minimal-pair search (flag, L=5)"
+        (staged (fun () ->
+             ignore
+               (Nontrivial_pair.search_general ~max_len:5
+                  (Catalog.find ~ports:2 "non-oblivious-flag").Catalog.spec)));
+    ]
+
+(* --- E7: one-use bit op costs --------------------------------------------------------- *)
+
+let e7 =
+  let wl = [| [ One_use.write ]; [ One_use.read ] |] in
+  let of_tas =
+    match Theorem5.strategy_for (Rmw.test_and_set ~ports:2) with
+    | Ok (Theorem5.Oblivious_witness (spec, w)) ->
+      Triviality.one_use_bit spec w ()
+    | _ -> assert false
+  in
+  let of_flag =
+    let spec = (Catalog.find ~ports:2 "non-oblivious-flag").Catalog.spec in
+    match Nontrivial_pair.search spec with
+    | Ok (Some p) -> Nontrivial_pair.one_use_bit spec p ()
+    | _ -> assert false
+  in
+  let of_cons =
+    From_consensus.from_consensus_impl
+      ~consensus:(Protocols.from_cas ~procs:2 ())
+      ()
+  in
+  Test.make_grouped ~name:"E7 one-use bit write;read via section-5"
+    [
+      Test.make ~name:"5.1 over test-and-set" (staged (run_ops of_tas wl));
+      Test.make ~name:"5.2 over non-oblivious flag" (staged (run_ops of_flag wl));
+      Test.make ~name:"5.3 over CAS consensus" (staged (run_ops of_cons wl));
+    ]
+
+(* --- E8: Theorem 5 --------------------------------------------------------------------- *)
+
+let e8 =
+  let strat =
+    match Theorem5.strategy_for (Rmw.test_and_set ~ports:2) with
+    | Ok s -> s
+    | Error e -> Fmt.failwith "%s" e
+  in
+  let compiled =
+    match
+      Theorem5.eliminate_registers ~strategy:strat (Protocols.from_tas ())
+    with
+    | Ok r -> r.Theorem5.compiled
+    | Error e -> Fmt.failwith "%s" e
+  in
+  let wl = [| [ Ops.propose Value.truth ]; [ Ops.propose Value.falsity ] |] in
+  Test.make_grouped ~name:"E8 Theorem 5"
+    [
+      Test.make ~name:"compile tas over tas"
+        (staged (fun () ->
+             ignore
+               (Theorem5.eliminate_registers ~strategy:strat
+                  (Protocols.from_tas ()))));
+      Test.make ~name:"decide: original (with registers)"
+        (staged (run_ops (Protocols.from_tas ()) wl));
+      Test.make ~name:"decide: compiled (register-free)"
+        (staged (run_ops compiled wl));
+    ]
+
+(* --- E9/E11: counterexample finders ------------------------------------------------------ *)
+
+let e9_e11 =
+  let flaky_bit_impl =
+    let open Program.Syntax in
+    let spec = Nondet.flaky_bit ~ports:2 in
+    Implementation.make
+      ~target:(One_use.spec_n ~ports:2)
+      ~implements:One_use.unset ~procs:2
+      ~objects:[ (spec, spec.Type_spec.initial) ]
+      ~program:(fun ~proc:_ ~inv local ->
+        match inv with
+        | Value.Sym "read" ->
+          let+ resp = Program.invoke ~obj:0 Ops.read in
+          ( (if Value.equal resp Value.falsity then Value.falsity
+             else Value.truth),
+            local )
+        | _ ->
+          let+ _ = Program.invoke ~obj:0 (Value.sym "write") in
+          (Ops.ok, local))
+      ()
+  in
+  Test.make_grouped ~name:"E9/E11 counterexample finders"
+    [
+      Test.make ~name:"E9: refute 5.1-on-flaky-bit"
+        (staged (fun () -> ignore (One_use_bit.check_impl flaky_bit_impl)));
+      Test.make ~name:"E11: refute register-only consensus"
+        (staged (fun () ->
+             ignore (Check.verify (Protocols.broken_register_only ()))));
+    ]
+
+(* --- E10: universal construction ----------------------------------------------------------- *)
+
+let e10 =
+  let target = Rmw.fetch_add_mod ~ports:2 ~modulus:5 in
+  let universal = Universal.construct ~target ~procs:2 ~cells:8 () in
+  let direct = Implementation.identity target ~procs:2 in
+  let wl = [| [ Ops.fetch_add 1 ]; [ Ops.fetch_add 2 ] |] in
+  Test.make_grouped ~name:"E10 universal construction (two concurrent faa)"
+    [
+      Test.make ~name:"direct fetch-and-add" (staged (run_ops direct wl));
+      Test.make ~name:"universal fetch-and-add" (staged (run_ops universal wl));
+    ]
+
+(* --- E13: multivalued consensus ------------------------------------------------------------- *)
+
+let e13 =
+  let wl = [| [ Ops.propose (Value.int 2) ]; [ Ops.propose (Value.int 1) ] |] in
+  let primitive = Multivalued.from_binary ~procs:2 ~values:3 () in
+  let over_tas =
+    List.fold_left
+      (fun acc obj ->
+        Implementation.substitute ~obj ~replacement:(Protocols.from_tas ()) acc)
+      (Multivalued.from_binary ~procs:2 ~values:3 ())
+      (Multivalued.consensus_object_indices ~procs:2 ~values:3
+         ~announce_bits:false)
+  in
+  Test.make_grouped ~name:"E13 multivalued consensus (3 values, 2 procs)"
+    [
+      Test.make ~name:"over primitive binary consensus"
+        (staged (run_ops primitive wl));
+      Test.make ~name:"over the TAS protocol" (staged (run_ops over_tas wl));
+    ]
+
+(* --- E15: valence ----------------------------------------------------------------------------- *)
+
+let e15 =
+  Test.make_grouped ~name:"E15 valence analysis"
+    [
+      Test.make ~name:"analyze tas tree"
+        (staged (fun () ->
+             ignore
+               (Valence.analyze (Protocols.from_tas ())
+                  ~inputs:[ false; true ] ())));
+      Test.make ~name:"analyze cas n=3 tree"
+        (staged (fun () ->
+             ignore
+               (Valence.analyze
+                  (Protocols.from_cas ~procs:3 ())
+                  ~inputs:[ false; true; false ] ())));
+    ]
+
+(* --- E12: multicore -------------------------------------------------------------------------- *)
+
+let e12 =
+  Test.make_grouped ~name:"E12 multicore (per batch of 5 trials)"
+    [
+      Test.make ~name:"sticky n=4, 5 agreement trials"
+        (staged (fun () ->
+             ignore
+               (Wfc_multicore.Runtime.consensus_trials
+                  ~make:(fun () -> Protocols.from_sticky ~procs:4 ())
+                  ~trials:5 ())));
+    ]
+
+(* --- linearizability checker scaling ----------------------------------------------------------- *)
+
+let checker =
+  let history n =
+    List.init n (fun i ->
+        let write = i mod 2 = 0 in
+        {
+          Wfc_sim.Exec.proc = i mod 2;
+          op_index = i / 2;
+          inv =
+            (if write then Ops.write (Value.bool (i mod 4 = 0)) else Ops.read);
+          resp = (if write then Ops.ok else Value.bool (i mod 4 = 3));
+          start_step = 2 * i;
+          end_step = (2 * i) + 3;
+          steps = 2;
+        })
+  in
+  let spec = Register.bit ~ports:2 in
+  Test.make_grouped ~name:"linearizability checker"
+    [
+      Test.make ~name:"8-op history"
+        (staged (fun () ->
+             ignore (Wfc_linearize.Linearizability.check ~spec (history 8))));
+      Test.make ~name:"14-op history"
+        (staged (fun () ->
+             ignore (Wfc_linearize.Linearizability.check ~spec (history 14))));
+    ]
+
+let () =
+  shape_facts ();
+  Fmt.pr "==== timings (bechamel, OLS per-run estimates) ====@.";
+  List.iter
+    (fun t ->
+      Fmt.pr "@.%s:@." (Test.name t);
+      run_test t)
+    [ e1; e2; e3; e4; e5; e7; e8; e9_e11; e10; e13; e15; e12; checker ]

@@ -1,0 +1,324 @@
+(* wfc — command-line front end for the reproduction.
+
+   Subcommands:
+     zoo        the type catalog with §5.1/§5.2 analyses
+     verify     exhaustively check a consensus protocol
+     explore    §4.2 execution-tree statistics for a protocol
+     compile    Theorem 5: eliminate a protocol's registers over a type
+     stress     multicore agreement trials
+*)
+
+open Cmdliner
+open Wfc_spec
+open Wfc_zoo
+open Wfc_consensus
+open Wfc_core
+
+(* --- shared arguments ------------------------------------------------------ *)
+
+let protocol_names =
+  [ "tas"; "faa"; "swap"; "queue"; "cas"; "cas-ids"; "sticky"; "broken" ]
+
+let make_protocol ?(procs = 2) = function
+  | "tas" -> Protocols.from_tas ()
+  | "faa" -> Protocols.from_faa ()
+  | "swap" -> Protocols.from_swap ()
+  | "queue" -> Protocols.from_queue ()
+  | "cas" -> Protocols.from_cas ~procs ()
+  | "cas-ids" -> Protocols.from_cas_ids ~procs ()
+  | "sticky" -> Protocols.from_sticky ~procs ()
+  | "broken" -> Protocols.broken_register_only ()
+  | p -> Fmt.failwith "unknown protocol %s (try: %s)" p (String.concat ", " protocol_names)
+
+let protocol_arg =
+  let doc =
+    Fmt.str "Consensus protocol: %s." (String.concat ", " protocol_names)
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
+
+let procs_arg =
+  let doc = "Number of processes (cas/sticky only)." in
+  Arg.(value & opt int 2 & info [ "n"; "procs" ] ~docv:"N" ~doc)
+
+(* --- zoo -------------------------------------------------------------------- *)
+
+let zoo_cmd =
+  let run () =
+    Fmt.pr "%-20s %-5s %-5s %-7s %-4s %s@." "type" "det" "obl" "trivial" "cn"
+      "notes";
+    List.iter
+      (fun (e : Catalog.entry) -> Fmt.pr "%a@." Catalog.pp_entry e)
+      (Catalog.all ~ports:2);
+    Fmt.pr "@.§5.1 witnesses:@.";
+    List.iter
+      (fun (e : Catalog.entry) ->
+        match Triviality.decide e.Catalog.spec with
+        | Ok (Triviality.Nontrivial w) ->
+          Fmt.pr "  %-20s %a@." e.Catalog.spec.Type_spec.name
+            Triviality.pp_witness w
+        | Ok Triviality.Trivial ->
+          Fmt.pr "  %-20s trivial@." e.Catalog.spec.Type_spec.name
+        | Error _ -> ())
+      (Catalog.all ~ports:2)
+  in
+  Cmd.v (Cmd.info "zoo" ~doc:"List the type catalog with §5 analyses")
+    Term.(const run $ const ())
+
+(* --- verify ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let run name procs =
+    let impl = make_protocol ~procs name in
+    match Check.verify impl with
+    | Ok r ->
+      Fmt.pr
+        "OK: agreement, validity and wait-freedom hold over %d executions \
+         (%d input vectors, longest run %d events, max %d accesses per op).@."
+        r.Check.executions r.Check.vectors r.Check.max_events
+        r.Check.max_op_steps;
+      0
+    | Error v ->
+      Fmt.pr "VIOLATION: %a@." Check.pp_violation v;
+      1
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Exhaustively check a consensus protocol")
+    Term.(const (fun n p -> Stdlib.exit (run n p)) $ protocol_arg $ procs_arg)
+
+(* --- explore ------------------------------------------------------------------ *)
+
+let explore_cmd =
+  let run name procs =
+    let impl = make_protocol ~procs name in
+    match Access_bounds.analyze impl with
+    | Ok r ->
+      Fmt.pr "%a@." Access_bounds.pp_report r;
+      0
+    | Error e ->
+      Fmt.pr "analysis failed: %s@." e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Section 4.2: execution-tree statistics and the bound D")
+    Term.(const (fun n p -> Stdlib.exit (run n p)) $ protocol_arg $ procs_arg)
+
+(* --- compile ------------------------------------------------------------------ *)
+
+let type_arg =
+  let doc =
+    "Type T supplying the one-use bits (a catalog name, e.g. test-and-set, \
+     fifo-queue, sticky-bit, non-oblivious-flag), or 'cas-consensus' for \
+     the §5.3 route."
+  in
+  Arg.(
+    value
+    & opt string "test-and-set"
+    & info [ "t"; "type" ] ~docv:"TYPE" ~doc)
+
+let compile_cmd =
+  let run name procs tname =
+    let impl = make_protocol ~procs name in
+    let strategy =
+      if String.equal tname "cas-consensus" then
+        Ok (Theorem5.Consensus_based (fun () -> Protocols.from_cas ~procs:2 ()))
+      else
+        match Catalog.find ~ports:2 tname with
+        | e -> Theorem5.strategy_for e.Catalog.spec
+        | exception Not_found -> Error (Fmt.str "unknown type %s" tname)
+    in
+    match strategy with
+    | Error e ->
+      Fmt.pr "no strategy: %s@." e;
+      1
+    | Ok strategy -> (
+      match Theorem5.eliminate_registers ~strategy impl with
+      | Error e ->
+        Fmt.pr "compilation failed: %s@." e;
+        1
+      | Ok r ->
+        Fmt.pr "%a@." Theorem5.pp_report r;
+        let compiled = r.Theorem5.compiled in
+        if compiled.Wfc_program.Implementation.procs <= 2 then (
+          match Check.verify compiled with
+          | Ok rep ->
+            Fmt.pr "re-verified: OK over %d executions.@."
+              rep.Check.executions;
+            0
+          | Error v ->
+            Fmt.pr "re-verification FAILED: %a@." Check.pp_violation v;
+            1)
+        else begin
+          (* the exhaustive space after compilation is huge beyond two
+             processes: sample schedules instead *)
+          let rng = Random.State.make [| 99 |] in
+          let trials = 200 in
+          let ok = ref true in
+          for _ = 1 to trials do
+            if !ok then begin
+              let inputs =
+                List.init compiled.Wfc_program.Implementation.procs (fun _ ->
+                    Random.State.bool rng)
+              in
+              let sched = Wfc_sim.Schedulers.random rng in
+              let leaf =
+                Wfc_sim.Exec.run compiled
+                  ~workloads:
+                    (Array.of_list
+                       (List.map
+                          (fun b -> [ Ops.propose (Value.bool b) ])
+                          inputs))
+                  ~pick_proc:sched.Wfc_sim.Schedulers.pick_proc
+                  ~pick_alt:sched.Wfc_sim.Schedulers.pick_alt ()
+              in
+              match leaf.Wfc_sim.Exec.ops with
+              | o :: rest ->
+                if
+                  not
+                    (List.for_all
+                       (fun (o2 : Wfc_sim.Exec.op) ->
+                         Value.equal o2.resp o.resp)
+                       rest
+                    && List.exists
+                         (fun b -> Value.equal (Value.bool b) o.resp)
+                         inputs)
+                then ok := false
+              | [] -> ok := false
+            end
+          done;
+          if !ok then begin
+            Fmt.pr "re-verified: OK over %d random schedules (n > 2).@." trials;
+            0
+          end
+          else begin
+            Fmt.pr "re-verification FAILED on a random schedule.@.";
+            1
+          end
+        end)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Theorem 5: compile a register-using protocol to register-free")
+    Term.(
+      const (fun n p t -> Stdlib.exit (run n p t))
+      $ protocol_arg $ procs_arg $ type_arg)
+
+(* --- valence ------------------------------------------------------------------- *)
+
+let valence_cmd =
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Also write the valence-coloured execution tree as DOT.")
+  in
+  let run name procs dot =
+    let impl = make_protocol ~procs name in
+    let inputs = List.init procs (fun p -> p mod 2 = 1) in
+    match Valence.analyze impl ~inputs () with
+    | Ok r -> (
+      Fmt.pr "inputs [%a]: %a@."
+        Fmt.(list ~sep:(any ";") bool)
+        inputs Valence.pp_report r;
+      match dot with
+      | None -> 0
+      | Some file -> (
+        match Valence.to_dot impl ~inputs () with
+        | Ok dot_src ->
+          let oc = open_out file in
+          output_string oc dot_src;
+          close_out oc;
+          Fmt.pr "wrote %s@." file;
+          0
+        | Error e ->
+          Fmt.pr "dot export failed: %s@." e;
+          1))
+    | Error e ->
+      Fmt.pr "analysis failed: %s@." e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "valence"
+       ~doc:
+         "FLP-style valence analysis: find the critical configurations and \
+          the objects that decide")
+    Term.(
+      const (fun n p d -> Stdlib.exit (run n p d))
+      $ protocol_arg $ procs_arg $ dot_arg)
+
+(* --- trace --------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Schedule seed.")
+  in
+  let run name procs seed =
+    let impl = make_protocol ~procs name in
+    let rng = Random.State.make [| seed |] in
+    let sched = Wfc_sim.Schedulers.random rng in
+    let inputs = List.init procs (fun p -> p mod 2 = 1) in
+    Fmt.pr "tracing %a with inputs [%a], seed %d:@."
+      Wfc_program.Implementation.pp_summary impl
+      Fmt.(list ~sep:(any ";") bool)
+      inputs seed;
+    let i = ref 0 in
+    let leaf =
+      Wfc_sim.Exec.run impl
+        ~workloads:
+          (Array.of_list
+             (List.map (fun b -> [ Ops.propose (Value.bool b) ]) inputs))
+        ~pick_proc:sched.Wfc_sim.Schedulers.pick_proc
+        ~pick_alt:sched.Wfc_sim.Schedulers.pick_alt
+        ~on_event:(fun ev ->
+          incr i;
+          Fmt.pr "  %3d  %a@." !i (Wfc_sim.Exec.pp_event impl) ev)
+        ()
+    in
+    List.iter
+      (fun (o : Wfc_sim.Exec.op) ->
+        Fmt.pr "process %d decided %a@." o.proc Value.pp o.resp)
+      leaf.Wfc_sim.Exec.ops;
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print one random execution of a protocol, event by event")
+    Term.(
+      const (fun n p s -> Stdlib.exit (run n p s))
+      $ protocol_arg $ procs_arg $ seed_arg)
+
+(* --- stress -------------------------------------------------------------------- *)
+
+let stress_cmd =
+  let trials_arg =
+    Arg.(value & opt int 500 & info [ "trials" ] ~docv:"K" ~doc:"Trial count.")
+  in
+  let run name procs trials =
+    let make () = make_protocol ~procs name in
+    match Wfc_multicore.Runtime.consensus_trials ~make ~trials () with
+    | Ok t ->
+      Fmt.pr "%d/%d parallel trials agreed.@." t trials;
+      0
+    | Error e ->
+      Fmt.pr "VIOLATION: %s@." e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "stress" ~doc:"Multicore agreement trials on real domains")
+    Term.(
+      const (fun n p t -> Stdlib.exit (run n p t))
+      $ protocol_arg $ procs_arg $ trials_arg)
+
+let () =
+  let doc =
+    "Reproduction of 'On the Use of Registers in Achieving Wait-Free \
+     Consensus' (Bazzi, Neiger, Peterson; PODC 1994)"
+  in
+  Stdlib.exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "wfc" ~doc)
+          [
+            zoo_cmd; verify_cmd; explore_cmd; compile_cmd; valence_cmd;
+            trace_cmd; stress_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/consensus_tour.ml: Access_bounds Check Fmt List Protocols Wfc_consensus

@@ -1,0 +1,1 @@
+examples/hierarchy_tour.ml: Catalog Fmt Hierarchy List Nontrivial_pair Theorem5 Triviality Type_spec Wfc_consensus Wfc_core Wfc_spec Wfc_zoo

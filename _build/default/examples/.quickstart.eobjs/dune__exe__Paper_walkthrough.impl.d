@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Bounded_bit Collections Fmt Implementation One_use Ops Theorem5 Triviality Type_spec Value Wfc_consensus Wfc_core Wfc_program Wfc_sim Wfc_spec Wfc_zoo

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Catalog Check Fmt Protocols Theorem5 Triviality Wfc_consensus Wfc_core Wfc_multicore Wfc_program Wfc_zoo

@@ -1,0 +1,1 @@
+examples/register_elimination.ml: Access_bounds Catalog Check Fmt List Protocols Theorem5 Wfc_consensus Wfc_core Wfc_zoo

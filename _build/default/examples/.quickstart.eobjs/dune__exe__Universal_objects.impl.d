@@ -1,0 +1,1 @@
+examples/universal_objects.ml: Collections Fmt Implementation List Ops Rmw Sticky Universal Value Wfc_consensus Wfc_linearize Wfc_program Wfc_sim Wfc_spec Wfc_zoo

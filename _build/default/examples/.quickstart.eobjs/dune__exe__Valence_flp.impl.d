@@ -1,0 +1,1 @@
+examples/valence_flp.ml: Fmt Protocols Theorem5 Valence Wfc_consensus Wfc_core Wfc_zoo

@@ -1,0 +1,1 @@
+examples/valence_flp.mli:

@@ -1,0 +1,69 @@
+(* E5/E6's table generator: the zoo through the paper's lenses.
+
+   For each type in the catalog: determinism, obliviousness, the §5.1
+   triviality verdict with its witness, and (for non-oblivious or just for
+   cross-checking) the §5.2 minimal non-trivial pair with the Lemma 2-4
+   shape annotations. Finishes with hierarchy certificates and the
+   Theorem 5 transfer h_m^r → h_m.
+
+   $ dune exec examples/hierarchy_tour.exe *)
+
+open Wfc_spec
+open Wfc_zoo
+open Wfc_core
+
+let () =
+  Fmt.pr "== the zoo under §5.1 (oblivious deterministic types) ==@.";
+  Fmt.pr "%-20s %-9s %-40s@." "type" "verdict" "witness ⟨q --i'--> p; i: r_q/r_p⟩";
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let name = e.spec.Type_spec.name in
+      match Triviality.decide e.spec with
+      | Error why -> Fmt.pr "%-20s %-9s (%s)@." name "n/a" why
+      | Ok Triviality.Trivial -> Fmt.pr "%-20s %-9s@." name "trivial"
+      | Ok (Triviality.Nontrivial w) ->
+        Fmt.pr "%-20s %-9s %a@." name "NONtriv" Triviality.pp_witness w)
+    (Catalog.all ~ports:2);
+
+  Fmt.pr "@.== the zoo under §5.2 (general deterministic types) ==@.";
+  Fmt.pr "%-20s %-30s@." "type" "minimal pair (Lemma 2-4 shape)";
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let name = e.spec.Type_spec.name in
+      match Nontrivial_pair.search e.spec with
+      | Error why -> Fmt.pr "%-20s (%s)@." name why
+      | Ok None -> Fmt.pr "%-20s none (trivial)@." name
+      | Ok (Some p) -> Fmt.pr "%-20s %a@." name Nontrivial_pair.pp_pair p)
+    (Catalog.all ~ports:2);
+
+  Fmt.pr "@.== hierarchy certificates ==@.";
+  let show = function
+    | Ok c -> Fmt.pr "  %a@." Hierarchy.pp_certificate c
+    | Error e -> Fmt.pr "  (refused: %s)@." e
+  in
+  show
+    (Hierarchy.certify ~type_name:"cas"
+       (Wfc_consensus.Protocols.from_cas ~procs:3 ()));
+  show
+    (Hierarchy.certify ~type_name:"sticky-bit"
+       (Wfc_consensus.Protocols.from_sticky ~procs:4 ()));
+  show
+    (Hierarchy.certify ~type_name:"test-and-set" ~allow_registers:true
+       (Wfc_consensus.Protocols.from_tas ()));
+
+  Fmt.pr "@.== Theorem 5 transfer: h_m^r(tas) ≥ 2  ⟹  h_m(tas) ≥ 2 ==@.";
+  let strategy =
+    match
+      Theorem5.strategy_for (Catalog.find ~ports:2 "test-and-set").Catalog.spec
+    with
+    | Ok s -> s
+    | Error e -> Fmt.failwith "%s" e
+  in
+  match
+    Hierarchy.transfer ~type_name:"test-and-set" ~strategy
+      (Wfc_consensus.Protocols.from_tas ())
+  with
+  | Ok (cert, report) ->
+    Fmt.pr "  %a@.  via %a@." Hierarchy.pp_certificate cert Theorem5.pp_report
+      report
+  | Error e -> Fmt.pr "  transfer failed: %s@." e

@@ -1,0 +1,1 @@
+lib/consensus/access_bounds.ml: Array Fmt Implementation List Result Type_spec Value Wfc_program Wfc_sim Wfc_spec

@@ -1,0 +1,1 @@
+lib/consensus/access_bounds.mli: Format Implementation Wfc_program Wfc_spec

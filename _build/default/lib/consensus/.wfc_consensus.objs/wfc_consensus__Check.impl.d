@@ -1,0 +1,1 @@
+lib/consensus/check.ml: Array Fmt Fun Implementation List Ops Value Wfc_linearize Wfc_program Wfc_sim Wfc_spec Wfc_zoo

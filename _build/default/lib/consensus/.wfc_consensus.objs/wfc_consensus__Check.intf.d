@@ -1,0 +1,1 @@
+lib/consensus/check.mli: Format Implementation Wfc_program Wfc_sim Wfc_spec

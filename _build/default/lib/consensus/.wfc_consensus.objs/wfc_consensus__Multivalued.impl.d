@@ -1,0 +1,1 @@
+lib/consensus/multivalued.ml: Consensus_type Fmt Fun Implementation List Ops Program Protocols Register Type_spec Value Wfc_program Wfc_spec Wfc_zoo

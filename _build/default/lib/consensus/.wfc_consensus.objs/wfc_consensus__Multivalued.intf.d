@@ -1,0 +1,1 @@
+lib/consensus/multivalued.mli: Implementation Wfc_program

@@ -1,0 +1,1 @@
+lib/consensus/protocols.ml: Collections Consensus_type Fmt Fun Implementation List Ops Program Register Rmw Sticky Type_spec Value Wfc_program Wfc_spec Wfc_zoo

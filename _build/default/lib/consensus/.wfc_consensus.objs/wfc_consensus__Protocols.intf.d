@@ -1,0 +1,1 @@
+lib/consensus/protocols.mli: Implementation Wfc_program

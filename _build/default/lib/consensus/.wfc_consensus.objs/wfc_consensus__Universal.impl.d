@@ -1,0 +1,1 @@
+lib/consensus/universal.ml: Consensus_type Fmt Implementation List Ops Option Program Register String Type_spec Value Wfc_program Wfc_spec Wfc_zoo

@@ -1,0 +1,1 @@
+lib/consensus/universal.mli: Implementation Type_spec Value Wfc_program Wfc_spec

@@ -1,0 +1,1 @@
+lib/consensus/valence.ml: Array Buffer Fmt Hashtbl Implementation Int List Ops Option Type_spec Value Wfc_program Wfc_sim Wfc_spec Wfc_zoo

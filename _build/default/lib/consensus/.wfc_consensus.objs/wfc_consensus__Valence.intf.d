@@ -1,0 +1,1 @@
+lib/consensus/valence.mli: Format Implementation Wfc_program

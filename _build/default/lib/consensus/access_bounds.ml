@@ -1,0 +1,114 @@
+open Wfc_spec
+open Wfc_program
+
+type tree = { inputs : Value.t list; leaves : int; nodes : int; depth : int }
+
+type report = {
+  trees : tree list;
+  bound_d : int;
+  per_object : int array;
+  fan_out : int;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>D = %d (fan-out ≤ %d)@," r.bound_d r.fan_out;
+  List.iter
+    (fun t ->
+      Fmt.pf ppf "inputs [%a]: %d leaves, %d nodes, depth %d@,"
+        Fmt.(list ~sep:(any ";") Value.pp)
+        t.inputs t.leaves t.nodes t.depth)
+    r.trees;
+  Fmt.pf ppf "per-object access bounds: [%a]@]"
+    Fmt.(array ~sep:(any "; ") int)
+    r.per_object
+
+let spec_deterministic spec =
+  match spec.Type_spec.states with
+  | Some _ -> Type_spec.is_deterministic spec
+  | None ->
+    (* infinite-state spec: check the declared invocations at the initial
+       state as a best-effort witness *)
+    List.for_all
+      (fun inv ->
+        List.length
+          (spec.Type_spec.transition spec.Type_spec.initial ~port:0 ~inv)
+        <= 1)
+      spec.Type_spec.invocations
+
+(* one tree per vector of first invocations — the paper's 2^n roots,
+   generalized to |I|^n for non-binary targets *)
+let vectors ~invocations n =
+  let rec go i =
+    if i = n then [ [] ]
+    else
+      List.concat_map
+        (fun v -> List.map (fun inv -> inv :: v) invocations)
+        (go (i + 1))
+  in
+  go 0
+
+let analyze ?fuel ?(require_deterministic = true) (impl : Implementation.t) =
+  let nondet =
+    if require_deterministic then
+      Array.to_list impl.Implementation.objects
+      |> List.filter (fun (spec, _) -> not (spec_deterministic spec))
+    else []
+  in
+  match nondet with
+  | (spec, _) :: _ ->
+    Error
+      (Fmt.str
+         "base object %s is nondeterministic; Section 4.2's argument assumes \
+          deterministic types"
+         spec.Type_spec.name)
+  | [] ->
+    let n = impl.Implementation.procs in
+    let per_object =
+      Array.make (Array.length impl.Implementation.objects) 0
+    in
+    let rec run_trees acc = function
+      | [] -> Ok (List.rev acc)
+      | inputs :: rest ->
+        let workloads = Array.of_list (List.map (fun inv -> [ inv ]) inputs) in
+        let depth = ref 0 in
+        let stats =
+          Wfc_sim.Exec.explore impl ~workloads ?fuel
+            ~on_leaf:(fun leaf ->
+              let d = Array.fold_left ( + ) 0 leaf.Wfc_sim.Exec.accesses in
+              if d > !depth then depth := d)
+            ()
+        in
+        if stats.Wfc_sim.Exec.overflows > 0 then
+          Error
+            (Fmt.str
+               "inputs [%a]: %d path(s) exhausted fuel — suspected \
+                non-wait-freedom (König: an infinite tree has an infinite \
+                path)"
+               Fmt.(list ~sep:(any ";") Value.pp)
+               inputs stats.Wfc_sim.Exec.overflows)
+        else begin
+          Array.iteri
+            (fun i a -> if a > per_object.(i) then per_object.(i) <- a)
+            stats.Wfc_sim.Exec.max_accesses;
+          run_trees
+            ({
+               inputs;
+               leaves = stats.Wfc_sim.Exec.leaves;
+               nodes = stats.Wfc_sim.Exec.nodes;
+               depth = !depth;
+             }
+            :: acc)
+            rest
+        end
+    in
+    Result.map
+      (fun trees ->
+        {
+          trees;
+          bound_d = List.fold_left (fun m t -> max m t.depth) 0 trees;
+          per_object;
+          fan_out = n;
+        })
+      (run_trees []
+         (vectors ~invocations:impl.Implementation.target.Type_spec.invocations
+            n))

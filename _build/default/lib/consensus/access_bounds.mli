@@ -1,0 +1,47 @@
+(** Section 4.2 — access bounds in wait-free consensus implementations.
+
+    The paper's argument: view the executions of a consensus implementation
+    (each process performing its first invocation) as 2ⁿ trees, one per
+    input vector. Determinism bounds the fan-out by n, so König's lemma
+    makes an infinite tree yield an infinite execution, contradicting
+    wait-freedom; hence every tree is finite, its depth is some d, and with
+    D = max over the 2ⁿ trees no object is ever accessed more than D times.
+
+    This module {e computes} those trees by exhaustive exploration and
+    returns the bound D together with per-object and per-tree statistics.
+    Non-wait-freedom cannot be proven by search, so a fuel bounds each path;
+    exceeding it returns the suspect path's description as an error (for a
+    correct implementation this never fires, and for the deliberately broken
+    ones in the tests it reliably does). *)
+
+open Wfc_program
+
+type tree = {
+  inputs : Wfc_spec.Value.t list;
+      (** the root's first-invocation vector (one target invocation per
+          process) *)
+  leaves : int;
+  nodes : int;  (** internal scheduling events summed over the tree *)
+  depth : int;  (** deepest execution, counting base-object accesses *)
+}
+
+type report = {
+  trees : tree list;  (** 2ⁿ of them *)
+  bound_d : int;  (** D = max depth over all trees — the paper's bound *)
+  per_object : int array;  (** max accesses of each base object on any path *)
+  fan_out : int;  (** n, the paper's König fan-out bound *)
+}
+
+val analyze :
+  ?fuel:int -> ?require_deterministic:bool -> Implementation.t ->
+  (report, string) result
+(** Explore the |I|ⁿ first-invocation trees of the implementation (2ⁿ for
+    binary consensus, the paper's count; the target spec's invocation list
+    supplies I, so multivalued targets work too). By default the implementation must be deterministic
+    (deterministic base objects); a nondeterministic alternative is reported
+    as an error, mirroring Section 4.2's hypothesis. Pass
+    [~require_deterministic:false] for finitely-branching nondeterministic
+    bases — König's lemma still applies, which is what Theorem 5's third
+    case (h_m(T) ≥ 2, T possibly nondeterministic) relies on. *)
+
+val pp_report : Format.formatter -> report -> unit

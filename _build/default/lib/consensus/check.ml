@@ -1,0 +1,142 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+type violation = {
+  participants : int list;
+  inputs : (int * Value.t) list;
+  reason : string;
+  ops : Wfc_sim.Exec.op list;
+}
+
+type report = {
+  vectors : int;
+  executions : int;
+  max_events : int;
+  max_op_steps : int;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<v>participants %a with inputs %a: %s@,ops: %a@]"
+    Fmt.(list ~sep:(any ",") int)
+    v.participants
+    Fmt.(list ~sep:(any " ") (pair ~sep:(any ":") int Value.pp))
+    v.inputs v.reason Wfc_linearize.Linearizability.pp_ops v.ops
+
+exception Found of violation
+
+let subsets_of n =
+  (* all non-empty subsets of 0..n-1, as sorted lists *)
+  let rec go i =
+    if i = n then [ [] ]
+    else
+      let rest = go (i + 1) in
+      rest @ List.map (fun s -> i :: s) rest
+  in
+  List.filter (fun s -> s <> []) (go 0)
+
+let vectors_over ~domain participants =
+  List.fold_left
+    (fun acc p ->
+      List.concat_map
+        (fun v -> List.map (fun d -> (p, d) :: v) domain)
+        acc)
+    [ [] ] participants
+  |> List.map List.rev
+
+let check_leaf ~inputs (leaf : Wfc_sim.Exec.leaf) =
+  let first_round =
+    List.filter (fun (o : Wfc_sim.Exec.op) -> o.op_index = 0) leaf.ops
+  in
+  match first_round with
+  | [] -> Ok ()
+  | o0 :: _ ->
+    let decided = o0.Wfc_sim.Exec.resp in
+    if
+      not
+        (List.for_all
+           (fun (o : Wfc_sim.Exec.op) -> Value.equal o.resp decided)
+           leaf.ops)
+    then Error "agreement violated: differing responses"
+    else if
+      not
+        (List.exists (fun (_, input) -> Value.equal input decided) inputs)
+    then Error "validity violated: decision is nobody's proposal"
+    else Ok ()
+
+let verify_values ~domain ?(subsets = true) ?(repeat = true)
+    ?(max_crashes = 0) ?fuel (impl : Implementation.t) =
+  if List.length domain < 2 then
+    invalid_arg "Check.verify_values: domain needs at least two values";
+  let other_than v =
+    List.find (fun d -> not (Value.equal d v)) domain
+  in
+  let n = impl.Implementation.procs in
+  let participant_sets =
+    if subsets then subsets_of n else [ List.init n Fun.id ]
+  in
+  let vectors = ref 0 in
+  let executions = ref 0 in
+  let max_events = ref 0 in
+  let max_op_steps = ref 0 in
+  try
+    List.iter
+      (fun participants ->
+        List.iter
+          (fun inputs ->
+            incr vectors;
+            let workloads =
+              Array.init n (fun p ->
+                  match List.assoc_opt p inputs with
+                  | None -> []
+                  | Some v ->
+                    let first = Ops.propose v in
+                    if repeat then [ first; Ops.propose (other_than v) ]
+                    else [ first ])
+            in
+            let stats =
+              Wfc_sim.Exec.explore impl ~workloads ?fuel ~max_crashes
+                ~on_leaf:(fun leaf ->
+                  incr executions;
+                  match check_leaf ~inputs leaf with
+                  | Ok () -> ()
+                  | Error reason ->
+                    raise
+                      (Found
+                         {
+                           participants;
+                           inputs;
+                           reason;
+                           ops = leaf.Wfc_sim.Exec.ops;
+                         }))
+                ()
+            in
+            if stats.Wfc_sim.Exec.overflows > 0 then
+              raise
+                (Found
+                   {
+                     participants;
+                     inputs;
+                     reason =
+                       Fmt.str "%d path(s) exhausted fuel: not wait-free"
+                         stats.Wfc_sim.Exec.overflows;
+                     ops = [];
+                   });
+            if stats.Wfc_sim.Exec.max_events > !max_events then
+              max_events := stats.Wfc_sim.Exec.max_events;
+            if stats.Wfc_sim.Exec.max_op_steps > !max_op_steps then
+              max_op_steps := stats.Wfc_sim.Exec.max_op_steps)
+          (vectors_over ~domain participants))
+      participant_sets;
+    Ok
+      {
+        vectors = !vectors;
+        executions = !executions;
+        max_events = !max_events;
+        max_op_steps = !max_op_steps;
+      }
+  with Found v -> Error v
+
+let verify ?subsets ?repeat ?max_crashes ?fuel impl =
+  verify_values ~domain:[ Value.falsity; Value.truth ] ?subsets ?repeat
+    ?max_crashes ?fuel impl

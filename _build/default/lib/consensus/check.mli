@@ -1,0 +1,65 @@
+(** Exhaustive correctness verification of consensus implementations.
+
+    For every participation subset (processes that crashed before taking any
+    step simply never appear) and every input vector, every interleaving and
+    every nondeterministic base-object alternative is explored, and each
+    complete execution is checked for:
+
+    - {e agreement}: all responses (across all processes and repeated
+      invocations) are the same value;
+    - {e validity}: that value is one of the participants' first proposals;
+    - {e wait-freedom}: no path exceeds its fuel (with finite workloads a
+      correct wait-free implementation always quiesces).
+
+    Because the consensus type's sequential specification already forces
+    agreement + validity, this is equivalent to linearizability against
+    T_{c,n} from ⊥, but the direct check is faster and produces pointed
+    diagnostics. *)
+
+open Wfc_program
+
+type violation = {
+  participants : int list;
+  inputs : (int * Wfc_spec.Value.t) list;  (** proposals of the participants *)
+  reason : string;
+  ops : Wfc_sim.Exec.op list;  (** the offending completed operations *)
+}
+
+type report = {
+  vectors : int;  (** (subset, input-vector) combinations checked *)
+  executions : int;  (** total complete executions examined *)
+  max_events : int;  (** longest execution *)
+  max_op_steps : int;  (** most base accesses by one propose *)
+}
+
+val verify :
+  ?subsets:bool ->
+  ?repeat:bool ->
+  ?max_crashes:int ->
+  ?fuel:int ->
+  Implementation.t ->
+  (report, violation) result
+(** [subsets] (default true) also checks partial participation; [repeat]
+    (default true) has each participant propose a second, {e different}
+    value — the response must still be the original decision (Section 2.1:
+    the first invocation determines all future responses). [max_crashes]
+    (default 0) additionally lets up to that many processes halt
+    {e mid-operation} at every possible point (see
+    {!Wfc_sim.Exec.explore}); agreement and validity are then required of
+    the survivors' responses, and wait-freedom of the survivors'
+    operations — stopping failures must be harmless, which is the whole
+    point of wait-freedom. *)
+
+val verify_values :
+  domain:Wfc_spec.Value.t list ->
+  ?subsets:bool ->
+  ?repeat:bool ->
+  ?max_crashes:int ->
+  ?fuel:int ->
+  Implementation.t ->
+  (report, violation) result
+(** Like {!verify} but for consensus over an arbitrary finite proposal
+    domain (at least two values) — used for the multivalued consensus
+    construction. Every input vector over the domain is checked. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,126 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+let bits_needed ~values =
+  if values < 2 then invalid_arg "Multivalued: values < 2";
+  let rec go b = if 1 lsl b >= values then b else go (b + 1) in
+  go 1
+
+let none = Value.sym "none"
+
+let bit_of v i = (v lsr i) land 1 = 1
+
+(* [matches v prefix] — the low bits of [v] agree with the decided prefix
+   (LSB first). *)
+let matches v prefix =
+  List.for_all2 (fun b i -> bit_of v i = b) prefix
+    (List.init (List.length prefix) Fun.id)
+
+let consensus_object_indices ~procs ~values ~announce_bits =
+  let b = bits_needed ~values in
+  let base = if announce_bits then procs * (b + 1) else procs in
+  List.init b (fun i -> base + i)
+
+let from_binary ?(announce_bits = false) ~procs ~values () =
+  let b = bits_needed ~values in
+  let cons = Consensus_type.binary ~ports:procs in
+  let reg = Register.unbounded ~ports:procs in
+  let bit = Register.bit ~ports:procs in
+  let value_bit_obj p j = (p * (b + 1)) + j in
+  let flag_obj p = (p * (b + 1)) + b in
+  let cons_obj =
+    let base = if announce_bits then procs * (b + 1) else procs in
+    fun i -> base + i
+  in
+  let objects =
+    (if announce_bits then
+       List.init (procs * (b + 1)) (fun _ -> (bit, Value.falsity))
+     else List.init procs (fun _ -> (reg, none)))
+    @ List.init b (fun _ -> (cons, Consensus_type.bot))
+  in
+  let open Program.Syntax in
+  let announce ~proc v =
+    if announce_bits then
+      let* () =
+        Program.for_list (List.init b Fun.id) (fun j ->
+            Program.map ignore
+              (Program.invoke ~obj:(value_bit_obj proc j)
+                 (Ops.write (Value.bool (bit_of v j)))))
+      in
+      Program.map ignore
+        (Program.invoke ~obj:(flag_obj proc) (Ops.write Value.truth))
+    else
+      Program.map ignore
+        (Program.invoke ~obj:proc (Ops.write (Value.int v)))
+  in
+  (* read process q's announcement: Some v or None if not yet announced *)
+  let read_announcement q =
+    if announce_bits then
+      let* flag = Program.invoke ~obj:(flag_obj q) Ops.read in
+      if not (Value.as_bool flag) then Program.return None
+      else
+        let rec bits j acc =
+          if j = b then Program.return (Some acc)
+          else
+            let* bv = Program.invoke ~obj:(value_bit_obj q j) Ops.read in
+            bits (j + 1) (acc lor if Value.as_bool bv then 1 lsl j else 0)
+        in
+        bits 0 0
+    else
+      let+ a = Program.invoke ~obj:q Ops.read in
+      if Value.equal a none then None else Some (Value.as_int a)
+  in
+  (* The scanning process never reads its own announcement — it knows its
+     input locally, which both saves accesses and keeps every announce
+     register single-reader for two processes (a discipline the Theorem 5
+     compiler relies on). *)
+  let adopt ~proc ~own prefix =
+    let rec scan q =
+      if q = procs then
+        raise
+          (Type_spec.Bad_step
+             "Multivalued: adoption scan found no matching announcement \
+              (construction bug)")
+      else if q = proc then
+        if matches own prefix then Program.return own else scan (q + 1)
+      else
+        let* a = read_announcement q in
+        match a with
+        | Some w when matches w prefix -> Program.return w
+        | _ -> scan (q + 1)
+    in
+    scan 0
+  in
+  let program ~proc ~inv local =
+    let v =
+      match inv with
+      | Value.Pair (Value.Sym "propose", Value.Int v) -> v
+      | _ ->
+        raise
+          (Type_spec.Bad_step
+             (Fmt.str "Multivalued: bad invocation %a" Value.pp inv))
+    in
+    if v < 0 || v >= values then
+      raise (Type_spec.Bad_step "Multivalued: proposal out of range");
+    let* () = announce ~proc v in
+    let rec rounds i candidate prefix =
+      if i = b then Program.return (Value.int candidate, local)
+      else
+        let my_bit = bit_of candidate i in
+        let* d =
+          Program.invoke ~obj:(cons_obj i) (Ops.propose (Value.bool my_bit))
+        in
+        let d = Value.as_bool d in
+        let prefix = prefix @ [ d ] in
+        if my_bit = d then rounds (i + 1) candidate prefix
+        else
+          let* candidate' = adopt ~proc ~own:v prefix in
+          rounds (i + 1) candidate' prefix
+    in
+    rounds 0 v []
+  in
+  Protocols.with_decision_cache
+    (Implementation.make
+       ~target:(Consensus_type.multivalued ~ports:procs ~values)
+       ~implements:Consensus_type.bot ~procs ~objects ~program ())

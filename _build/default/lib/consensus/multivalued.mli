@@ -1,0 +1,44 @@
+(** Multivalued consensus from binary consensus (bit-by-bit agreement).
+
+    The paper (and Herlihy's universality) speak of binary consensus; the
+    universal construction's log wants agreement on arbitrary entries. The
+    classical bridge is this construction: to agree on one of [values]
+    values, processes first announce their inputs, then run ⌈log₂ values⌉
+    rounds of binary consensus, one per bit. In round i a process proposes
+    bit i of its current candidate; if it loses the round it adopts {e some}
+    announced value whose bits 0..i match the decided prefix — one exists,
+    because the round's winner proposed the bit of exactly such a value, and
+    candidates are always announced values (announcements are written once,
+    before any proposing, so the adopting scan cannot miss them).
+
+    After all rounds the decided bits determine a unique value (the
+    encoding is injective), so everyone returns the same announced value:
+    agreement and validity.
+
+    With [announce_bits:true] the announce registers are split into
+    single-bit atomic registers, which for two processes makes the whole
+    construction compatible with the Theorem 5 compiler — composing the two
+    yields {e multivalued} consensus from objects of T only, an end-to-end
+    corollary the E13 tests exercise. *)
+
+open Wfc_program
+
+val bits_needed : values:int -> int
+(** ⌈log₂ values⌉. *)
+
+val from_binary :
+  ?announce_bits:bool ->
+  procs:int ->
+  values:int ->
+  unit ->
+  Implementation.t
+(** Target: {!Wfc_zoo.Consensus_type.multivalued}. Base objects:
+    [bits_needed] primitive binary consensus objects
+    ({!Wfc_zoo.Consensus_type.binary}, substitutable by any protocol
+    implementation) plus the announce array — [procs] unbounded registers,
+    or [procs × bits_needed] atomic bits when [announce_bits] (default
+    false). Proposals are [Ops.propose (Int v)] with [0 ≤ v < values]. *)
+
+val consensus_object_indices : procs:int -> values:int -> announce_bits:bool -> int list
+(** Base-object indices of the binary consensus objects, for substituting in
+    protocol implementations. *)

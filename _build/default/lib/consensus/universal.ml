@@ -1,0 +1,100 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+let none = Value.sym "none"
+
+(* local state = [next_cell; simulated state; applied seq per proc; my seq] *)
+let encode_local ~next_cell ~state ~applied ~my_seq =
+  Value.list
+    [ Value.int next_cell; state; Value.list (List.map Value.int applied);
+      Value.int my_seq ]
+
+let decode_local local =
+  match Value.as_list local with
+  | [ next_cell; state; applied; my_seq ] ->
+    ( Value.as_int next_cell,
+      state,
+      List.map Value.as_int (Value.as_list applied),
+      Value.as_int my_seq )
+  | _ -> invalid_arg "Universal: corrupt local state"
+
+let entry ~proc ~seq inv =
+  Value.pair (Value.int proc) (Value.pair (Value.int seq) inv)
+
+let decode_entry e =
+  let p, rest = Value.as_pair e in
+  let s, inv = Value.as_pair rest in
+  (Value.as_int p, Value.as_int s, inv)
+
+let construct ~target ?init ~procs ~cells () =
+  let init = Option.value init ~default:target.Type_spec.initial in
+  let announce_obj p = p in
+  let cons_obj k = procs + k in
+  let reg = Register.unbounded ~ports:procs in
+  let cons = Consensus_type.any ~ports:procs in
+  let objects =
+    List.init procs (fun _ -> (reg, none))
+    @ List.init cells (fun _ -> (cons, Consensus_type.bot))
+  in
+  let open Program.Syntax in
+  let program ~proc ~inv local =
+    let _, _, _, my_seq0 = decode_local local in
+    let seq = my_seq0 + 1 in
+    let mine = entry ~proc ~seq inv in
+    let* _ = Program.invoke ~obj:(announce_obj proc) (Ops.write mine) in
+    let rec walk local =
+      let next_cell, state, applied, _ = decode_local local in
+      if next_cell >= cells then
+        raise
+          (Type_spec.Bad_step
+             (Fmt.str "Universal: log pool exhausted after %d cells" cells))
+      else
+        let helped = next_cell mod procs in
+        let* announced = Program.invoke ~obj:(announce_obj helped) Ops.read in
+        let candidate =
+          if Value.equal announced none then mine
+          else
+            let hp, hs, _ = decode_entry announced in
+            if hs > List.nth applied hp then announced else mine
+        in
+        let* decided =
+          Program.invoke ~obj:(cons_obj next_cell) (Ops.propose candidate)
+        in
+        let dp, ds, dinv = decode_entry decided in
+        let fresh = ds = List.nth applied dp + 1 in
+        let state', resp =
+          if fresh then
+            Type_spec.step_deterministic target state ~port:dp ~inv:dinv
+          else (state, none)
+        in
+        let applied' =
+          if fresh then
+            List.mapi (fun i a -> if i = dp then a + 1 else a) applied
+          else applied
+        in
+        let local' =
+          encode_local ~next_cell:(next_cell + 1) ~state:state'
+            ~applied:applied' ~my_seq:my_seq0
+        in
+        if fresh && dp = proc && ds = seq then
+          let next_cell', state'', applied'', _ = decode_local local' in
+          Program.return
+            ( resp,
+              encode_local ~next_cell:next_cell' ~state:state''
+                ~applied:applied'' ~my_seq:seq )
+        else walk local'
+    in
+    walk local
+  in
+  Implementation.make ~target ~implements:init ~procs ~objects
+    ~local_init:(fun _ ->
+      encode_local ~next_cell:0 ~state:init
+        ~applied:(List.init procs (fun _ -> 0))
+        ~my_seq:0)
+    ~program ()
+
+let consensus_cell_count impl =
+  Implementation.count_objects_where impl ~pred:(fun spec ->
+      let name = spec.Type_spec.name in
+      String.length name >= 9 && String.sub name 0 9 = "consensus")

@@ -1,0 +1,46 @@
+(** Herlihy's universal construction [7] — "consensus is universal".
+
+    Section 2.3 of the paper leans on this result: if a type can implement
+    n-process consensus, it can implement {e any} type for n processes. This
+    module is the constructive witness: a wait-free linearizable
+    implementation of an arbitrary deterministic sequential type from
+    consensus objects and registers.
+
+    Construction (the classical helping variant):
+    - an {e announce} register per process, holding ⟨proc, seq, invocation⟩;
+    - a log of any-value consensus objects; cell k decides the k-th
+      operation applied to the simulated object;
+    - to perform an operation a process announces it, then walks the log
+      from where it last stopped: at each cell it proposes either its own
+      announced entry or — to guarantee helping — the announced entry of
+      process (k mod n) if that entry is still unapplied; it replays every
+      decided entry onto a local copy of the simulated state (duplicate
+      entries, which can be decided into two cells, are skipped by sequence
+      number — deterministically, so all replicas agree) until its own
+      operation lands, whose replayed response it returns.
+
+    Wait-freedom: by the classical helping argument an announced operation
+    is decided within O(n) cells of the frontier, so each operation
+    terminates in a bounded number of its own steps.
+
+    The log is a finite pool of [cells] consensus objects — size it at
+    ~ (total operations) × 2 + procs for a given workload; running out
+    raises, which the exploration surfaces. *)
+
+open Wfc_spec
+open Wfc_program
+
+val construct :
+  target:Type_spec.t ->
+  ?init:Value.t ->
+  procs:int ->
+  cells:int ->
+  unit ->
+  Implementation.t
+(** [target] must be deterministic (δ is applied during replay with
+    {!Type_spec.step_deterministic}); [init] (default [target.initial]) is
+    the simulated object's initial state. Base objects: [procs] announce
+    registers + [cells] any-value consensus objects. *)
+
+val consensus_cell_count : Implementation.t -> int
+(** Number of consensus base objects (for the E10 cost table). *)

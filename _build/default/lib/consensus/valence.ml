@@ -1,0 +1,174 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+type valence = Univalent of bool | Bivalent | Mixed
+
+type report = {
+  root : valence;
+  leaves : int;
+  bivalent_nodes : int;
+  critical_nodes : int;
+  critical_objects : (string * int) list;
+  critical_same_object : bool;
+}
+
+let pp_valence ppf = function
+  | Univalent b -> Fmt.pf ppf "%b-univalent" b
+  | Bivalent -> Fmt.string ppf "bivalent"
+  | Mixed -> Fmt.string ppf "MIXED (agreement broken below)"
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "root %a; %d leaves, %d bivalent node(s), %d critical; critical accesses \
+     hit {%a}%s"
+    pp_valence r.root r.leaves r.bivalent_nodes r.critical_nodes
+    Fmt.(list ~sep:(any ", ") (pair ~sep:(any "×") string int))
+    r.critical_objects
+    (if r.critical_same_object then " — always one shared object" else "")
+
+(* valence of a leaf: the (unique) decision, or Mixed on disagreement *)
+let leaf_valence (leaf : Wfc_sim.Exec.leaf) =
+  match leaf.ops with
+  | [] -> Mixed (* no participant completed: cannot happen crash-free *)
+  | o :: rest ->
+    if
+      List.for_all
+        (fun (o' : Wfc_sim.Exec.op) -> Value.equal o'.resp o.resp)
+        rest
+    then Univalent (Value.as_bool o.resp)
+    else Mixed
+
+let join a b =
+  match (a, b) with
+  | Mixed, _ | _, Mixed -> Mixed
+  | Univalent x, Univalent y -> if x = y then Univalent x else Bivalent
+  | Bivalent, _ | _, Bivalent -> Bivalent
+
+let to_dot (impl : Implementation.t) ~inputs ?fuel ?(max_nodes = 4000) () =
+  if List.length inputs <> impl.Implementation.procs then
+    Error "inputs length must equal impl.procs"
+  else begin
+    let workloads =
+      Array.of_list (List.map (fun b -> [ Ops.propose (Value.bool b) ]) inputs)
+    in
+    let buf = Buffer.create 4096 in
+    let counter = ref 0 in
+    let fresh () =
+      incr counter;
+      if !counter > max_nodes then
+        failwith (Fmt.str "more than %d nodes; raise ~max_nodes" max_nodes);
+      !counter
+    in
+    let style = function
+      | Univalent false -> "fillcolor=\"#9ecae9\""
+      | Univalent true -> "fillcolor=\"#a1d99b\""
+      | Bivalent -> "fillcolor=\"#fc9d9a\""
+      | Mixed -> "fillcolor=\"#bdbdbd\""
+    in
+    let leaf l =
+      let id = fresh () in
+      let v = leaf_valence l in
+      Buffer.add_string buf
+        (Fmt.str "  n%d [shape=box,style=filled,%s,label=\"%s\"];\n" id
+           (style v)
+           (match v with
+           | Univalent b -> Fmt.str "decide %b" b
+           | Mixed -> "DISAGREE"
+           | Bivalent -> "?"));
+      (id, v)
+    in
+    let node (view : Wfc_sim.Exec.node_view) children =
+      let v =
+        match children with
+        | [] -> Mixed
+        | (_, c) :: rest ->
+          List.fold_left (fun acc (_, c') -> join acc c') c rest
+      in
+      let critical =
+        v = Bivalent
+        && List.for_all
+             (fun (_, c) -> match c with Univalent _ -> true | _ -> false)
+             children
+      in
+      let id = fresh () in
+      Buffer.add_string buf
+        (Fmt.str "  n%d [shape=circle,style=filled,%s%s,label=\"%d\"];\n" id
+           (style v)
+           (if critical then ",peripheries=3" else "")
+           view.Wfc_sim.Exec.depth);
+      List.iter
+        (fun (cid, _) ->
+          Buffer.add_string buf (Fmt.str "  n%d -> n%d;\n" id cid))
+        children;
+      (id, v)
+    in
+    match Wfc_sim.Exec.fold_tree impl ~workloads ?fuel ~leaf ~node () with
+    | _root ->
+      Ok
+        (Fmt.str
+           "digraph execution_tree {\n  rankdir=TB;\n  node [fontsize=10];\n%s}\n"
+           (Buffer.contents buf))
+    | exception Failure msg -> Error msg
+  end
+
+let analyze (impl : Implementation.t) ~inputs ?fuel () =
+  if List.length inputs <> impl.Implementation.procs then
+    Error "inputs length must equal impl.procs"
+  else begin
+    let workloads =
+      Array.of_list (List.map (fun b -> [ Ops.propose (Value.bool b) ]) inputs)
+    in
+    let leaves = ref 0 in
+    let bivalent_nodes = ref 0 in
+    let critical_nodes = ref 0 in
+    let tally : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let same_object = ref true in
+    let leaf l =
+      incr leaves;
+      leaf_valence l
+    in
+    let node (view : Wfc_sim.Exec.node_view) children =
+      let v =
+        match children with
+        | [] -> Mixed
+        | c :: rest -> List.fold_left join c rest
+      in
+      (match v with
+      | Bivalent ->
+        incr bivalent_nodes;
+        let critical =
+          List.for_all (function Univalent _ -> true | _ -> false) children
+        in
+        if critical then begin
+          incr critical_nodes;
+          let objs =
+            List.sort_uniq Int.compare
+              (List.map (fun (_, obj, _) -> obj) view.next_accesses)
+          in
+          if List.length objs > 1 then same_object := false;
+          List.iter
+            (fun obj ->
+              let spec, _ = impl.Implementation.objects.(obj) in
+              let name = spec.Type_spec.name in
+              Hashtbl.replace tally name
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tally name)))
+            objs
+        end
+      | Univalent _ | Mixed -> ());
+      v
+    in
+    match Wfc_sim.Exec.fold_tree impl ~workloads ?fuel ~leaf ~node () with
+    | root ->
+      Ok
+        {
+          root;
+          leaves = !leaves;
+          bivalent_nodes = !bivalent_nodes;
+          critical_nodes = !critical_nodes;
+          critical_objects =
+            List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []);
+          critical_same_object = !same_object;
+        }
+    | exception Failure msg -> Error msg
+  end

@@ -1,0 +1,67 @@
+(** Valence analysis of consensus execution trees — the FLP/LA argument,
+    mechanized.
+
+    The impossibility results the paper's Theorem 5 leans on ([4,6,14]:
+    registers alone cannot implement 2-process wait-free consensus) all turn
+    on {e valence}: a configuration is v-{e univalent} when every execution
+    from it decides v, and {e bivalent} when both decisions are still
+    reachable. Wait-freedom forces finite trees; a finite tree whose root is
+    bivalent must contain a {e critical} configuration — bivalent with all
+    successors univalent. The classical case analysis then shows the two
+    processes' pending accesses at a critical configuration must be on the
+    same object, and that object cannot be a register (reads commute past
+    everything; two writes to the same register commute up to
+    overwriting) — so the "decider" object at the critical step is exactly
+    where the type's consensus power sits.
+
+    This module computes valence for every node of an implementation's
+    execution tree and reports the critical configurations together with the
+    objects their pending accesses target. For the library's protocols the
+    answer is satisfying: the critical object is always the strong primitive
+    (the TAS, the queue, the CAS…), never a register — the paper's thesis
+    that "registers are not special", seen from below. *)
+
+open Wfc_program
+
+type valence =
+  | Univalent of bool  (** every leaf below decides this value *)
+  | Bivalent  (** both decisions reachable *)
+  | Mixed  (** some leaf below violates agreement (broken protocols) *)
+
+type report = {
+  root : valence;
+  leaves : int;
+  bivalent_nodes : int;
+  critical_nodes : int;  (** bivalent, every successor univalent *)
+  critical_objects : (string * int) list;
+      (** spec-name × occurrence count of the objects targeted by pending
+          accesses at critical configurations *)
+  critical_same_object : bool;
+      (** at every critical configuration, all enabled processes' pending
+          accesses target one and the same base object — the classical
+          lemma's conclusion, checked rather than assumed *)
+}
+
+val analyze :
+  Implementation.t ->
+  inputs:bool list ->
+  ?fuel:int ->
+  unit ->
+  (report, string) result
+(** Analyze the execution tree for one input vector (the workload is one
+    [propose] per process). Inputs must make the root bivalent for the
+    analysis to be interesting — e.g. [false; true]. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val to_dot :
+  Implementation.t ->
+  inputs:bool list ->
+  ?fuel:int ->
+  ?max_nodes:int ->
+  unit ->
+  (string, string) result
+(** Render the execution tree as Graphviz DOT, nodes coloured by valence
+    (univalent-false blue, univalent-true green, bivalent red with critical
+    configurations double-circled, leaves boxed). [max_nodes] (default 4000)
+    guards against accidentally rendering a forest. *)

@@ -1,0 +1,1 @@
+lib/core/bounded_bit.ml: Fmt Implementation List One_use Ops Program Register Type_spec Value Wfc_program Wfc_registers Wfc_spec Wfc_zoo

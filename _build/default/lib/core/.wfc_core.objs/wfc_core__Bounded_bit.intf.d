@@ -1,0 +1,1 @@
+lib/core/bounded_bit.mli: Implementation Wfc_program

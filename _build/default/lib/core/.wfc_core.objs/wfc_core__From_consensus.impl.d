@@ -1,0 +1,1 @@
+lib/core/from_consensus.ml: Consensus_type Fmt Implementation One_use Ops Program String Type_spec Value Wfc_program Wfc_registers Wfc_spec Wfc_zoo

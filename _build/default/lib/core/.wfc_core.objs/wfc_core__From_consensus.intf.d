@@ -1,0 +1,1 @@
+lib/core/from_consensus.mli: Implementation Wfc_program

@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Fmt Implementation Result String Theorem5 Type_spec Wfc_consensus Wfc_program Wfc_spec

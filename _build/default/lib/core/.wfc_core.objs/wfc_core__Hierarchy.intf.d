@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Format Implementation Theorem5 Wfc_program

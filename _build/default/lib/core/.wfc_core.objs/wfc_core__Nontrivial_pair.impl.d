@@ -1,0 +1,1 @@
+lib/core/nontrivial_pair.ml: Fmt Fun Implementation List One_use Ops Option Program Seq_history Type_spec Value Wfc_program Wfc_registers Wfc_spec Wfc_zoo

@@ -1,0 +1,1 @@
+lib/core/one_use_bit.ml: Array Fmt Implementation List One_use Result Value Wfc_linearize Wfc_program Wfc_sim Wfc_spec Wfc_zoo

@@ -1,0 +1,1 @@
+lib/core/one_use_bit.mli: Implementation Wfc_program Wfc_spec

@@ -1,0 +1,1 @@
+lib/core/theorem5.mli: Format Implementation Nontrivial_pair Triviality Type_spec Wfc_consensus Wfc_program Wfc_spec

@@ -1,0 +1,1 @@
+lib/core/triviality.ml: Fmt Implementation List One_use Ops Program Type_spec Value Wfc_program Wfc_registers Wfc_spec Wfc_zoo

@@ -1,0 +1,1 @@
+lib/core/triviality.mli: Format Implementation Type_spec Value Wfc_program Wfc_spec

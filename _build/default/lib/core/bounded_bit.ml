@@ -1,0 +1,84 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+let bit_count ~reads ~writes = reads * (writes + 1)
+
+(* Array layout: bits[i, j] (row i ∈ 0..writes, column j ∈ 0..reads-1) at
+   base-object index i*reads + j. Rows correspond to writes, columns to
+   reads, exactly as in the paper (shifted to 0-based indices). *)
+let from_one_use ?(guard = true) ~reads ~writes ~init ?(procs = 2)
+    ?(writer = 0) ?(reader = 1) () =
+  if reads < 1 then invalid_arg "Bounded_bit: reads < 1";
+  if writes < 0 then invalid_arg "Bounded_bit: writes < 0";
+  if writer = reader then invalid_arg "Bounded_bit: writer = reader";
+  let bit = One_use.spec_n ~ports:procs in
+  let obj ~row ~col =
+    if row > writes then
+      raise
+        (Type_spec.Bad_step
+           (Fmt.str "Bounded_bit: write budget (%d) exceeded" writes))
+    else if col >= reads then
+      raise
+        (Type_spec.Bad_step
+           (Fmt.str "Bounded_bit: read budget (%d) exceeded" reads))
+    else (row * reads) + col
+  in
+  let objects =
+    List.init (bit_count ~reads ~writes) (fun _ -> (bit, One_use.unset))
+  in
+  let open Program.Syntax in
+  (* writer local: ⟨next row i_w, current abstract value⟩
+     reader local: ⟨row pointer i_r, next column j_r⟩ *)
+  let program ~proc ~inv local =
+    match inv with
+    | Value.Sym "read" ->
+      Wfc_registers.Roles.require_reader ~who:"bounded_bit" ~writer ~proc;
+      if proc <> reader then
+        raise
+          (Wfc_registers.Roles.Role_violation
+             (Fmt.str "bounded_bit: process %d is not the reader (%d)" proc
+                reader));
+      let i_r0, j_r = Value.as_pair local in
+      let rec walk i_r =
+        let* b = Program.invoke ~obj:(obj ~row:i_r ~col:(Value.as_int j_r)) One_use.read in
+        if Value.as_bool b then walk (i_r + 1)
+        else
+          (* i_r is the first row not completely flipped: the bit has been
+             written i_r times (0-based rows), value = init xor parity *)
+          let v = init <> (i_r mod 2 = 1) in
+          Program.return
+            (Value.bool v, Value.pair (Value.int i_r) (Value.int (Value.as_int j_r + 1)))
+      in
+      walk (Value.as_int i_r0)
+    | Value.Pair (Value.Sym "write", v) ->
+      Wfc_registers.Roles.require_writer ~who:"bounded_bit" ~writer ~proc;
+      let i_w, cur = Value.as_pair local in
+      if guard && Value.equal v cur then Program.return (Ops.ok, local)
+      else
+        let row = Value.as_int i_w in
+        if row >= writes then
+          raise
+            (Type_spec.Bad_step
+               (Fmt.str
+                  "Bounded_bit: write budget (%d) exceeded (the sentinel row \
+                   must stay unwritten)"
+                  writes));
+        let rec flip j =
+          if j = reads then
+            Program.return (Ops.ok, Value.pair (Value.int (row + 1)) v)
+          else
+            let* _ = Program.invoke ~obj:(obj ~row ~col:j) One_use.write in
+            flip (j + 1)
+        in
+        flip 0
+    | _ -> raise (Type_spec.Bad_step "bounded_bit: bad invocation")
+  in
+  Implementation.make
+    ~target:(Register.bit ~ports:procs)
+    ~implements:(Value.bool init) ~procs ~objects
+    ~local_init:(fun p ->
+      if p = writer then Value.pair (Value.int 0) (Value.bool init)
+      else if p = reader then Value.pair (Value.int 0) (Value.int 0)
+      else Value.unit)
+    ~program ()

@@ -1,0 +1,45 @@
+(** Section 4.3 — implementing a bounded-use multi-use bit from one-use bits.
+
+    The paper's construction, verbatim: a single-reader single-writer bit
+    that is read at most [reads] times and written at most [writes] times is
+    implemented by a [(writes+1) × reads] array of one-use bits, all
+    initially UNSET. Rows correspond to writes, columns to reads. A write
+    flips every bit of the next row; a read walks down its own column until
+    it finds an unflipped bit, and derives the value from the number of
+    complete rows: [(init + completed_rows) mod 2]. Every read uses a fresh
+    column, so no one-use bit is ever read twice; every write uses a fresh
+    row, so no one-use bit is ever written twice. The last row is never
+    written — it exists so the reader's walk always terminates (the paper's
+    own remark).
+
+    The paper assumes the bit "is only written when its value is being
+    changed"; this implementation honours that precondition internally: the
+    writer keeps the current abstract value in its local state and performs
+    zero accesses on a same-value write ([guard:false] disables this and
+    turns every write into a toggle — the E4 ablation shows the checker
+    catching the resulting corruption).
+
+    Exceeding the read or write budget raises
+    {!Wfc_spec.Type_spec.Bad_step} (the reader runs off its columns / the
+    writer off its rows), which the exploration surfaces — the E4
+    under-provisioning ablation. *)
+
+open Wfc_program
+
+val from_one_use :
+  ?guard:bool ->
+  reads:int ->
+  writes:int ->
+  init:bool ->
+  ?procs:int ->
+  ?writer:int ->
+  ?reader:int ->
+  unit ->
+  Implementation.t
+(** Target interface: {!Wfc_zoo.Register.bit} ([procs] ports, default 2;
+    [writer] defaults to 0, [reader] to 1). Base objects: exactly
+    [reads × (writes + 1)] one-use bits ({!Wfc_zoo.One_use.spec_n}). *)
+
+val bit_count : reads:int -> writes:int -> int
+(** [reads × (writes + 1)] — the paper's formula; asserted in tests against
+    {!Wfc_program.Implementation.base_object_count}. *)

@@ -1,0 +1,49 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+let from_consensus_object ?(procs = 2) ?(writer = 0) ?(reader = 1) () =
+  let cons = Consensus_type.binary ~ports:2 in
+  let open Program.Syntax in
+  let program ~proc ~inv local =
+    match inv with
+    | Value.Sym "read" ->
+      if proc <> reader then
+        raise
+          (Wfc_registers.Roles.Role_violation
+             (Fmt.str "from_consensus: process %d is not the reader" proc));
+      let+ decided = Program.invoke ~obj:0 (Ops.propose Value.falsity) in
+      (decided, local)
+    | Value.Sym "write" ->
+      if proc <> writer then
+        raise
+          (Wfc_registers.Roles.Role_violation
+             (Fmt.str "from_consensus: process %d is not the writer" proc));
+      let+ _ = Program.invoke ~obj:0 (Ops.propose Value.truth) in
+      (Ops.ok, local)
+    | _ ->
+      raise
+        (Type_spec.Bad_step
+           (Fmt.str "from_consensus: bad invocation %a" Value.pp inv))
+  in
+  Implementation.make
+    ~target:(One_use.spec_n ~ports:procs)
+    ~implements:One_use.unset ~procs
+    ~objects:[ (cons, Consensus_type.bot) ]
+    ~port_map:(fun ~proc ~obj:_ -> if proc = writer then 1 else 0)
+    ~program ()
+
+let from_consensus_impl ~consensus ?(procs = 2) ?(writer = 0) ?(reader = 1) ()
+    =
+  let name = consensus.Implementation.target.Type_spec.name in
+  if not (String.equal name "consensus2") then
+    invalid_arg
+      (Fmt.str "from_consensus_impl: expected a consensus2 implementation, got %s"
+         name);
+  let outer = from_consensus_object ~procs ~writer ~reader () in
+  (* the outer layer drives the consensus object with reader on port 0 and
+     writer on port 1 — map those global processes to the consensus
+     implementation's roles 0 and 1 *)
+  Implementation.substitute ~obj:0
+    ~proc_map:(fun p -> if p = writer then 1 else 0)
+    ~replacement:consensus outer

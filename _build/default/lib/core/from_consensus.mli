@@ -1,0 +1,28 @@
+(** Section 5.3 — one-use bits from 2-process consensus.
+
+    If [h_m(T) ≥ 2] — objects of T alone implement 2-process consensus —
+    then T implements one-use bits even if T is nondeterministic: the reader
+    proposes 0 ("read precedes write") and the writer proposes 1 ("write
+    precedes read"); the consensus value tells the reader on which side of
+    the write its read linearizes. All of a reader's reads return the same
+    response, which the one-use bit's nondeterministic DEAD state permits. *)
+
+open Wfc_program
+
+val from_consensus_object :
+  ?procs:int -> ?writer:int -> ?reader:int -> unit -> Implementation.t
+(** One-use bit over a single primitive T_{c,2} base object (the identity
+    layer). Substitute a register-free consensus implementation into base
+    object 0 — or use {!from_consensus_impl} which does exactly that. *)
+
+val from_consensus_impl :
+  consensus:Implementation.t ->
+  ?procs:int ->
+  ?writer:int ->
+  ?reader:int ->
+  unit ->
+  Implementation.t
+(** [consensus] must implement the binary consensus type for (at least) 2
+    processes from state ⊥; its role 0 is the reader, role 1 the writer.
+    @raise Invalid_argument if [consensus] does not target the binary
+    consensus type. *)

@@ -1,0 +1,63 @@
+open Wfc_spec
+open Wfc_program
+
+type certificate = {
+  type_name : string;
+  level : int;
+  registers_used : bool;
+  objects : int;
+  executions : int;
+  single_object : bool;
+}
+
+let pp_certificate ppf c =
+  let hierarchy =
+    match (c.single_object, c.registers_used) with
+    | true, false -> "h_1 (hence h_m, h_1^r, h_m^r)"
+    | true, true -> "h_1^r (hence h_m^r)"
+    | false, false -> "h_m (hence h_m^r)"
+    | false, true -> "h_m^r"
+  in
+  Fmt.pf ppf "%s ∈ %s level ≥ %d (%d object(s), %d executions checked)"
+    c.type_name hierarchy c.level c.objects c.executions
+
+let is_register_like spec =
+  let name = spec.Type_spec.name in
+  let prefix p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  prefix "atomic-" || prefix "safe-" || prefix "regular-"
+
+let certify ~type_name ?(allow_registers = false) (impl : Implementation.t) =
+  let registers =
+    Implementation.count_objects_where impl ~pred:is_register_like
+  in
+  if registers > 0 && not (allow_registers) then
+    Error
+      (Fmt.str
+         "implementation uses %d register(s); this can only certify h_m^r"
+         registers)
+  else
+    match Wfc_consensus.Check.verify impl with
+    | Error v ->
+      Error (Fmt.str "verification failed: %a" Wfc_consensus.Check.pp_violation v)
+    | Ok report ->
+      let objects = Implementation.base_object_count impl in
+      Ok
+        {
+          type_name;
+          level = impl.Implementation.procs;
+          registers_used = registers > 0;
+          objects;
+          executions = report.Wfc_consensus.Check.executions;
+          single_object = objects - registers = 1;
+        }
+
+let transfer ~type_name ~strategy (impl : Implementation.t) =
+  let ( let* ) r f = Result.bind r f in
+  let* report = Theorem5.eliminate_registers ~strategy impl in
+  let* cert =
+    certify ~type_name ~allow_registers:false report.Theorem5.compiled
+  in
+  Ok (cert, report)

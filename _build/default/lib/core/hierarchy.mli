@@ -1,0 +1,47 @@
+(** Jayanti's wait-free hierarchies h_m and h_m^r (Section 2.3), as
+    machine-checked certificates.
+
+    Levels of these hierarchies are not computable in general; what this
+    module offers is exactly what the paper manipulates: {e certified lower
+    bounds} — a concrete implementation of n-process consensus from objects
+    of T (h_m) or from objects of T plus registers (h_m^r), verified
+    exhaustively by {!Wfc_consensus.Check} — and the Theorem 5 {e transfer}:
+    any h_m^r certificate for a deterministic (or consensus-capable) type
+    compiles into an h_m certificate at the same level. *)
+
+open Wfc_program
+
+type certificate = {
+  type_name : string;  (** the type T the certificate is about *)
+  level : int;  (** n — T implements n-process consensus *)
+  registers_used : bool;  (** true: h_m^r evidence; false: h_m evidence *)
+  objects : int;  (** base objects in the witnessing implementation *)
+  executions : int;  (** executions the verifier examined *)
+  single_object : bool;
+      (** exactly one base object and no registers: the certificate also
+          witnesses Jayanti's one-object hierarchy h_1 at this level (with
+          registers it would witness h_1^r, Herlihy's original assignment) *)
+}
+
+val certify :
+  type_name:string ->
+  ?allow_registers:bool ->
+  Implementation.t ->
+  (certificate, string) result
+(** Verify the implementation (exhaustively, including partial participation
+    and repeated invocations) and check its base-object discipline: every
+    base object must be a register (only if [allow_registers], default
+    false) or anything else — which the caller asserts are objects of T (a
+    spec-level check cannot know which concrete types "are" T after §5's
+    encodings; the tests pass single-type implementations). *)
+
+val transfer :
+  type_name:string ->
+  strategy:Theorem5.strategy ->
+  Implementation.t ->
+  (certificate * Theorem5.report, string) result
+(** Theorem 5 as a function between certificates: take h_m^r evidence
+    (registers allowed), compile the registers away, re-verify, and return
+    h_m evidence at the same level. *)
+
+val pp_certificate : Format.formatter -> certificate -> unit

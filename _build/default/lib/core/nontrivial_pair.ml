@@ -1,0 +1,224 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+type pair = {
+  start : Value.t;
+  reader_port : int;
+  writer_port : int;
+  probes : Value.t list;
+  mover : Value.t;
+  h1_return : Value.t;
+  h2_return : Value.t;
+}
+
+type raw_pair = {
+  raw_start : Value.t;
+  raw_port : int;
+  raw_h1 : (int * Value.t) list;
+  raw_h2 : (int * Value.t) list;
+}
+
+let pp_pair ppf p =
+  Fmt.pf ppf "start=%a reader-port=%d writer-port=%d ī=[%a] i_w=%a: %a vs %a"
+    Value.pp p.start p.reader_port p.writer_port
+    Fmt.(list ~sep:(any ";") Value.pp)
+    p.probes Value.pp p.mover Value.pp p.h1_return Value.pp p.h2_return
+
+let precheck spec =
+  match spec.Type_spec.states with
+  | None -> Error (Fmt.str "%s: state space not enumerated" spec.Type_spec.name)
+  | Some states ->
+    if not (Type_spec.is_deterministic spec) then
+      Error (Fmt.str "%s: not deterministic" spec.Type_spec.name)
+    else Ok states
+
+(* Deterministic run returning the responses observed on [port], or None if
+   some invocation is disabled along the way. *)
+let run_watching spec q seq ~port =
+  Option.map
+    (fun h ->
+      List.filter_map
+        (fun (e : Seq_history.entry) ->
+          if e.port = port then Some e.resp else None)
+        h.Seq_history.entries)
+    (Seq_history.run spec q seq)
+
+let last xs = match List.rev xs with [] -> None | x :: _ -> Some x
+
+let search ?(max_len = 6) spec =
+  match precheck spec with
+  | Error e -> Error e
+  | Ok states ->
+    let ports = List.init spec.Type_spec.ports Fun.id in
+    let invs = spec.Type_spec.invocations in
+    (* probe sequences of exactly length k *)
+    let rec seqs k =
+      if k = 0 then [ [] ]
+      else List.concat_map (fun s -> List.map (fun i -> i :: s) invs) (seqs (k - 1))
+    in
+    let k_max = max 1 ((max_len - 1) / 2) in
+    let found = ref None in
+    let try_candidate q rp wp iw probes =
+      if !found = None then begin
+        let on_rp = List.map (fun i -> (rp, i)) probes in
+        match
+          ( run_watching spec q on_rp ~port:rp,
+            run_watching spec q ((wp, iw) :: on_rp) ~port:rp )
+        with
+        | Some rs1, Some rs2 -> (
+          match (last rs1, last rs2) with
+          | Some r1, Some r2 when not (Value.equal r1 r2) ->
+            found :=
+              Some
+                {
+                  start = q;
+                  reader_port = rp;
+                  writer_port = wp;
+                  probes;
+                  mover = iw;
+                  h1_return = r1;
+                  h2_return = r2;
+                }
+          | _ -> ())
+        | _ -> ()
+      end
+    in
+    let rec by_length k =
+      if k > k_max || !found <> None then ()
+      else begin
+        List.iter
+          (fun q ->
+            List.iter
+              (fun rp ->
+                List.iter
+                  (fun wp ->
+                    if wp <> rp then
+                      List.iter
+                        (fun iw ->
+                          List.iter (try_candidate q rp wp iw) (seqs k))
+                        invs)
+                  ports)
+              ports)
+          states;
+        by_length (k + 1)
+      end
+    in
+    by_length 1;
+    Ok !found
+
+let search_general ?(max_len = 6) spec =
+  match precheck spec with
+  | Error e -> Error e
+  | Ok states ->
+    let ports = List.init spec.Type_spec.ports Fun.id in
+    let invs = spec.Type_spec.invocations in
+    let moves = List.concat_map (fun p -> List.map (fun i -> (p, i)) invs) ports in
+    (* all sequences of length ≤ n (reversed construction order is fine
+       because we enumerate all of them) *)
+    let rec all_seqs n =
+      if n = 0 then [ [] ]
+      else
+        let shorter = all_seqs (n - 1) in
+        shorter
+        @ List.concat_map
+            (fun s ->
+              if List.length s = n - 1 then
+                List.map (fun m -> s @ [ m ]) moves
+              else [])
+            shorter
+    in
+    let candidates = all_seqs (max_len - 1) in
+    let on_port port s = List.filter (fun (p, _) -> p = port) s in
+    let best = ref None in
+    let better len = match !best with None -> true | Some (l, _) -> len < l in
+    List.iter
+      (fun q ->
+        List.iter
+          (fun rp ->
+            (* sequences ending with an rp-invocation *)
+            let ending =
+              List.filter
+                (fun s ->
+                  match List.rev s with
+                  | (p, _) :: _ -> p = rp
+                  | [] -> false)
+                candidates
+            in
+            List.iter
+              (fun h1 ->
+                List.iter
+                  (fun h2 ->
+                    let len = List.length h1 + List.length h2 in
+                    if
+                      better len
+                      && List.equal
+                           (fun (_, a) (_, b) -> Value.equal a b)
+                           (on_port rp h1) (on_port rp h2)
+                    then
+                      match
+                        ( run_watching spec q h1 ~port:rp,
+                          run_watching spec q h2 ~port:rp )
+                      with
+                      | Some rs1, Some rs2 -> (
+                        match (last rs1, last rs2) with
+                        | Some r1, Some r2 when not (Value.equal r1 r2) ->
+                          best :=
+                            Some
+                              ( len,
+                                {
+                                  raw_start = q;
+                                  raw_port = rp;
+                                  raw_h1 = h1;
+                                  raw_h2 = h2;
+                                } )
+                        | _ -> ())
+                      | _ -> ())
+                  ending)
+              ending)
+          ports)
+      states;
+    Ok (Option.map snd !best)
+
+let one_use_bit spec (p : pair) ?(procs = 2) ?(writer = 0) ?(reader = 1) () =
+  let open Program.Syntax in
+  let program ~proc ~inv local =
+    match inv with
+    | Value.Sym "read" ->
+      if proc <> reader then
+        raise
+          (Wfc_registers.Roles.Role_violation
+             (Fmt.str "nontrivial_pair(%s): process %d is not the reader"
+                spec.Type_spec.name proc));
+      let rec probe_all rs = function
+        | [] -> (
+          match rs with
+          | r :: _ ->
+            Program.return
+              ((if Value.equal r p.h1_return then Value.falsity else Value.truth), local)
+          | [] -> assert false)
+        | i :: rest ->
+          let* r = Program.invoke ~obj:0 i in
+          probe_all (r :: rs) rest
+      in
+      probe_all [] p.probes
+    | Value.Sym "write" ->
+      if proc <> writer then
+        raise
+          (Wfc_registers.Roles.Role_violation
+             (Fmt.str "nontrivial_pair(%s): process %d is not the writer"
+                spec.Type_spec.name proc));
+      let+ _ = Program.invoke ~obj:0 p.mover in
+      (Ops.ok, local)
+    | _ ->
+      raise
+        (Type_spec.Bad_step
+           (Fmt.str "nontrivial_pair: bad invocation %a" Value.pp inv))
+  in
+  Implementation.make
+    ~target:(One_use.spec_n ~ports:procs)
+    ~implements:One_use.unset ~procs
+    ~objects:[ (spec, p.start) ]
+    ~port_map:(fun ~proc ~obj:_ ->
+      if proc = writer then p.writer_port else p.reader_port)
+    ~program ()

@@ -1,0 +1,72 @@
+(** Section 5.2 — one-use bits from non-trivial deterministic types in
+    general (not necessarily oblivious).
+
+    A (general) type is trivial when, from every start state, the responses
+    a port observes are independent of what the other ports do. For a
+    non-trivial type there is a {e non-trivial pair}: two sequential
+    histories H₁, H₂ from a common start state carrying the same invocation
+    sequence ī on the reader's port whose last invocation answers
+    differently. The paper's Lemmas 2–4 pin down the minimal pair's shape:
+
+    - Lemma 2: one history (H₁) consists of ī on the reader's port only;
+    - Lemma 3: the other's last |ī| invocations are all on the reader's port;
+    - Lemma 4: |H₂| = |ī| + 1 — H₂ is a single foreign invocation i_w
+      followed by ī.
+
+    {!search} finds a minimal pair by exhaustive enumeration over {e all}
+    shapes of H₂ (so the tests can confirm the lemmas on concrete types,
+    E6); {!one_use_bit} is the construction: the writer performs i_w on its
+    port, the reader runs ī on its port and returns 0 iff the final
+    response equals H₁'s return value (any other response means the writer
+    has moved the object — the paper's closing remark). *)
+
+open Wfc_spec
+open Wfc_program
+
+type pair = {
+  start : Value.t;  (** the common start state *)
+  reader_port : int;  (** the port carrying ī (the paper's port 1) *)
+  writer_port : int;  (** the port of the distinguishing foreign invocation *)
+  probes : Value.t list;  (** ī = i₁ … i_k *)
+  mover : Value.t;  (** i_w — H₂'s leading foreign invocation *)
+  h1_return : Value.t;  (** return value of H₁ (no interference) *)
+  h2_return : Value.t;  (** return value of H₂ (≠ h1_return) *)
+}
+
+val search :
+  ?max_len:int -> Type_spec.t -> (pair option, string) result
+(** Minimal non-trivial pair by exhaustive search over start states, reader
+    ports, and H₂ shapes up to [max_len] total invocations (default 6).
+    [Ok None] means the type looks trivial at this depth (for the finite
+    zoo types the bound is exhaustive in practice). Errors if the type is
+    not deterministic or not finite-state. The returned pair always has the
+    Lemma 2–4 shape; {!search_general} below exposes the raw minimal pair
+    so tests can {e check} the lemmas rather than assume them. *)
+
+type raw_pair = {
+  raw_start : Value.t;
+  raw_port : int;  (** the observing port *)
+  raw_h1 : (int * Value.t) list;  (** H₁ as ⟨port, invocation⟩s *)
+  raw_h2 : (int * Value.t) list;  (** H₂ likewise *)
+}
+
+val search_general :
+  ?max_len:int -> Type_spec.t -> (raw_pair option, string) result
+(** Minimal pair over {e arbitrary} H₁/H₂ shapes (both histories may
+    interleave foreign invocations anywhere), minimizing |H₁| + |H₂|. Used
+    by the E6 experiment to verify Lemmas 2–4 mechanically: the minimal raw
+    pair must have |H₁| = k, |H₂| = k+1, and H₂'s foreign invocation first. *)
+
+val one_use_bit :
+  Type_spec.t ->
+  pair ->
+  ?procs:int ->
+  ?writer:int ->
+  ?reader:int ->
+  unit ->
+  Implementation.t
+(** Target: {!Wfc_zoo.One_use.spec_n}; one base object of the given type
+    initialized to [pair.start]; the reader process drives [pair.reader_port]
+    and the writer process [pair.writer_port]. *)
+
+val pp_pair : Format.formatter -> pair -> unit

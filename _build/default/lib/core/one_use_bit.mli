@@ -1,0 +1,30 @@
+(** The one-use bit as an implementable object, and the shared validator for
+    everything in Section 5 that claims to implement one.
+
+    The type itself (Q, I, R, δ of Section 3) lives in
+    {!Wfc_zoo.One_use}; this module adds the identity implementation and an
+    exhaustive conformance check used by the §5.1/§5.2/§5.3 constructions'
+    tests and by the Theorem 5 compiler's own test-suite. *)
+
+open Wfc_program
+
+val spec : Wfc_spec.Type_spec.t
+(** = {!Wfc_zoo.One_use.spec}. *)
+
+val identity : procs:int -> Implementation.t
+(** A one-use bit from a primitive one-use bit object. *)
+
+val check_impl :
+  ?writer:int -> ?reader:int -> Implementation.t -> (unit, string) result
+(** Exhaustively verify that an implementation behaves as a one-use bit for
+    its designated writer and reader:
+
+    - a solo read returns 0; a read after a completed write returns 1
+      (checked directly on the sequentialized executions);
+    - every interleaving of one write with one or two reads is linearizable
+      against the T_{1u} specification from UNSET;
+    - everything is wait-free (no fuel overflow).
+
+    The E9 ablation feeds this checker the unsound construction obtained by
+    applying §5.1's recipe to a nondeterministic type; it must (and does)
+    reject it. *)

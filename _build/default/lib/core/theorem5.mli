@@ -1,0 +1,64 @@
+(** Theorem 5 — the register-elimination compiler.
+
+    Given a wait-free implementation of n-process binary consensus that uses
+    registers alongside objects of a type T, produce an implementation that
+    uses objects of T {e only}. This is the executable content of the
+    paper's main theorem, following its proof structure exactly:
+
+    + {b Access bounds} (§4.2): explore the 2ⁿ first-invocation execution
+      trees; wait-freedom + König give a bound — here computed exactly, per
+      object — on how often each register is accessed. The same exploration
+      derives each register's single writer and single reader (the paper may
+      assume SRSW bits by §4.1; this compiler checks the discipline and
+      points at the chain when it fails).
+    + {b Bounded-use bits from one-use bits} (§4.3): replace each register
+      by a [(w+1) × r] one-use-bit array ({!Bounded_bit}).
+    + {b One-use bits from T} (§5): replace each one-use bit by the
+      construction matching T — §5.1 for non-trivial oblivious deterministic
+      types, §5.2 for general deterministic types, §5.3 when T implements
+      2-process consensus without registers (even nondeterministically).
+
+    A register that is only ever accessed by a single process is replaced by
+    that process's local state (the paper's remark that trivial/private
+    storage needs no shared object at all). *)
+
+open Wfc_spec
+open Wfc_program
+
+type strategy =
+  | Oblivious_witness of Type_spec.t * Triviality.witness  (** §5.1 *)
+  | General_pair of Type_spec.t * Nontrivial_pair.pair  (** §5.2 *)
+  | Consensus_based of (unit -> Implementation.t)
+      (** §5.3 — a factory of fresh register-free 2-process consensus
+          implementations from T (a factory because each one-use bit needs
+          its own consensus object) *)
+
+val strategy_for : Type_spec.t -> (strategy, string) result
+(** Pick the §5 construction automatically from the type's shape:
+    deterministic oblivious → §5.1 (error if trivial), deterministic
+    non-oblivious → §5.2, otherwise an error naming {!Consensus_based} as
+    the remaining route. *)
+
+type report = {
+  compiled : Implementation.t;  (** the register-free implementation *)
+  bounds : Wfc_consensus.Access_bounds.report;  (** the §4.2 analysis *)
+  registers_eliminated : int;  (** shared registers replaced by bit arrays *)
+  registers_localized : int;  (** single-process registers moved to locals *)
+  one_use_bits : int;  (** total one-use bits the §4.3 arrays introduced *)
+  t_objects : int;  (** base objects in the compiled implementation *)
+}
+
+val eliminate_registers :
+  strategy:strategy ->
+  ?fuel:int ->
+  Implementation.t ->
+  (report, string) result
+(** The implementation's registers must be atomic bits
+    ({!Wfc_zoo.Register.bit}); registers of other kinds are rejected with a
+    pointer to the §4.1 chain ({!Wfc_registers.Chain}). Each register must
+    have at most one writing and at most one reading process across all
+    explored executions (§4.1 lets the paper assume this; protocols built by
+    {!Wfc_consensus.Protocols} satisfy it). The compiled implementation
+    contains no register objects — asserted before returning. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,113 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+type witness = {
+  q : Value.t;
+  p : Value.t;
+  probe : Value.t;
+  mover : Value.t;
+  r_q : Value.t;
+  r_p : Value.t;
+}
+
+type verdict = Trivial | Nontrivial of witness
+
+let pp_witness ppf w =
+  Fmt.pf ppf "q=%a --%a--> p=%a; probe %a: %a vs %a" Value.pp w.q Value.pp
+    w.mover Value.pp w.p Value.pp w.probe Value.pp w.r_q Value.pp w.r_p
+
+let response spec q inv = snd (Type_spec.step_deterministic spec q ~port:0 ~inv)
+
+let verify_witness spec w =
+  let p', _ = Type_spec.step_deterministic spec w.q ~port:0 ~inv:w.mover in
+  Value.equal p' w.p
+  && Value.equal (response spec w.q w.probe) w.r_q
+  && Value.equal (response spec w.p w.probe) w.r_p
+  && not (Value.equal w.r_q w.r_p)
+
+let decide spec =
+  match spec.Type_spec.states with
+  | None -> Error (Fmt.str "%s: state space not enumerated" spec.Type_spec.name)
+  | Some states ->
+    if not (Type_spec.is_deterministic spec) then
+      Error (Fmt.str "%s: not deterministic" spec.Type_spec.name)
+    else if not (Type_spec.check_oblivious spec) then
+      Error (Fmt.str "%s: not oblivious (use Nontrivial_pair)" spec.Type_spec.name)
+    else begin
+      (* Scan every one-step edge u --i′--> p of the state graph for a probe
+         invocation i whose responses at u and p differ. Such an edge exists
+         iff the type is non-trivial: if two states reachable from some q
+         answer some i differently, at least one answers differently from q
+         itself, and walking q's path to it the answer to i must change
+         across some edge — all of whose endpoints are reachable from q.
+         Conversely, a differing edge u → p makes the type non-trivial from
+         u (p ∈ reach(u)). Note the paper's r_qi may depend on the start
+         state: a type whose states answer differently only across
+         {e mutually unreachable} states (e.g. {!Wfc_zoo.Degenerate.latent})
+         is trivial, and this scan correctly says so. *)
+      let witness = ref None in
+      List.iter
+        (fun u ->
+          if !witness = None then
+            List.iter
+              (fun mover ->
+                if !witness = None then begin
+                  let p, _ =
+                    Type_spec.step_deterministic spec u ~port:0 ~inv:mover
+                  in
+                  List.iter
+                    (fun probe ->
+                      if !witness = None then begin
+                        let r_q = response spec u probe
+                        and r_p = response spec p probe in
+                        if not (Value.equal r_q r_p) then
+                          witness := Some { q = u; p; probe; mover; r_q; r_p }
+                      end)
+                    spec.Type_spec.invocations
+                end)
+              spec.Type_spec.invocations)
+        states;
+      match !witness with
+      | Some w -> Ok (Nontrivial w)
+      | None -> Ok Trivial
+    end
+
+let one_use_bit spec w ?(procs = 2) ?(writer = 0) ?(reader = 1) () =
+  if not (verify_witness spec w) then
+    invalid_arg "Triviality.one_use_bit: invalid witness";
+  let open Program.Syntax in
+  let program ~proc ~inv local =
+    match inv with
+    | Value.Sym "read" ->
+      if proc <> reader then
+        raise
+          (Wfc_registers.Roles.Role_violation
+             (Fmt.str "one_use_bit(%s): process %d is not the reader"
+                spec.Type_spec.name proc));
+      let+ r = Program.invoke ~obj:0 w.probe in
+      if Value.equal r w.r_q then (Value.falsity, local)
+      else (Value.truth, local)
+    | Value.Sym "write" ->
+      if proc <> writer then
+        raise
+          (Wfc_registers.Roles.Role_violation
+             (Fmt.str "one_use_bit(%s): process %d is not the writer"
+                spec.Type_spec.name proc));
+      let+ _ = Program.invoke ~obj:0 w.mover in
+      (Ops.ok, local)
+    | _ ->
+      raise
+        (Type_spec.Bad_step
+           (Fmt.str "one_use_bit: bad invocation %a" Value.pp inv))
+  in
+  (* the object spec may have fewer ports than there are processes (it is
+     oblivious, so port identity is irrelevant): route the writer to port 0
+     and everyone else to the last port *)
+  Implementation.make
+    ~target:(One_use.spec_n ~ports:procs)
+    ~implements:One_use.unset ~procs
+    ~objects:[ (spec, w.q) ]
+    ~port_map:(fun ~proc ~obj:_ ->
+      if proc = writer then 0 else min 1 (spec.Type_spec.ports - 1))
+    ~program ()

@@ -1,0 +1,56 @@
+(** Section 5.1 — triviality of oblivious deterministic types, and one-use
+    bits from any non-trivial one.
+
+    An oblivious deterministic type is {e trivial} when, for every state q
+    and every invocation i, every state reachable from q gives i the same
+    response that q does: accessing an object of the type yields no
+    information whatsoever. The paper observes that any {e non}-trivial
+    type admits a witness ⟨q, p, i, i′⟩ in which p is reachable from q in
+    {e one} step (via i′) and i's response distinguishes q from p — and that
+    such a witness is all one needs to implement a one-use bit:
+
+    - the object is initialized to q;
+    - a write performs i′ (moving the object to p);
+    - a read performs i and returns 0 iff the response is r_q.
+
+    {!decide} is the decision procedure (exhaustive over the finite state
+    space); {!one_use_bit} is the construction. *)
+
+open Wfc_spec
+open Wfc_program
+
+type witness = {
+  q : Value.t;  (** the UNSET-like state *)
+  p : Value.t;  (** the SET-like state, = δ(q, i′).state *)
+  probe : Value.t;  (** i — the reader's invocation *)
+  mover : Value.t;  (** i′ — the writer's invocation *)
+  r_q : Value.t;  (** response of i in q *)
+  r_p : Value.t;  (** response of i in p (≠ r_q) *)
+}
+
+type verdict = Trivial | Nontrivial of witness
+
+val decide : Type_spec.t -> (verdict, string) result
+(** Errors when the type is not finite-state, not deterministic, or not
+    oblivious — the hypotheses of Section 5.1. The search covers {e every}
+    enumerated state as a potential start state, matching the paper's
+    definition (a type that looks quiet from its canonical initial state but
+    is loud from another enumerated state is non-trivial, since objects may
+    be initialized to any state — see {!Wfc_zoo.Degenerate.latent}). *)
+
+val verify_witness : Type_spec.t -> witness -> bool
+(** Check the witness's defining equations against δ. *)
+
+val one_use_bit :
+  Type_spec.t ->
+  witness ->
+  ?procs:int ->
+  ?writer:int ->
+  ?reader:int ->
+  unit ->
+  Implementation.t
+(** The Section 5.1 construction. Target: {!Wfc_zoo.One_use.spec_n} at
+    [procs] ports (default 2); one base object of the given type,
+    initialized to [witness.q]. *)
+
+val pp_witness : Format.formatter -> witness -> unit

@@ -1,0 +1,1 @@
+lib/linearize/linearizability.ml: Array Fmt Fun Hashtbl List Option Type_spec Value Wfc_program Wfc_sim Wfc_spec

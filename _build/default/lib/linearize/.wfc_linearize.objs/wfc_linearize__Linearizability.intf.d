@@ -1,0 +1,1 @@
+lib/linearize/linearizability.mli: Format Type_spec Value Wfc_program Wfc_sim Wfc_spec

@@ -1,0 +1,1 @@
+lib/linearize/register_props.ml: Fmt Int List Value Wfc_sim Wfc_spec

@@ -1,0 +1,1 @@
+lib/linearize/register_props.mli: Format Value Wfc_program Wfc_sim Wfc_spec

@@ -1,0 +1,49 @@
+(** Linearizability checking (Herlihy–Wing), in the style of Wing & Gould.
+
+    A concurrent history — the completed operations of one {!Wfc_sim.Exec}
+    execution against a single implemented object — is linearizable w.r.t. a
+    sequential specification iff the operations can be totally ordered such
+    that (1) the order extends real-time precedence (op A precedes op B when
+    [A.end_step < B.start_step]) and (2) the invocation/response pairs form a
+    legal sequential history of the spec from the given initial state.
+
+    The checker searches over precedence-minimal candidates with memoization
+    on ⟨linearized-set, spec state⟩; histories here are short (exhaustive
+    exploration keeps them so), so this is fast in practice. *)
+
+open Wfc_spec
+
+type verdict =
+  | Linearizable of Wfc_sim.Exec.op list
+      (** a witness order (the ops in linearization order) *)
+  | Not_linearizable of string  (** human-readable diagnosis *)
+
+val check :
+  spec:Type_spec.t ->
+  ?init:Value.t ->
+  ?port_of:(int -> int) ->
+  Wfc_sim.Exec.op list ->
+  verdict
+(** [port_of proc] gives the spec port a process's operations use (default:
+    the process id itself). [init] defaults to [spec.initial]. Supports at
+    most 62 operations per history (bitmask memoization). *)
+
+val is_linearizable :
+  spec:Type_spec.t ->
+  ?init:Value.t ->
+  ?port_of:(int -> int) ->
+  Wfc_sim.Exec.op list ->
+  bool
+
+val check_all_executions :
+  Wfc_program.Implementation.t ->
+  workloads:Value.t list array ->
+  ?fuel:int ->
+  unit ->
+  (Wfc_sim.Exec.stats, string) result
+(** Explore every interleaving of the workloads and check each leaf history
+    against [impl.target] from [impl.implements]. [Error] carries the first
+    counterexample (diagnosis plus the offending history, pretty-printed).
+    Also fails if any path overflows its fuel (suspected non-wait-freedom). *)
+
+val pp_ops : Format.formatter -> Wfc_sim.Exec.op list -> unit

@@ -1,0 +1,1 @@
+lib/multicore/runtime.ml: Array Atomic Domain Fmt Implementation List Mutex Ops Program Random Type_spec Unix Value Wfc_linearize Wfc_program Wfc_sim Wfc_spec Wfc_zoo

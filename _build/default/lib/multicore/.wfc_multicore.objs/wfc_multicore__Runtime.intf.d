@@ -1,0 +1,1 @@
+lib/multicore/runtime.mli: Implementation Value Wfc_program Wfc_sim Wfc_spec

@@ -1,0 +1,162 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+type outcome = {
+  ops : Wfc_sim.Exec.op list;
+  wall_s : float;
+  final_objects : Value.t array;
+}
+
+type backend = Mutex_cells | Atomic_cas
+
+type cell =
+  | Locked of { mutex : Mutex.t; mutable state : Value.t }
+  | Cas of Value.t Atomic.t
+
+let make_cell backend init =
+  match backend with
+  | Mutex_cells -> Locked { mutex = Mutex.create (); state = init }
+  | Atomic_cas -> Cas (Atomic.make init)
+
+let run ?(seed = 0) ?(backend = Mutex_cells) (impl : Implementation.t)
+    ~workloads () =
+  let procs = impl.Implementation.procs in
+  if Array.length workloads <> procs then
+    invalid_arg "Runtime.run: workloads length must equal impl.procs";
+  let cells =
+    Array.map (fun (_, init) -> make_cell backend init) impl.Implementation.objects
+  in
+  let tick = Atomic.make 0 in
+  let now () = Atomic.fetch_and_add tick 1 in
+  let worker proc =
+    let rng = Random.State.make [| seed; proc |] in
+    let rec interpret ~steps p =
+      match p with
+      | Program.Return v -> (v, steps)
+      | Program.Invoke { obj; inv; k } ->
+        let spec, _ = impl.Implementation.objects.(obj) in
+        let port = impl.Implementation.port_map ~proc ~obj in
+        let pick alts =
+          match alts with
+          | [] ->
+            raise
+              (Type_spec.Bad_step
+                 (Fmt.str "proc %d: %a disabled on object %d" proc Value.pp
+                    inv obj))
+          | [ alt ] -> alt
+          | alts -> List.nth alts (Random.State.int rng (List.length alts))
+        in
+        let resp =
+          match cells.(obj) with
+          | Locked cell ->
+            Mutex.lock cell.mutex;
+            let result =
+              match
+                pick (Type_spec.alternatives spec cell.state ~port ~inv)
+              with
+              | q', r ->
+                cell.state <- q';
+                Ok r
+              | exception e -> Error e
+            in
+            Mutex.unlock cell.mutex;
+            (match result with Ok r -> r | Error e -> raise e)
+          | Cas cell ->
+            (* lock-free: read, compute δ, CAS the successor in, retry on
+               interference (compare_and_set compares the physical snapshot
+               we just read, so no ABA on immutable values) *)
+            let rec attempt () =
+              let cur = Atomic.get cell in
+              let q', r = pick (Type_spec.alternatives spec cur ~port ~inv) in
+              if Atomic.compare_and_set cell cur q' then r else attempt ()
+            in
+            attempt ()
+        in
+        interpret ~steps:(steps + 1) (k resp)
+    in
+    let rec ops_loop local op_index acc = function
+      | [] -> List.rev acc
+      | inv :: rest ->
+        let start_step = now () in
+        let (resp, local'), steps =
+          interpret ~steps:0 (impl.Implementation.program ~proc ~inv local)
+        in
+        let end_step = now () in
+        let op =
+          {
+            Wfc_sim.Exec.proc;
+            op_index;
+            inv;
+            resp;
+            start_step;
+            end_step;
+            steps;
+          }
+        in
+        ops_loop local' (op_index + 1) (op :: acc) rest
+    in
+    ops_loop (impl.Implementation.local_init proc) 0 [] workloads.(proc)
+  in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    Array.init procs (fun proc -> Domain.spawn (fun () -> worker proc))
+  in
+  let per_proc = Array.map Domain.join domains in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  {
+    ops = List.concat (Array.to_list per_proc);
+    wall_s;
+    final_objects =
+      Array.map
+        (function Locked c -> c.state | Cas c -> Atomic.get c)
+        cells;
+  }
+
+let consensus_trials ?(seed = 0) ?backend ~make ~trials () =
+  let rec go t =
+    if t = trials then Ok trials
+    else
+      let impl = make () in
+      let rng = Random.State.make [| seed; t |] in
+      let inputs =
+        Array.init impl.Implementation.procs (fun _ -> Random.State.bool rng)
+      in
+      let workloads =
+        Array.map (fun b -> [ Ops.propose (Value.bool b) ]) inputs
+      in
+      let outcome = run ~seed:(seed + t) ?backend impl ~workloads () in
+      let resps =
+        List.map (fun (o : Wfc_sim.Exec.op) -> o.resp) outcome.ops
+      in
+      match resps with
+      | [] -> Error "no operations completed"
+      | first :: rest ->
+        if not (List.for_all (Value.equal first) rest) then
+          Error
+            (Fmt.str "trial %d: agreement violated: {%a}" t
+               Fmt.(list ~sep:(any ", ") Value.pp)
+               resps)
+        else if
+          not (Array.exists (fun b -> Value.equal (Value.bool b) first) inputs)
+        then Error (Fmt.str "trial %d: validity violated" t)
+        else go (t + 1)
+  in
+  go 0
+
+let linearizable_trials ?(seed = 0) ?backend ~make ~workloads ~trials () =
+  let rec go t =
+    if t = trials then Ok trials
+    else
+      let impl = make () in
+      let outcome = run ~seed:(seed + t) ?backend impl ~workloads () in
+      match
+        Wfc_linearize.Linearizability.check
+          ~spec:impl.Implementation.target
+          ~init:impl.Implementation.implements outcome.ops
+      with
+      | Wfc_linearize.Linearizability.Linearizable _ -> go (t + 1)
+      | Wfc_linearize.Linearizability.Not_linearizable why ->
+        Error (Fmt.str "trial %d: %s" t why)
+  in
+  go 0

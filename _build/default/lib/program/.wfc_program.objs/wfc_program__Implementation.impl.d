@@ -1,0 +1,1 @@
+lib/program/implementation.ml: Array Fmt Fun Hashtbl Int List Option Program String Type_spec Value Wfc_spec

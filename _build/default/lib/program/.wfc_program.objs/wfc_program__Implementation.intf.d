@@ -1,0 +1,1 @@
+lib/program/implementation.mli: Format Program Type_spec Value Wfc_spec

@@ -1,0 +1,1 @@
+lib/program/program.ml: Fun List Value Wfc_spec

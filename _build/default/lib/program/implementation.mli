@@ -1,0 +1,90 @@
+(** Implementations of one type from objects of other types (Section 2.2).
+
+    An implementation of a type [target] "in state [implements]" consists of
+    base objects with fixed initial states and, for every process and every
+    invocation of [target], a deterministic program. Each process carries a
+    persistent local state threaded through its successive operations — the
+    paper's constructions need this (the Section 4.3 reader keeps its row
+    index [i_r] across reads).
+
+    {!substitute} is vertical composition: replacing a base object by an
+    implementation of its type. It is the engine of the Theorem 5 compiler
+    (registers ⇒ one-use bits ⇒ objects of T). *)
+
+open Wfc_spec
+
+type body = Value.t -> (Value.t * Value.t) Program.t
+(** A program body: given the process's current local state, produce the
+    program computing ⟨response, new local state⟩. *)
+
+type t = {
+  target : Type_spec.t;  (** the type being implemented *)
+  implements : Value.t;  (** the abstract state the initial objects encode *)
+  procs : int;  (** number of processes served; ≤ [target.ports] *)
+  objects : (Type_spec.t * Value.t) array;  (** base objects, initial states *)
+  port_map : proc:int -> obj:int -> int;
+      (** the port through which a process accesses a base object *)
+  local_init : int -> Value.t;  (** initial local state per process *)
+  program : proc:int -> inv:Value.t -> body;
+}
+
+val make :
+  target:Type_spec.t ->
+  ?implements:Value.t ->
+  procs:int ->
+  objects:(Type_spec.t * Value.t) list ->
+  ?port_map:(proc:int -> obj:int -> int) ->
+  ?local_init:(int -> Value.t) ->
+  program:(proc:int -> inv:Value.t -> body) ->
+  unit ->
+  t
+(** [implements] defaults to [target.initial]; [port_map] to
+    [fun ~proc ~obj:_ -> proc]; [local_init] to [fun _ -> Value.unit]. *)
+
+val identity : Type_spec.t -> procs:int -> t
+(** The trivial implementation: one base object of the very same type; each
+    program is a single invocation. Useful as a test baseline and as the
+    bottom of composition stacks. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: process/port ranges, port-map injectivity per object
+    (at most one process per port, as Section 2.1 requires). *)
+
+val substitute :
+  obj:int -> ?proc_map:(int -> int) -> replacement:t -> t -> t
+(** [substitute impl ~obj ~replacement] returns an implementation of
+    [impl.target] in which base object [obj] is implemented by
+    [replacement] rather than being primitive.
+
+    Requirements (checked, [Invalid_argument] on violation):
+    - [replacement.target.name] equals the spec name of base object [obj];
+    - [replacement.implements] equals that object's initial state.
+
+    [proc_map] translates a global process id to the {e role} it plays in the
+    replacement (default: identity, requiring
+    [replacement.procs ≥ impl.procs]). Role-restricted replacements — e.g. a
+    2-process SRSW register implementation serving writer role 0 and reader
+    role 1 — use it to name which global process is which role. Two global
+    processes may map to the same role only if at most one of them ever
+    accesses the object (each still gets its own threaded local state).
+    Note that {!validate}'s static port-clash check is stricter than such
+    role conventions and may reject composites that are in fact
+    access-disjoint.
+
+    The replacement's base objects are appended to the object array (its
+    first object reuses slot [obj] so other indices are stable); its
+    per-process local states are threaded inside the composite local state;
+    its port map is composed through. *)
+
+val substitute_where :
+  t -> pred:(Type_spec.t -> bool) -> replace:(int -> Type_spec.t * Value.t -> t) -> t
+(** Substitute every base object whose spec satisfies [pred], left to right.
+    [replace] receives the object index and (spec, initial state) and must
+    build a replacement implementing that state. *)
+
+val base_object_count : t -> int
+
+val count_objects_where : t -> pred:(Type_spec.t -> bool) -> int
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: target, #procs, base-object multiset. *)

@@ -1,0 +1,1 @@
+lib/registers/chain.ml: Array Implementation Multi_writer On_change Readers_table Replicate String Timestamp Two_phase Type_spec Unary Value Weak_register Wfc_program Wfc_spec Wfc_zoo

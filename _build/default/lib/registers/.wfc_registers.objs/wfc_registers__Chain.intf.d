@@ -1,0 +1,1 @@
+lib/registers/chain.mli: Implementation Value Wfc_program Wfc_spec

@@ -1,0 +1,1 @@
+lib/registers/multi_writer.ml: Fmt Implementation List Ops Program Register Roles Type_spec Value Wfc_program Wfc_spec Wfc_zoo

@@ -1,0 +1,1 @@
+lib/registers/multi_writer.mli: Implementation Value Wfc_program Wfc_spec

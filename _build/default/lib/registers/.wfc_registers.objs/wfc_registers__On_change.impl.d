@@ -1,0 +1,1 @@
+lib/registers/on_change.ml: Implementation Ops Program Register Roles Type_spec Value Weak_register Wfc_program Wfc_spec Wfc_zoo

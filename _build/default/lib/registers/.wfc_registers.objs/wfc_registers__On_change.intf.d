@@ -1,0 +1,1 @@
+lib/registers/on_change.mli: Implementation Wfc_program

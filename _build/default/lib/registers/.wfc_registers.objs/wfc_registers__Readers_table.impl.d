@@ -1,0 +1,1 @@
+lib/registers/readers_table.ml: Fun Implementation List Ops Program Register Roles Type_spec Value Wfc_program Wfc_spec Wfc_zoo

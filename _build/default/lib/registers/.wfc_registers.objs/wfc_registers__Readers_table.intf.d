@@ -1,0 +1,1 @@
+lib/registers/readers_table.mli: Implementation Value Wfc_program Wfc_spec

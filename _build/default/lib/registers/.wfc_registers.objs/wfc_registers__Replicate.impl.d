@@ -1,0 +1,1 @@
+lib/registers/replicate.ml: Fun Implementation List Ops Program Register Roles Type_spec Value Weak_register Wfc_program Wfc_spec Wfc_zoo

@@ -1,0 +1,1 @@
+lib/registers/replicate.mli: Implementation Wfc_program

@@ -1,0 +1,1 @@
+lib/registers/simpson.mli: Implementation Value Wfc_program Wfc_spec

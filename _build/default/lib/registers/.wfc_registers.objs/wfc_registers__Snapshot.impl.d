@@ -1,0 +1,1 @@
+lib/registers/snapshot.ml: Fmt Fun Implementation List Ops Program Register Snapshot_type Type_spec Value Wfc_program Wfc_spec Wfc_zoo

@@ -1,0 +1,1 @@
+lib/registers/snapshot.mli: Implementation Value Wfc_program Wfc_spec

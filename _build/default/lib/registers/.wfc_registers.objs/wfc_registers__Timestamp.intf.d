@@ -1,0 +1,1 @@
+lib/registers/timestamp.mli: Implementation Value Wfc_program Wfc_spec

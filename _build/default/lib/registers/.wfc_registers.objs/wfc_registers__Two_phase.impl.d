@@ -1,0 +1,1 @@
+lib/registers/two_phase.ml: Array Fmt Implementation List Ops Program Type_spec Value Weak_register Wfc_program Wfc_spec Wfc_zoo

@@ -1,0 +1,1 @@
+lib/registers/two_phase.mli: Implementation Type_spec Wfc_program Wfc_spec

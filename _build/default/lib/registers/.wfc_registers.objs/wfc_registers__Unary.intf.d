@@ -1,0 +1,1 @@
+lib/registers/unary.mli: Implementation Value Wfc_program Wfc_spec

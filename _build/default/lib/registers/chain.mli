@@ -1,0 +1,39 @@
+(** Stacked register constructions — the full Section 4.1 chain.
+
+    Section 4.1 of the paper cites Lamport [13], Burns–Peterson [3],
+    Peterson [16] and Peterson–Burns [18] for the fact that multi-reader
+    multi-writer atomic multivalue registers have wait-free implementations
+    from single-reader single-writer bits. These builders compose the
+    individual constructions (C1–C6) with {!Wfc_program.Implementation.substitute}
+    into complete stacks, so one dune target demonstrates the whole chain
+    running. The E2 experiment reports their base-object counts and verifies
+    their histories with the appropriate condition checkers. *)
+
+open Wfc_spec
+open Wfc_program
+
+val regular_bounded_from_safe_bits :
+  readers:int -> values:int -> init:int -> unit -> Implementation.t
+(** C3 ∘ wrap(C2) ∘ wrap(C1): a regular [values]-valued MRSW register whose
+    only base objects are single-reader single-writer {e safe} bits
+    ([values × readers] of them). *)
+
+val atomic_mrsw_from_regular_srsw :
+  readers:int -> init:Value.t -> unit -> Implementation.t
+(** C5 ∘ C4: an atomic MRSW register whose base objects are two-phase
+    regular SRSW registers (one per C5 base register, i.e.
+    [readers + readers²]). *)
+
+val atomic_mrmw_from_mrsw :
+  writers:int -> extra_readers:int -> init:Value.t -> unit -> Implementation.t
+(** C6 ∘ C5: an atomic MRMW register whose base objects are atomic SRSW
+    registers. *)
+
+val atomic_mrmw_from_regular_srsw :
+  writers:int -> extra_readers:int -> init:Value.t -> unit -> Implementation.t
+(** C6 ∘ C5 ∘ C4 — the full upper chain: an atomic multi-writer register
+    down to two-phase regular SRSW registers. *)
+
+val srsw_bit_count : Implementation.t -> int
+(** Number of weak (safe or regular) base registers — the chain's footprint
+    metric reported in E2. *)

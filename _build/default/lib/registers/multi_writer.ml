@@ -1,0 +1,66 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+let pack ~ts ~wid v = Value.pair (Value.pair (Value.int ts) (Value.int wid)) v
+
+let unpack p =
+  let stamp, v = Value.as_pair p in
+  let ts, wid = Value.as_pair stamp in
+  (Value.as_int ts, Value.as_int wid, v)
+
+(* Each writer keeps a local mirror of its own base register, so it never
+   reads it — every base register then has a single writer and readers that
+   are all OTHER processes, which is exactly what lets C5 replace it. *)
+let atomic_mrmw ~writers ~extra_readers ~init () =
+  if writers < 1 then invalid_arg "Multi_writer.atomic_mrmw: writers < 1";
+  let procs = writers + extra_readers in
+  let reg = Register.unbounded ~ports:procs in
+  let initial_of i =
+    if i = 0 then pack ~ts:0 ~wid:0 init else pack ~ts:(-1) ~wid:i init
+  in
+  let objects = List.init writers (fun i -> (reg, initial_of i)) in
+  let open Program.Syntax in
+  let collect_others ~proc =
+    let rec go i acc =
+      if i = writers then Program.return acc
+      else if i = proc then go (i + 1) acc
+      else
+        let* p = Program.invoke ~obj:i Ops.read in
+        go (i + 1) (unpack p :: acc)
+    in
+    go 0 []
+  in
+  let max_stamp entries =
+    List.fold_left
+      (fun (bts, bid, bv) (ts, wid, v) ->
+        if ts > bts || (ts = bts && wid > bid) then (ts, wid, v)
+        else (bts, bid, bv))
+      (List.hd entries) (List.tl entries)
+  in
+  let program ~proc ~inv local =
+    match inv with
+    | Value.Sym "read" ->
+      let* entries = collect_others ~proc in
+      let entries =
+        if proc < writers then unpack local :: entries else entries
+      in
+      let _, _, v = max_stamp entries in
+      Program.return (v, local)
+    | Value.Pair (Value.Sym "write", v) ->
+      if proc >= writers then
+        raise
+          (Roles.Role_violation
+             (Fmt.str "multi_writer: process %d is read-only" proc));
+      let* entries = collect_others ~proc in
+      let mts, _, _ = max_stamp (unpack local :: entries) in
+      let mine = pack ~ts:(mts + 1) ~wid:proc v in
+      let* _ = Program.invoke ~obj:proc (Ops.write mine) in
+      Program.return (Ops.ok, mine)
+    | _ -> raise (Type_spec.Bad_step "multi_writer: bad invocation")
+  in
+  Implementation.make
+    ~target:(Register.unbounded ~ports:procs)
+    ~implements:init ~procs ~objects
+    ~local_init:(fun p -> if p < writers then initial_of p else Value.unit)
+    ~program ()

@@ -1,0 +1,27 @@
+(** C6 — an atomic MRMW register from atomic MRSW registers
+    (Vitányi–Awerbuch max-timestamp construction, the unbounded-timestamp
+    core of Peterson–Burns [18]).
+
+    One base MRSW register per writer, holding ⟨⟨ts, writer-id⟩, v⟩ with
+    timestamps ordered lexicographically (the writer id breaks ties). A
+    write collects everyone's timestamps, picks a strictly larger one, and
+    publishes into the writer's own register; a read collects all registers
+    and returns the value with the maximal ⟨ts, id⟩.
+
+    Each writer keeps a local mirror of its own register and never reads it,
+    so every base register has one writing process and disjoint reading
+    processes — single-writer in the strict sense, which is what allows C5
+    to replace the bases when the chain is stacked. *)
+
+open Wfc_spec
+open Wfc_program
+
+val atomic_mrmw :
+  writers:int ->
+  extra_readers:int ->
+  init:Value.t ->
+  unit ->
+  Implementation.t
+(** Serves [writers + extra_readers] processes: processes [0..writers-1] may
+    both read and write; the rest only read. Base objects:
+    [writers] copies of {!Wfc_zoo.Register.unbounded}. *)

@@ -1,0 +1,33 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+let regular_bit ?(guard = true) ?(writer = 0) ~readers ~init () =
+  let procs = readers + 1 in
+  let base_spec = Weak_register.safe_bit ~ports:procs in
+  let init_v = Value.bool init in
+  let do_write v =
+    let open Program.Syntax in
+    let* _ = Program.invoke ~obj:0 (Ops.write_start v) in
+    let+ _ = Program.invoke ~obj:0 Ops.write_end in
+    (Ops.ok, v)
+  in
+  let program ~proc ~inv local =
+    let open Program.Syntax in
+    match inv with
+    | Value.Sym "read" ->
+      Roles.require_reader ~who:"on_change" ~writer ~proc;
+      let+ v = Program.invoke ~obj:0 Ops.read in
+      (v, local)
+    | Value.Pair (Value.Sym "write", v) ->
+      Roles.require_writer ~who:"on_change" ~writer ~proc;
+      if guard && Value.equal v local then Program.return (Ops.ok, local)
+      else do_write v
+    | _ -> raise (Type_spec.Bad_step "on_change: bad invocation")
+  in
+  Implementation.make
+    ~target:(Register.bit ~ports:procs)
+    ~implements:init_v ~procs
+    ~objects:[ (base_spec, Weak_register.initial init_v) ]
+    ~local_init:(fun p -> if p = writer then init_v else Value.unit)
+    ~program ()

@@ -1,0 +1,25 @@
+(** C2 — a regular bit from a safe bit by writing only on change
+    (Lamport [13]).
+
+    A safe bit read concurrently with a write may return garbage. If the
+    writer skips writes that would not change the value, then any read that
+    overlaps a write overlaps an {e actual change}, and both Booleans are
+    legitimate regular outcomes — so the implemented bit is regular.
+
+    [guard:false] builds the broken variant that writes unconditionally; a
+    read overlapping a same-value write can then return the complement of the
+    register's only current value, violating regularity. The E2 negative
+    control asserts the checker catches exactly this. *)
+
+open Wfc_program
+
+val regular_bit :
+  ?guard:bool ->
+  ?writer:int ->
+  readers:int ->
+  init:bool ->
+  unit ->
+  Implementation.t
+(** Single base safe bit (multi-reader: replicate first if your safe bits are
+    single-reader). The writer's local state remembers the last value
+    written. Target interface: {!Wfc_zoo.Register.bit}. *)

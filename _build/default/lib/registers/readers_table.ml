@@ -1,0 +1,75 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+let pack ~ts v = Value.pair (Value.int ts) v
+
+let unpack p =
+  let ts, v = Value.as_pair p in
+  (Value.as_int ts, v)
+
+(* Base-object layout: w.(i) at index i (0 ≤ i < readers); the off-diagonal
+   report registers a.(i→j) (i ≠ j) follow in row-major order. Reader i's
+   own last-returned pair lives in its local state (the standard variant of
+   keeping it in a.(i)(i), chosen so every base register has one writing
+   process and one distinct reading process — making the whole table SRSW
+   and stackable over C4). *)
+let atomic_mrsw ?(report = true) ?(writer = 0) ~readers ~init () =
+  let procs = readers + 1 in
+  let reg = Register.unbounded ~ports:procs in
+  let init_pair = pack ~ts:0 init in
+  let w_obj i = i in
+  let a_obj i j =
+    assert (i <> j);
+    readers + (i * (readers - 1)) + if j < i then j else j - 1
+  in
+  let n_objects =
+    if report then readers + (readers * (readers - 1)) else readers
+  in
+  let objects = List.init n_objects (fun _ -> (reg, init_pair)) in
+  let open Program.Syntax in
+  let better a b =
+    let ats, _ = unpack a and bts, _ = unpack b in
+    if bts > ats then b else a
+  in
+  let program ~proc ~inv local =
+    match inv with
+    | Value.Sym "read" ->
+      Roles.require_reader ~who:"readers_table" ~writer ~proc;
+      let ri = Roles.reader_index ~writer ~proc in
+      let* mine = Program.invoke ~obj:(w_obj ri) Ops.read in
+      let rec gather j best =
+        if j = readers || not report then Program.return best
+        else if j = ri then gather (j + 1) best
+        else
+          let* reported = Program.invoke ~obj:(a_obj j ri) Ops.read in
+          gather (j + 1) (better best reported)
+      in
+      let* best = gather 0 (better mine local) in
+      let* () =
+        if report then
+          Program.for_list (List.init readers Fun.id) (fun j ->
+              if j = ri then Program.return ()
+              else
+                Program.map ignore
+                  (Program.invoke ~obj:(a_obj ri j) (Ops.write best)))
+        else Program.return ()
+      in
+      let _, v = unpack best in
+      Program.return (v, best)
+    | Value.Pair (Value.Sym "write", v) ->
+      Roles.require_writer ~who:"readers_table" ~writer ~proc;
+      let ts = Value.as_int local + 1 in
+      let* () =
+        Program.for_list (List.init readers Fun.id) (fun i ->
+            Program.map ignore
+              (Program.invoke ~obj:(w_obj i) (Ops.write (pack ~ts v))))
+      in
+      Program.return (Ops.ok, Value.int ts)
+    | _ -> raise (Type_spec.Bad_step "readers_table: bad invocation")
+  in
+  Implementation.make
+    ~target:(Register.unbounded ~ports:procs)
+    ~implements:init ~procs ~objects
+    ~local_init:(fun p -> if p = writer then Value.int 0 else init_pair)
+    ~program ()

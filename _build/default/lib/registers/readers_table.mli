@@ -1,0 +1,36 @@
+(** C5 — an atomic MRSW register from atomic SRSW registers
+    (the readers'-table construction; Israeli–Li / Attiya–Welch §10,
+    descending from Burns–Peterson [3] and Peterson [16]).
+
+    Base objects, all holding ⟨ts, v⟩ pairs:
+    - [w.(i)]: written by the writer, read only by reader i;
+    - [a.(i→j)] (i ≠ j): written only by reader i, read only by reader j —
+      "reader i reports to reader j what it last returned".
+
+    A write stamps a fresh timestamp and updates every [w.(i)]. Reader i
+    reads [w.(i)] and everyone's reports [a.(j→i)], takes the
+    highest-timestamped pair (also against its own last-returned pair, kept
+    in local state — the standard replacement for a diagonal table entry,
+    which keeps every base register single-reader single-writer and hence
+    stackable over C4), {e reports it} to the other readers, and returns its
+    value. The reporting is what prevents two different readers from a
+    new/old inversion.
+
+    [report:false] omits the table (keeping the local cache): with ≥ 2
+    readers this is the classic broken construction, and the E2 negative
+    control exhibits the inversion. *)
+
+open Wfc_spec
+open Wfc_program
+
+val atomic_mrsw :
+  ?report:bool ->
+  ?writer:int ->
+  readers:int ->
+  init:Value.t ->
+  unit ->
+  Implementation.t
+(** Serves [readers + 1] processes. Base objects: [readers] copies of
+    {!Wfc_zoo.Register.unbounded} for [w] plus [readers × (readers-1)] for
+    the report table (omitted when [report:false]). Target:
+    {!Wfc_zoo.Register.unbounded} with [readers + 1] ports. *)

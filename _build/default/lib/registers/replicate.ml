@@ -1,0 +1,38 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+let mrsw_bit ~base ?(writer = 0) ~readers ~init () =
+  let procs = readers + 1 in
+  let base_spec =
+    match base with
+    | `Safe -> Weak_register.safe_bit ~ports:procs
+    | `Regular -> Weak_register.regular_bit ~ports:procs
+  in
+  let init_v = Value.bool init in
+  let objects =
+    List.init readers (fun _ -> (base_spec, Weak_register.initial init_v))
+  in
+  let program ~proc ~inv local =
+    let open Program.Syntax in
+    match inv with
+    | Value.Sym "read" ->
+      Roles.require_reader ~who:"replicate" ~writer ~proc;
+      let+ v =
+        Program.invoke ~obj:(Roles.reader_index ~writer ~proc) Ops.read
+      in
+      (v, local)
+    | Value.Pair (Value.Sym "write", v) ->
+      Roles.require_writer ~who:"replicate" ~writer ~proc;
+      let* () =
+        Program.for_list (List.init readers Fun.id) (fun j ->
+            let* _ = Program.invoke ~obj:j (Ops.write_start v) in
+            let+ _ = Program.invoke ~obj:j Ops.write_end in
+            ())
+      in
+      Program.return (Ops.ok, local)
+    | _ -> raise (Type_spec.Bad_step "replicate: bad invocation")
+  in
+  Implementation.make
+    ~target:(Register.bit ~ports:procs)
+    ~implements:init_v ~procs ~objects ~program ()

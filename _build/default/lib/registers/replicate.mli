@@ -1,0 +1,22 @@
+(** C1 — multi-reader bits from single-reader bits by replication
+    (Lamport [13]).
+
+    One base bit per reader; a write updates every copy (in reader order), a
+    read looks only at the reader's own copy. If the base bits are safe the
+    implemented multi-reader bit is safe; if they are regular it is regular —
+    the E2 tests verify both with the history checkers. The base objects are
+    the two-phase weak bits of {!Wfc_zoo.Weak_register}, so overlap anomalies
+    are actually exercised. *)
+
+
+open Wfc_program
+
+val mrsw_bit :
+  base:[ `Safe | `Regular ] ->
+  ?writer:int ->
+  readers:int ->
+  init:bool ->
+  unit ->
+  Implementation.t
+(** Serves [readers + 1] processes; process [writer] (default 0) writes.
+    Target interface: {!Wfc_zoo.Register.bit}. *)

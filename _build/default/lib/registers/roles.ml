@@ -1,0 +1,14 @@
+exception Role_violation of string
+
+let require_writer ~who ~writer ~proc =
+  if proc <> writer then
+    raise
+      (Role_violation
+         (Fmt.str "%s: process %d is not the writer (%d)" who proc writer))
+
+let require_reader ~who ~writer ~proc =
+  if proc = writer then
+    raise
+      (Role_violation (Fmt.str "%s: the writer (%d) may not read" who writer))
+
+let reader_index ~writer ~proc = if proc < writer then proc else proc - 1

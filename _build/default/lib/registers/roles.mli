@@ -1,0 +1,20 @@
+(** Role conventions shared by the register constructions.
+
+    Single-writer constructions serve [1 + readers] processes: process
+    [writer] (default 0) is the unique writer, every other process is a
+    reader. The implemented register's interface accepts [read]/[write] from
+    any process, but invoking [write] from a non-writer (or vice versa for
+    reader-only algorithms) raises [Role_violation] when the program is
+    demanded — the single-writer discipline is part of the register kind
+    being implemented, exactly as in the literature. *)
+
+exception Role_violation of string
+
+val require_writer : who:string -> writer:int -> proc:int -> unit
+(** @raise Role_violation when [proc <> writer]. *)
+
+val require_reader : who:string -> writer:int -> proc:int -> unit
+(** @raise Role_violation when [proc = writer]. *)
+
+val reader_index : writer:int -> proc:int -> int
+(** Dense 0-based numbering of the non-writer processes. *)

@@ -1,0 +1,57 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+(* object layout: data(pair,col) at pair*2+col; slot.(pair) at 4+pair;
+   latest at 6; reading at 7 *)
+let data_obj ~pair ~col = (pair * 2) + col
+let slot_obj pair = 4 + pair
+let latest_obj = 6
+let reading_obj = 7
+
+let atomic_srsw ?(handshake = true) ~domain ~init () =
+  let procs = 2 in
+  let writer = 0 in
+  let slots = Weak_register.safe_values ~ports:procs ~domain in
+  let bit = Register.bit ~ports:procs in
+  let objects =
+    List.init 4 (fun _ -> (slots, Weak_register.initial init))
+    @ List.init 4 (fun _ -> (bit, Value.falsity))
+  in
+  let open Program.Syntax in
+  let write_2ph obj v =
+    let* _ = Program.invoke ~obj (Ops.write_start v) in
+    Program.map ignore (Program.invoke ~obj Ops.write_end)
+  in
+  let write_bit obj v = Program.map ignore (Program.invoke ~obj (Ops.write v)) in
+  let as_index v = if Value.as_bool v then 1 else 0 in
+  let program ~proc ~inv local =
+    match inv with
+    | Value.Pair (Value.Sym "write", v) ->
+      Roles.require_writer ~who:"simpson" ~writer ~proc;
+      let* avoid =
+        Program.invoke
+          ~obj:(if handshake then reading_obj else latest_obj)
+          Ops.read
+      in
+      let pair = 1 - as_index avoid in
+      let* last_col = Program.invoke ~obj:(slot_obj pair) Ops.read in
+      let col = 1 - as_index last_col in
+      let* () = write_2ph (data_obj ~pair ~col) v in
+      let* () = write_bit (slot_obj pair) (Value.bool (col = 1)) in
+      let* () = write_bit latest_obj (Value.bool (pair = 1)) in
+      Program.return (Ops.ok, local)
+    | Value.Sym "read" ->
+      Roles.require_reader ~who:"simpson" ~writer ~proc;
+      let* pl = Program.invoke ~obj:latest_obj Ops.read in
+      let pair = as_index pl in
+      let* () = write_bit reading_obj pl in
+      let* sc = Program.invoke ~obj:(slot_obj pair) Ops.read in
+      let col = as_index sc in
+      let+ v = Program.invoke ~obj:(data_obj ~pair ~col) Ops.read in
+      (v, local)
+    | _ -> raise (Type_spec.Bad_step "simpson: bad invocation")
+  in
+  Implementation.make
+    ~target:(Register.unbounded ~ports:procs)
+    ~implements:init ~procs ~objects ~program ()

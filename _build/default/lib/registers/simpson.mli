@@ -1,0 +1,37 @@
+(** Simpson's four-slot algorithm (H. R. Simpson, 1990): a wait-free atomic
+    SRSW {e multivalue} register whose data storage is only {e safe} —
+    constant space, no timestamps.
+
+    Four safe data slots arranged as a 2×2 matrix plus four single-bit
+    atomic control registers: [slot.(pair)] remembers which column of a pair
+    was written last, [latest] the last pair written, [reading] the pair the
+    reader is using. The writer always writes into the pair the reader is
+    {e not} reading and into the column it did not use last time, so a write
+    never touches a slot a concurrent read may be looking at; the handshake
+    through [latest]/[reading] makes the whole object atomic.
+
+    This puts it in the family of Peterson's "concurrent reading while
+    writing" [16] that Section 4.1 cites: the {e multivalue} payload needs
+    only safe storage once single-bit atomic control is available. (With
+    safe control bits the construction is {e not} atomic — the test suite
+    demonstrates both that failure and the no-handshake failure, each found
+    by the model checker; indeed this module's own development found the
+    all-safe variant refuted with 195 counterexample executions.)
+
+    Compare with C4 ({!Timestamp}): same task, but C4 needs unbounded
+    timestamps and a regular base, while Simpson is bounded with safe data. *)
+
+open Wfc_spec
+open Wfc_program
+
+val atomic_srsw :
+  ?handshake:bool ->
+  domain:Value.t list ->
+  init:Value.t ->
+  unit ->
+  Implementation.t
+(** Serves 2 processes: 0 writes, 1 reads. Base objects: 4 two-phase safe
+    slots over [domain] + 4 atomic bits. [handshake:false] makes the writer
+    avoid the pair of [latest] instead of the pair being read — the classic
+    broken variant, caught by the linearizability checker. Target:
+    {!Wfc_zoo.Register.unbounded} restricted to [domain] values. *)

@@ -1,0 +1,77 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+let none = Value.sym "none"
+
+(* register contents: [seq; value; embedded view] *)
+let pack ~seq ~v ~view = Value.list [ Value.int seq; v; view ]
+
+let unpack r =
+  match Value.as_list r with
+  | [ seq; v; view ] -> (Value.as_int seq, v, view)
+  | _ -> invalid_arg "Snapshot: corrupt register contents"
+
+let single_writer ?(naive = false) ~procs ~domain () =
+  if domain = [] then invalid_arg "Snapshot.single_writer: empty domain";
+  let init_v = List.hd domain in
+  let reg = Register.unbounded ~ports:procs in
+  let objects =
+    List.init procs (fun _ -> (reg, pack ~seq:0 ~v:init_v ~view:none))
+  in
+  let open Program.Syntax in
+  let collect () =
+    let rec go i acc =
+      if i = procs then Program.return (List.rev acc)
+      else
+        let* r = Program.invoke ~obj:i Ops.read in
+        go (i + 1) (unpack r :: acc)
+    in
+    go 0 []
+  in
+  let values_of c = Value.list (List.map (fun (_, v, _) -> v) c) in
+  (* the real scan: double collect, borrow on a double mover *)
+  let scan () =
+    if naive then Program.map values_of (collect ())
+    else
+      let rec attempt moved =
+        let* c1 = collect () in
+        let* c2 = collect () in
+        let changed =
+          List.filteri
+            (fun i _ ->
+              let s1, _, _ = List.nth c1 i and s2, _, _ = List.nth c2 i in
+              s1 <> s2)
+            (List.init procs Fun.id)
+        in
+        if changed = [] then Program.return (values_of c2)
+        else
+          match List.find_opt (fun i -> List.mem i moved) changed with
+          | Some i ->
+            (* process i moved twice since our scan began: its current
+               update ran entirely inside our interval — borrow its view *)
+            let _, _, view = List.nth c2 i in
+            Program.return view
+          | None -> attempt (changed @ moved)
+      in
+      attempt []
+  in
+  let program ~proc ~inv local =
+    match inv with
+    | Value.Sym "scan" ->
+      let+ view = scan () in
+      (view, local)
+    | Value.Pair (Value.Sym "write", v) ->
+      let seq = Value.as_int local + 1 in
+      let* view = if naive then Program.return none else scan () in
+      let+ _ = Program.invoke ~obj:proc (Ops.write (pack ~seq ~v ~view)) in
+      (Ops.ok, Value.int seq)
+    | _ ->
+      raise
+        (Type_spec.Bad_step (Fmt.str "snapshot: bad invocation %a" Value.pp inv))
+  in
+  Implementation.make
+    ~target:(Snapshot_type.spec ~ports:procs ~domain)
+    ~procs ~objects
+    ~local_init:(fun _ -> Value.int 0)
+    ~program ()

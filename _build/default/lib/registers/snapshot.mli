@@ -1,0 +1,31 @@
+(** Wait-free atomic single-writer snapshot from registers
+    (Afek–Attiya–Dolev–Gafni–Merritt–Shavit 1993).
+
+    One register per process holding ⟨sequence number, value, embedded
+    view⟩. A scan double-collects until quiescent; if some process's
+    register changes {e twice} during the scan, that process completed an
+    entire update inside the scan's interval, so the view its update
+    embedded is a legitimate atomic view taken within our interval — borrow
+    it. Each repeat marks a new mover, so after at most n+1 double collects
+    a scan terminates: wait-free. An update embeds a fresh scan and then
+    publishes ⟨seq+1, v, view⟩.
+
+    Snapshots live at consensus number 1: everything here is registers, the
+    level of the hierarchy the paper proves "not special". The E16 tests
+    check linearizability against the {!Wfc_zoo.Snapshot_type} specification
+    exhaustively; [naive:true] replaces scans by single collects (and
+    updates by bare writes), the textbook wrong algorithm, which the checker
+    refutes with three processes. *)
+
+open Wfc_spec
+open Wfc_program
+
+val single_writer :
+  ?naive:bool ->
+  procs:int ->
+  domain:Value.t list ->
+  unit ->
+  Implementation.t
+(** Target: {!Wfc_zoo.Snapshot_type.spec} at [procs] ports over [domain];
+    every process may scan, process p's updates write segment p. Base
+    objects: [procs] unbounded atomic registers. *)

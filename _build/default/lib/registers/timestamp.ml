@@ -1,0 +1,39 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+let pack ~ts v = Value.pair (Value.int ts) v
+
+let unpack p =
+  let ts, v = Value.as_pair p in
+  (Value.as_int ts, v)
+
+let atomic_srsw ?(cache = true) ?(writer = 0) ~init () =
+  let procs = 2 in
+  let base_spec = Weak_register.regular_unbounded ~ports:procs ~initial:(pack ~ts:0 init) in
+  let open Program.Syntax in
+  (* writer local: last timestamp used; reader local: best ⟨ts,v⟩ seen *)
+  let program ~proc ~inv local =
+    match inv with
+    | Value.Sym "read" ->
+      Roles.require_reader ~who:"timestamp" ~writer ~proc;
+      let+ p = Program.invoke ~obj:0 Ops.read in
+      let ts, v = unpack p in
+      if not cache then (v, local)
+      else
+        let best_ts, best_v = unpack local in
+        if ts > best_ts then (v, p) else (best_v, local)
+    | Value.Pair (Value.Sym "write", v) ->
+      Roles.require_writer ~who:"timestamp" ~writer ~proc;
+      let ts = Value.as_int local + 1 in
+      let* _ = Program.invoke ~obj:0 (Ops.write_start (pack ~ts v)) in
+      let+ _ = Program.invoke ~obj:0 Ops.write_end in
+      (Ops.ok, Value.int ts)
+    | _ -> raise (Type_spec.Bad_step "timestamp: bad invocation")
+  in
+  Implementation.make
+    ~target:(Register.unbounded ~ports:procs)
+    ~implements:init ~procs
+    ~objects:[ (base_spec, Weak_register.initial (pack ~ts:0 init)) ]
+    ~local_init:(fun p -> if p = writer then Value.int 0 else pack ~ts:0 init)
+    ~program ()

@@ -1,0 +1,30 @@
+(** C4 — an atomic SRSW register from a regular SRSW register via timestamps
+    (the classical unbounded-timestamp construction; see Attiya–Welch §10,
+    descending from Lamport [13]).
+
+    The base register holds ⟨ts, v⟩. The writer increments its local
+    timestamp on every write. The reader remembers the highest-timestamped
+    pair it has ever returned and ignores anything older, which exactly rules
+    out the new/old inversion that separates regular from atomic.
+
+    [cache:false] drops the reader's memory — the E2 negative control shows
+    the linearizability checker catching the inversion on a regular base.
+
+    Timestamps are unbounded; Section 4.2 of the paper is what makes this
+    acceptable inside consensus implementations (every execution performs at
+    most D accesses, so at most D distinct timestamps occur). *)
+
+open Wfc_spec
+open Wfc_program
+
+val atomic_srsw :
+  ?cache:bool ->
+  ?writer:int ->
+  init:Value.t ->
+  unit ->
+  Implementation.t
+(** Serves exactly 2 processes: the [writer] (default 0) and one reader.
+    Target interface: {!Wfc_zoo.Register.unbounded} (2 ports). *)
+
+val pack : ts:int -> Value.t -> Value.t
+(** ⟨ts, v⟩ encoding, exposed for the tests. *)

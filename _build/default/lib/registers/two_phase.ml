@@ -1,0 +1,37 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+let wrap ~weak_spec (inner : Implementation.t) =
+  let has inv = List.exists (Value.equal inv) weak_spec.Type_spec.invocations in
+  if not (has Ops.write_end && has Ops.read) then
+    invalid_arg "Two_phase.wrap: spec lacks two-phase invocations";
+  let program ~proc ~inv local =
+    let inner_local, pending = Value.as_pair local in
+    match inv with
+    | Value.Pair (Value.Sym "write-start", v) ->
+      Program.return (Ops.ok, Value.pair inner_local v)
+    | Value.Sym "write-end" ->
+      Program.map
+        (fun (resp, inner_local') ->
+          (resp, Value.pair inner_local' Value.unit))
+        (inner.Implementation.program ~proc ~inv:(Ops.write pending)
+           inner_local)
+    | Value.Sym "read" ->
+      Program.map
+        (fun (resp, inner_local') ->
+          (resp, Value.pair inner_local' pending))
+        (inner.Implementation.program ~proc ~inv:Ops.read inner_local)
+    | _ ->
+      raise
+        (Type_spec.Bad_step
+           (Fmt.str "Two_phase.wrap: bad invocation %a" Value.pp inv))
+  in
+  Implementation.make ~target:weak_spec
+    ~implements:(Weak_register.initial inner.Implementation.implements)
+    ~procs:inner.Implementation.procs
+    ~objects:(Array.to_list inner.Implementation.objects)
+    ~port_map:inner.Implementation.port_map
+    ~local_init:(fun p ->
+      Value.pair (inner.Implementation.local_init p) Value.unit)
+    ~program ()

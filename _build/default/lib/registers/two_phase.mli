@@ -1,0 +1,21 @@
+(** Adapter: a plain-interface register implementation, re-exposed through
+    the two-phase weak-register interface.
+
+    The primitive weak registers of {!Wfc_zoo.Weak_register} split a write
+    into [write_start v] / [write_end] so the simulator can see overlap.
+    Constructions built on such primitives (C2, C3) therefore invoke
+    [write_start]/[write_end] on their base objects. To {e stack} the chain —
+    replace those primitives with implemented registers — we wrap a
+    plain-interface implementation so that [write_start v] merely stashes v
+    in the caller's local state (zero base accesses) and [write_end] runs the
+    real write program. The wrapped object is then substitutable wherever the
+    weak primitive was. *)
+
+open Wfc_spec
+open Wfc_program
+
+val wrap : weak_spec:Type_spec.t -> Implementation.t -> Implementation.t
+(** [wrap ~weak_spec inner] exposes [inner] (a plain read/write register
+    implementation) under [weak_spec]'s two-phase interface. The wrapped
+    implementation implements state [Weak_register.initial inner.implements].
+    @raise Invalid_argument if [weak_spec] lacks the two-phase invocations. *)

@@ -1,0 +1,55 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+let scan_miss = Value.sym "scan-miss"
+
+let regular_reg ?(set_first = true) ?(writer = 0) ~readers ~values ~init () =
+  if init < 0 || init >= values then invalid_arg "Unary.regular_reg: init";
+  let procs = readers + 1 in
+  let base_spec = Weak_register.regular_bit ~ports:procs in
+  let objects =
+    List.init values (fun v ->
+        (base_spec, Weak_register.initial (Value.bool (v = init))))
+  in
+  let open Program.Syntax in
+  let write_bit j b =
+    let* _ = Program.invoke ~obj:j (Ops.write_start (Value.bool b)) in
+    let+ _ = Program.invoke ~obj:j Ops.write_end in
+    ()
+  in
+  let set_bit v = write_bit v true in
+  let clear_below v =
+    (* v-1 downto 0 *)
+    Program.for_list
+      (List.init v (fun i -> v - 1 - i))
+      (fun j -> write_bit j false)
+  in
+  let program ~proc ~inv local =
+    match inv with
+    | Value.Sym "read" ->
+      Roles.require_reader ~who:"unary" ~writer ~proc;
+      let rec scan j =
+        if j >= values then Program.return (scan_miss, local)
+        else
+          let* b = Program.invoke ~obj:j Ops.read in
+          if Value.as_bool b then Program.return (Value.int j, local)
+          else scan (j + 1)
+      in
+      scan 0
+    | Value.Pair (Value.Sym "write", Value.Int v) ->
+      Roles.require_writer ~who:"unary" ~writer ~proc;
+      let* () =
+        if set_first then
+          let* () = set_bit v in
+          clear_below v
+        else
+          let* () = clear_below v in
+          set_bit v
+      in
+      Program.return (Ops.ok, local)
+    | _ -> raise (Type_spec.Bad_step "unary: bad invocation")
+  in
+  Implementation.make
+    ~target:(Register.bounded ~ports:procs ~values)
+    ~implements:(Value.int init) ~procs ~objects ~program ()

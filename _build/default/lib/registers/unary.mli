@@ -1,0 +1,32 @@
+(** C3 — a regular M-valued register from M regular bits (descending unary
+    code; Lamport [13], as presented by Attiya–Welch / Herlihy–Shavit).
+
+    Bit [v] set means "the value is v". A write of [v] first sets bit [v],
+    then clears the bits {e below} v in descending order; a read scans
+    upward from 0 and returns the first set bit's index. Because the writer
+    sets before it clears, an upward-scanning reader always meets a set bit,
+    and the value found is the value of an overlapping write or the current
+    one — regularity.
+
+    [set_first:false] builds the classic broken variant (clear first, then
+    set): a reader can then scan the whole array without finding a set bit;
+    the read returns the out-of-band [scan_miss] value and the E2 negative
+    control shows the regularity checker rejecting it. *)
+
+open Wfc_spec
+open Wfc_program
+
+val regular_reg :
+  ?set_first:bool ->
+  ?writer:int ->
+  readers:int ->
+  values:int ->
+  init:int ->
+  unit ->
+  Implementation.t
+(** Target interface: {!Wfc_zoo.Register.bounded} over [values] values. Base:
+    [values] two-phase regular bits. *)
+
+val scan_miss : Value.t
+(** Response returned by a read that found no set bit (only reachable in the
+    broken variant). *)

@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Fmt Implementation List Program Type_spec Value Wfc_program Wfc_spec

@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Format Implementation Value Wfc_program Wfc_spec

@@ -1,0 +1,376 @@
+open Wfc_spec
+open Wfc_program
+
+type op = {
+  proc : int;
+  op_index : int;
+  inv : Value.t;
+  resp : Value.t;
+  start_step : int;
+  end_step : int;
+  steps : int;
+}
+
+type leaf = {
+  objects : Value.t array;
+  locals : Value.t array;
+  ops : op list;
+  events : int;
+  accesses : int array;
+}
+
+type stats = {
+  leaves : int;
+  nodes : int;
+  max_events : int;
+  max_op_steps : int;
+  max_accesses : int array;
+  overflows : int;
+}
+
+exception Stop
+
+(* Invariant: [node] is an [Invoke] node — [Return]s are retired eagerly
+   within the event that produces them. *)
+type pend = {
+  inv0 : Value.t;
+  op_index : int;
+  node : (Value.t * Value.t) Program.t;
+  steps_done : int;
+  started : int;
+}
+
+type prec = {
+  todo : Value.t list;
+  next_op : int;
+  pending : pend option;
+  local : Value.t;
+}
+
+type cfg = {
+  objs : Value.t array;
+  procs : prec array;
+  ops_rev : op list;
+  events : int;
+  acc : int array;
+  crashed : bool array;
+  crashes_left : int;
+}
+
+let initial_cfg impl ~workloads =
+  if Array.length workloads <> impl.Implementation.procs then
+    invalid_arg "Exec: workloads length must equal impl.procs";
+  {
+    objs = Array.map snd impl.Implementation.objects;
+    procs =
+      Array.mapi
+        (fun p todo ->
+          {
+            todo;
+            next_op = 0;
+            pending = None;
+            local = impl.Implementation.local_init p;
+          })
+        workloads;
+    ops_rev = [];
+    events = 0;
+    acc = Array.make (Array.length impl.Implementation.objects) 0;
+    crashed = Array.make (Array.length workloads) false;
+    crashes_left = 0;
+  }
+
+let enabled cfg =
+  let out = ref [] in
+  for p = Array.length cfg.procs - 1 downto 0 do
+    let pr = cfg.procs.(p) in
+    if (not cfg.crashed.(p)) && (pr.pending <> None || pr.todo <> []) then
+      out := p :: !out
+  done;
+  !out
+
+(* Halt process [p] forever: its pending operation (if any) is abandoned
+   between base accesses, leaving object states as they are. *)
+let crash cfg p =
+  let crashed = Array.copy cfg.crashed in
+  crashed.(p) <- true;
+  { cfg with crashed; crashes_left = cfg.crashes_left - 1; events = cfg.events + 1 }
+
+(* Process [p]'s successor configurations for one scheduling event. *)
+let step_alternatives impl cfg p =
+  let pr = cfg.procs.(p) in
+  let set_proc procs p pr' =
+    let procs' = Array.copy procs in
+    procs'.(p) <- pr';
+    procs'
+  in
+  (* Continue [pr0] (whose current-op bookkeeping is in the args) at program
+     node [node] after an access has updated objects/accounting. *)
+  let continue ~objs ~acc ~inv0 ~op_index ~started ~steps ~todo node =
+    match node with
+    | Program.Return (resp, local') ->
+      let completed =
+        {
+          proc = p;
+          op_index;
+          inv = inv0;
+          resp;
+          start_step = started;
+          end_step = cfg.events;
+          steps;
+        }
+      in
+      let pr' = { todo; next_op = op_index + 1; pending = None; local = local' } in
+      {
+        cfg with
+        objs;
+        procs = set_proc cfg.procs p pr';
+        ops_rev = completed :: cfg.ops_rev;
+        events = cfg.events + 1;
+        acc;
+      }
+    | Program.Invoke _ ->
+      let pd = { inv0; op_index; node; steps_done = steps; started } in
+      let pr' = { pr with todo; pending = Some pd } in
+      {
+        cfg with
+        objs;
+        procs = set_proc cfg.procs p pr';
+        events = cfg.events + 1;
+        acc;
+      }
+  in
+  let access ~inv0 ~op_index ~started ~steps_done ~todo node =
+    match node with
+    | Program.Return _ -> assert false
+    | Program.Invoke { obj; inv; k } ->
+      let spec, _ = impl.Implementation.objects.(obj) in
+      let port = impl.Implementation.port_map ~proc:p ~obj in
+      let alts = Type_spec.alternatives spec cfg.objs.(obj) ~port ~inv in
+      if alts = [] then
+        raise
+          (Type_spec.Bad_step
+             (Fmt.str
+                "proc %d: invocation %a disabled on object %d (%s) in state %a"
+                p Value.pp inv obj spec.Type_spec.name Value.pp
+                cfg.objs.(obj)));
+      List.map
+        (fun (q', resp) ->
+          let objs = Array.copy cfg.objs in
+          objs.(obj) <- q';
+          let acc = Array.copy cfg.acc in
+          acc.(obj) <- acc.(obj) + 1;
+          continue ~objs ~acc ~inv0 ~op_index ~started
+            ~steps:(steps_done + 1) ~todo (k resp))
+        alts
+  in
+  match pr.pending with
+  | Some pd ->
+    access ~inv0:pd.inv0 ~op_index:pd.op_index ~started:pd.started
+      ~steps_done:pd.steps_done ~todo:pr.todo pd.node
+  | None -> (
+    match pr.todo with
+    | [] -> []
+    | inv :: rest -> (
+      let prog = impl.Implementation.program ~proc:p ~inv pr.local in
+      match prog with
+      | Program.Return _ ->
+        [
+          continue ~objs:cfg.objs ~acc:cfg.acc ~inv0:inv ~op_index:pr.next_op
+            ~started:cfg.events ~steps:0 ~todo:rest prog;
+        ]
+      | Program.Invoke _ ->
+        access ~inv0:inv ~op_index:pr.next_op ~started:cfg.events
+          ~steps_done:0 ~todo:rest prog))
+
+let leaf_of_cfg cfg =
+  {
+    objects = cfg.objs;
+    locals = Array.map (fun pr -> pr.local) cfg.procs;
+    ops = List.rev cfg.ops_rev;
+    events = cfg.events;
+    accesses = cfg.acc;
+  }
+
+let explore impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0)
+    ?(on_leaf = fun _ -> ()) () =
+  let leaves = ref 0 in
+  let nodes = ref 0 in
+  let max_events = ref 0 in
+  let max_op_steps = ref 0 in
+  let n_objs () = Array.length impl.Implementation.objects in
+  let max_accesses = Array.make (n_objs ()) 0 in
+  let overflows = ref 0 in
+  let rec go cfg =
+    match enabled cfg with
+    | [] ->
+      incr leaves;
+      if cfg.events > !max_events then max_events := cfg.events;
+      List.iter
+        (fun o -> if o.steps > !max_op_steps then max_op_steps := o.steps)
+        cfg.ops_rev;
+      Array.iteri
+        (fun i a -> if a > max_accesses.(i) then max_accesses.(i) <- a)
+        cfg.acc;
+      on_leaf (leaf_of_cfg cfg)
+    | procs ->
+      if cfg.events >= fuel then incr overflows
+      else
+        List.iter
+          (fun p ->
+            List.iter
+              (fun cfg' ->
+                incr nodes;
+                go cfg')
+              (step_alternatives impl cfg p);
+            if cfg.crashes_left > 0 then begin
+              incr nodes;
+              go (crash cfg p)
+            end)
+          procs
+  in
+  (try
+     go { (initial_cfg impl ~workloads) with crashes_left = max_crashes }
+   with Stop -> ());
+  {
+    leaves = !leaves;
+    nodes = !nodes;
+    max_events = !max_events;
+    max_op_steps = !max_op_steps;
+    max_accesses;
+    overflows = !overflows;
+  }
+
+type event =
+  | Access of { proc : int; obj : int; inv : Value.t; resp : Value.t }
+  | Completed of { proc : int; op_index : int; inv : Value.t; resp : Value.t }
+
+let pp_event impl ppf = function
+  | Access { proc; obj; inv; resp } ->
+    let spec, _ = impl.Implementation.objects.(obj) in
+    Fmt.pf ppf "p%d: %a on object %d (%s) → %a" proc Value.pp inv obj
+      spec.Type_spec.name Value.pp resp
+  | Completed { proc; op_index; inv; resp } ->
+    Fmt.pf ppf "p%d: op #%d %a returns %a" proc op_index Value.pp inv Value.pp
+      resp
+
+type node_view = {
+  depth : int;
+  next_accesses : (int * int * Value.t) list;
+}
+
+(* Peek at process [p]'s next base access without stepping it. *)
+let peek_access impl cfg p =
+  let pr = cfg.procs.(p) in
+  let of_node = function
+    | Program.Invoke { obj; inv; _ } -> Some (p, obj, inv)
+    | Program.Return _ -> None
+  in
+  match pr.pending with
+  | Some pd -> of_node pd.node
+  | None -> (
+    match pr.todo with
+    | [] -> None
+    | inv :: _ -> of_node (impl.Implementation.program ~proc:p ~inv pr.local))
+
+let fold_tree impl ~workloads ?(fuel = 10_000) ~leaf ~node () =
+  let rec go cfg =
+    match enabled cfg with
+    | [] -> leaf (leaf_of_cfg cfg)
+    | procs ->
+      if cfg.events >= fuel then
+        failwith "Exec.fold_tree: fuel exhausted (infinite subtree?)"
+      else
+        let view =
+          {
+            depth = cfg.events;
+            next_accesses = List.filter_map (peek_access impl cfg) procs;
+          }
+        in
+        let children =
+          List.concat_map
+            (fun p -> List.map go (step_alternatives impl cfg p))
+            procs
+        in
+        node view children
+  in
+  go (initial_cfg impl ~workloads)
+
+let run impl ~workloads ~pick_proc ~pick_alt ?(fuel = 100_000)
+    ?(on_event = fun (_ : event) -> ()) () =
+  (* reconstruct the chosen step's events from the configuration delta:
+     one Access when an object changed or an op advanced by one step, and a
+     Completed when the op count grew *)
+  let emit cfg cfg' p =
+    let pr = cfg.procs.(p) and pr' = cfg'.procs.(p) in
+    let completed =
+      match cfg'.ops_rev with
+      | o :: _ when List.length cfg'.ops_rev > List.length cfg.ops_rev ->
+        Some o
+      | _ -> None
+    in
+    let accessed =
+      let changed = ref None in
+      Array.iteri
+        (fun i a -> if cfg'.acc.(i) > a then changed := Some i)
+        cfg.acc;
+      !changed
+    in
+    (match accessed with
+    | Some obj ->
+      let inv =
+        match pr.pending with
+        | Some pd -> (
+          match pd.node with
+          | Program.Invoke { inv; _ } -> inv
+          | Program.Return _ -> Value.unit)
+        | None -> (
+          match pr.todo with
+          | inv0 :: _ -> (
+            match
+              impl.Implementation.program ~proc:p ~inv:inv0 pr.local
+            with
+            | Program.Invoke { inv; _ } -> inv
+            | Program.Return _ -> Value.unit)
+          | [] -> Value.unit)
+      in
+      on_event (Access { proc = p; obj; inv; resp = cfg'.objs.(obj) })
+    | None -> ());
+    ignore pr';
+    match completed with
+    | Some o ->
+      on_event
+        (Completed
+           { proc = o.proc; op_index = o.op_index; inv = o.inv; resp = o.resp })
+    | None -> ()
+  in
+  let rec go cfg =
+    match enabled cfg with
+    | [] -> leaf_of_cfg cfg
+    | procs ->
+      if cfg.events >= fuel then
+        failwith
+          (Fmt.str "Exec.run: fuel exhausted after %d events (livelock?)"
+             cfg.events)
+      else
+        let p = pick_proc ~enabled:procs ~step:cfg.events in
+        if not (List.mem p procs) then
+          invalid_arg "Exec.run: scheduler picked a non-enabled process";
+        let alts = step_alternatives impl cfg p in
+        let i = pick_alt ~n:(List.length alts) ~step:cfg.events in
+        let cfg' = List.nth alts i in
+        emit cfg cfg' p;
+        go cfg'
+  in
+  go (initial_cfg impl ~workloads)
+
+let sequential_oracle impl invs =
+  let workloads =
+    Array.init impl.Implementation.procs (fun p -> if p = 0 then invs else [])
+  in
+  let leaf =
+    run impl ~workloads
+      ~pick_proc:(fun ~enabled ~step:_ -> List.hd enabled)
+      ~pick_alt:(fun ~n:_ ~step:_ -> 0)
+      ()
+  in
+  (List.map (fun o -> o.resp) leaf.ops, leaf)

@@ -1,0 +1,134 @@
+(** Asynchronous interleaved execution of implementations.
+
+    Each process is given a {e workload}: the sequence of invocations it
+    performs, one after another, on the implemented object. One scheduling
+    event executes exactly one atomic base-object invocation of one process
+    (or completes a zero-access operation). This is precisely the execution
+    model of the paper: configurations are object states plus program
+    counters, and a configuration's children are the ≤ n single-step
+    successors (Section 4.2).
+
+    {!explore} enumerates {e every} interleaving and every nondeterministic
+    base-object alternative, depth-first — the full forest of the paper's
+    trees. {!run} follows one schedule picked by callbacks (random,
+    round-robin, adversarial: see {!Schedulers}). *)
+
+open Wfc_spec
+open Wfc_program
+
+type op = {
+  proc : int;
+  op_index : int;  (** position within that process's workload *)
+  inv : Value.t;
+  resp : Value.t;
+  start_step : int;  (** event index of the op's first base access *)
+  end_step : int;  (** event index of its last base access *)
+  steps : int;  (** base accesses executed by this op *)
+}
+(** A completed high-level operation. For a zero-access operation
+    [start_step = end_step] is the event at which it was scheduled. *)
+
+type leaf = {
+  objects : Value.t array;  (** final base-object states *)
+  locals : Value.t array;  (** final per-process local states *)
+  ops : op list;  (** completed operations, in completion order *)
+  events : int;  (** scheduling events on this path *)
+  accesses : int array;  (** per base object: accesses on this path *)
+}
+
+type stats = {
+  leaves : int;
+  nodes : int;  (** scheduling events summed over the whole tree *)
+  max_events : int;  (** longest root-to-leaf path, in events *)
+  max_op_steps : int;  (** most base accesses by any single operation *)
+  max_accesses : int array;  (** per object: max accesses along any path *)
+  overflows : int;  (** paths cut off by [fuel] — non-wait-freedom suspects *)
+}
+
+exception Stop
+(** Raise from [on_leaf] to abort the exploration early (statistics reflect
+    the explored prefix). *)
+
+val explore :
+  Implementation.t ->
+  workloads:Value.t list array ->
+  ?fuel:int ->
+  ?max_crashes:int ->
+  ?on_leaf:(leaf -> unit) ->
+  unit ->
+  stats
+(** Exhaustive DFS. [workloads] must have length [impl.procs]. [fuel]
+    (default [10_000]) bounds the events of a single path; exceeding it
+    counts an overflow and abandons that path — with a correct wait-free
+    implementation and finite workloads this never happens, and the test
+    suites assert [overflows = 0].
+
+    [max_crashes] (default 0) additionally branches on {e mid-operation
+    stopping failures}: at any point up to that many processes may halt
+    forever, possibly between two base accesses of an operation, leaving the
+    implementing objects in whatever intermediate state the dead process
+    created. A leaf then only requires the surviving processes to finish —
+    which wait-freedom demands they do. Crashed processes' incomplete
+    operations simply never appear in [ops].
+
+    Note that for {e safety} properties exhaustive exploration already
+    subsumes crashes — a crash is indistinguishable from never being
+    scheduled again, and any wrong response in a crash scenario also occurs
+    along some crash-free path (it cannot be retracted by later steps of the
+    slow process). What [max_crashes] adds is {e liveness} phrasing:
+    executions in which a process never returns become first-class leaves
+    with checkable histories rather than fuel-overflow suspicions. *)
+
+type node_view = {
+  depth : int;  (** events so far at this configuration *)
+  next_accesses : (int * int * Value.t) list;
+      (** for each enabled process: ⟨proc, base object, invocation⟩ of its
+          next access ({e not} included for processes whose next operation
+          completes without any access) *)
+}
+
+val fold_tree :
+  Implementation.t ->
+  workloads:Value.t list array ->
+  ?fuel:int ->
+  leaf:(leaf -> 'a) ->
+  node:(node_view -> 'a list -> 'a) ->
+  unit ->
+  'a
+(** Bottom-up catamorphism over the execution tree: [leaf] maps complete
+    executions, [node] combines a configuration's children (one per enabled
+    process per nondeterministic alternative, in process order). This is the
+    shape of the paper's Section 4.2 argument itself, and powers the valence
+    analysis. @raise Failure on fuel exhaustion (the fold has no partial
+    answer for an infinite subtree). *)
+
+type event =
+  | Access of { proc : int; obj : int; inv : Value.t; resp : Value.t }
+      (** one atomic base invocation; [resp] is the object's {e new state}
+          (responses are program-internal — the new state is the externally
+          observable effect) *)
+  | Completed of { proc : int; op_index : int; inv : Value.t; resp : Value.t }
+      (** a high-level operation returned *)
+
+val pp_event : Implementation.t -> Format.formatter -> event -> unit
+
+val run :
+  Implementation.t ->
+  workloads:Value.t list array ->
+  pick_proc:(enabled:int list -> step:int -> int) ->
+  pick_alt:(n:int -> step:int -> int) ->
+  ?fuel:int ->
+  ?on_event:(event -> unit) ->
+  unit ->
+  leaf
+(** Single guided execution. [pick_proc] chooses among enabled processes,
+    [pick_alt] resolves base-object nondeterminism (given the number of
+    alternatives); [on_event] streams the execution for tracing.
+    @raise Failure when fuel runs out. *)
+
+val sequential_oracle : Implementation.t -> Value.t list -> Value.t list * leaf
+(** Convenience: process 0 alone runs the invocations to completion, one
+    after another (a purely sequential execution); returns the responses in
+    order plus the final leaf. Nondeterministic base alternatives resolve to
+    the first one. Useful for smoke-testing an implementation against its
+    target spec. *)

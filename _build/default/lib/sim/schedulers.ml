@@ -1,0 +1,42 @@
+type t = {
+  pick_proc : enabled:int list -> step:int -> int;
+  pick_alt : n:int -> step:int -> int;
+}
+
+let round_robin =
+  {
+    pick_proc =
+      (fun ~enabled ~step -> List.nth enabled (step mod List.length enabled));
+    pick_alt = (fun ~n:_ ~step:_ -> 0);
+  }
+
+let random rng =
+  {
+    pick_proc =
+      (fun ~enabled ~step:_ ->
+        List.nth enabled (Random.State.int rng (List.length enabled)));
+    pick_alt = (fun ~n ~step:_ -> Random.State.int rng n);
+  }
+
+let crash rng ~dead =
+  let base = random rng in
+  {
+    base with
+    pick_proc =
+      (fun ~enabled ~step ->
+        match List.filter (fun p -> not (List.mem p dead)) enabled with
+        | [] -> base.pick_proc ~enabled ~step
+        | alive -> base.pick_proc ~enabled:alive ~step);
+  }
+
+let handicap rng ~slow ~bias =
+  let base = random rng in
+  {
+    base with
+    pick_proc =
+      (fun ~enabled ~step ->
+        let fast = List.filter (fun p -> not (List.mem p slow)) enabled in
+        if fast = [] || Random.State.int rng bias = 0 then
+          base.pick_proc ~enabled ~step
+        else base.pick_proc ~enabled:fast ~step);
+  }

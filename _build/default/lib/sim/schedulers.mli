@@ -1,0 +1,29 @@
+(** Schedule and nondeterminism policies for {!Exec.run}.
+
+    A policy is a pair of callbacks: [pick_proc] chooses among the enabled
+    processes, [pick_alt] resolves nondeterministic base-object transitions.
+    Exhaustive verification uses {!Exec.explore} instead; these policies are
+    for long randomized runs, stress tests and benches. *)
+
+type t = {
+  pick_proc : enabled:int list -> step:int -> int;
+  pick_alt : n:int -> step:int -> int;
+}
+
+val round_robin : t
+(** Cycles through enabled processes by step parity; first alternative. *)
+
+val random : Random.State.t -> t
+(** Uniform among enabled processes and among alternatives. *)
+
+val crash : Random.State.t -> dead:int list -> t
+(** Like {!random} but never schedules the processes in [dead] — they have
+    crashed before taking a single step. Wait-freedom demands the rest still
+    terminate. If all enabled processes are dead the execution cannot
+    proceed; {!Exec.run} will report fuel exhaustion — avoid by giving dead
+    processes empty workloads instead when they must crash {e initially}. *)
+
+val handicap : Random.State.t -> slow:int list -> bias:int -> t
+(** Adversarial slow-down: processes in [slow] are only scheduled when no
+    other process is enabled, or with probability 1/[bias]. Stresses helping
+    mechanisms and solo-termination paths. *)

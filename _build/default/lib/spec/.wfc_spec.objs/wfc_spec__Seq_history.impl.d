@@ -1,0 +1,1 @@
+lib/spec/seq_history.ml: Fmt List Random Type_spec Value

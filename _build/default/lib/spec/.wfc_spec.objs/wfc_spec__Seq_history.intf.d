@@ -1,0 +1,1 @@
+lib/spec/seq_history.mli: Format Random Type_spec Value

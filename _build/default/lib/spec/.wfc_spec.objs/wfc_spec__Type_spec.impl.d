@@ -1,0 +1,1 @@
+lib/spec/type_spec.ml: Fmt Fun List Queue Result Value

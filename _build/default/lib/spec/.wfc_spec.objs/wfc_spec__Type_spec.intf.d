@@ -1,0 +1,1 @@
+lib/spec/type_spec.mli: Format Value

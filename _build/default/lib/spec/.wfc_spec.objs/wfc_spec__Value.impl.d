@@ -1,0 +1,1 @@
+lib/spec/value.ml: Bool Fmt Hashtbl Int List Map Set String

@@ -1,0 +1,96 @@
+type entry = { port : int; inv : Value.t; resp : Value.t }
+
+type t = { start : Value.t; entries : entry list }
+
+let length h = List.length h.entries
+
+let empty start = { start; entries = [] }
+
+let snoc h e = { h with entries = h.entries @ [ e ] }
+
+let states spec h =
+  let step q e =
+    let alts = Type_spec.alternatives spec q ~port:e.port ~inv:e.inv in
+    match
+      List.find_opt (fun (_, r) -> Value.equal r e.resp) alts
+    with
+    | Some (q', _) -> q'
+    | None ->
+      raise
+        (Type_spec.Bad_step
+           (Fmt.str "illegal history entry ⟨%d,%a,%a⟩ in state %a" e.port
+              Value.pp e.inv Value.pp e.resp Value.pp q))
+  in
+  let rec go q = function
+    | [] -> [ q ]
+    | e :: rest -> q :: go (step q e) rest
+  in
+  go h.start h.entries
+
+let final_state spec h =
+  match List.rev (states spec h) with
+  | q :: _ -> q
+  | [] -> assert false
+
+let is_legal spec h =
+  match states spec h with _ -> true | exception Type_spec.Bad_step _ -> false
+
+let on_port h port = List.filter (fun e -> e.port = port) h.entries
+
+let return_value h =
+  match List.rev h.entries with [] -> None | e :: _ -> Some e.resp
+
+let run spec q0 invs =
+  let rec go q acc = function
+    | [] -> Some { start = q0; entries = List.rev acc }
+    | (port, inv) :: rest -> (
+      match Type_spec.alternatives spec q ~port ~inv with
+      | [ (q', resp) ] -> go q' ({ port; inv; resp } :: acc) rest
+      | _ -> None)
+  in
+  go q0 [] invs
+
+let enumerate spec ~start ~max_len =
+  let rec extend q h depth acc =
+    let acc = h :: acc in
+    if depth = 0 then acc
+    else
+      let acc = ref acc in
+      for port = 0 to spec.Type_spec.ports - 1 do
+        List.iter
+          (fun inv ->
+            List.iter
+              (fun (q', resp) ->
+                acc :=
+                  extend q'
+                    { h with entries = h.entries @ [ { port; inv; resp } ] }
+                    (depth - 1) !acc)
+              (Type_spec.alternatives spec q ~port ~inv))
+          spec.Type_spec.invocations
+      done;
+      !acc
+  in
+  List.rev (extend start (empty start) max_len [])
+
+let random rng spec ~start ~len =
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  let rec go q h n =
+    if n = 0 then h
+    else
+      let port = Random.State.int rng spec.Type_spec.ports in
+      let inv = pick spec.Type_spec.invocations in
+      match Type_spec.alternatives spec q ~port ~inv with
+      | [] -> h
+      | alts ->
+        let q', resp = pick alts in
+        go q' (snoc h { port; inv; resp }) (n - 1)
+  in
+  go start (empty start) len
+
+let pp ppf h =
+  Fmt.pf ppf "@[<h>%a" Value.pp h.start;
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "; ⟨%d,%a,%a⟩" e.port Value.pp e.inv Value.pp e.resp)
+    h.entries;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,53 @@
+(** Sequential histories of a type (Section 2.1 of the paper).
+
+    A sequential history from a state q₀ alternates states and
+    port–invocation–response triples; it is legal when every triple is an
+    alternative of δ at the preceding state. We store the start state and the
+    triples; intermediate states are recomputed on demand. *)
+
+type entry = { port : int; inv : Value.t; resp : Value.t }
+
+type t = { start : Value.t; entries : entry list }
+
+val length : t -> int
+(** |H| — the number of triples. *)
+
+val empty : Value.t -> t
+
+val snoc : t -> entry -> t
+(** Append a triple. O(n); histories in this library are short. *)
+
+val states : Type_spec.t -> t -> Value.t list
+(** All states along the history, starting with [start]; length |H|+1.
+    @raise Type_spec.Bad_step if the history is not legal. *)
+
+val final_state : Type_spec.t -> t -> Value.t
+
+val is_legal : Type_spec.t -> t -> bool
+(** True iff every triple is a δ-alternative at the preceding state. *)
+
+val on_port : t -> int -> entry list
+(** The subsequence of entries on the given port. *)
+
+val return_value : t -> Value.t option
+(** The response of the last entry, if any — "the history's return value" in
+    Section 5.2's sense when the last entry is the distinguished invocation. *)
+
+val run : Type_spec.t -> Value.t -> (int * Value.t) list -> t option
+(** [run spec q0 invs] executes the port–invocation sequence deterministically
+    from [q0]; [None] if the spec is nondeterministic or disabled somewhere
+    along the way. *)
+
+val enumerate :
+  Type_spec.t -> start:Value.t -> max_len:int -> t list
+(** All legal histories from [start] with at most [max_len] triples, across
+    all ports, invocations and nondeterministic alternatives. Exponential;
+    intended for the small finite types of the zoo. *)
+
+val random :
+  Random.State.t -> Type_spec.t -> start:Value.t -> len:int -> t
+(** A uniformly-random legal history of exactly [len] steps (or shorter only
+    if some invocation becomes disabled, which {!Type_spec.validate} rules
+    out for well-formed specs). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,197 @@
+type t = {
+  name : string;
+  ports : int;
+  initial : Value.t;
+  states : Value.t list option;
+  invocations : Value.t list;
+  responses : Value.t list option;
+  oblivious : bool;
+  transition : Value.t -> port:int -> inv:Value.t -> (Value.t * Value.t) list;
+}
+
+exception Bad_step of string
+
+let bad_step fmt = Fmt.kstr (fun s -> raise (Bad_step s)) fmt
+
+let make ~name ~ports ~initial ?states ?responses ~invocations ~oblivious
+    transition =
+  if ports < 1 then invalid_arg "Type_spec.make: ports < 1";
+  { name; ports; initial; states; invocations; responses; oblivious; transition }
+
+let deterministic_oblivious ~name ~ports ~initial ?states ?responses
+    ~invocations f =
+  let transition q ~port:_ ~inv = [ f q inv ] in
+  make ~name ~ports ~initial ?states ?responses ~invocations ~oblivious:true
+    transition
+
+let nondeterministic_oblivious ~name ~ports ~initial ?states ?responses
+    ~invocations f =
+  let transition q ~port:_ ~inv = f q inv in
+  make ~name ~ports ~initial ?states ?responses ~invocations ~oblivious:true
+    transition
+
+let alternatives spec q ~port ~inv =
+  if port < 0 || port >= spec.ports then
+    bad_step "%s: port %d out of range [0,%d)" spec.name port spec.ports;
+  spec.transition q ~port ~inv
+
+let step_deterministic spec q ~port ~inv =
+  match alternatives spec q ~port ~inv with
+  | [ alt ] -> alt
+  | [] ->
+    bad_step "%s: invocation %a disabled in state %a" spec.name Value.pp inv
+      Value.pp q
+  | _ :: _ :: _ ->
+    bad_step "%s: invocation %a nondeterministic in state %a" spec.name
+      Value.pp inv Value.pp q
+
+(* Breadth-first closure of [seeds] under all (port, invocation) moves. *)
+let closure spec seeds =
+  let seen = ref Value.Set.empty in
+  let queue = Queue.create () in
+  List.iter
+    (fun q ->
+      if not (Value.Set.mem q !seen) then begin
+        seen := Value.Set.add q !seen;
+        Queue.add q queue
+      end)
+    seeds;
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    for port = 0 to spec.ports - 1 do
+      List.iter
+        (fun inv ->
+          List.iter
+            (fun (q', _) ->
+              if not (Value.Set.mem q' !seen) then begin
+                seen := Value.Set.add q' !seen;
+                Queue.add q' queue
+              end)
+            (spec.transition q ~port ~inv))
+        spec.invocations
+    done
+  done;
+  !seen
+
+let enumerated_states spec =
+  match spec.states with
+  | Some qs -> qs
+  | None -> Value.Set.elements (closure spec [ spec.initial ])
+
+let reachable spec ~from = closure spec [ from ]
+
+let reachable_in_one_step spec ~from =
+  let out = ref Value.Set.empty in
+  for port = 0 to spec.ports - 1 do
+    List.iter
+      (fun inv ->
+        List.iter
+          (fun (q', _) -> out := Value.Set.add q' !out)
+          (spec.transition from ~port ~inv))
+      spec.invocations
+  done;
+  !out
+
+let is_deterministic spec =
+  let qs = enumerated_states spec in
+  List.for_all
+    (fun q ->
+      let ports = List.init spec.ports Fun.id in
+      List.for_all
+        (fun port ->
+          List.for_all
+            (fun inv -> List.length (spec.transition q ~port ~inv) <= 1)
+            spec.invocations)
+        ports)
+    qs
+
+let check_oblivious spec =
+  let qs = enumerated_states spec in
+  let same_alts a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (q1, r1) (q2, r2) -> Value.equal q1 q2 && Value.equal r1 r2)
+         a b
+  in
+  List.for_all
+    (fun q ->
+      List.for_all
+        (fun inv ->
+          let base = spec.transition q ~port:0 ~inv in
+          let ports = List.init spec.ports Fun.id in
+          List.for_all
+            (fun port -> same_alts base (spec.transition q ~port ~inv))
+            ports)
+        spec.invocations)
+    qs
+
+let validate ?(total = true) spec =
+  let ( let* ) r f = Result.bind r f in
+  let check cond fmt =
+    Fmt.kstr (fun msg -> if cond then Ok () else Error msg) fmt
+  in
+  let qs = enumerated_states spec in
+  let member xs v = List.exists (Value.equal v) xs in
+  let* () =
+    match spec.states with
+    | None -> Ok ()
+    | Some states ->
+      check (member states spec.initial) "%s: initial state not enumerated"
+        spec.name
+  in
+  let ports = List.init spec.ports Fun.id in
+  List.fold_left
+    (fun acc q ->
+      let* () = acc in
+      List.fold_left
+        (fun acc port ->
+          let* () = acc in
+          List.fold_left
+            (fun acc inv ->
+              let* () = acc in
+              let alts = spec.transition q ~port ~inv in
+              let* () =
+                check
+                  ((not total) || alts <> [])
+                  "%s: invocation %a disabled in reachable state %a" spec.name
+                  Value.pp inv Value.pp q
+              in
+              List.fold_left
+                (fun acc (q', r) ->
+                  let* () = acc in
+                  let* () =
+                    match spec.states with
+                    | None -> Ok ()
+                    | Some states ->
+                      check (member states q')
+                        "%s: successor %a of %a not enumerated" spec.name
+                        Value.pp q' Value.pp q
+                  in
+                  match spec.responses with
+                  | None -> Ok ()
+                  | Some rs ->
+                    check (member rs r) "%s: response %a not enumerated"
+                      spec.name Value.pp r)
+                (Ok ()) alts)
+            (Ok ()) spec.invocations)
+        (Ok ()) ports)
+    (Ok ()) qs
+
+let pp ppf spec =
+  Fmt.pf ppf "@[<v>type %s (%d ports%s)" spec.name spec.ports
+    (if spec.oblivious then ", oblivious" else "");
+  (match spec.states with
+  | Some qs when List.length qs <= 16 ->
+    List.iter
+      (fun q ->
+        List.iter
+          (fun inv ->
+            let alts = spec.transition q ~port:0 ~inv in
+            Fmt.pf ppf "@,  δ(%a, %a) = {%a}" Value.pp q Value.pp inv
+              (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (q', r) ->
+                   Fmt.pf ppf "⟨%a,%a⟩" Value.pp q' Value.pp r))
+              alts)
+          spec.invocations)
+      qs
+  | _ -> Fmt.pf ppf "@,  (transition table elided)");
+  Fmt.pf ppf "@]"

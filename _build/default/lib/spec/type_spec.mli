@@ -1,0 +1,100 @@
+(** Concurrent data types as transition systems.
+
+    A type is the 5-tuple ⟨n, Q, I, R, δ⟩ of Section 2.1 of the paper:
+    [ports] is n, [states] enumerates Q when it is finite, [invocations] is I,
+    [responses] enumerates R when finite, and [transition] is δ. The
+    transition relation is represented as a list of ⟨next-state, response⟩
+    alternatives: a singleton list at every point means the type is
+    deterministic there; an empty list means the invocation is not enabled in
+    that state (never the case for well-formed total specs, but useful while
+    constructing them). *)
+
+type t = {
+  name : string;  (** human-readable identifier, e.g. ["test-and-set"] *)
+  ports : int;  (** n — the number of ports; bounds the accessing processes *)
+  initial : Value.t;  (** canonical initial state used by default *)
+  states : Value.t list option;  (** finite enumeration of Q, when available *)
+  invocations : Value.t list;  (** I — always finite in this library *)
+  responses : Value.t list option;  (** finite enumeration of R, if known *)
+  oblivious : bool;  (** declared obliviousness; see {!check_oblivious} *)
+  transition : Value.t -> port:int -> inv:Value.t -> (Value.t * Value.t) list;
+      (** δ(q, j, i) as a list of alternatives *)
+}
+
+exception Bad_step of string
+(** Raised when a deterministic step is demanded of a nondeterministic or
+    disabled transition, or an invocation/port is out of range. *)
+
+(** {1 Construction helpers} *)
+
+val make :
+  name:string ->
+  ports:int ->
+  initial:Value.t ->
+  ?states:Value.t list ->
+  ?responses:Value.t list ->
+  invocations:Value.t list ->
+  oblivious:bool ->
+  (Value.t -> port:int -> inv:Value.t -> (Value.t * Value.t) list) ->
+  t
+
+val deterministic_oblivious :
+  name:string ->
+  ports:int ->
+  initial:Value.t ->
+  ?states:Value.t list ->
+  ?responses:Value.t list ->
+  invocations:Value.t list ->
+  (Value.t -> Value.t -> Value.t * Value.t) ->
+  t
+(** [deterministic_oblivious ... f] builds an oblivious deterministic spec
+    from [f state inv = (state', response)]. *)
+
+val nondeterministic_oblivious :
+  name:string ->
+  ports:int ->
+  initial:Value.t ->
+  ?states:Value.t list ->
+  ?responses:Value.t list ->
+  invocations:Value.t list ->
+  (Value.t -> Value.t -> (Value.t * Value.t) list) ->
+  t
+
+(** {1 Stepping} *)
+
+val alternatives : t -> Value.t -> port:int -> inv:Value.t -> (Value.t * Value.t) list
+(** All δ alternatives; validates the port range. *)
+
+val step_deterministic : t -> Value.t -> port:int -> inv:Value.t -> Value.t * Value.t
+(** The unique alternative. @raise Bad_step if there is not exactly one. *)
+
+(** {1 Analyses}
+
+    These require [states] (and use [invocations]) to be finite; they raise
+    [Invalid_argument] otherwise. *)
+
+val is_deterministic : t -> bool
+(** True iff every reachable δ(q,j,i) has at most one alternative. Checked
+    exhaustively over the enumerated state space (or over the reachable set
+    from [initial] when [states] is absent — then only sound for reachable
+    behaviour). *)
+
+val check_oblivious : t -> bool
+(** True iff δ(q,j₁,i) = δ(q,j₂,i) for all enumerated q and all ports. *)
+
+val reachable : t -> from:Value.t -> Value.Set.t
+(** States reachable from [from] by any sequence of invocations on any
+    ports. Terminates for finite-state specs (breadth-first). *)
+
+val reachable_in_one_step : t -> from:Value.t -> Value.Set.t
+(** Immediate successors of [from]. *)
+
+val validate : ?total:bool -> t -> (unit, string) result
+(** Internal consistency: enumerated transitions stay within [states] /
+    [responses], the initial state is enumerated, and — when [total] (the
+    default) — every invocation is enabled in every reachable state. Types
+    that encode a usage discipline by disabling invocations (e.g. the
+    two-phase weak registers) validate with [~total:false]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the name, port count and (when finite) the full transition table. *)

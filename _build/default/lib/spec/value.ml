@@ -1,0 +1,86 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Sym of string
+  | Pair of t * t
+  | List of t list
+
+let rec compare a b =
+  let tag = function
+    | Unit -> 0
+    | Bool _ -> 1
+    | Int _ -> 2
+    | Sym _ -> 3
+    | Pair _ -> 4
+    | List _ -> 5
+  in
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Sym x, Sym y -> String.compare x y
+  | Pair (x1, y1), Pair (x2, y2) ->
+    let c = compare x1 x2 in
+    if c <> 0 then c else compare y1 y2
+  | List xs, List ys -> compare_lists xs ys
+  | (Unit | Bool _ | Int _ | Sym _ | Pair _ | List _), _ ->
+    Int.compare (tag a) (tag b)
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_lists xs' ys'
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | Unit -> 17
+  | Bool b -> if b then 31 else 37
+  | Int i -> Hashtbl.hash i
+  | Sym s -> Hashtbl.hash s
+  | Pair (a, b) -> (hash a * 65599) + hash b
+  | List xs -> List.fold_left (fun acc x -> (acc * 131) + hash x) 43 xs
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Sym s -> Fmt.string ppf s
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+  | List xs -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") pp) xs
+
+let to_string v = Fmt.str "%a" pp v
+
+let unit = Unit
+let bool b = Bool b
+let int i = Int i
+let sym s = Sym s
+let pair a b = Pair (a, b)
+let list xs = List xs
+let truth = Bool true
+let falsity = Bool false
+
+exception Type_error of string
+
+let type_error expected v =
+  raise (Type_error (Fmt.str "expected %s, got %a" expected pp v))
+
+let as_bool = function Bool b -> b | v -> type_error "bool" v
+let as_int = function Int i -> i | v -> type_error "int" v
+let as_sym = function Sym s -> s | v -> type_error "sym" v
+let as_pair = function Pair (a, b) -> (a, b) | v -> type_error "pair" v
+let as_list = function List xs -> xs | v -> type_error "list" v
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

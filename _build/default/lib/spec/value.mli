@@ -1,0 +1,56 @@
+(** Universal dynamic values.
+
+    States, invocations and responses of every type specification in this
+    library are all values of this single type. This is what lets the generic
+    algorithms of the paper — reachability, the triviality decision procedure
+    of Section 5.1, the non-trivial pair search of Section 5.2, vertical
+    composition of implementations — operate uniformly over arbitrary types. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Sym of string  (** symbolic atoms, e.g. [Sym "ok"], [Sym "unset"] *)
+  | Pair of t * t
+  | List of t list
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order, suitable for [Map]/[Set] keys. *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** {1 Constructors} *)
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val sym : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+val truth : t
+val falsity : t
+
+(** {1 Destructors}
+
+    Each raises [Type_error] with a diagnostic message when the value has the
+    wrong shape. Implementations use these to decode base-object responses;
+    a [Type_error] in a test therefore indicates a protocol bug. *)
+
+exception Type_error of string
+
+val as_bool : t -> bool
+val as_int : t -> int
+val as_sym : t -> string
+val as_pair : t -> t * t
+val as_list : t -> t list
+
+(** {1 Collections keyed by values} *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,1 @@
+lib/zoo/catalog.ml: Collections Consensus_type Degenerate Fmt List Nondet One_use Register Rmw Snapshot_type Sticky String Type_spec Value Weak_register Wfc_spec

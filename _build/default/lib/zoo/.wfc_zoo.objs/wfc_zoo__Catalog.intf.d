@@ -1,0 +1,1 @@
+lib/zoo/catalog.mli: Format Type_spec Wfc_spec

@@ -1,0 +1,1 @@
+lib/zoo/collections.mli: Type_spec Value Wfc_spec

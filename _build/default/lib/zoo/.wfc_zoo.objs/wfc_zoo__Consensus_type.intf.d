@@ -1,0 +1,1 @@
+lib/zoo/consensus_type.mli: Type_spec Value Wfc_spec

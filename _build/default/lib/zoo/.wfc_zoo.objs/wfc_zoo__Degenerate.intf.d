@@ -1,0 +1,1 @@
+lib/zoo/degenerate.mli: Type_spec Value Wfc_spec

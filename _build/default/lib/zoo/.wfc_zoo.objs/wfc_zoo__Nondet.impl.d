@@ -1,0 +1,1 @@
+lib/zoo/nondet.ml: Fmt Ops Type_spec Value Wfc_spec

@@ -1,0 +1,1 @@
+lib/zoo/nondet.mli: Type_spec Wfc_spec

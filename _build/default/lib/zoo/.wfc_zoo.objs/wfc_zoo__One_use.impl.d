@@ -1,0 +1,1 @@
+lib/zoo/one_use.ml: Fmt Ops Type_spec Value Wfc_spec

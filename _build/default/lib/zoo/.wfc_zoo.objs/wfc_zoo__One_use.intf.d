@@ -1,0 +1,1 @@
+lib/zoo/one_use.mli: Type_spec Value Wfc_spec

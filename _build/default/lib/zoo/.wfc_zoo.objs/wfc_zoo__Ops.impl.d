@@ -1,0 +1,1 @@
+lib/zoo/ops.ml: Fmt Value Wfc_spec

@@ -1,0 +1,1 @@
+lib/zoo/ops.mli: Value Wfc_spec

@@ -1,0 +1,1 @@
+lib/zoo/register.ml: Fmt List Ops Type_spec Value Wfc_spec

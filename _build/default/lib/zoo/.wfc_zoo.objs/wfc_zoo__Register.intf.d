@@ -1,0 +1,1 @@
+lib/zoo/register.mli: Type_spec Value Wfc_spec

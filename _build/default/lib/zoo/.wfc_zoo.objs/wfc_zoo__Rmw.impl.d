@@ -1,0 +1,1 @@
+lib/zoo/rmw.ml: Fmt Fun List Ops Type_spec Value Wfc_spec

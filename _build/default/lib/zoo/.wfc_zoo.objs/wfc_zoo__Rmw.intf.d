@@ -1,0 +1,1 @@
+lib/zoo/rmw.mli: Type_spec Value Wfc_spec

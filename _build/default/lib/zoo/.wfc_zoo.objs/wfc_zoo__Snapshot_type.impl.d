@@ -1,0 +1,1 @@
+lib/zoo/snapshot_type.ml: Fmt List Ops Type_spec Value Wfc_spec

@@ -1,0 +1,1 @@
+lib/zoo/snapshot_type.mli: Type_spec Value Wfc_spec

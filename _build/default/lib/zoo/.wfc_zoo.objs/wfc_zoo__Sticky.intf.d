@@ -1,0 +1,1 @@
+lib/zoo/sticky.mli: Type_spec Value Wfc_spec

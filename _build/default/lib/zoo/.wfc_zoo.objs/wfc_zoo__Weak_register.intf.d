@@ -1,0 +1,1 @@
+lib/zoo/weak_register.mli: Type_spec Value Wfc_spec

@@ -1,0 +1,237 @@
+open Wfc_spec
+
+type entry = {
+  spec : Type_spec.t;
+  deterministic : bool;
+  oblivious : bool;
+  total : bool;
+  trivial : bool;
+  consensus_number : int option;
+  notes : string;
+}
+
+let all ~ports =
+  [
+    {
+      spec = Register.bit ~ports;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some 1;
+      notes = "atomic Boolean register";
+    };
+    {
+      spec = Register.bounded ~ports ~values:3;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some 1;
+      notes = "atomic 3-valued register";
+    };
+    {
+      spec = Weak_register.safe_bit ~ports;
+      deterministic = false;
+      oblivious = true;
+      total = false;
+      trivial = false;
+      consensus_number = Some 1;
+      notes = "safe bit, two-phase writes";
+    };
+    {
+      spec = Weak_register.regular_bit ~ports;
+      deterministic = false;
+      oblivious = true;
+      total = false;
+      trivial = false;
+      consensus_number = Some 1;
+      notes = "regular bit, two-phase writes";
+    };
+    {
+      spec = Rmw.test_and_set ~ports;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some 2;
+      notes = "one-shot test-and-set";
+    };
+    {
+      spec = Rmw.swap_bounded ~ports ~values:3;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some 2;
+      notes = "swap register";
+    };
+    {
+      spec = Rmw.fetch_add_mod ~ports ~modulus:5;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some 2;
+      notes = "fetch-and-add mod 5";
+    };
+    {
+      spec = Rmw.cas_bounded ~ports ~values:2;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = None;
+      notes = "compare-and-swap (consensus number infinity)";
+    };
+    {
+      spec = Collections.queue ~ports ~capacity:2 ~domain:[ Value.int 0; Value.int 1 ];
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some 2;
+      notes = "bounded FIFO queue";
+    };
+    {
+      spec = Collections.stack ~ports ~capacity:2 ~domain:[ Value.int 0; Value.int 1 ];
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some 2;
+      notes = "bounded LIFO stack";
+    };
+    {
+      spec = Sticky.bit ~ports;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = None;
+      notes = "sticky bit (Plotkin); multivalued variant is universal";
+    };
+    {
+      spec = Consensus_type.binary ~ports;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some ports;
+      notes = "the consensus type T_{c,n} itself";
+    };
+    {
+      spec = One_use.spec_n ~ports;
+      deterministic = false;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some 1;
+      notes = "the paper's one-use bit T_{1u}";
+    };
+    {
+      spec = Degenerate.constant ~ports;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = true;
+      consensus_number = Some 1;
+      notes = "single-state constant responder";
+    };
+    {
+      spec = Degenerate.ack_counter ~ports ~modulus:4;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = true;
+      consensus_number = Some 1;
+      notes = "mod-4 counter that only ever says ok";
+    };
+    {
+      spec = Degenerate.two_phase_ack ~ports;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = true;
+      consensus_number = Some 1;
+      notes = "state changes, responses constant";
+    };
+    {
+      spec = Degenerate.latent ~ports;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = true;
+      consensus_number = Some 1;
+      notes = "trivial: the loud state is unreachable from the quiet one";
+    };
+    {
+      spec = Degenerate.delayed_reveal ~ports;
+      deterministic = true;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some 1;
+      notes = "witness three steps deep";
+    };
+    {
+      spec = Nondet.coin ~ports;
+      deterministic = false;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some 1;
+      notes = "nondeterministic coin";
+    };
+    {
+      spec = Nondet.flaky_bit ~ports;
+      deterministic = false;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some 1;
+      notes = "E9 ablation: set-state reads lie";
+    };
+    {
+      spec = Nondet.nondet_once ~ports;
+      deterministic = false;
+      oblivious = true;
+      total = true;
+      trivial = false;
+      consensus_number = Some 1;
+      notes = "single initial coin flip, then deterministic";
+    };
+    {
+      spec =
+        Snapshot_type.spec ~ports
+          ~domain:[ Value.int 0; Value.int 1 ];
+      deterministic = true;
+      oblivious = false;
+      total = true;
+      trivial = false;
+      consensus_number = Some 1;
+      notes = "single-writer atomic snapshot (registers can build it)";
+    };
+    {
+      spec = Nondet.non_oblivious_flag ~ports;
+      deterministic = true;
+      oblivious = false;
+      total = true;
+      trivial = false;
+      consensus_number = Some 1;
+      notes = "deterministic, non-oblivious; exercises §5.2";
+    };
+  ]
+
+let find ~ports name =
+  match
+    List.find_opt (fun e -> String.equal e.spec.Type_spec.name name) (all ~ports)
+  with
+  | Some e -> e
+  | None -> raise Not_found
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%-20s det=%-5b obl=%-5b trivial=%-5b cn=%-4s %s"
+    e.spec.Type_spec.name e.deterministic e.oblivious e.trivial
+    (match e.consensus_number with Some n -> string_of_int n | None -> "inf")
+    e.notes

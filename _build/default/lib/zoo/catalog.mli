@@ -1,0 +1,31 @@
+(** Index of the zoo with ground-truth metadata.
+
+    Each entry records facts known from the literature (determinism,
+    obliviousness, triviality, Herlihy consensus number). The test-suite
+    checks the library's decision procedures against these, and the
+    experiment tables (E5, E6) sweep over this list. *)
+
+open Wfc_spec
+
+type entry = {
+  spec : Type_spec.t;
+  deterministic : bool;  (** ground truth, cross-checked against the spec *)
+  oblivious : bool;
+  total : bool;
+      (** false for discipline-typed specs that disable some invocations in
+          some states (validate with [~total:false]) *)
+  trivial : bool;  (** per the paper's §5.1/§5.2 definition *)
+  consensus_number : int option;
+      (** Herlihy consensus number when classical; [None] if unbounded (∞)
+          or not meaningful *)
+  notes : string;
+}
+
+val all : ports:int -> entry list
+(** The whole zoo instantiated at the given port width. Only finite-state
+    specs (usable by the decision procedures) are included. *)
+
+val find : ports:int -> string -> entry
+(** Look up by spec name. @raise Not_found. *)
+
+val pp_entry : Format.formatter -> entry -> unit

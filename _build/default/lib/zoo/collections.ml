@@ -1,0 +1,60 @@
+open Wfc_spec
+
+let full = Value.sym "full"
+
+let initial_of_list xs = Value.list xs
+
+(* All element lists of length ≤ capacity over [domain]. *)
+let all_states ~capacity domain =
+  let rec exact n =
+    if n = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun xs -> List.map (fun v -> v :: xs) domain)
+        (exact (n - 1))
+  in
+  List.concat_map
+    (fun n -> List.map Value.list (exact n))
+    (List.init (capacity + 1) Fun.id)
+
+let queue ~ports ~capacity ~domain =
+  Type_spec.deterministic_oblivious ~name:"fifo-queue" ~ports
+    ~initial:(Value.list [])
+    ~states:(all_states ~capacity domain)
+    ~responses:((Ops.ok :: Ops.empty :: full :: domain))
+    ~invocations:(Ops.deq :: List.map Ops.enq domain)
+    (fun q inv ->
+      let xs = Value.as_list q in
+      match inv with
+      | Value.Sym "deq" -> (
+        match xs with
+        | [] -> (q, Ops.empty)
+        | front :: rest -> (Value.list rest, front))
+      | Value.Pair (Value.Sym "enq", v) ->
+        if List.length xs >= capacity then (q, full)
+        else (Value.list (xs @ [ v ]), Ops.ok)
+      | _ ->
+        raise
+          (Type_spec.Bad_step
+             (Fmt.str "queue: bad invocation %a" Value.pp inv)))
+
+let stack ~ports ~capacity ~domain =
+  Type_spec.deterministic_oblivious ~name:"lifo-stack" ~ports
+    ~initial:(Value.list [])
+    ~states:(all_states ~capacity domain)
+    ~responses:((Ops.ok :: Ops.empty :: full :: domain))
+    ~invocations:(Ops.pop :: List.map Ops.push domain)
+    (fun q inv ->
+      let xs = Value.as_list q in
+      match inv with
+      | Value.Sym "pop" -> (
+        match xs with
+        | [] -> (q, Ops.empty)
+        | top :: rest -> (Value.list rest, top))
+      | Value.Pair (Value.Sym "push", v) ->
+        if List.length xs >= capacity then (q, full)
+        else (Value.list (v :: xs), Ops.ok)
+      | _ ->
+        raise
+          (Type_spec.Bad_step
+             (Fmt.str "stack: bad invocation %a" Value.pp inv)))

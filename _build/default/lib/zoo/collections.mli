@@ -1,0 +1,25 @@
+(** FIFO queues and LIFO stacks (bounded, finite-state).
+
+    Herlihy [7] showed FIFO queues and stacks have consensus number exactly
+    2. The classical 2-process consensus protocol dequeues from a queue
+    pre-filled with a single winner token — use {!initial_of_list} to set it
+    up. Capacity is bounded so Q stays finite; a full container answers
+    [Sym "full"] and is left unchanged, keeping the spec total. *)
+
+open Wfc_spec
+
+val queue :
+  ports:int -> capacity:int -> domain:Value.t list -> Type_spec.t
+(** FIFO queue, initially empty. [Ops.enq v] ↦ [Ops.ok] (or [Sym "full"]);
+    [Ops.deq] ↦ front element (or [Ops.empty]). *)
+
+val stack :
+  ports:int -> capacity:int -> domain:Value.t list -> Type_spec.t
+(** LIFO stack: [Ops.push]/[Ops.pop] with the same conventions. *)
+
+val initial_of_list : Value.t list -> Value.t
+(** A container state holding the given elements; for queues the head of the
+    list is the front (next to be dequeued), for stacks it is the top. *)
+
+val full : Value.t
+(** The [Sym "full"] response. *)

@@ -1,0 +1,45 @@
+open Wfc_spec
+
+let bot = Value.sym "bot"
+
+let decided v = v
+
+let make ~name ~ports domain =
+  Type_spec.deterministic_oblivious ~name ~ports ~initial:bot
+    ~states:(bot :: domain) ~responses:domain
+    ~invocations:(List.map Ops.propose domain)
+    (fun q inv ->
+      match inv with
+      | Value.Pair (Value.Sym "propose", v) ->
+        if Value.equal q bot then (v, v) else (q, q)
+      | _ ->
+        raise
+          (Type_spec.Bad_step
+             (Fmt.str "consensus: bad invocation %a" Value.pp inv)))
+
+let binary ~ports =
+  make
+    ~name:(Fmt.str "consensus%d" ports)
+    ~ports
+    [ Value.falsity; Value.truth ]
+
+let any ~ports =
+  Type_spec.make
+    ~name:(Fmt.str "consensus%d-any" ports)
+    ~ports ~initial:bot
+    ~invocations:[ Ops.propose Value.unit ]
+    ~oblivious:true
+    (fun q ~port:_ ~inv ->
+      match inv with
+      | Value.Pair (Value.Sym "propose", v) ->
+        if Value.equal q bot then [ (v, v) ] else [ (q, q) ]
+      | _ ->
+        raise
+          (Type_spec.Bad_step
+             (Fmt.str "consensus: bad invocation %a" Value.pp inv)))
+
+let multivalued ~ports ~values =
+  make
+    ~name:(Fmt.str "consensus%d-val%d" ports values)
+    ~ports
+    (List.init values Value.int)

@@ -1,0 +1,26 @@
+(** The consensus types T_{c,n} (Section 2.1 of the paper).
+
+    Q = {⊥, 0, 1}, I = R = {0, 1}; the first [propose] fixes the state and
+    every invocation (including the first) returns the fixed value. An
+    implementation of this type {e is} an implementation of n-process binary
+    consensus: agreement and validity are built into the sequential
+    specification, so linearizability of an implementation is exactly
+    consensus correctness. *)
+
+open Wfc_spec
+
+val binary : ports:int -> Type_spec.t
+(** T_{c,ports} with I = {propose false, propose true}. *)
+
+val multivalued : ports:int -> values:int -> Type_spec.t
+(** The multivalued variant over [{0..values-1}]. *)
+
+val any : ports:int -> Type_spec.t
+(** Consensus over arbitrary values (no state enumeration); used by the
+    universal construction to agree on operation-log entries. *)
+
+val bot : Value.t
+(** The undecided initial state ⊥. *)
+
+val decided : Value.t -> Value.t
+(** State after deciding the given value. *)

@@ -1,0 +1,42 @@
+(** Trivial and near-trivial types (Section 5.1's definition).
+
+    An oblivious type is {e trivial} when, for every state q and invocation
+    i, every state reachable from q gives i the same response as q does —
+    accessing the object yields no information. Trivial types cannot
+    implement one-use bits; the paper's Theorem 5 handles them separately
+    (they are at level 1 of both hierarchies). These specimens exercise the
+    {!module:Wfc_core.Triviality} decision procedure, including its edge
+    cases. *)
+
+open Wfc_spec
+
+val constant : ports:int -> Type_spec.t
+(** One state, one invocation [Sym "poke"], constant response [ok]. The
+    archetypal |R| = 1 trivial type. *)
+
+val ack_counter : ports:int -> modulus:int -> Type_spec.t
+(** A mod-m counter whose only invocation [Sym "inc"] always answers [ok]:
+    many states, still trivial — responses carry no information. *)
+
+val two_phase_ack : ports:int -> Type_spec.t
+(** Invocation [Sym "flip"] alternates between two states and always answers
+    [ok]; invocation [Sym "probe"] answers [ok] in both states. Trivial
+    despite having observable-looking structure. *)
+
+val latent : ports:int -> Type_spec.t
+(** Two mutually unreachable fixed points with different voices: [Sym "a"]
+    answers [ok] forever, [Sym "x"] answers [Sym "loud"] forever, and no
+    invocation moves between them. Perhaps surprisingly, this type is
+    {b trivial} under the paper's Section 5.1 definition: the constant
+    response r_qi may depend on the start state q, and from either start
+    state the response never changes — no access ever conveys information.
+    Distinguishes the correct reachability-per-start-state reading from a
+    naive "responses differ somewhere globally" reading. *)
+
+val latent_loud_state : Value.t
+
+val delayed_reveal : ports:int -> Type_spec.t
+(** Non-trivial, but the distinguishing response only appears three steps
+    deep: [inc] walks a → b → c → d silently; [probe] answers [ok] except in
+    state d where it answers [Sym "loud"]. Stresses witness search depth in
+    §5.1's procedure. *)

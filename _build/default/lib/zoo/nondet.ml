@@ -1,0 +1,61 @@
+open Wfc_spec
+
+let coin ~ports =
+  Type_spec.nondeterministic_oblivious ~name:"coin" ~ports ~initial:Value.unit
+    ~states:[ Value.unit ]
+    ~responses:[ Value.falsity; Value.truth ]
+    ~invocations:[ Ops.read ]
+    (fun q _ -> [ (q, Value.falsity); (q, Value.truth) ])
+
+let flaky_bit ~ports =
+  let unset = Value.sym "unset" and set = Value.sym "set" in
+  let write = Value.sym "write" in
+  Type_spec.nondeterministic_oblivious ~name:"flaky-bit" ~ports ~initial:unset
+    ~states:[ unset; set ]
+    ~responses:[ Value.falsity; Value.truth; Ops.ok ]
+    ~invocations:[ Ops.read; write ]
+    (fun q inv ->
+      match (q, inv) with
+      | Value.Sym "unset", Value.Sym "read" -> [ (q, Value.falsity) ]
+      | Value.Sym "set", Value.Sym "read" ->
+        [ (q, Value.falsity); (q, Value.truth) ]
+      | _, Value.Sym "write" -> [ (set, Ops.ok) ]
+      | _ ->
+        raise
+          (Type_spec.Bad_step
+             (Fmt.str "flaky-bit: bad invocation %a" Value.pp inv)))
+
+let nondet_once ~ports =
+  let fresh = Value.sym "fresh" in
+  let pinned b = Value.pair (Value.sym "pinned") (Value.bool b) in
+  let go = Value.sym "go" in
+  Type_spec.nondeterministic_oblivious ~name:"nondet-once" ~ports
+    ~initial:fresh
+    ~states:[ fresh; pinned false; pinned true ]
+    ~responses:[ Value.falsity; Value.truth ]
+    ~invocations:[ go ]
+    (fun q _ ->
+      match q with
+      | Value.Sym "fresh" ->
+        [ (pinned false, Value.falsity); (pinned true, Value.truth) ]
+      | Value.Pair (Value.Sym "pinned", (Value.Bool _ as b)) -> [ (q, b) ]
+      | _ ->
+        raise
+          (Type_spec.Bad_step (Fmt.str "nondet-once: bad state %a" Value.pp q)))
+
+let non_oblivious_flag ~ports =
+  let untouched = Value.falsity and touched = Value.truth in
+  let touch = Value.sym "touch" and probe = Value.sym "probe" in
+  Type_spec.make ~name:"non-oblivious-flag" ~ports ~initial:untouched
+    ~states:[ untouched; touched ]
+    ~responses:[ Value.falsity; Value.truth; Ops.ok ]
+    ~invocations:[ touch; probe ] ~oblivious:false
+    (fun q ~port ~inv ->
+      match inv with
+      | Value.Sym "probe" -> [ (q, q) ]
+      | Value.Sym "touch" ->
+        if port = 0 then [ (q, Ops.ok) ] else [ (touched, Ops.ok) ]
+      | _ ->
+        raise
+          (Type_spec.Bad_step
+             (Fmt.str "non-oblivious-flag: bad invocation %a" Value.pp inv)))

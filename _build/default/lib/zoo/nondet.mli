@@ -1,0 +1,34 @@
+(** Nondeterministic types.
+
+    Jayanti separated [h_m] from [h_m^r] with a nondeterministic type; this
+    paper shows the nondeterminism is {e necessary}. These specimens are
+    used by the E9 ablation: on {!flaky_bit} the Section 5.1 reader inference
+    ("response ≠ r_q ⟹ the writer moved the object") is unsound, and the
+    resulting "one-use bit" demonstrably violates the T_{1u} specification. *)
+
+open Wfc_spec
+
+val coin : ports:int -> Type_spec.t
+(** A single-state object whose [read] nondeterministically answers [false]
+    or [true]. Trivially useless; [h_m(coin) = h_m^r(coin) = 1]. *)
+
+val flaky_bit : ports:int -> Type_spec.t
+(** States {unset, set}; [Sym "write"] moves unset→set (and is absorbed in
+    set); [read] answers [false] in unset but {e either} Boolean in set. A
+    deterministic-looking reader cannot distinguish "not yet written" from
+    "written but the object lied", which is exactly the §5.1 failure mode. *)
+
+val nondet_once : ports:int -> Type_spec.t
+(** Deterministic everywhere except for a single initial coin flip: the
+    first [Sym "go"] answers [false] or [true] and pins the object to that
+    answer forever. Non-trivial and {e capable} of implementing a one-use
+    bit? No — both branches are reachable before any writer step, so no
+    reader inference is sound. Used to test that the generic §5.2 search
+    refuses nondeterministic inputs. *)
+
+val non_oblivious_flag : ports:int -> Type_spec.t
+(** {b Deterministic but not oblivious} (despite the module name, kept here
+    with the other specialty types): port 0's [probe] reports whether any
+    {e other} port has ever invoked [touch]; port 0's own [touch] is ignored.
+    The §5.1 oblivious procedure does not apply; the §5.2 general search
+    must find a non-trivial pair with H₂ = ⟨touch on port 1⟩ + probes. *)

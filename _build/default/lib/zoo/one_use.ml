@@ -1,0 +1,33 @@
+open Wfc_spec
+
+let unset = Value.sym "unset"
+let set = Value.sym "set"
+let dead = Value.sym "dead"
+
+let read = Ops.read
+let write = Value.sym "write"
+
+let zero = Value.falsity
+let one = Value.truth
+
+let transition q inv =
+  match (q, inv) with
+  | Value.Sym "unset", Value.Sym "read" -> [ (dead, zero) ]
+  | Value.Sym "set", Value.Sym "read" -> [ (dead, one) ]
+  | Value.Sym "dead", Value.Sym "read" -> [ (dead, zero); (dead, one) ]
+  | Value.Sym "unset", Value.Sym "write" -> [ (set, Ops.ok) ]
+  | Value.Sym "set", Value.Sym "write" -> [ (dead, Ops.ok) ]
+  | Value.Sym "dead", Value.Sym "write" -> [ (dead, Ops.ok) ]
+  | _ ->
+    raise
+      (Type_spec.Bad_step
+         (Fmt.str "one-use bit: δ(%a, %a) undefined" Value.pp q Value.pp inv))
+
+let spec_n ~ports =
+  Type_spec.nondeterministic_oblivious ~name:"one-use-bit" ~ports
+    ~initial:unset ~states:[ unset; set; dead ]
+    ~responses:[ zero; one; Ops.ok ]
+    ~invocations:[ read; write ]
+    (fun q inv -> transition q inv)
+
+let spec = spec_n ~ports:2

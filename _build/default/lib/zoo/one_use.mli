@@ -1,0 +1,34 @@
+(** The one-use bit T_{1u} — the paper's new type (Section 3).
+
+    A one-bit register that can be usefully read at most once and usefully
+    written at most once:
+
+    - Q = {UNSET, SET, DEAD}, initially UNSET;
+    - [read] in UNSET returns 0 and kills the object; in SET returns 1 and
+      kills it; in DEAD returns 0 {e or} 1 nondeterministically;
+    - [write] moves UNSET→SET; a second write (or a write in DEAD) leaves the
+      object DEAD.
+
+    The type is specified obliviously with 2 ports, exactly as in the paper;
+    in every use in Sections 4–5 one process only reads and the other only
+    writes, and a read is never invoked in DEAD, so the nondeterminism never
+    plays a role. *)
+
+open Wfc_spec
+
+val spec : Type_spec.t
+(** T_{1u} = ⟨2, Q_{1u}, I_{1u}, R_{1u}, δ_{1u}⟩ verbatim. *)
+
+val spec_n : ports:int -> Type_spec.t
+(** Same transition structure with a wider port bound, for uses where reader
+    and writer ids exceed 2 (the spec stays oblivious so this is harmless). *)
+
+val unset : Value.t
+val set : Value.t
+val dead : Value.t
+
+val read : Value.t
+(** = [Ops.read]; responses are [Bool false] for 0 and [Bool true] for 1. *)
+
+val write : Value.t
+(** The argumentless write invocation [Sym "write"]; response [Ops.ok]. *)

@@ -1,0 +1,35 @@
+open Wfc_spec
+
+let ok = Value.sym "ok"
+let read = Value.sym "read"
+let write v = Value.pair (Value.sym "write") v
+
+let is_write = function
+  | Value.Pair (Value.Sym "write", _) -> true
+  | _ -> false
+
+let write_arg = function
+  | Value.Pair (Value.Sym "write", v) -> v
+  | v -> raise (Value.Type_error (Fmt.str "not a write: %a" Value.pp v))
+
+let propose v = Value.pair (Value.sym "propose") v
+
+let propose_arg = function
+  | Value.Pair (Value.Sym "propose", v) -> v
+  | v -> raise (Value.Type_error (Fmt.str "not a propose: %a" Value.pp v))
+
+let test_and_set = Value.sym "test-and-set"
+let swap v = Value.pair (Value.sym "swap") v
+let fetch_add d = Value.pair (Value.sym "fetch-add") (Value.int d)
+
+let cas ~expect ~update =
+  Value.pair (Value.sym "cas") (Value.pair expect update)
+
+let enq v = Value.pair (Value.sym "enq") v
+let deq = Value.sym "deq"
+let push v = Value.pair (Value.sym "push") v
+let pop = Value.sym "pop"
+let stick v = Value.pair (Value.sym "stick") v
+let write_start v = Value.pair (Value.sym "write-start") v
+let write_end = Value.sym "write-end"
+let empty = Value.sym "empty"

@@ -1,0 +1,40 @@
+(** Shared invocation and response value conventions.
+
+    Every type in the zoo encodes its invocations and responses with these
+    helpers, so generic code (the simulator, the Theorem 5 compiler, the
+    pretty-printers) can rely on one vocabulary. *)
+
+open Wfc_spec
+
+val ok : Value.t
+(** [Sym "ok"] — the informationless acknowledgement response. *)
+
+val read : Value.t
+(** [Sym "read"] *)
+
+val write : Value.t -> Value.t
+(** [write v] = [Pair (Sym "write", v)] *)
+
+val is_write : Value.t -> bool
+
+val write_arg : Value.t -> Value.t
+(** Argument of a write invocation. @raise Value.Type_error otherwise. *)
+
+val propose : Value.t -> Value.t
+(** [propose v] — consensus invocation. *)
+
+val propose_arg : Value.t -> Value.t
+
+val test_and_set : Value.t
+val swap : Value.t -> Value.t
+val fetch_add : int -> Value.t
+val cas : expect:Value.t -> update:Value.t -> Value.t
+val enq : Value.t -> Value.t
+val deq : Value.t
+val push : Value.t -> Value.t
+val pop : Value.t
+val stick : Value.t -> Value.t
+val write_start : Value.t -> Value.t
+val write_end : Value.t
+val empty : Value.t
+(** [Sym "empty"] — response of [deq]/[pop] on an empty container. *)

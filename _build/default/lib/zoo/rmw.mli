@@ -1,0 +1,37 @@
+(** Read-modify-write primitives.
+
+    The classical strong types of Herlihy's hierarchy. Known consensus
+    numbers (Herlihy [7]): test-and-set, swap and fetch-and-add have
+    consensus number 2; compare-and-swap has consensus number ∞. All are
+    deterministic, oblivious, and non-trivial, so Section 5.1 of the paper
+    applies to each. *)
+
+open Wfc_spec
+
+val test_and_set : ports:int -> Type_spec.t
+(** One-shot test-and-set bit, initially [false]. [Ops.test_and_set] returns
+    the old value and sets the bit; the unique process that receives [false]
+    "wins". Also answers [Ops.read] without modifying the state. *)
+
+val swap_bounded : ports:int -> values:int -> Type_spec.t
+(** Swap register over [{0..values-1}], initially [0]:
+    [Ops.swap v] stores [v] and returns the old value. *)
+
+val fetch_add_mod : ports:int -> modulus:int -> Type_spec.t
+(** Fetch-and-add modulo [modulus], initially [0]. [Ops.fetch_add d] returns
+    the old value and adds [d] (mod m). Finite-state stand-in for the
+    unbounded counter; the mod-m truncation preserves the 2-process consensus
+    protocol, which only ever adds 1 twice. *)
+
+val fetch_add : ports:int -> Type_spec.t
+(** Unbounded fetch-and-add (no state enumeration). *)
+
+val cas_bounded : ports:int -> values:int -> Type_spec.t
+(** Compare-and-swap over [{0..values-1}] ∪ {⊥}, initially ⊥ = [Sym "bot"].
+    [Ops.cas ~expect ~update] returns [Bool true] and stores [update] iff the
+    state equals [expect]; otherwise returns [Bool false] and leaves the
+    state. Also answers [Ops.read]. ⊥ can be an [expect] argument, which is
+    how the n-process consensus protocol claims the object. *)
+
+val bot : Value.t
+(** The ⊥ initial state of {!cas_bounded}. *)

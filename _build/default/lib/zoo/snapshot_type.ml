@@ -1,0 +1,36 @@
+open Wfc_spec
+
+let scan = Value.sym "scan"
+
+let update v = Ops.write v
+
+let spec ~ports ~domain =
+  if domain = [] then invalid_arg "Snapshot_type.spec: empty domain";
+  let initial =
+    Value.list (List.init ports (fun _ -> List.hd domain))
+  in
+  (* all segment vectors over the domain *)
+  let rec vectors n =
+    if n = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun rest -> List.map (fun v -> v :: rest) domain)
+        (vectors (n - 1))
+  in
+  let states = List.map Value.list (vectors ports) in
+  Type_spec.make ~name:"snapshot" ~ports ~initial ~states
+    ~invocations:(scan :: List.map update domain)
+    ~oblivious:false
+    (fun q ~port ~inv ->
+      match inv with
+      | Value.Sym "scan" -> [ (q, q) ]
+      | Value.Pair (Value.Sym "write", v) ->
+        let segments = Value.as_list q in
+        let segments' =
+          List.mapi (fun i s -> if i = port then v else s) segments
+        in
+        [ (Value.list segments', Ops.ok) ]
+      | _ ->
+        raise
+          (Type_spec.Bad_step
+             (Fmt.str "snapshot: bad invocation %a" Value.pp inv)))

@@ -1,0 +1,26 @@
+(** The single-writer atomic snapshot type (Afek, Attiya, Dolev, Gafni,
+    Merritt, Shavit 1993).
+
+    A snapshot object has one {e segment} per port. [update v] overwrites
+    the caller's own segment (the port determines which — a natural
+    {e non-oblivious deterministic} type, which also makes it a good §5.2
+    test subject); [scan] returns the vector of all segments atomically.
+
+    Snapshots are implementable from registers alone (consensus number 1;
+    see {!Wfc_registers.Snapshot} for the classical wait-free
+    implementation), yet vastly more convenient than raw registers — the
+    canonical example of how far below consensus the register world
+    reaches. *)
+
+open Wfc_spec
+
+val spec : ports:int -> domain:Value.t list -> Type_spec.t
+(** State: the [List] of segment values, initially all [List.hd domain].
+    Invocations: [Ops.write v] (aliased to update; v ∈ domain) and
+    [Sym "scan"]. Responses: [Ops.ok] and segment-vector [List]s. *)
+
+val scan : Value.t
+(** The [Sym "scan"] invocation. *)
+
+val update : Value.t -> Value.t
+(** = [Ops.write]. *)

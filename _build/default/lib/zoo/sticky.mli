@@ -1,0 +1,20 @@
+(** Sticky bits (Plotkin [19]).
+
+    A sticky register remembers the first value stuck into it forever; every
+    later stick and every read returns that first value. The multivalue
+    sticky register implements n-process consensus for any n with a single
+    object and {e no registers}: every process sticks its input and decides
+    on the response. This makes it the canonical type at the top of [h_m]
+    and a key exhibit for Theorem 5's second case ([h_m(T) ≥ 2]). *)
+
+open Wfc_spec
+
+val bit : ports:int -> Type_spec.t
+(** Binary sticky bit, initially ⊥. [Ops.stick (Bool b)] decides and returns
+    the decided value; [Ops.read] returns the decided value, or ⊥'s response
+    [Sym "bot"] when undecided. *)
+
+val bounded : ports:int -> values:int -> Type_spec.t
+(** Sticky register over [{0..values-1}]. *)
+
+val bot : Value.t

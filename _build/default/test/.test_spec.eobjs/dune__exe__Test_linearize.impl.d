@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Fmt Implementation List Ops Program QCheck QCheck_alcotest Register Result Rmw Type_spec Value Weak_register Wfc_linearize Wfc_program Wfc_sim Wfc_spec Wfc_zoo

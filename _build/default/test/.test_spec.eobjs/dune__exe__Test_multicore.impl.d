@@ -1,0 +1,1 @@
+test/test_multicore.ml: Alcotest Array Catalog List Ops Protocols Rmw Universal Value Wfc_consensus Wfc_core Wfc_multicore Wfc_registers Wfc_spec Wfc_zoo

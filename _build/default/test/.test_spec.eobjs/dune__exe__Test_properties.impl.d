@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Buffer Fmt List Nontrivial_pair One_use_bit QCheck QCheck_alcotest Result String Theorem5 Triviality Type_spec Value Wfc_consensus Wfc_core Wfc_spec

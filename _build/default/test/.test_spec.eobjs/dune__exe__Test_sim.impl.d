@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Implementation List Nondet Ops Program Random Register Result Rmw String Type_spec Value Wfc_program Wfc_sim Wfc_spec Wfc_zoo

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Fmt List Option QCheck QCheck_alcotest Random Result Seq_history Type_spec Value Wfc_spec

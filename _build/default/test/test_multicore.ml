@@ -1,0 +1,144 @@
+(* E12 — the multicore runtime: the same Implementation values, executed on
+   real domains, still satisfy their specifications. *)
+
+open Wfc_spec
+open Wfc_zoo
+open Wfc_consensus
+
+let expect_trials name n = function
+  | Ok t -> Alcotest.(check int) (name ^ ": all trials ran") n t
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+let test_consensus_protocols_parallel () =
+  List.iter
+    (fun (name, make) ->
+      expect_trials name 50
+        (Wfc_multicore.Runtime.consensus_trials ~make ~trials:50 ()))
+    [
+      ("tas", Protocols.from_tas);
+      ("faa", Protocols.from_faa);
+      ("queue", Protocols.from_queue);
+      ("cas3", fun () -> Protocols.from_cas ~procs:3 ());
+      ("sticky4", fun () -> Protocols.from_sticky ~procs:4 ());
+    ]
+
+let test_compiled_consensus_parallel () =
+  (* the Theorem 5 output runs correctly on real domains too *)
+  let spec = (Catalog.find ~ports:2 "test-and-set").Catalog.spec in
+  let strategy =
+    match Wfc_core.Theorem5.strategy_for spec with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let make () =
+    match
+      Wfc_core.Theorem5.eliminate_registers ~strategy (Protocols.from_tas ())
+    with
+    | Ok r -> r.Wfc_core.Theorem5.compiled
+    | Error e -> Alcotest.fail e
+  in
+  expect_trials "compiled tas" 30
+    (Wfc_multicore.Runtime.consensus_trials ~make ~trials:30 ())
+
+let test_register_chain_parallel () =
+  let make () =
+    Wfc_registers.Multi_writer.atomic_mrmw ~writers:3 ~extra_readers:1
+      ~init:(Value.int 0) ()
+  in
+  let workloads =
+    [|
+      [ Ops.write (Value.int 1); Ops.read ];
+      [ Ops.write (Value.int 2); Ops.read ];
+      [ Ops.read; Ops.write (Value.int 3) ];
+      [ Ops.read; Ops.read ];
+    |]
+  in
+  expect_trials "mrmw register" 40
+    (Wfc_multicore.Runtime.linearizable_trials ~make ~workloads ~trials:40 ())
+
+let test_bounded_bit_parallel () =
+  let make () =
+    Wfc_core.Bounded_bit.from_one_use ~reads:6 ~writes:4 ~init:false ()
+  in
+  let workloads =
+    [|
+      List.concat_map
+        (fun b -> [ Ops.write (Value.bool b) ])
+        [ true; false; true ];
+      List.init 5 (fun _ -> Ops.read);
+    |]
+  in
+  expect_trials "bounded bit" 40
+    (Wfc_multicore.Runtime.linearizable_trials ~make ~workloads ~trials:40 ())
+
+let test_universal_parallel () =
+  let make () =
+    Universal.construct
+      ~target:(Rmw.fetch_add_mod ~ports:2 ~modulus:7)
+      ~procs:2 ~cells:12 ()
+  in
+  let workloads =
+    [| [ Ops.fetch_add 1; Ops.fetch_add 1 ]; [ Ops.fetch_add 2; Ops.read ] |]
+  in
+  expect_trials "universal faa" 30
+    (Wfc_multicore.Runtime.linearizable_trials ~make ~workloads ~trials:30 ())
+
+let test_atomic_cas_backend () =
+  (* the lock-free CAS-retry backend must satisfy the same specifications *)
+  List.iter
+    (fun (name, make) ->
+      expect_trials name 50
+        (Wfc_multicore.Runtime.consensus_trials
+           ~backend:Wfc_multicore.Runtime.Atomic_cas ~make ~trials:50 ()))
+    [
+      ("tas/cas-backend", Protocols.from_tas);
+      ("cas3/cas-backend", fun () -> Protocols.from_cas ~procs:3 ());
+      ("sticky4/cas-backend", fun () -> Protocols.from_sticky ~procs:4 ());
+    ];
+  let make () =
+    Wfc_registers.Multi_writer.atomic_mrmw ~writers:3 ~extra_readers:0
+      ~init:(Value.int 0) ()
+  in
+  expect_trials "mrmw/cas-backend" 40
+    (Wfc_multicore.Runtime.linearizable_trials
+       ~backend:Wfc_multicore.Runtime.Atomic_cas ~make
+       ~workloads:
+         [|
+           [ Ops.write (Value.int 1); Ops.read ];
+           [ Ops.write (Value.int 2); Ops.read ];
+           [ Ops.read; Ops.write (Value.int 3) ];
+         |]
+       ~trials:40 ())
+
+let test_outcome_fields () =
+  let impl = Protocols.from_sticky ~procs:2 () in
+  let outcome =
+    Wfc_multicore.Runtime.run impl
+      ~workloads:[| [ Ops.propose Value.truth ]; [ Ops.propose Value.falsity ] |]
+      ()
+  in
+  Alcotest.(check int) "two ops" 2 (List.length outcome.Wfc_multicore.Runtime.ops);
+  Alcotest.(check bool) "wall clock sane" true
+    (outcome.Wfc_multicore.Runtime.wall_s >= 0.0);
+  (* the sticky bit ends decided *)
+  let final = outcome.Wfc_multicore.Runtime.final_objects.(0) in
+  Alcotest.(check bool) "decided" true
+    (Value.equal final Value.truth || Value.equal final Value.falsity)
+
+let () =
+  Alcotest.run "wfc_multicore"
+    [
+      ( "parallel stress",
+        [
+          Alcotest.test_case "consensus protocols" `Quick
+            test_consensus_protocols_parallel;
+          Alcotest.test_case "compiled consensus" `Quick
+            test_compiled_consensus_parallel;
+          Alcotest.test_case "MRMW register" `Quick test_register_chain_parallel;
+          Alcotest.test_case "bounded bit" `Quick test_bounded_bit_parallel;
+          Alcotest.test_case "universal construction" `Quick
+            test_universal_parallel;
+          Alcotest.test_case "Atomic CAS backend" `Quick test_atomic_cas_backend;
+          Alcotest.test_case "outcome fields" `Quick test_outcome_fields;
+        ] );
+    ]

@@ -1,0 +1,212 @@
+(* Property-based validation of the Section 5 pipeline over RANDOM types.
+
+   The paper's results quantify over all types; the unit suites check a
+   curated zoo, and this suite fuzzes the same theorems over randomly
+   generated finite deterministic types:
+
+   - §5.1 ≡ §5.2 on oblivious types: the triviality decision procedure says
+     Trivial exactly when the non-trivial pair search finds nothing;
+   - §5.1 soundness: every witness verifies, and the constructed one-use bit
+     passes the full conformance check;
+   - §5.2 soundness on non-oblivious types: every found pair yields a
+     conforming one-use bit;
+   - Lemmas 2-4: the *general* minimal pair (over arbitrary history shapes)
+     always has the predicted ⟨pure ī | foreign·ī⟩ shape;
+   - Theorem 5 end-to-end: compiling a register-using consensus protocol
+     over a random non-trivial type yields a correct register-free one. *)
+
+open Wfc_spec
+open Wfc_core
+
+(* --- random finite deterministic types ------------------------------------- *)
+
+type table = {
+  n_states : int;
+  n_invs : int;
+  table : (int * int) array array array;
+      (** [table.(port).(state).(inv) = (next_state, response)] *)
+  oblivious : bool;
+}
+
+let state_v i = Value.sym (Fmt.str "s%d" i)
+let inv_v i = Value.sym (Fmt.str "i%d" i)
+let resp_v i = Value.sym (Fmt.str "r%d" i)
+
+let spec_of_table t =
+  let states = List.init t.n_states state_v in
+  let invocations = List.init t.n_invs inv_v in
+  let decode_state q =
+    let s = Value.as_sym q in
+    int_of_string (String.sub s 1 (String.length s - 1))
+  in
+  let decode_inv = decode_state in
+  Type_spec.make ~name:"random-type" ~ports:2 ~initial:(state_v 0) ~states
+    ~invocations ~oblivious:t.oblivious (fun q ~port ~inv ->
+      let port = if t.oblivious then 0 else port in
+      let next, resp = t.table.(port).(decode_state q).(decode_inv inv) in
+      [ (state_v next, resp_v resp) ])
+
+let gen_table ~oblivious =
+  let open QCheck.Gen in
+  let* n_states = int_range 1 4 in
+  let* n_invs = int_range 1 3 in
+  let* n_resps = int_range 1 3 in
+  let cell = pair (int_range 0 (n_states - 1)) (int_range 0 (n_resps - 1)) in
+  let plane = array_size (return n_states) (array_size (return n_invs) cell) in
+  let+ planes =
+    if oblivious then
+      let+ p = plane in
+      [| p; p |]
+    else
+      let* p0 = plane in
+      let+ p1 = plane in
+      [| p0; p1 |]
+  in
+  { n_states; n_invs; table = planes; oblivious }
+
+let print_table t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Fmt.str "%d states, %d invs, %s:" t.n_states t.n_invs
+       (if t.oblivious then "oblivious" else "non-oblivious"));
+  let ports = if t.oblivious then 1 else 2 in
+  for port = 0 to ports - 1 do
+    Array.iteri
+      (fun s row ->
+        Array.iteri
+          (fun i (n, r) ->
+            Buffer.add_string buf
+              (Fmt.str " δ(p%d,s%d,i%d)=(s%d,r%d)" port s i n r))
+          row)
+      t.table.(port)
+  done;
+  Buffer.contents buf
+
+let arb_oblivious = QCheck.make ~print:print_table (gen_table ~oblivious:true)
+
+let arb_general = QCheck.make ~print:print_table (gen_table ~oblivious:false)
+
+(* --- properties --------------------------------------------------------------- *)
+
+let prop_decide_agrees_with_pair_search =
+  QCheck.Test.make ~count:150
+    ~name:"§5.1 Trivial ⟺ §5.2 finds no pair (oblivious types)"
+    arb_oblivious
+    (fun t ->
+      let spec = spec_of_table t in
+      match (Triviality.decide spec, Nontrivial_pair.search ~max_len:9 spec) with
+      | Ok Triviality.Trivial, Ok None -> true
+      | Ok (Triviality.Nontrivial _), Ok (Some _) -> true
+      | Ok Triviality.Trivial, Ok (Some _) -> false
+      | Ok (Triviality.Nontrivial _), Ok None -> false
+      | _ -> false)
+
+let prop_witness_verifies =
+  QCheck.Test.make ~count:150 ~name:"§5.1 witnesses always verify"
+    arb_oblivious
+    (fun t ->
+      let spec = spec_of_table t in
+      match Triviality.decide spec with
+      | Ok (Triviality.Nontrivial w) -> Triviality.verify_witness spec w
+      | Ok Triviality.Trivial -> true
+      | Error _ -> false)
+
+let prop_oblivious_construction_conforms =
+  QCheck.Test.make ~count:60
+    ~name:"§5.1 construction conforms on random non-trivial types"
+    arb_oblivious
+    (fun t ->
+      let spec = spec_of_table t in
+      match Triviality.decide spec with
+      | Ok Triviality.Trivial -> true
+      | Ok (Triviality.Nontrivial w) ->
+        Result.is_ok
+          (One_use_bit.check_impl (Triviality.one_use_bit spec w ()))
+      | Error _ -> false)
+
+let prop_general_construction_conforms =
+  QCheck.Test.make ~count:60
+    ~name:"§5.2 construction conforms on random non-oblivious types"
+    arb_general
+    (fun t ->
+      let spec = spec_of_table t in
+      match Nontrivial_pair.search ~max_len:7 spec with
+      | Ok None -> true
+      | Ok (Some p) ->
+        Result.is_ok
+          (One_use_bit.check_impl (Nontrivial_pair.one_use_bit spec p ()))
+      | Error _ -> false)
+
+let lemma_shape (raw : Nontrivial_pair.raw_pair) =
+  let on_port port = List.filter (fun (p, _) -> p = port) in
+  let pure h = List.for_all (fun (p, _) -> p = raw.Nontrivial_pair.raw_port) h in
+  let h1 = raw.Nontrivial_pair.raw_h1 and h2 = raw.Nontrivial_pair.raw_h2 in
+  (* orient: the pure side is the paper's H1 *)
+  let h1, h2 =
+    if List.length h1 <= List.length h2 then (h1, h2) else (h2, h1)
+  in
+  let k = List.length h1 in
+  pure h1
+  && List.length h2 = k + 1
+  && (match h2 with
+     | (p0, _) :: rest ->
+       p0 <> raw.Nontrivial_pair.raw_port
+       && List.length (on_port raw.Nontrivial_pair.raw_port rest) = k
+     | [] -> false)
+
+let prop_lemmas_on_random_types =
+  QCheck.Test.make ~count:25
+    ~name:"Lemmas 2-4: general minimal pairs have the paper's shape"
+    arb_general
+    (fun t ->
+      let spec = spec_of_table t in
+      match Nontrivial_pair.search_general ~max_len:5 spec with
+      | Ok None -> true
+      | Ok (Some raw) -> lemma_shape raw
+      | Error _ -> false)
+
+let prop_theorem5_on_random_types =
+  QCheck.Test.make ~count:15
+    ~name:"Theorem 5 end-to-end over random non-trivial types"
+    arb_oblivious
+    (fun t ->
+      let spec = spec_of_table t in
+      match Theorem5.strategy_for spec with
+      | Error _ -> true (* trivial or out of scope: nothing to do *)
+      | Ok strategy -> (
+        match
+          Theorem5.eliminate_registers ~strategy
+            (Wfc_consensus.Protocols.from_tas ())
+        with
+        | Error _ -> false
+        | Ok r ->
+          Result.is_ok (Wfc_consensus.Check.verify r.Theorem5.compiled)))
+
+(* sequential-history sanity for generated specs: deterministic runs exist
+   for all invocation sequences *)
+let prop_generated_specs_wellformed =
+  QCheck.Test.make ~count:100 ~name:"generated specs validate"
+    arb_general
+    (fun t ->
+      let spec = spec_of_table t in
+      Result.is_ok (Type_spec.validate spec)
+      && Type_spec.is_deterministic spec
+      (* declared-oblivious tables must check oblivious; a random
+         non-oblivious table may accidentally be oblivious, so only the
+         forward direction is guaranteed *)
+      && ((not t.oblivious) || Type_spec.check_oblivious spec))
+
+let () =
+  Alcotest.run "wfc_properties"
+    [
+      ( "random-type pipeline",
+        [
+          QCheck_alcotest.to_alcotest prop_generated_specs_wellformed;
+          QCheck_alcotest.to_alcotest prop_decide_agrees_with_pair_search;
+          QCheck_alcotest.to_alcotest prop_witness_verifies;
+          QCheck_alcotest.to_alcotest prop_oblivious_construction_conforms;
+          QCheck_alcotest.to_alcotest prop_general_construction_conforms;
+          QCheck_alcotest.to_alcotest prop_lemmas_on_random_types;
+          QCheck_alcotest.to_alcotest prop_theorem5_on_random_types;
+        ] );
+    ]

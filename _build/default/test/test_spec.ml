@@ -1,0 +1,274 @@
+(* Unit and property tests for wfc_spec: values, type specifications,
+   sequential histories. *)
+
+open Wfc_spec
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* --- Value ------------------------------------------------------------ *)
+
+let test_value_order () =
+  let vs =
+    [
+      Value.unit;
+      Value.falsity;
+      Value.truth;
+      Value.int (-3);
+      Value.int 7;
+      Value.sym "a";
+      Value.sym "b";
+      Value.pair (Value.int 1) (Value.sym "x");
+      Value.list [ Value.int 1; Value.int 2 ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "reflexive" 0 (Value.compare v v);
+      Alcotest.(check bool) "equal self" true (Value.equal v v))
+    vs;
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i <> j then
+            Alcotest.(check bool)
+              (Fmt.str "%a <> %a" Value.pp a Value.pp b)
+              false (Value.equal a b))
+        vs)
+    vs
+
+let test_value_antisym () =
+  let a = Value.pair (Value.int 1) (Value.int 2)
+  and b = Value.pair (Value.int 1) (Value.int 3) in
+  Alcotest.(check bool) "a<b xor b<a" true
+    (Value.compare a b * Value.compare b a < 0)
+
+let test_value_destructors () =
+  Alcotest.(check bool) "as_bool" true (Value.as_bool Value.truth);
+  Alcotest.(check int) "as_int" 42 (Value.as_int (Value.int 42));
+  Alcotest.(check string) "as_sym" "ok" (Value.as_sym (Value.sym "ok"));
+  let a, b = Value.as_pair (Value.pair Value.truth Value.falsity) in
+  Alcotest.check value "fst" Value.truth a;
+  Alcotest.check value "snd" Value.falsity b;
+  Alcotest.check_raises "as_int of sym"
+    (Value.Type_error "expected int, got ok") (fun () ->
+      ignore (Value.as_int (Value.sym "ok")))
+
+let value_gen =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then
+           oneof
+             [
+               return Value.Unit;
+               map (fun b -> Value.Bool b) bool;
+               map (fun i -> Value.Int i) small_signed_int;
+               map (fun s -> Value.Sym s) (string_size ~gen:(char_range 'a' 'z') (return 3));
+             ]
+         else
+           frequency
+             [
+               (3, self 0);
+               (1, map2 (fun a b -> Value.Pair (a, b)) (self (n / 2)) (self (n / 2)));
+               (1, map (fun xs -> Value.List xs) (list_size (int_bound 3) (self (n / 3))));
+             ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let prop_compare_total =
+  QCheck.Test.make ~name:"Value.compare total order"
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 = 0) = (c2 = 0) && (c1 > 0) = (c2 < 0))
+
+let prop_equal_hash =
+  QCheck.Test.make ~name:"equal values hash equally"
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let prop_compare_transitive =
+  QCheck.Test.make ~name:"Value.compare transitive"
+    (QCheck.triple value_arb value_arb value_arb) (fun (a, b, c) ->
+      let sorted = List.sort Value.compare [ a; b; c ] in
+      (* sorting must be stable under re-sorting: a weak but useful
+         consequence of transitivity *)
+      List.equal Value.equal sorted (List.sort Value.compare sorted))
+
+(* --- Type_spec --------------------------------------------------------- *)
+
+let toggle =
+  Type_spec.deterministic_oblivious ~name:"toggle" ~ports:2
+    ~initial:Value.falsity
+    ~states:[ Value.falsity; Value.truth ]
+    ~responses:[ Value.falsity; Value.truth ]
+    ~invocations:[ Value.sym "flip" ]
+    (fun q _ -> (Value.bool (not (Value.as_bool q)), q))
+
+let test_step_deterministic () =
+  let q', r =
+    Type_spec.step_deterministic toggle Value.falsity ~port:0
+      ~inv:(Value.sym "flip")
+  in
+  Alcotest.check value "new state" Value.truth q';
+  Alcotest.check value "response is old state" Value.falsity r
+
+let test_step_bad_port () =
+  Alcotest.(check bool) "out-of-range port raises" true
+    (match
+       Type_spec.step_deterministic toggle Value.falsity ~port:5
+         ~inv:(Value.sym "flip")
+     with
+    | _ -> false
+    | exception Type_spec.Bad_step _ -> true)
+
+let test_is_deterministic () =
+  Alcotest.(check bool) "toggle det" true (Type_spec.is_deterministic toggle);
+  let nd =
+    Type_spec.nondeterministic_oblivious ~name:"nd" ~ports:1
+      ~initial:Value.unit ~states:[ Value.unit ]
+      ~invocations:[ Value.sym "go" ]
+      (fun q _ -> [ (q, Value.falsity); (q, Value.truth) ])
+  in
+  Alcotest.(check bool) "nd not det" false (Type_spec.is_deterministic nd)
+
+let test_reachable () =
+  let counter =
+    Type_spec.deterministic_oblivious ~name:"ctr" ~ports:1
+      ~initial:(Value.int 0)
+      ~states:(List.init 4 Value.int)
+      ~invocations:[ Value.sym "inc" ]
+      (fun q _ -> (Value.int ((Value.as_int q + 1) mod 4), Value.sym "ok"))
+  in
+  let r = Type_spec.reachable counter ~from:(Value.int 0) in
+  Alcotest.(check int) "all 4 reachable" 4 (Value.Set.cardinal r);
+  let one = Type_spec.reachable_in_one_step counter ~from:(Value.int 2) in
+  Alcotest.(check int) "single successor" 1 (Value.Set.cardinal one);
+  Alcotest.(check bool) "is 3" true (Value.Set.mem (Value.int 3) one)
+
+let test_validate_ok () =
+  match Type_spec.validate toggle with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "toggle should validate: %s" e
+
+let test_validate_bad_successor () =
+  let broken =
+    Type_spec.deterministic_oblivious ~name:"broken" ~ports:1
+      ~initial:(Value.int 0)
+      ~states:[ Value.int 0 ]
+      ~invocations:[ Value.sym "go" ]
+      (fun _ _ -> (Value.int 99, Value.sym "ok"))
+  in
+  Alcotest.(check bool) "validate flags escape" true
+    (Result.is_error (Type_spec.validate broken))
+
+let test_check_oblivious () =
+  Alcotest.(check bool) "toggle oblivious" true (Type_spec.check_oblivious toggle);
+  let biased =
+    Type_spec.make ~name:"biased" ~ports:2 ~initial:Value.unit
+      ~states:[ Value.unit ]
+      ~invocations:[ Value.sym "who" ]
+      ~oblivious:false
+      (fun q ~port ~inv:_ -> [ (q, Value.int port) ])
+  in
+  Alcotest.(check bool) "biased not oblivious" false
+    (Type_spec.check_oblivious biased)
+
+(* --- Seq_history -------------------------------------------------------- *)
+
+let test_history_states () =
+  let h =
+    {
+      Seq_history.start = Value.falsity;
+      entries =
+        [
+          { port = 0; inv = Value.sym "flip"; resp = Value.falsity };
+          { port = 1; inv = Value.sym "flip"; resp = Value.truth };
+        ];
+    }
+  in
+  Alcotest.(check int) "length" 2 (Seq_history.length h);
+  Alcotest.(check bool) "legal" true (Seq_history.is_legal toggle h);
+  Alcotest.check value "final" Value.falsity (Seq_history.final_state toggle h);
+  Alcotest.(check int) "port filter" 1
+    (List.length (Seq_history.on_port h 0));
+  Alcotest.check value "return value" Value.truth
+    (Option.get (Seq_history.return_value h))
+
+let test_history_illegal () =
+  let h =
+    {
+      Seq_history.start = Value.falsity;
+      entries = [ { port = 0; inv = Value.sym "flip"; resp = Value.truth } ];
+    }
+  in
+  Alcotest.(check bool) "wrong response illegal" false
+    (Seq_history.is_legal toggle h)
+
+let test_history_run () =
+  match
+    Seq_history.run toggle Value.falsity
+      [ (0, Value.sym "flip"); (0, Value.sym "flip"); (1, Value.sym "flip") ]
+  with
+  | None -> Alcotest.fail "run should succeed"
+  | Some h ->
+    Alcotest.(check int) "3 entries" 3 (Seq_history.length h);
+    Alcotest.check value "final" Value.truth (Seq_history.final_state toggle h)
+
+let test_history_enumerate () =
+  (* toggle is deterministic with 1 invocation and 2 ports: histories of
+     length ≤ 2 number 1 + 2 + 4 = 7. *)
+  let hs = Seq_history.enumerate toggle ~start:Value.falsity ~max_len:2 in
+  Alcotest.(check int) "count" 7 (List.length hs);
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "each legal" true (Seq_history.is_legal toggle h))
+    hs
+
+let test_history_random () =
+  let rng = Random.State.make [| 42 |] in
+  for len = 0 to 8 do
+    let h = Seq_history.random rng toggle ~start:Value.falsity ~len in
+    Alcotest.(check int) "requested length" len (Seq_history.length h);
+    Alcotest.(check bool) "legal" true (Seq_history.is_legal toggle h)
+  done
+
+let prop_enumerated_all_legal =
+  QCheck.Test.make ~name:"enumerate yields only legal histories"
+    (QCheck.make (QCheck.Gen.int_bound 3)) (fun n ->
+      let hs = Seq_history.enumerate toggle ~start:Value.truth ~max_len:n in
+      List.for_all (Seq_history.is_legal toggle) hs)
+
+let () =
+  Alcotest.run "wfc_spec"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "distinct values differ" `Quick test_value_order;
+          Alcotest.test_case "antisymmetry" `Quick test_value_antisym;
+          Alcotest.test_case "destructors" `Quick test_value_destructors;
+          QCheck_alcotest.to_alcotest prop_compare_total;
+          QCheck_alcotest.to_alcotest prop_equal_hash;
+          QCheck_alcotest.to_alcotest prop_compare_transitive;
+        ] );
+      ( "type_spec",
+        [
+          Alcotest.test_case "deterministic step" `Quick test_step_deterministic;
+          Alcotest.test_case "bad port" `Quick test_step_bad_port;
+          Alcotest.test_case "is_deterministic" `Quick test_is_deterministic;
+          Alcotest.test_case "reachability" `Quick test_reachable;
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "validate catches escapes" `Quick
+            test_validate_bad_successor;
+          Alcotest.test_case "obliviousness check" `Quick test_check_oblivious;
+        ] );
+      ( "seq_history",
+        [
+          Alcotest.test_case "states and accessors" `Quick test_history_states;
+          Alcotest.test_case "illegal history" `Quick test_history_illegal;
+          Alcotest.test_case "run" `Quick test_history_run;
+          Alcotest.test_case "enumerate" `Quick test_history_enumerate;
+          Alcotest.test_case "random legal" `Quick test_history_random;
+          QCheck_alcotest.to_alcotest prop_enumerated_all_legal;
+        ] );
+    ]

@@ -1,0 +1,420 @@
+(* Tests for the type zoo: every catalog entry is internally consistent and
+   its declared metadata (determinism, obliviousness) matches what the
+   generic analyses compute; plus behavioural checks per family. *)
+
+open Wfc_spec
+open Wfc_zoo
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let det_step spec q inv = Type_spec.step_deterministic spec q ~port:0 ~inv
+
+(* --- catalog-wide checks ------------------------------------------------ *)
+
+let catalog_cases =
+  List.concat_map
+    (fun (e : Catalog.entry) ->
+      let name = e.spec.Type_spec.name in
+      [
+        Alcotest.test_case (name ^ " validates") `Quick (fun () ->
+            match Type_spec.validate ~total:e.total e.spec with
+            | Ok () -> ()
+            | Error msg -> Alcotest.failf "%s: %s" name msg);
+        Alcotest.test_case (name ^ " determinism matches") `Quick (fun () ->
+            Alcotest.(check bool)
+              "is_deterministic" e.deterministic
+              (Type_spec.is_deterministic e.spec));
+        Alcotest.test_case (name ^ " obliviousness matches") `Quick (fun () ->
+            Alcotest.(check bool)
+              "check_oblivious" e.oblivious
+              (Type_spec.check_oblivious e.spec);
+            Alcotest.(check bool)
+              "declared flag agrees" e.oblivious e.spec.Type_spec.oblivious);
+      ])
+    (Catalog.all ~ports:2)
+
+(* --- registers ----------------------------------------------------------- *)
+
+let test_register_rw () =
+  let reg = Register.bounded ~ports:2 ~values:3 in
+  let q1, r1 = det_step reg reg.Type_spec.initial (Ops.write (Value.int 2)) in
+  Alcotest.check value "write ok" Ops.ok r1;
+  let q2, r2 = det_step reg q1 Ops.read in
+  Alcotest.check value "read back" (Value.int 2) r2;
+  Alcotest.check value "read preserves" q1 q2
+
+let test_register_bit_initial () =
+  let bit = Register.bit ~ports:2 in
+  let _, r = det_step bit bit.Type_spec.initial Ops.read in
+  Alcotest.check value "initially false" Value.falsity r
+
+(* --- weak registers ------------------------------------------------------ *)
+
+let test_safe_bit_overlap () =
+  let safe = Weak_register.safe_bit ~ports:2 in
+  let mid, _ =
+    List.hd
+      (Type_spec.alternatives safe safe.Type_spec.initial ~port:0
+         ~inv:(Ops.write_start Value.truth))
+  in
+  Alcotest.(check bool) "mid-write" true (Weak_register.is_mid_write mid);
+  let alts = Type_spec.alternatives safe mid ~port:1 ~inv:Ops.read in
+  Alcotest.(check int) "overlapping read: both booleans" 2 (List.length alts);
+  let quiet, _ =
+    List.hd (Type_spec.alternatives safe mid ~port:0 ~inv:Ops.write_end)
+  in
+  let alts' = Type_spec.alternatives safe quiet ~port:1 ~inv:Ops.read in
+  Alcotest.(check int) "quiescent read: unique" 1 (List.length alts');
+  Alcotest.check value "reads the new value" Value.truth (snd (List.hd alts'))
+
+let test_regular_bit_overlap () =
+  let reg = Weak_register.regular_bit ~ports:2 in
+  (* current=false, writing true: read may return false or true *)
+  let mid, _ =
+    List.hd
+      (Type_spec.alternatives reg
+         (Weak_register.initial Value.falsity)
+         ~port:0 ~inv:(Ops.write_start Value.truth))
+  in
+  let resps =
+    List.map snd (Type_spec.alternatives reg mid ~port:1 ~inv:Ops.read)
+    |> List.sort_uniq Value.compare
+  in
+  Alcotest.(check int) "old or new" 2 (List.length resps);
+  (* overwriting with the same value: a regular read has one choice *)
+  let mid_same, _ =
+    List.hd
+      (Type_spec.alternatives reg
+         (Weak_register.initial Value.truth)
+         ~port:0 ~inv:(Ops.write_start Value.truth))
+  in
+  let resps_same =
+    List.map snd (Type_spec.alternatives reg mid_same ~port:1 ~inv:Ops.read)
+    |> List.sort_uniq Value.compare
+  in
+  Alcotest.(check (list value)) "same-value write" [ Value.truth ] resps_same
+
+let test_weak_register_discipline () =
+  let reg = Weak_register.regular_bit ~ports:2 in
+  let mid, _ =
+    List.hd
+      (Type_spec.alternatives reg reg.Type_spec.initial ~port:0
+         ~inv:(Ops.write_start Value.truth))
+  in
+  Alcotest.(check (list (pair value value)))
+    "write-start during write disabled" []
+    (Type_spec.alternatives reg mid ~port:0 ~inv:(Ops.write_start Value.falsity));
+  Alcotest.(check (list (pair value value)))
+    "write-end while idle disabled" []
+    (Type_spec.alternatives reg reg.Type_spec.initial ~port:0 ~inv:Ops.write_end)
+
+(* --- rmw ------------------------------------------------------------------ *)
+
+let test_tas () =
+  let tas = Rmw.test_and_set ~ports:2 in
+  let q1, r1 = det_step tas tas.Type_spec.initial Ops.test_and_set in
+  Alcotest.check value "first wins" Value.falsity r1;
+  let q2, r2 = det_step tas q1 Ops.test_and_set in
+  Alcotest.check value "second loses" Value.truth r2;
+  Alcotest.check value "absorbed" q1 q2
+
+let test_swap () =
+  let swap = Rmw.swap_bounded ~ports:2 ~values:3 in
+  let q1, r1 = det_step swap swap.Type_spec.initial (Ops.swap (Value.int 2)) in
+  Alcotest.check value "returns old" (Value.int 0) r1;
+  let _, r2 = det_step swap q1 (Ops.swap (Value.int 1)) in
+  Alcotest.check value "returns previous" (Value.int 2) r2
+
+let test_faa () =
+  let faa = Rmw.fetch_add_mod ~ports:2 ~modulus:5 in
+  let q1, r1 = det_step faa faa.Type_spec.initial (Ops.fetch_add 1) in
+  Alcotest.check value "old 0" (Value.int 0) r1;
+  let q2, r2 = det_step faa q1 (Ops.fetch_add 2) in
+  Alcotest.check value "old 1" (Value.int 1) r2;
+  let _, r3 = det_step faa q2 (Ops.fetch_add 2) in
+  Alcotest.check value "wraps mod 5" (Value.int 3) r3
+
+let test_cas () =
+  let cas = Rmw.cas_bounded ~ports:2 ~values:2 in
+  let q1, r1 =
+    det_step cas cas.Type_spec.initial
+      (Ops.cas ~expect:Rmw.bot ~update:(Value.int 1))
+  in
+  Alcotest.check value "cas from bot succeeds" Value.truth r1;
+  Alcotest.check value "state updated" (Value.int 1) q1;
+  let q2, r2 =
+    det_step cas q1 (Ops.cas ~expect:Rmw.bot ~update:(Value.int 0))
+  in
+  Alcotest.check value "stale cas fails" Value.falsity r2;
+  Alcotest.check value "state kept" (Value.int 1) q2
+
+(* --- collections ----------------------------------------------------------- *)
+
+let test_queue_fifo () =
+  let dom = [ Value.int 0; Value.int 1 ] in
+  let q = Collections.queue ~ports:2 ~capacity:2 ~domain:dom in
+  let s1, _ = det_step q q.Type_spec.initial (Ops.enq (Value.int 0)) in
+  let s2, _ = det_step q s1 (Ops.enq (Value.int 1)) in
+  let _, rfull = det_step q s2 (Ops.enq (Value.int 0)) in
+  Alcotest.check value "full" Collections.full rfull;
+  let s3, r1 = det_step q s2 Ops.deq in
+  Alcotest.check value "fifo first" (Value.int 0) r1;
+  let s4, r2 = det_step q s3 Ops.deq in
+  Alcotest.check value "fifo second" (Value.int 1) r2;
+  let _, rempty = det_step q s4 Ops.deq in
+  Alcotest.check value "empty" Ops.empty rempty
+
+let test_stack_lifo () =
+  let dom = [ Value.int 0; Value.int 1 ] in
+  let st = Collections.stack ~ports:2 ~capacity:2 ~domain:dom in
+  let s1, _ = det_step st st.Type_spec.initial (Ops.push (Value.int 0)) in
+  let s2, _ = det_step st s1 (Ops.push (Value.int 1)) in
+  let s3, r1 = det_step st s2 Ops.pop in
+  Alcotest.check value "lifo last" (Value.int 1) r1;
+  let _, r2 = det_step st s3 Ops.pop in
+  Alcotest.check value "lifo first" (Value.int 0) r2
+
+let test_queue_state_count () =
+  (* capacity 2 over a 2-element domain: 1 + 2 + 4 = 7 states *)
+  let dom = [ Value.int 0; Value.int 1 ] in
+  let q = Collections.queue ~ports:2 ~capacity:2 ~domain:dom in
+  Alcotest.(check int) "state count" 7
+    (List.length (Option.get q.Type_spec.states))
+
+(* --- sticky / consensus type ------------------------------------------------ *)
+
+let test_sticky () =
+  let sb = Sticky.bit ~ports:3 in
+  let q1, r1 = det_step sb sb.Type_spec.initial (Ops.stick Value.truth) in
+  Alcotest.check value "first stick decides" Value.truth r1;
+  let q2, r2 = det_step sb q1 (Ops.stick Value.falsity) in
+  Alcotest.check value "later stick sees decision" Value.truth r2;
+  Alcotest.check value "state sticky" q1 q2;
+  let _, r3 = det_step sb q1 Ops.read in
+  Alcotest.check value "read sees decision" Value.truth r3
+
+let test_consensus_type () =
+  let c = Consensus_type.binary ~ports:2 in
+  let q1, r1 =
+    det_step c c.Type_spec.initial (Ops.propose Value.falsity)
+  in
+  Alcotest.check value "first proposal decides" Value.falsity r1;
+  let _, r2 = det_step c q1 (Ops.propose Value.truth) in
+  Alcotest.check value "second gets first's value" Value.falsity r2
+
+(* --- one-use bit: the paper's Section 3, transition by transition ---------- *)
+
+let test_one_use_bit_table () =
+  let spec = One_use.spec in
+  let alts q inv = Type_spec.alternatives spec q ~port:0 ~inv in
+  let check_alts msg expected got =
+    let norm = List.sort compare in
+    Alcotest.(check bool) msg true (norm expected = norm got)
+  in
+  check_alts "δ(UNSET,read) = {⟨DEAD,0⟩}"
+    [ (One_use.dead, Value.falsity) ]
+    (alts One_use.unset One_use.read);
+  check_alts "δ(SET,read) = {⟨DEAD,1⟩}"
+    [ (One_use.dead, Value.truth) ]
+    (alts One_use.set One_use.read);
+  check_alts "δ(DEAD,read) = {⟨DEAD,0⟩,⟨DEAD,1⟩}"
+    [ (One_use.dead, Value.falsity); (One_use.dead, Value.truth) ]
+    (alts One_use.dead One_use.read);
+  check_alts "δ(UNSET,write) = {⟨SET,ok⟩}"
+    [ (One_use.set, Ops.ok) ]
+    (alts One_use.unset One_use.write);
+  check_alts "δ(SET,write) = {⟨DEAD,ok⟩}"
+    [ (One_use.dead, Ops.ok) ]
+    (alts One_use.set One_use.write);
+  check_alts "δ(DEAD,write) = {⟨DEAD,ok⟩}"
+    [ (One_use.dead, Ops.ok) ]
+    (alts One_use.dead One_use.write)
+
+let test_one_use_bit_dead_absorbing () =
+  (* DEAD is absorbing: no sequence of invocations leaves it. *)
+  let spec = One_use.spec in
+  let r = Type_spec.reachable spec ~from:One_use.dead in
+  Alcotest.(check int) "only DEAD" 1 (Value.Set.cardinal r)
+
+let prop_one_use_histories_never_revive =
+  QCheck.Test.make ~name:"one-use bit: once DEAD, always DEAD"
+    QCheck.(make Gen.(int_bound 1000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let h =
+        Seq_history.random rng One_use.spec ~start:One_use.unset ~len:8
+      in
+      let states = Seq_history.states One_use.spec h in
+      let rec no_revival seen_dead = function
+        | [] -> true
+        | q :: rest ->
+          if seen_dead then
+            Value.equal q One_use.dead && no_revival true rest
+          else no_revival (Value.equal q One_use.dead) rest
+      in
+      no_revival false states)
+
+(* --- degenerate / nondet ----------------------------------------------------- *)
+
+let test_latent_unreachable () =
+  let spec = Degenerate.latent ~ports:2 in
+  let r = Type_spec.reachable spec ~from:spec.Type_spec.initial in
+  Alcotest.(check bool) "loud state unreachable from initial" false
+    (Value.Set.mem Degenerate.latent_loud_state r)
+
+let test_flaky_bit_lies () =
+  let spec = Nondet.flaky_bit ~ports:2 in
+  let set_state, _ =
+    List.hd
+      (Type_spec.alternatives spec spec.Type_spec.initial ~port:0
+         ~inv:(Value.sym "write"))
+  in
+  let resps =
+    List.map snd (Type_spec.alternatives spec set_state ~port:1 ~inv:Ops.read)
+    |> List.sort_uniq Value.compare
+  in
+  Alcotest.(check int) "set-state read is ambiguous" 2 (List.length resps)
+
+let test_non_oblivious_flag () =
+  let spec = Nondet.non_oblivious_flag ~ports:2 in
+  let touch = Value.sym "touch" and probe = Value.sym "probe" in
+  (* port 0's touch is ignored; port 1's touch flips the flag *)
+  let q0 = spec.Type_spec.initial in
+  let q1, _ = Type_spec.step_deterministic spec q0 ~port:0 ~inv:touch in
+  let _, r1 = Type_spec.step_deterministic spec q1 ~port:0 ~inv:probe in
+  Alcotest.check value "own touch invisible" Value.falsity r1;
+  let q2, _ = Type_spec.step_deterministic spec q0 ~port:1 ~inv:touch in
+  let _, r2 = Type_spec.step_deterministic spec q2 ~port:0 ~inv:probe in
+  Alcotest.check value "other's touch visible" Value.truth r2
+
+(* --- snapshot type ------------------------------------------------------------ *)
+
+let test_snapshot_type_semantics () =
+  let dom = [ Value.int 0; Value.int 1 ] in
+  let spec = Snapshot_type.spec ~ports:3 ~domain:dom in
+  let q0 = spec.Type_spec.initial in
+  Alcotest.check value "initially all first-domain" (Value.list [ Value.int 0; Value.int 0; Value.int 0 ]) q0;
+  (* port picks the segment *)
+  let q1, r1 =
+    Type_spec.step_deterministic spec q0 ~port:1
+      ~inv:(Snapshot_type.update (Value.int 1))
+  in
+  Alcotest.check value "update acks" Ops.ok r1;
+  Alcotest.check value "segment 1 updated"
+    (Value.list [ Value.int 0; Value.int 1; Value.int 0 ])
+    q1;
+  let _, view = Type_spec.step_deterministic spec q1 ~port:2 ~inv:Snapshot_type.scan in
+  Alcotest.check value "scan returns the vector" q1 view;
+  Alcotest.(check bool) "non-oblivious" false (Type_spec.check_oblivious spec);
+  Alcotest.(check bool) "deterministic" true (Type_spec.is_deterministic spec);
+  (* state count: |domain|^ports *)
+  Alcotest.(check int) "2^3 states" 8
+    (List.length (Option.get spec.Type_spec.states))
+
+let test_safe_values_domain () =
+  let dom = [ Value.sym "a"; Value.sym "b"; Value.sym "c" ] in
+  let spec = Weak_register.safe_values ~ports:2 ~domain:dom in
+  let mid, _ =
+    List.hd
+      (Type_spec.alternatives spec spec.Type_spec.initial ~port:0
+         ~inv:(Ops.write_start (Value.sym "b")))
+  in
+  let resps =
+    List.map snd (Type_spec.alternatives spec mid ~port:1 ~inv:Ops.read)
+    |> List.sort_uniq Value.compare
+  in
+  Alcotest.(check int) "overlapping read may return the whole domain" 3
+    (List.length resps)
+
+let test_consensus_any () =
+  let spec = Consensus_type.any ~ports:2 in
+  let payload = Value.list [ Value.int 7; Value.sym "x" ] in
+  let q1, r1 =
+    Type_spec.step_deterministic spec spec.Type_spec.initial ~port:0
+      ~inv:(Ops.propose payload)
+  in
+  Alcotest.check value "decides arbitrary values" payload r1;
+  let _, r2 =
+    Type_spec.step_deterministic spec q1 ~port:1
+      ~inv:(Ops.propose (Value.int 0))
+  in
+  Alcotest.check value "sticky decision" payload r2
+
+let test_ops_roundtrips () =
+  Alcotest.check value "write arg" (Value.int 3) (Ops.write_arg (Ops.write (Value.int 3)));
+  Alcotest.(check bool) "is_write" true (Ops.is_write (Ops.write Value.truth));
+  Alcotest.(check bool) "read is not write" false (Ops.is_write Ops.read);
+  Alcotest.check value "propose arg" Value.truth
+    (Ops.propose_arg (Ops.propose Value.truth));
+  Alcotest.(check bool) "write_arg rejects" true
+    (match Ops.write_arg Ops.read with
+    | _ -> false
+    | exception Value.Type_error _ -> true)
+
+let test_catalog_find () =
+  let e = Catalog.find ~ports:2 "test-and-set" in
+  Alcotest.(check (option int)) "tas consensus number" (Some 2) e.consensus_number;
+  Alcotest.(check bool) "missing raises" true
+    (match Catalog.find ~ports:2 "no-such-type" with
+    | _ -> false
+    | exception Not_found -> true)
+
+let () =
+  Alcotest.run "wfc_zoo"
+    [
+      ("catalog", catalog_cases);
+      ( "registers",
+        [
+          Alcotest.test_case "read/write" `Quick test_register_rw;
+          Alcotest.test_case "bit initial" `Quick test_register_bit_initial;
+        ] );
+      ( "weak registers",
+        [
+          Alcotest.test_case "safe overlap" `Quick test_safe_bit_overlap;
+          Alcotest.test_case "regular overlap" `Quick test_regular_bit_overlap;
+          Alcotest.test_case "writer discipline" `Quick
+            test_weak_register_discipline;
+        ] );
+      ( "rmw",
+        [
+          Alcotest.test_case "test-and-set" `Quick test_tas;
+          Alcotest.test_case "swap" `Quick test_swap;
+          Alcotest.test_case "fetch-and-add" `Quick test_faa;
+          Alcotest.test_case "cas" `Quick test_cas;
+        ] );
+      ( "collections",
+        [
+          Alcotest.test_case "queue fifo" `Quick test_queue_fifo;
+          Alcotest.test_case "stack lifo" `Quick test_stack_lifo;
+          Alcotest.test_case "queue state count" `Quick test_queue_state_count;
+        ] );
+      ( "agreement types",
+        [
+          Alcotest.test_case "sticky bit" `Quick test_sticky;
+          Alcotest.test_case "consensus type" `Quick test_consensus_type;
+        ] );
+      ( "one-use bit",
+        [
+          Alcotest.test_case "full transition table" `Quick
+            test_one_use_bit_table;
+          Alcotest.test_case "DEAD absorbing" `Quick
+            test_one_use_bit_dead_absorbing;
+          QCheck_alcotest.to_alcotest prop_one_use_histories_never_revive;
+        ] );
+      ( "degenerate & nondet",
+        [
+          Alcotest.test_case "latent loud unreachable" `Quick
+            test_latent_unreachable;
+          Alcotest.test_case "flaky bit ambiguity" `Quick test_flaky_bit_lies;
+          Alcotest.test_case "non-oblivious flag" `Quick test_non_oblivious_flag;
+          Alcotest.test_case "catalog find" `Quick test_catalog_find;
+        ] );
+      ( "snapshot & extras",
+        [
+          Alcotest.test_case "snapshot type semantics" `Quick
+            test_snapshot_type_semantics;
+          Alcotest.test_case "safe_values domain" `Quick test_safe_values_domain;
+          Alcotest.test_case "any-value consensus" `Quick test_consensus_any;
+          Alcotest.test_case "ops roundtrips" `Quick test_ops_roundtrips;
+        ] );
+    ]
