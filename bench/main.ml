@@ -379,6 +379,114 @@ let e15 =
                   ~inputs:[ false; true; false ] ())));
     ]
 
+(* --- EX: exploration engine (naive vs pruned vs POR vs parallel) ----------------------------- *)
+
+module Explore = Wfc_sim.Explore
+
+let explore_workloads () =
+  [
+    ( "E3-tas2-tree",
+      Protocols.from_tas (),
+      [| [ Ops.propose Value.truth ]; [ Ops.propose Value.falsity ] |] );
+    ( "E3-cas3-tree",
+      Protocols.from_cas ~procs:3 (),
+      [|
+        [ Ops.propose Value.truth ];
+        [ Ops.propose Value.falsity ];
+        [ Ops.propose Value.truth ];
+      |] );
+    ( "E3-sticky3-tree",
+      Protocols.from_sticky ~procs:3 (),
+      [|
+        [ Ops.propose Value.truth ];
+        [ Ops.propose Value.falsity ];
+        [ Ops.propose Value.truth ];
+      |] );
+    ( "E10-universal-faa",
+      Universal.construct ~target:(Rmw.fetch_add_mod ~ports:2 ~modulus:5)
+        ~procs:2 ~cells:8 (),
+      [| [ Ops.fetch_add 1 ]; [ Ops.fetch_add 2 ] |] );
+  ]
+
+let engine_variants () =
+  [
+    ("naive", Explore.naive);
+    ("dedup", { Explore.naive with Explore.dedup = true });
+    ("por", { Explore.naive with Explore.por = true });
+    ("fast", Explore.fast);
+    ("fast-par", Explore.parallel ());
+  ]
+
+(* One timed run per ⟨workload, engine⟩, printed as a table and dumped as
+   machine-readable JSON (BENCH_explore.json) so the node-count/wall-time
+   trajectory of the engine is tracked across PRs. *)
+let explore_engine_report () =
+  Fmt.pr "==== EX exploration engine (single timed runs) ====@.";
+  let json_workloads =
+    List.map
+      (fun (name, impl, workloads) ->
+        Fmt.pr "%s:@." name;
+        let naive_nodes = ref 0 and naive_wall = ref 0.0 in
+        let rows =
+          List.map
+            (fun (ename, options) ->
+              let t0 = Unix.gettimeofday () in
+              let s = Explore.run impl ~workloads ~options () in
+              let wall = Unix.gettimeofday () -. t0 in
+              if String.equal ename "naive" then begin
+                naive_nodes := s.Explore.nodes;
+                naive_wall := wall
+              end;
+              let node_speedup =
+                if s.Explore.nodes = 0 then 1.0
+                else float_of_int !naive_nodes /. float_of_int s.Explore.nodes
+              in
+              let wall_speedup = if wall > 0.0 then !naive_wall /. wall else 1.0 in
+              Fmt.pr
+                "  %-10s %9d nodes %8d leaves %8d pruned %8d sleeps %9.3f ms \
+                 (nodes x%.1f, time x%.1f)@."
+                ename s.Explore.nodes s.Explore.leaves s.Explore.pruned
+                s.Explore.sleep_skips (wall *. 1e3) node_speedup wall_speedup;
+              Fmt.str
+                {|        {"engine": %S, "domains": %d, "nodes": %d, "leaves": %d, "pruned": %d, "sleep_skips": %d, "max_events": %d, "wall_s": %.6f}|}
+                ename s.Explore.domains_used s.Explore.nodes s.Explore.leaves
+                s.Explore.pruned s.Explore.sleep_skips s.Explore.max_events wall)
+            (engine_variants ())
+        in
+        Fmt.str "    {\"name\": %S, \"engines\": [\n%s\n    ]}" name
+          (String.concat ",\n" rows))
+      (explore_workloads ())
+  in
+  let json =
+    Fmt.str
+      "{\n  \"schema\": \"wfc-bench-explore/1\",\n  \"workloads\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" json_workloads)
+  in
+  let oc = open_out "BENCH_explore.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_explore.json@.@."
+
+let ex =
+  let impl = Protocols.from_cas ~procs:3 () in
+  let workloads =
+    [|
+      [ Ops.propose Value.truth ];
+      [ Ops.propose Value.falsity ];
+      [ Ops.propose Value.truth ];
+    |]
+  in
+  let bench options () = ignore (Explore.run impl ~workloads ~options ()) in
+  Test.make_grouped ~name:"EX exploration engine (cas n=3 consensus tree)"
+    [
+      Test.make ~name:"naive DFS" (staged (bench Explore.naive));
+      Test.make ~name:"dedup"
+        (staged (bench { Explore.naive with Explore.dedup = true }));
+      Test.make ~name:"por"
+        (staged (bench { Explore.naive with Explore.por = true }));
+      Test.make ~name:"fast (dedup+por)" (staged (bench Explore.fast));
+    ]
+
 (* --- E12: multicore -------------------------------------------------------------------------- *)
 
 let e12 =
@@ -422,9 +530,10 @@ let checker =
 
 let () =
   shape_facts ();
+  explore_engine_report ();
   Fmt.pr "==== timings (bechamel, OLS per-run estimates) ====@.";
   List.iter
     (fun t ->
       Fmt.pr "@.%s:@." (Test.name t);
       run_test t)
-    [ e1; e2; e3; e4; e5; e7; e8; e9_e11; e10; e13; e15; e12; checker ]
+    [ e1; e2; e3; e4; e5; e7; e8; e9_e11; e10; e13; e15; ex; e12; checker ]

@@ -47,7 +47,8 @@ let vectors ~invocations n =
   in
   go 0
 
-let analyze ?fuel ?(require_deterministic = true) (impl : Implementation.t) =
+let analyze ?fuel ?(require_deterministic = true)
+    ?(engine = Wfc_sim.Explore.fast) (impl : Implementation.t) =
   let nondet =
     if require_deterministic then
       Array.to_list impl.Implementation.objects
@@ -71,30 +72,33 @@ let analyze ?fuel ?(require_deterministic = true) (impl : Implementation.t) =
       | inputs :: rest ->
         let workloads = Array.of_list (List.map (fun inv -> [ inv ]) inputs) in
         let depth = ref 0 in
+        (* The bound D is the max over leaves of the total access count — a
+           timing-insensitive observation, so the reduced engine computes the
+           same D (and per-object maxima) while visiting far fewer nodes. *)
         let stats =
-          Wfc_sim.Exec.explore impl ~workloads ?fuel
+          Wfc_sim.Explore.run impl ~workloads ?fuel ~options:engine
             ~on_leaf:(fun leaf ->
               let d = Array.fold_left ( + ) 0 leaf.Wfc_sim.Exec.accesses in
               if d > !depth then depth := d)
             ()
         in
-        if stats.Wfc_sim.Exec.overflows > 0 then
+        if stats.Wfc_sim.Explore.overflows > 0 then
           Error
             (Fmt.str
                "inputs [%a]: %d path(s) exhausted fuel — suspected \
                 non-wait-freedom (König: an infinite tree has an infinite \
                 path)"
                Fmt.(list ~sep:(any ";") Value.pp)
-               inputs stats.Wfc_sim.Exec.overflows)
+               inputs stats.Wfc_sim.Explore.overflows)
         else begin
           Array.iteri
             (fun i a -> if a > per_object.(i) then per_object.(i) <- a)
-            stats.Wfc_sim.Exec.max_accesses;
+            stats.Wfc_sim.Explore.max_accesses;
           run_trees
             ({
                inputs;
-               leaves = stats.Wfc_sim.Exec.leaves;
-               nodes = stats.Wfc_sim.Exec.nodes;
+               leaves = stats.Wfc_sim.Explore.leaves;
+               nodes = stats.Wfc_sim.Explore.nodes;
                depth = !depth;
              }
             :: acc)

@@ -20,8 +20,11 @@ type tree = {
   inputs : Wfc_spec.Value.t list;
       (** the root's first-invocation vector (one target invocation per
           process) *)
-  leaves : int;
-  nodes : int;  (** internal scheduling events summed over the tree *)
+  leaves : int;  (** complete executions the engine visited for this tree *)
+  nodes : int;
+      (** scheduling events the engine executed over the tree — under the
+          default reduced engine this is the {e reduced} count, not the full
+          tree's; D and the per-object bounds are unaffected *)
   depth : int;  (** deepest execution, counting base-object accesses *)
 }
 
@@ -33,9 +36,18 @@ type report = {
 }
 
 val analyze :
-  ?fuel:int -> ?require_deterministic:bool -> Implementation.t ->
+  ?fuel:int ->
+  ?require_deterministic:bool ->
+  ?engine:Wfc_sim.Explore.options ->
+  Implementation.t ->
   (report, string) result
-(** Explore the |I|ⁿ first-invocation trees of the implementation (2ⁿ for
+(** [engine] (default {!Wfc_sim.Explore.fast}) selects the exploration
+    engine options; depth, D and the per-object access bounds are
+    timing-insensitive maxima over leaves, which the reduced engine
+    preserves exactly (pass {!Wfc_sim.Explore.naive} to also get the full
+    tree's leaf/node counts in [trees]).
+
+    Explore the |I|ⁿ first-invocation trees of the implementation (2ⁿ for
     binary consensus, the paper's count; the target spec's invocation list
     supplies I, so multivalued targets work too). By default the implementation must be deterministic
     (deterministic base objects); a nondeterministic alternative is reported

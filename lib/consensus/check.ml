@@ -65,7 +65,8 @@ let check_leaf ~inputs (leaf : Wfc_sim.Exec.leaf) =
     else Ok ()
 
 let verify_values ~domain ?(subsets = true) ?(repeat = true)
-    ?(max_crashes = 0) ?fuel (impl : Implementation.t) =
+    ?(max_crashes = 0) ?fuel ?(engine = Wfc_sim.Explore.fast)
+    (impl : Implementation.t) =
   if List.length domain < 2 then
     invalid_arg "Check.verify_values: domain needs at least two values";
   let other_than v =
@@ -94,8 +95,12 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
                     if repeat then [ first; Ops.propose (other_than v) ]
                     else [ first ])
             in
+            (* Agreement/validity read only operation values, never
+               timestamps, so the reduced engine is sound here (see
+               {!Wfc_sim.Explore}'s soundness envelope). *)
             let stats =
-              Wfc_sim.Exec.explore impl ~workloads ?fuel ~max_crashes
+              Wfc_sim.Explore.run impl ~workloads ?fuel ~max_crashes
+                ~options:engine
                 ~on_leaf:(fun leaf ->
                   incr executions;
                   match check_leaf ~inputs leaf with
@@ -111,7 +116,7 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
                          }))
                 ()
             in
-            if stats.Wfc_sim.Exec.overflows > 0 then
+            if stats.Wfc_sim.Explore.overflows > 0 then
               raise
                 (Found
                    {
@@ -119,13 +124,13 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
                      inputs;
                      reason =
                        Fmt.str "%d path(s) exhausted fuel: not wait-free"
-                         stats.Wfc_sim.Exec.overflows;
+                         stats.Wfc_sim.Explore.overflows;
                      ops = [];
                    });
-            if stats.Wfc_sim.Exec.max_events > !max_events then
-              max_events := stats.Wfc_sim.Exec.max_events;
-            if stats.Wfc_sim.Exec.max_op_steps > !max_op_steps then
-              max_op_steps := stats.Wfc_sim.Exec.max_op_steps)
+            if stats.Wfc_sim.Explore.max_events > !max_events then
+              max_events := stats.Wfc_sim.Explore.max_events;
+            if stats.Wfc_sim.Explore.max_op_steps > !max_op_steps then
+              max_op_steps := stats.Wfc_sim.Explore.max_op_steps)
           (vectors_over ~domain participants))
       participant_sets;
     Ok
@@ -137,6 +142,6 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
       }
   with Found v -> Error v
 
-let verify ?subsets ?repeat ?max_crashes ?fuel impl =
+let verify ?subsets ?repeat ?max_crashes ?fuel ?engine impl =
   verify_values ~domain:[ Value.falsity; Value.truth ] ?subsets ?repeat
-    ?max_crashes ?fuel impl
+    ?max_crashes ?fuel ?engine impl

@@ -37,9 +37,17 @@ val verify :
   ?repeat:bool ->
   ?max_crashes:int ->
   ?fuel:int ->
+  ?engine:Wfc_sim.Explore.options ->
   Implementation.t ->
   (report, violation) result
-(** [subsets] (default true) also checks partial participation; [repeat]
+(** [engine] (default {!Wfc_sim.Explore.fast}) selects the exploration
+    engine options. Agreement/validity/wait-freedom are timing-insensitive,
+    so duplicate-state pruning and partial-order reduction are sound here and
+    on by default; pass {!Wfc_sim.Explore.naive} to force the unreduced
+    search (the property suite asserts both give the same verdict).
+    [report.executions] counts the executions the engine actually visited.
+
+    [subsets] (default true) also checks partial participation; [repeat]
     (default true) has each participant propose a second, {e different}
     value — the response must still be the original decision (Section 2.1:
     the first invocation determines all future responses). [max_crashes]
@@ -56,6 +64,7 @@ val verify_values :
   ?repeat:bool ->
   ?max_crashes:int ->
   ?fuel:int ->
+  ?engine:Wfc_sim.Explore.options ->
   Implementation.t ->
   (report, violation) result
 (** Like {!verify} but for consensus over an arbitrary finite proposal

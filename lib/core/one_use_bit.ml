@@ -10,12 +10,14 @@ let check_impl ?(writer = 0) ?(reader = 1) (impl : Implementation.t) =
   let ( let* ) r f = Result.bind r f in
   let procs = impl.Implementation.procs in
   let workload_of p ops = Array.init procs (fun q -> if q = p then ops else []) in
-  (* solo read returns 0 *)
+  (* solo read returns 0 — a value-only predicate, so the reduced engine
+     applies *)
   let* () =
     let failure = ref None in
     let stats =
-      Wfc_sim.Exec.explore impl
+      Wfc_sim.Explore.run impl
         ~workloads:(workload_of reader [ One_use.read ])
+        ~options:Wfc_sim.Explore.fast
         ~on_leaf:(fun leaf ->
           match leaf.Wfc_sim.Exec.ops with
           | [ o ] when Value.equal o.Wfc_sim.Exec.resp Value.falsity -> ()
@@ -29,7 +31,8 @@ let check_impl ?(writer = 0) ?(reader = 1) (impl : Implementation.t) =
     match !failure with
     | Some msg -> Error msg
     | None ->
-      if stats.Wfc_sim.Exec.overflows > 0 then Error "solo read: not wait-free"
+      if stats.Wfc_sim.Explore.overflows > 0 then
+        Error "solo read: not wait-free"
       else Ok ()
   in
   (* write then read (same execution, writer first by precedence): verify by

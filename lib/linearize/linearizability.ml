@@ -12,7 +12,13 @@ let pp_ops ppf ops = Fmt.(list ~sep:(any " ") pp_op) ppf ops
 
 let check ~spec ?init ?(port_of = Fun.id) (ops : Wfc_sim.Exec.op list) =
   let n = List.length ops in
-  if n > 62 then invalid_arg "Linearizability.check: more than 62 operations";
+  if n > 62 then
+    invalid_arg
+      (Fmt.str
+         "Linearizability.check: history against %s has %d operations, above \
+          the 62-op limit of the bitmask memoization (done_mask is one OCaml \
+          int); split the workload into shorter histories"
+         spec.Type_spec.name n);
   let init = Option.value init ~default:spec.Type_spec.initial in
   let arr = Array.of_list ops in
   (* precedes.(i) = bitmask of ops that must be linearized before op i *)
@@ -32,32 +38,34 @@ let check ~spec ?init ?(port_of = Fun.id) (ops : Wfc_sim.Exec.op list) =
   (* DFS over (set of linearized ops, spec state). *)
   let rec go done_mask state acc =
     if done_mask = full then Some (List.rev acc)
-    else if Hashtbl.mem seen (done_mask, state) then None
-    else begin
-      Hashtbl.add seen (done_mask, state) ();
-      let result = ref None in
-      let i = ref 0 in
-      while !result = None && !i < n do
-        let idx = !i in
-        incr i;
-        if done_mask land (1 lsl idx) = 0
-           && precedes.(idx) land lnot done_mask = 0
-        then begin
-          let o = arr.(idx) in
-          let alts =
-            Type_spec.alternatives spec state ~port:(port_of o.proc)
-              ~inv:o.Wfc_sim.Exec.inv
-          in
-          List.iter
-            (fun (state', resp) ->
-              if !result = None && Value.equal resp o.Wfc_sim.Exec.resp then
-                result :=
-                  go (done_mask lor (1 lsl idx)) state' (o :: acc))
-            alts
-        end
-      done;
-      !result
-    end
+    else
+      (* a single find_opt-then-add: never probe the table twice per state *)
+      match Hashtbl.find_opt seen (done_mask, state) with
+      | Some () -> None
+      | None ->
+        Hashtbl.add seen (done_mask, state) ();
+        let result = ref None in
+        let i = ref 0 in
+        while !result = None && !i < n do
+          let idx = !i in
+          incr i;
+          if done_mask land (1 lsl idx) = 0
+             && precedes.(idx) land lnot done_mask = 0
+          then begin
+            let o = arr.(idx) in
+            let alts =
+              Type_spec.alternatives spec state ~port:(port_of o.proc)
+                ~inv:o.Wfc_sim.Exec.inv
+            in
+            List.iter
+              (fun (state', resp) ->
+                if !result = None && Value.equal resp o.Wfc_sim.Exec.resp then
+                  result :=
+                    go (done_mask lor (1 lsl idx)) state' (o :: acc))
+              alts
+          end
+        done;
+        !result
   in
   match go 0 init [] with
   | Some witness -> Linearizable witness
@@ -71,7 +79,12 @@ let is_linearizable ~spec ?init ?port_of ops =
   | Linearizable _ -> true
   | Not_linearizable _ -> false
 
-let check_all_executions impl ~workloads ?fuel () =
+let check_all_executions impl ~workloads ?fuel ?(domains = 1) () =
+  (* Linearizability reads the start/end timestamps of every operation, so
+     duplicate-state pruning and POR are out of scope here (they only
+     preserve timing-insensitive observations); the multicore fan-out of the
+     exploration engine is available because it visits every leaf. The
+     failure cell is only ever written under the engine's leaf mutex. *)
   let failure = ref None in
   let on_leaf (leaf : Wfc_sim.Exec.leaf) =
     match
@@ -83,12 +96,16 @@ let check_all_executions impl ~workloads ?fuel () =
       failure := Some why;
       raise Wfc_sim.Exec.Stop
   in
-  let stats = Wfc_sim.Exec.explore impl ~workloads ?fuel ~on_leaf () in
+  let stats =
+    Wfc_sim.Explore.run impl ~workloads ?fuel
+      ~options:{ Wfc_sim.Explore.naive with domains }
+      ~on_leaf ()
+  in
   match !failure with
   | Some why -> Error why
   | None ->
-    if stats.Wfc_sim.Exec.overflows > 0 then
+    if stats.Wfc_sim.Explore.overflows > 0 then
       Error
         (Fmt.str "%d path(s) exhausted fuel: suspected non-wait-freedom"
-           stats.Wfc_sim.Exec.overflows)
-    else Ok stats
+           stats.Wfc_sim.Explore.overflows)
+    else Ok (Wfc_sim.Explore.to_exec_stats stats)

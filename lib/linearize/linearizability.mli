@@ -39,11 +39,18 @@ val check_all_executions :
   Wfc_program.Implementation.t ->
   workloads:Value.t list array ->
   ?fuel:int ->
+  ?domains:int ->
   unit ->
   (Wfc_sim.Exec.stats, string) result
 (** Explore every interleaving of the workloads and check each leaf history
     against [impl.target] from [impl.implements]. [Error] carries the first
     counterexample (diagnosis plus the offending history, pretty-printed).
-    Also fails if any path overflows its fuel (suspected non-wait-freedom). *)
+    Also fails if any path overflows its fuel (suspected non-wait-freedom).
+
+    Linearizability depends on operation timestamps, so this checker never
+    enables the state-space reductions of {!Wfc_sim.Explore} — but
+    [domains] (default 1) fans the {e unreduced} search out across that many
+    OCaml 5 domains, which visits every leaf and is therefore always sound
+    here. *)
 
 val pp_ops : Format.formatter -> Wfc_sim.Exec.op list -> unit

@@ -1,0 +1,518 @@
+open Wfc_spec
+open Wfc_program
+
+type options = { dedup : bool; por : bool; domains : int }
+
+let naive = { dedup = false; por = false; domains = 1 }
+let fast = { dedup = true; por = true; domains = 1 }
+
+let parallel ?domains () =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 2 (Domain.recommended_domain_count () - 1)
+  in
+  { fast with domains }
+
+type stats = {
+  leaves : int;
+  nodes : int;
+  max_events : int;
+  max_op_steps : int;
+  max_accesses : int array;
+  overflows : int;
+  pruned : int;
+  sleep_skips : int;
+  domains_used : int;
+}
+
+let to_exec_stats s =
+  {
+    Exec.leaves = s.leaves;
+    nodes = s.nodes;
+    max_events = s.max_events;
+    max_op_steps = s.max_op_steps;
+    max_accesses = s.max_accesses;
+    overflows = s.overflows;
+  }
+
+(* --- configurations ---------------------------------------------------------
+
+   Same persistent representation as [Exec], with one addition: a pending
+   operation remembers the base responses it has received so far
+   ([resps_rev]). Programs are deterministic functions of (proc, invocation,
+   local-at-invocation), so ⟨inv0, resps_rev⟩ pins the continuation [node]
+   exactly — which is what lets a configuration be fingerprinted even though
+   [node] contains closures. *)
+
+type pend = {
+  inv0 : Value.t;
+  op_index : int;
+  node : (Value.t * Value.t) Program.t;
+  steps_done : int;
+  started : int;
+  resps_rev : Value.t list;
+}
+
+type prec = {
+  todo : Value.t list;
+  next_op : int;
+  pending : pend option;
+  local : Value.t;
+}
+
+type cfg = {
+  objs : Value.t array;
+  procs : prec array;
+  ops_rev : Exec.op list;
+  events : int;
+  acc : int array;
+  crashed : bool array;
+  crashes_left : int;
+}
+
+let initial_cfg impl ~workloads =
+  if Array.length workloads <> impl.Implementation.procs then
+    invalid_arg "Explore: workloads length must equal impl.procs";
+  {
+    objs = Array.map snd impl.Implementation.objects;
+    procs =
+      Array.mapi
+        (fun p todo ->
+          {
+            todo;
+            next_op = 0;
+            pending = None;
+            local = impl.Implementation.local_init p;
+          })
+        workloads;
+    ops_rev = [];
+    events = 0;
+    acc = Array.make (Array.length impl.Implementation.objects) 0;
+    crashed = Array.make (Array.length workloads) false;
+    crashes_left = 0;
+  }
+
+let enabled cfg =
+  let out = ref [] in
+  for p = Array.length cfg.procs - 1 downto 0 do
+    let pr = cfg.procs.(p) in
+    if (not cfg.crashed.(p)) && (pr.pending <> None || pr.todo <> []) then
+      out := p :: !out
+  done;
+  !out
+
+let crash cfg p =
+  let crashed = Array.copy cfg.crashed in
+  crashed.(p) <- true;
+  { cfg with crashed; crashes_left = cfg.crashes_left - 1; events = cfg.events + 1 }
+
+let step_alternatives impl cfg p =
+  let pr = cfg.procs.(p) in
+  let set_proc procs p pr' =
+    let procs' = Array.copy procs in
+    procs'.(p) <- pr';
+    procs'
+  in
+  let continue ~objs ~acc ~inv0 ~op_index ~started ~steps ~resps_rev ~todo node
+      =
+    match node with
+    | Program.Return (resp, local') ->
+      let completed =
+        {
+          Exec.proc = p;
+          op_index;
+          inv = inv0;
+          resp;
+          start_step = started;
+          end_step = cfg.events;
+          steps;
+        }
+      in
+      let pr' = { todo; next_op = op_index + 1; pending = None; local = local' } in
+      {
+        cfg with
+        objs;
+        procs = set_proc cfg.procs p pr';
+        ops_rev = completed :: cfg.ops_rev;
+        events = cfg.events + 1;
+        acc;
+      }
+    | Program.Invoke _ ->
+      let pd =
+        { inv0; op_index; node; steps_done = steps; started; resps_rev }
+      in
+      let pr' = { pr with todo; pending = Some pd } in
+      {
+        cfg with
+        objs;
+        procs = set_proc cfg.procs p pr';
+        events = cfg.events + 1;
+        acc;
+      }
+  in
+  let access ~inv0 ~op_index ~started ~steps_done ~resps_rev ~todo node =
+    match node with
+    | Program.Return _ -> assert false
+    | Program.Invoke { obj; inv; k } ->
+      let spec, _ = impl.Implementation.objects.(obj) in
+      let port = impl.Implementation.port_map ~proc:p ~obj in
+      let alts = Type_spec.alternatives spec cfg.objs.(obj) ~port ~inv in
+      if alts = [] then
+        raise
+          (Type_spec.Bad_step
+             (Fmt.str
+                "proc %d: invocation %a disabled on object %d (%s) in state %a"
+                p Value.pp inv obj spec.Type_spec.name Value.pp
+                cfg.objs.(obj)));
+      List.map
+        (fun (q', resp) ->
+          let objs = Array.copy cfg.objs in
+          objs.(obj) <- q';
+          let acc = Array.copy cfg.acc in
+          acc.(obj) <- acc.(obj) + 1;
+          continue ~objs ~acc ~inv0 ~op_index ~started
+            ~steps:(steps_done + 1) ~resps_rev:(resp :: resps_rev) ~todo
+            (k resp))
+        alts
+  in
+  match pr.pending with
+  | Some pd ->
+    access ~inv0:pd.inv0 ~op_index:pd.op_index ~started:pd.started
+      ~steps_done:pd.steps_done ~resps_rev:pd.resps_rev ~todo:pr.todo pd.node
+  | None -> (
+    match pr.todo with
+    | [] -> []
+    | inv :: rest -> (
+      let prog = impl.Implementation.program ~proc:p ~inv pr.local in
+      match prog with
+      | Program.Return _ ->
+        [
+          continue ~objs:cfg.objs ~acc:cfg.acc ~inv0:inv ~op_index:pr.next_op
+            ~started:cfg.events ~steps:0 ~resps_rev:[] ~todo:rest prog;
+        ]
+      | Program.Invoke _ ->
+        access ~inv0:inv ~op_index:pr.next_op ~started:cfg.events
+          ~steps_done:0 ~resps_rev:[] ~todo:rest prog))
+
+let leaf_of_cfg cfg =
+  {
+    Exec.objects = cfg.objs;
+    locals = Array.map (fun pr -> pr.local) cfg.procs;
+    ops = List.rev cfg.ops_rev;
+    events = cfg.events;
+    accesses = cfg.acc;
+  }
+
+(* --- duplicate-state fingerprints -------------------------------------------
+
+   The fingerprint deliberately drops the timing fields ([started],
+   [start_step]/[end_step]) so that interleavings converging to the same
+   configuration merge; it keeps everything a timing-insensitive leaf
+   predicate can observe: object states, per-process control (todo suffix,
+   pending continuation identified by ⟨inv0, responses so far⟩, local state),
+   completed operations' values and step counts, the crash bookkeeping, and
+   the event/access totals (which also makes fuel and max-accesses accounting
+   exact — states at different depths never merge). The active sleep set is
+   part of the key: combining sleep sets with state caching is only sound
+   when a cached state was explored under the same (or smaller) sleep set,
+   and keying on the exact set is the simple sound choice. *)
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let fp_proc pr =
+  Value.list
+    [
+      Value.list pr.todo;
+      Value.int pr.next_op;
+      (match pr.pending with
+      | None -> Value.unit
+      | Some pd ->
+        Value.list (pd.inv0 :: Value.int pd.op_index :: pd.resps_rev));
+      pr.local;
+    ]
+
+let fp_op (o : Exec.op) =
+  Value.list
+    [ Value.int o.proc; Value.int o.op_index; o.inv; o.resp; Value.int o.steps ]
+
+(* Completed operations enter the fingerprint in the canonical
+   ⟨proc, op_index⟩ order (unique per op), not completion order: schedules
+   that completed the same operations with the same values merge even when
+   they retired them in a different order — completion order is already
+   outside the engine's soundness envelope. *)
+let fp_ops ops =
+  List.map fp_op
+    (List.sort
+       (fun (a : Exec.op) (b : Exec.op) ->
+         compare (a.proc, a.op_index) (b.proc, b.op_index))
+       ops)
+
+let fingerprint ~sleep cfg =
+  Value.list
+    [
+      Value.list (Array.to_list cfg.objs);
+      Value.list (List.map fp_proc (Array.to_list cfg.procs));
+      Value.list (fp_ops cfg.ops_rev);
+      Value.int cfg.events;
+      Value.list (List.map Value.int (Array.to_list cfg.acc));
+      Value.list (List.map Value.bool (Array.to_list cfg.crashed));
+      Value.int cfg.crashes_left;
+      Value.int sleep;
+    ]
+
+(* --- partial-order reduction -------------------------------------------------
+
+   Two enabled processes are independent at a configuration when their next
+   base accesses target different objects and both are deterministic
+   single-alternative steps: then the two orders commute exactly (same object
+   states, same responses, same access counts — only per-op timestamps
+   differ). Zero-access completions and nondeterministic accesses are
+   conservatively dependent with everything. *)
+
+type next_step = Pure | Acc of { obj : int; det : bool }
+
+let peek_step impl cfg p =
+  let pr = cfg.procs.(p) in
+  let of_node = function
+    | Program.Return _ -> Pure
+    | Program.Invoke { obj; inv; _ } ->
+      let spec, _ = impl.Implementation.objects.(obj) in
+      let port = impl.Implementation.port_map ~proc:p ~obj in
+      let alts = Type_spec.alternatives spec cfg.objs.(obj) ~port ~inv in
+      Acc { obj; det = List.length alts = 1 }
+  in
+  match pr.pending with
+  | Some pd -> of_node pd.node
+  | None -> (
+    match pr.todo with
+    | [] -> Pure
+    | inv :: _ -> of_node (impl.Implementation.program ~proc:p ~inv pr.local))
+
+let independent nexts p q =
+  match (nexts.(p), nexts.(q)) with
+  | Acc a, Acc b -> a.obj <> b.obj && a.det && b.det
+  | _ -> false
+
+(* --- the engine -------------------------------------------------------------- *)
+
+type counters = {
+  mutable leaves : int;
+  mutable nodes : int;
+  mutable max_events : int;
+  mutable max_op_steps : int;
+  max_accesses : int array;
+  mutable overflows : int;
+  mutable pruned : int;
+  mutable sleep_skips : int;
+}
+
+let fresh_counters n_objs =
+  {
+    leaves = 0;
+    nodes = 0;
+    max_events = 0;
+    max_op_steps = 0;
+    max_accesses = Array.make n_objs 0;
+    overflows = 0;
+    pruned = 0;
+    sleep_skips = 0;
+  }
+
+let merge_counters a b =
+  a.leaves <- a.leaves + b.leaves;
+  a.nodes <- a.nodes + b.nodes;
+  if b.max_events > a.max_events then a.max_events <- b.max_events;
+  if b.max_op_steps > a.max_op_steps then a.max_op_steps <- b.max_op_steps;
+  Array.iteri
+    (fun i v -> if v > a.max_accesses.(i) then a.max_accesses.(i) <- v)
+    b.max_accesses;
+  a.overflows <- a.overflows + b.overflows;
+  a.pruned <- a.pruned + b.pruned;
+  a.sleep_skips <- a.sleep_skips + b.sleep_skips
+
+(* One node of the search: handle leaf/fuel/dedup bookkeeping in [c], then
+   hand each child configuration (with its sleep set) to [recurse]. Both the
+   sequential DFS and the frontier expansion are instances of this. *)
+let visit impl opts ~fuel ~visited c on_leaf ~recurse cfg sleep =
+  match enabled cfg with
+  | [] ->
+    c.leaves <- c.leaves + 1;
+    if cfg.events > c.max_events then c.max_events <- cfg.events;
+    List.iter
+      (fun (o : Exec.op) ->
+        if o.steps > c.max_op_steps then c.max_op_steps <- o.steps)
+      cfg.ops_rev;
+    Array.iteri
+      (fun i a -> if a > c.max_accesses.(i) then c.max_accesses.(i) <- a)
+      cfg.acc;
+    on_leaf (leaf_of_cfg cfg)
+  | procs ->
+    if cfg.events >= fuel then c.overflows <- c.overflows + 1
+    else
+      let revisited =
+        match visited with
+        | None -> false
+        | Some tbl ->
+          let key = fingerprint ~sleep cfg in
+          if VH.mem tbl key then true
+          else begin
+            VH.add tbl key ();
+            false
+          end
+      in
+      if revisited then c.pruned <- c.pruned + 1
+      else begin
+        let nexts =
+          if opts.por then
+            Array.init (Array.length cfg.procs) (fun p ->
+                if cfg.crashed.(p) then Pure else peek_step impl cfg p)
+          else [||]
+        in
+        let explored = ref 0 in
+        List.iter
+          (fun p ->
+            if sleep land (1 lsl p) <> 0 then
+              c.sleep_skips <- c.sleep_skips + 1
+            else begin
+              let child_sleep =
+                if not opts.por then 0
+                else begin
+                  let earlier = sleep lor !explored in
+                  let s = ref 0 in
+                  List.iter
+                    (fun q ->
+                      if
+                        q <> p
+                        && earlier land (1 lsl q) <> 0
+                        && independent nexts p q
+                      then s := !s lor (1 lsl q))
+                    procs;
+                  !s
+                end
+              in
+              List.iter
+                (fun cfg' ->
+                  c.nodes <- c.nodes + 1;
+                  recurse cfg' child_sleep)
+                (step_alternatives impl cfg p);
+              if cfg.crashes_left > 0 then begin
+                c.nodes <- c.nodes + 1;
+                recurse (crash cfg p) 0
+              end;
+              explored := !explored lor (1 lsl p)
+            end)
+          procs
+      end
+
+let stats_of c ~domains_used =
+  {
+    leaves = c.leaves;
+    nodes = c.nodes;
+    max_events = c.max_events;
+    max_op_steps = c.max_op_steps;
+    max_accesses = c.max_accesses;
+    overflows = c.overflows;
+    pruned = c.pruned;
+    sleep_skips = c.sleep_skips;
+    domains_used;
+  }
+
+let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?(options = naive)
+    ?(on_leaf = fun (_ : Exec.leaf) -> ()) () =
+  (* Sleep sets reason about base accesses only; a crash is a distinct
+     transition of the same process that they would wrongly put to sleep, so
+     POR is disabled whenever crash branching is on. *)
+  let opts = { options with por = options.por && max_crashes = 0 } in
+  let n_objs = Array.length impl.Implementation.objects in
+  let root = { (initial_cfg impl ~workloads) with crashes_left = max_crashes } in
+  let n_domains = max 1 opts.domains in
+  if n_domains = 1 then begin
+    let c = fresh_counters n_objs in
+    let visited = if opts.dedup then Some (VH.create 4096) else None in
+    let rec go cfg sleep =
+      visit impl opts ~fuel ~visited c on_leaf ~recurse:go cfg sleep
+    in
+    (try go root 0 with Exec.Stop -> ());
+    stats_of c ~domains_used:1
+  end
+  else begin
+    (* Fan-out: expand the top of the tree breadth-first until the frontier
+       is wide enough to feed the pool, then explore the frontier subtrees on
+       worker domains, merging per-domain statistics at the end. Leaves met
+       during expansion are processed inline. *)
+    let c0 = fresh_counters n_objs in
+    let expansion_visited = if opts.dedup then Some (VH.create 1024) else None in
+    let target = n_domains * 4 in
+    let stopped_in_expansion = ref false in
+    let frontier = ref [ (root, 0) ] in
+    (try
+       let level = ref 0 in
+       while
+         !level < 8
+         && List.length !frontier < target
+         && !frontier <> []
+       do
+         incr level;
+         let next = ref [] in
+         List.iter
+           (fun (cfg, sleep) ->
+             visit impl opts ~fuel ~visited:expansion_visited c0 on_leaf
+               ~recurse:(fun cfg' sleep' -> next := (cfg', sleep') :: !next)
+               cfg sleep)
+           !frontier;
+         frontier := List.rev !next
+       done
+     with Exec.Stop ->
+       stopped_in_expansion := true;
+       frontier := []);
+    let work = Array.of_list !frontier in
+    if !stopped_in_expansion || Array.length work = 0 then
+      stats_of c0 ~domains_used:1
+    else begin
+      let next_item = Atomic.make 0 in
+      let stop = Atomic.make false in
+      let first_error : exn option Atomic.t = Atomic.make None in
+      let leaf_mutex = Mutex.create () in
+      let on_leaf_sync leaf =
+        Mutex.lock leaf_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock leaf_mutex)
+          (fun () -> on_leaf leaf)
+      in
+      let n_workers = min n_domains (Array.length work) in
+      let worker () =
+        let c = fresh_counters n_objs in
+        let visited = if opts.dedup then Some (VH.create 4096) else None in
+        let rec go cfg sleep =
+          if Atomic.get stop then raise Exec.Stop;
+          visit impl opts ~fuel ~visited c on_leaf_sync ~recurse:go cfg sleep
+        in
+        (try
+           let continue = ref true in
+           while !continue do
+             let i = Atomic.fetch_and_add next_item 1 in
+             if i >= Array.length work || Atomic.get stop then continue := false
+             else begin
+               let cfg, sleep = work.(i) in
+               go cfg sleep
+             end
+           done
+         with
+        | Exec.Stop -> Atomic.set stop true
+        | e ->
+          ignore (Atomic.compare_and_set first_error None (Some e));
+          Atomic.set stop true);
+        c
+      in
+      let handles = Array.init n_workers (fun _ -> Domain.spawn worker) in
+      Array.iter (fun h -> merge_counters c0 (Domain.join h)) handles;
+      (match Atomic.get first_error with Some e -> raise e | None -> ());
+      stats_of c0 ~domains_used:n_workers
+    end
+  end

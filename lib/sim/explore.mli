@@ -1,0 +1,93 @@
+(** The fast exploration engine: {!Exec.explore} semantics with composable
+    state-space reductions.
+
+    {!Exec.explore} is a naive DFS over every interleaving and every
+    nondeterministic base-object alternative. That is the right {e baseline}
+    — it is the paper's execution-tree model verbatim — but verification
+    workloads (consensus checking over all input vectors, the §4.2 access
+    bounds behind König's bound D, Theorem 5 pipelines) revisit the same
+    configuration over and over along different schedules. This module keeps
+    the naive engine's semantics and statistics contract while adding three
+    independent optimizations:
+
+    - {b duplicate-state pruning} ([dedup]): configurations are fingerprinted
+      — object states, per-process control state (todo suffix, pending
+      continuation identified by its invocation + responses so far, local
+      state), completed operations' {e values} and step counts, crash
+      bookkeeping, event and access totals — and a revisited fingerprint cuts
+      the whole subtree ([stats.pruned] counts the cuts);
+    - {b partial-order reduction} ([por]): a sleep-set rule explores only one
+      order of two adjacent steps when they are commuting deterministic
+      accesses to {e different} base objects ([stats.sleep_skips] counts
+      sibling subtrees skipped);
+    - {b multicore fan-out} ([domains]): the top of the tree is expanded
+      breadth-first and the frontier subtrees are explored on a pool of
+      OCaml 5 domains, with per-domain statistics merged at the end
+      ([on_leaf] is serialized through a mutex when [domains > 1]).
+
+    {b Soundness envelope.} Both reductions preserve the {e set of
+    timing-insensitive leaf observations}: final object states, final locals,
+    completed operations' ⟨proc, op_index, inv, resp, steps⟩, total events and
+    per-object access counts, and overflow detection. Verdicts computed from
+    those — consensus agreement/validity, wait-freedom by fuel, the §4.2
+    access bounds — are identical to the naive engine's. What they do {e not}
+    preserve is per-operation {e timestamps} ([start_step]/[end_step]) and
+    the completion {e order} of concurrent operations, nor the number of
+    leaves/nodes visited. Callers whose leaf predicate reads timestamps
+    (linearizability, safeness/regularity of registers) must keep
+    [dedup = false] and [por = false]; they can still use [domains]. POR is
+    additionally switched off automatically when [max_crashes > 0] (a crash
+    is a per-process transition the sleep-set rule does not commute). *)
+
+open Wfc_program
+open Wfc_spec
+
+type options = {
+  dedup : bool;  (** prune subtrees of revisited configurations *)
+  por : bool;  (** sleep-set partial-order reduction *)
+  domains : int;  (** size of the exploration pool; 1 = sequential *)
+}
+
+val naive : options
+(** All reductions off, sequential: bit-for-bit the behaviour (visit order,
+    statistics) of {!Exec.explore}. *)
+
+val fast : options
+(** [dedup] + [por], sequential. The right choice for timing-insensitive
+    verdicts. *)
+
+val parallel : ?domains:int -> unit -> options
+(** [fast] plus a domain pool (default:
+    [Domain.recommended_domain_count () - 1], at least 2). *)
+
+type stats = {
+  leaves : int;  (** complete executions actually visited *)
+  nodes : int;  (** scheduling events actually executed over the tree *)
+  max_events : int;  (** longest visited root-to-leaf path, in events *)
+  max_op_steps : int;  (** most base accesses by any single operation *)
+  max_accesses : int array;  (** per object: max accesses along any path *)
+  overflows : int;  (** paths cut off by [fuel] *)
+  pruned : int;  (** subtrees cut by duplicate-state pruning *)
+  sleep_skips : int;  (** sibling subtrees skipped by the sleep-set rule *)
+  domains_used : int;  (** workers that actually explored subtrees *)
+}
+
+val to_exec_stats : stats -> Exec.stats
+(** Forget the engine-specific counters (for callers exposing
+    {!Exec.stats}). *)
+
+val run :
+  Implementation.t ->
+  workloads:Value.t list array ->
+  ?fuel:int ->
+  ?max_crashes:int ->
+  ?options:options ->
+  ?on_leaf:(Exec.leaf -> unit) ->
+  unit ->
+  stats
+(** Drop-in replacement for {!Exec.explore} (defaults: [fuel = 10_000],
+    [max_crashes = 0], [options = naive]). [on_leaf] may raise {!Exec.Stop}
+    to abort early — with [domains > 1] the other workers stop at their next
+    node; statistics then reflect the explored prefix. Any other exception
+    raised by [on_leaf] aborts the exploration and is re-raised (on the
+    calling domain when parallel). *)

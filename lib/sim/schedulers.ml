@@ -3,10 +3,17 @@ type t = {
   pick_alt : n:int -> step:int -> int;
 }
 
+(* The enabled set arrives as a list; indexing it with [List.nth] after a
+   separate [List.length] walks the list twice per pick (O(n²) over a
+   schedule). One [Array.of_list] at the pick site gives a single pass plus
+   O(1) indexing. *)
+let nth_of enabled =
+  let a = Array.of_list enabled in
+  fun i -> a.(i mod Array.length a)
+
 let round_robin =
   {
-    pick_proc =
-      (fun ~enabled ~step -> List.nth enabled (step mod List.length enabled));
+    pick_proc = (fun ~enabled ~step -> (nth_of enabled) step);
     pick_alt = (fun ~n:_ ~step:_ -> 0);
   }
 
@@ -14,7 +21,8 @@ let random rng =
   {
     pick_proc =
       (fun ~enabled ~step:_ ->
-        List.nth enabled (Random.State.int rng (List.length enabled)));
+        let a = Array.of_list enabled in
+        a.(Random.State.int rng (Array.length a)));
     pick_alt = (fun ~n ~step:_ -> Random.State.int rng n);
   }
 

@@ -1,0 +1,436 @@
+(* Tests for the fast exploration engine (Wfc_sim.Explore): bit-for-bit
+   equivalence with the naive Exec.explore when every reduction is off,
+   verdict/observation equivalence under duplicate-state pruning and
+   partial-order reduction (including a qcheck property over randomized
+   implementations and workloads), node-count regression under pruning, and
+   the multicore fan-out. *)
+
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+module Exec = Wfc_sim.Exec
+module Explore = Wfc_sim.Explore
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* --- leaf projections ------------------------------------------------------ *)
+
+(* Everything a timing-insensitive verdict can observe about a leaf. Ops are
+   keyed by their unique ⟨proc, op_index⟩, so completion order is factored
+   out; start/end timestamps are dropped. *)
+let value_proj (leaf : Exec.leaf) =
+  let ops =
+    List.sort
+      (fun (a : Exec.op) (b : Exec.op) ->
+        compare (a.proc, a.op_index) (b.proc, b.op_index))
+      leaf.ops
+  in
+  Value.list
+    [
+      Value.list (Array.to_list leaf.objects);
+      Value.list (Array.to_list leaf.locals);
+      Value.list
+        (List.map
+           (fun (o : Exec.op) ->
+             Value.list
+               [
+                 Value.int o.proc;
+                 Value.int o.op_index;
+                 o.inv;
+                 o.resp;
+                 Value.int o.steps;
+               ])
+           ops);
+      Value.int leaf.events;
+      Value.list (List.map Value.int (Array.to_list leaf.accesses));
+    ]
+
+(* The full observation, timestamps and completion order included — only the
+   exhaustive modes (naive, naive + domains) must preserve this. *)
+let full_proj (leaf : Exec.leaf) =
+  Value.list
+    [
+      value_proj leaf;
+      Value.list
+        (List.map
+           (fun (o : Exec.op) ->
+             Value.list
+               [ Value.int o.proc; Value.int o.start_step; Value.int o.end_step ])
+           leaf.ops);
+    ]
+
+let collect ?fuel ?max_crashes ~options ~proj impl workloads =
+  let acc = ref [] in
+  let stats =
+    Explore.run impl ~workloads ?fuel ?max_crashes ~options
+      ~on_leaf:(fun leaf -> acc := proj leaf :: !acc)
+      ()
+  in
+  (stats, List.sort Value.compare !acc)
+
+let leaf_set leaves = List.sort_uniq Value.compare leaves
+
+let check_same_invariants ~msg (naive : Explore.stats) (s : Explore.stats) =
+  Alcotest.(check int) (msg ^ ": max_events") naive.max_events s.max_events;
+  Alcotest.(check int)
+    (msg ^ ": max_op_steps")
+    naive.max_op_steps s.max_op_steps;
+  Alcotest.(check (array int))
+    (msg ^ ": max_accesses")
+    naive.max_accesses s.max_accesses;
+  (* pruning merges whole subtrees, so only overflow *detection* is
+     preserved, not the per-path count — which is all any caller reads *)
+  Alcotest.(check bool)
+    (msg ^ ": overflow detection")
+    (naive.overflows > 0) (s.overflows > 0);
+  Alcotest.(check bool)
+    (msg ^ ": visits no more leaves")
+    true
+    (s.leaves <= naive.leaves);
+  Alcotest.(check bool)
+    (msg ^ ": executes no more nodes")
+    true
+    (s.nodes <= naive.nodes)
+
+(* Assert that every optimization level agrees with the naive engine on the
+   timing-insensitive observation set and the invariant statistics. *)
+let assert_equiv ?fuel ?max_crashes impl workloads =
+  let naive_stats, naive_leaves =
+    collect ?fuel ?max_crashes ~options:Explore.naive ~proj:value_proj impl
+      workloads
+  in
+  let naive_set = leaf_set naive_leaves in
+  List.iter
+    (fun (msg, options) ->
+      let s, leaves =
+        collect ?fuel ?max_crashes ~options ~proj:value_proj impl workloads
+      in
+      Alcotest.(check (list value))
+        (msg ^ ": observation set")
+        naive_set (leaf_set leaves);
+      check_same_invariants ~msg naive_stats s)
+    [
+      ("dedup", { Explore.naive with dedup = true });
+      ("por", { Explore.naive with por = true });
+      ("fast", Explore.fast);
+    ];
+  naive_stats
+
+(* --- fixture implementations ---------------------------------------------- *)
+
+(* [bits] atomic bits (plus a nondeterministic coin when [coin]) driven by a
+   small command language; the local state remembers the last read so that
+   leaf locals are sensitive to response values. *)
+let rw_impl ~procs ~bits ~coin =
+  let bit = Register.bit ~ports:procs in
+  let coin_spec = Nondet.coin ~ports:procs in
+  let objects =
+    List.init bits (fun _ -> (bit, Value.falsity))
+    @ (if coin then [ (coin_spec, coin_spec.Type_spec.initial) ] else [])
+  in
+  Implementation.make
+    ~target:(Register.bit ~ports:procs)
+    ~procs ~objects
+    ~local_init:(fun _ -> Value.falsity)
+    ~program:(fun ~proc:_ ~inv local ->
+      let open Program.Syntax in
+      match inv with
+      | Value.Pair (Value.Sym "wr", Value.Pair (Value.Int o, b)) ->
+        let+ _ = Program.invoke ~obj:o (Ops.write b) in
+        (Ops.ok, local)
+      | Value.Pair (Value.Sym "rd", Value.Int o) ->
+        let+ v = Program.invoke ~obj:o Ops.read in
+        (v, v)
+      | Value.Pair (Value.Sym "cp", Value.Pair (Value.Int a, Value.Int b)) ->
+        let* v = Program.invoke ~obj:a Ops.read in
+        let+ _ = Program.invoke ~obj:b (Ops.write v) in
+        (v, local)
+      | Value.Sym "flip" ->
+        let+ v = Program.invoke ~obj:bits Ops.read in
+        (v, v)
+      | Value.Sym "loc" -> Program.return (local, local)
+      | _ -> Alcotest.fail "rw_impl: bad invocation")
+    ()
+
+let wr o b = Value.pair (Value.sym "wr") (Value.pair (Value.int o) (Value.bool b))
+let rd o = Value.pair (Value.sym "rd") (Value.int o)
+let cp a b = Value.pair (Value.sym "cp") (Value.pair (Value.int a) (Value.int b))
+
+(* --- naive mode ≡ Exec.explore --------------------------------------------- *)
+
+let exec_stats_equal msg (a : Exec.stats) (b : Exec.stats) =
+  Alcotest.(check int) (msg ^ ": leaves") a.leaves b.leaves;
+  Alcotest.(check int) (msg ^ ": nodes") a.nodes b.nodes;
+  Alcotest.(check int) (msg ^ ": max_events") a.max_events b.max_events;
+  Alcotest.(check int) (msg ^ ": max_op_steps") a.max_op_steps b.max_op_steps;
+  Alcotest.(check (array int)) (msg ^ ": max_accesses") a.max_accesses
+    b.max_accesses;
+  Alcotest.(check int) (msg ^ ": overflows") a.overflows b.overflows
+
+let naive_cases =
+  [
+    ( "tas identity",
+      Implementation.identity (Rmw.test_and_set ~ports:2) ~procs:2,
+      [| [ Ops.test_and_set ]; [ Ops.test_and_set ] |],
+      0 );
+    ( "two writers one reader",
+      rw_impl ~procs:3 ~bits:2 ~coin:false,
+      [| [ wr 0 true; rd 1 ]; [ cp 0 1 ]; [ rd 0; Value.sym "loc" ] |],
+      0 );
+    ( "nondet coin",
+      rw_impl ~procs:2 ~bits:1 ~coin:true,
+      [| [ Value.sym "flip"; rd 0 ]; [ wr 0 true ] |],
+      0 );
+    ( "with crashes",
+      rw_impl ~procs:2 ~bits:2 ~coin:false,
+      [| [ cp 0 1 ]; [ wr 0 true ] |],
+      1 );
+  ]
+
+let test_naive_matches_exec () =
+  List.iter
+    (fun (msg, impl, workloads, max_crashes) ->
+      let exec_leaves = ref [] in
+      let exec_stats =
+        Exec.explore impl ~workloads ~max_crashes
+          ~on_leaf:(fun leaf -> exec_leaves := full_proj leaf :: !exec_leaves)
+          ()
+      in
+      let s, leaves =
+        collect ~max_crashes ~options:Explore.naive ~proj:full_proj impl
+          workloads
+      in
+      exec_stats_equal msg exec_stats (Explore.to_exec_stats s);
+      Alcotest.(check int) (msg ^ ": no pruning") 0 s.pruned;
+      Alcotest.(check int) (msg ^ ": no sleeps") 0 s.sleep_skips;
+      (* full observation multiset, timestamps included *)
+      Alcotest.(check (list value))
+        (msg ^ ": identical executions")
+        (List.sort Value.compare !exec_leaves)
+        leaves)
+    naive_cases
+
+(* --- reduced modes: verdict-relevant equivalence ---------------------------- *)
+
+let test_equiv_fixed_workloads () =
+  List.iter
+    (fun (_, impl, workloads, max_crashes) ->
+      ignore (assert_equiv ~max_crashes impl workloads))
+    naive_cases
+
+let test_equiv_overflow () =
+  (* a spinning program: every mode must report the same overflow count 0/…
+     behaviour (here: overflows > 0 and equal across modes) *)
+  let bit = Register.bit ~ports:2 in
+  let impl =
+    Implementation.make ~target:bit ~procs:2
+      ~objects:[ (bit, Value.falsity) ]
+      ~program:(fun ~proc ~inv:_ _local ->
+        let open Program.Syntax in
+        let rec spin () =
+          let* v = Program.invoke ~obj:0 Ops.read in
+          if Value.as_bool v || proc = 1 then Program.return (Ops.ok, Value.unit)
+          else spin ()
+        in
+        spin ())
+      ()
+  in
+  let stats =
+    assert_equiv ~fuel:40 impl [| [ Ops.read ]; [ Ops.read ] |]
+  in
+  Alcotest.(check bool) "overflow detected" true (stats.Explore.overflows > 0)
+
+(* --- regression: pruning strictly shrinks the search ------------------------ *)
+
+let test_dedup_strictly_prunes () =
+  (* two processes on disjoint bits: all interleavings converge, so
+     duplicate-state pruning must cut nodes strictly *)
+  let impl = rw_impl ~procs:2 ~bits:2 ~coin:false in
+  let workloads = [| [ wr 0 true; wr 0 false ]; [ wr 1 true; wr 1 false ] |] in
+  let naive, _ = collect ~options:Explore.naive ~proj:value_proj impl workloads in
+  let dedup, _ =
+    collect
+      ~options:{ Explore.naive with dedup = true }
+      ~proj:value_proj impl workloads
+  in
+  let fast, _ = collect ~options:Explore.fast ~proj:value_proj impl workloads in
+  Alcotest.(check bool) "naive explores the full diamond" true
+    (naive.Explore.leaves = 6);
+  Alcotest.(check bool) "dedup cuts nodes strictly" true
+    (dedup.Explore.nodes < naive.Explore.nodes);
+  Alcotest.(check bool) "dedup counts pruned subtrees" true
+    (dedup.Explore.pruned > 0);
+  Alcotest.(check bool) "por+dedup cuts at least as hard" true
+    (fast.Explore.nodes <= dedup.Explore.nodes);
+  Alcotest.(check bool) "por skips sleeping siblings" true
+    (fast.Explore.sleep_skips > 0);
+  (* fully independent processes: POR needs only one interleaving order *)
+  Alcotest.(check int) "one representative schedule" 1 fast.Explore.leaves
+
+(* --- multicore fan-out ------------------------------------------------------ *)
+
+let test_parallel_matches_sequential () =
+  let impl = rw_impl ~procs:3 ~bits:2 ~coin:false in
+  let workloads = [| [ cp 0 1; rd 0 ]; [ wr 0 true ]; [ cp 1 0 ] |] in
+  let seq, seq_leaves =
+    collect ~options:Explore.naive ~proj:full_proj impl workloads
+  in
+  let par, par_leaves =
+    collect
+      ~options:{ Explore.naive with domains = 3 }
+      ~proj:full_proj impl workloads
+  in
+  Alcotest.(check int) "same leaves" seq.Explore.leaves par.Explore.leaves;
+  Alcotest.(check int) "same nodes" seq.Explore.nodes par.Explore.nodes;
+  Alcotest.(check (list value)) "same executions (timestamps included)"
+    seq_leaves par_leaves;
+  check_same_invariants ~msg:"parallel" seq par;
+  Alcotest.(check bool) "used the pool" true (par.Explore.domains_used > 1)
+
+let test_parallel_fast_equiv () =
+  let impl = rw_impl ~procs:3 ~bits:3 ~coin:false in
+  let workloads = [| [ wr 0 true; rd 0 ]; [ wr 1 true; rd 1 ]; [ cp 0 2 ] |] in
+  let naive, naive_leaves =
+    collect ~options:Explore.naive ~proj:value_proj impl workloads
+  in
+  let par, par_leaves =
+    collect ~options:(Explore.parallel ~domains:3 ()) ~proj:value_proj impl
+      workloads
+  in
+  Alcotest.(check (list value)) "parallel fast: observation set"
+    (leaf_set naive_leaves) (leaf_set par_leaves);
+  check_same_invariants ~msg:"parallel fast" naive par
+
+let test_parallel_stop_and_errors () =
+  let impl = rw_impl ~procs:2 ~bits:2 ~coin:false in
+  let workloads = [| [ cp 0 1; cp 1 0 ]; [ wr 0 true; wr 1 true ] |] in
+  (* Stop aborts early and still returns statistics *)
+  let seen = Atomic.make 0 in
+  let stats =
+    Explore.run impl ~workloads
+      ~options:{ Explore.naive with domains = 2 }
+      ~on_leaf:(fun _ ->
+        if Atomic.fetch_and_add seen 1 >= 3 then raise Exec.Stop)
+      ()
+  in
+  Alcotest.(check bool) "stopped early" true
+    (stats.Explore.leaves < 70 && stats.Explore.leaves > 0);
+  (* other exceptions propagate to the caller *)
+  let exception Boom in
+  Alcotest.check_raises "exception propagates" Boom (fun () ->
+      ignore
+        (Explore.run impl ~workloads
+           ~options:{ Explore.naive with domains = 2 }
+           ~on_leaf:(fun _ -> raise Boom)
+           ()))
+
+(* --- downstream verdict equivalence ----------------------------------------- *)
+
+let test_consensus_verdict_equivalence () =
+  let open Wfc_consensus in
+  let ok_naive =
+    Check.verify ~engine:Wfc_sim.Explore.naive (Protocols.from_tas ())
+  in
+  let ok_fast =
+    Check.verify ~engine:Wfc_sim.Explore.fast (Protocols.from_tas ())
+  in
+  Alcotest.(check bool) "tas: both verdicts Ok" true
+    (Result.is_ok ok_naive && Result.is_ok ok_fast);
+  let bad_naive =
+    Check.verify ~engine:Wfc_sim.Explore.naive
+      (Protocols.broken_register_only ())
+  in
+  let bad_fast =
+    Check.verify ~engine:Wfc_sim.Explore.fast
+      (Protocols.broken_register_only ())
+  in
+  Alcotest.(check bool) "broken: both verdicts Error" true
+    (Result.is_error bad_naive && Result.is_error bad_fast)
+
+let test_access_bounds_equivalence () =
+  let open Wfc_consensus in
+  List.iter
+    (fun impl ->
+      match
+        ( Access_bounds.analyze ~engine:Wfc_sim.Explore.naive impl,
+          Access_bounds.analyze ~engine:Wfc_sim.Explore.fast impl )
+      with
+      | Ok naive, Ok fast ->
+        Alcotest.(check int) "same D" naive.Access_bounds.bound_d
+          fast.Access_bounds.bound_d;
+        Alcotest.(check (array int)) "same per-object bounds"
+          naive.Access_bounds.per_object fast.Access_bounds.per_object;
+        List.iter2
+          (fun (a : Access_bounds.tree) (b : Access_bounds.tree) ->
+            Alcotest.(check int) "same tree depth" a.depth b.depth;
+            Alcotest.(check bool) "reduced tree is smaller-or-equal" true
+              (b.nodes <= a.nodes))
+          naive.Access_bounds.trees fast.Access_bounds.trees
+      | _ -> Alcotest.fail "access-bound analysis failed")
+    [ Protocols.from_tas (); Protocols.from_cas ~procs:2 () ]
+
+(* --- randomized property: every level agrees with naive --------------------- *)
+
+let gen_workloads =
+  let open QCheck.Gen in
+  let* procs = int_range 2 3 in
+  let* bits = int_range 1 2 in
+  let* coin = if procs = 2 then bool else return false in
+  let op =
+    frequency
+      [
+        (3, map2 (fun o b -> wr o b) (int_range 0 (bits - 1)) bool);
+        (3, map (fun o -> rd o) (int_range 0 (bits - 1)));
+        (2, map2 (fun a b -> cp a b) (int_range 0 (bits - 1)) (int_range 0 (bits - 1)));
+        (1, return (Value.sym "loc"));
+        ((if coin then 2 else 0), return (Value.sym "flip"));
+      ]
+  in
+  let+ wls = array_size (return procs) (list_size (int_range 0 2) op) in
+  (procs, bits, coin, wls)
+
+let prop_equiv =
+  QCheck.Test.make ~count:60
+    ~name:"Explore: dedup/por/fast agree with naive on random workloads"
+    (QCheck.make gen_workloads ~print:(fun (procs, bits, coin, wls) ->
+         Fmt.str "procs=%d bits=%d coin=%b workloads=%a" procs bits coin
+           Fmt.(array (list Value.pp))
+           wls))
+    (fun (procs, bits, coin, wls) ->
+      let impl = rw_impl ~procs ~bits ~coin in
+      ignore (assert_equiv impl wls);
+      true)
+
+let () =
+  Alcotest.run "wfc_explore"
+    [
+      ( "naive parity",
+        [ Alcotest.test_case "matches Exec.explore" `Quick test_naive_matches_exec ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "fixed workloads" `Quick test_equiv_fixed_workloads;
+          Alcotest.test_case "overflow parity" `Quick test_equiv_overflow;
+          QCheck_alcotest.to_alcotest prop_equiv;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "pruning strictly shrinks" `Quick
+            test_dedup_strictly_prunes;
+        ] );
+      ( "multicore",
+        [
+          Alcotest.test_case "parallel naive parity" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "parallel fast equivalence" `Quick
+            test_parallel_fast_equiv;
+          Alcotest.test_case "stop & error propagation" `Quick
+            test_parallel_stop_and_errors;
+        ] );
+      ( "downstream verdicts",
+        [
+          Alcotest.test_case "consensus naive ≡ fast" `Quick
+            test_consensus_verdict_equivalence;
+          Alcotest.test_case "access bounds naive ≡ fast" `Quick
+            test_access_bounds_equivalence;
+        ] );
+    ]
