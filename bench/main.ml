@@ -382,6 +382,7 @@ let e15 =
 (* --- EX: exploration engine (naive vs pruned vs POR vs parallel) ----------------------------- *)
 
 module Explore = Wfc_sim.Explore
+module Faults = Wfc_sim.Faults
 
 let explore_workloads () =
   [
@@ -467,6 +468,88 @@ let explore_engine_report () =
   close_out oc;
   Fmt.pr "wrote BENCH_explore.json@.@."
 
+(* --- FI: fault-injection overhead -------------------------------------------------------------
+
+   Exploration cost of each fault adversary relative to the clean tree, per
+   workload, dumped as BENCH_faults.json. Faults branch the tree at every
+   injection point, so the node blow-up factor is the honest price of the
+   robustness guarantee; tracking it across PRs keeps the adversary layer
+   from quietly regressing. Run only this group with `bench/main.exe fi`. *)
+
+let fault_adversaries impl =
+  [
+    ("clean", Faults.none);
+    ("crash-1", Faults.crashes 1);
+    ("crash-recovery-1-1", Faults.crash_recovery ~crashes:1 ~recoveries:1);
+    ("stale-1-glitch-1", Faults.degrade_all impl ~glitches:1 (`Stale 1));
+    ("stale-1-glitch-2", Faults.degrade_all impl ~glitches:2 (`Stale 1));
+  ]
+
+let fi_workloads () =
+  [
+    ( "E3-tas-consensus",
+      Protocols.from_tas (),
+      [| [ Ops.propose Value.truth ]; [ Ops.propose Value.falsity ] |] );
+    ( "E3-cas3-consensus",
+      Protocols.from_cas ~procs:3 (),
+      [|
+        [ Ops.propose Value.truth ];
+        [ Ops.propose Value.falsity ];
+        [ Ops.propose Value.truth ];
+      |] );
+  ]
+
+let fault_injection_report () =
+  Fmt.pr "==== FI fault-injection overhead (single timed runs) ====@.";
+  let json_workloads =
+    List.map
+      (fun (name, impl, workloads) ->
+        Fmt.pr "%s:@." name;
+        let clean_nodes = ref 0 and clean_wall = ref 0.0 in
+        let rows =
+          List.map
+            (fun (aname, faults) ->
+              let t0 = Unix.gettimeofday () in
+              (* faults switch POR off internally; dedup-only keeps the
+                 comparison on the engine callers actually use *)
+              let s =
+                Explore.run impl ~workloads ~faults
+                  ~options:{ Explore.fast with Explore.domains = 1 }
+                  ()
+              in
+              let wall = Unix.gettimeofday () -. t0 in
+              if String.equal aname "clean" then begin
+                clean_nodes := s.Explore.nodes;
+                clean_wall := wall
+              end;
+              let node_blowup =
+                if !clean_nodes = 0 then 1.0
+                else float_of_int s.Explore.nodes /. float_of_int !clean_nodes
+              in
+              Fmt.pr
+                "  %-20s %9d nodes %8d leaves %9.3f ms (nodes x%.1f vs clean)@."
+                aname s.Explore.nodes s.Explore.leaves (wall *. 1e3)
+                node_blowup;
+              Fmt.str
+                {|        {"adversary": %S, "nodes": %d, "leaves": %d, "max_events": %d, "node_blowup": %.3f, "wall_s": %.6f}|}
+                aname s.Explore.nodes s.Explore.leaves s.Explore.max_events
+                node_blowup wall)
+            (fault_adversaries impl)
+        in
+        Fmt.str "    {\"name\": %S, \"adversaries\": [\n%s\n    ]}" name
+          (String.concat ",\n" rows))
+      (fi_workloads ())
+  in
+  let json =
+    Fmt.str
+      "{\n  \"schema\": \"wfc-bench-faults/1\",\n  \"workloads\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" json_workloads)
+  in
+  let oc = open_out "BENCH_faults.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_faults.json@.@."
+
 let ex =
   let impl = Protocols.from_cas ~procs:3 () in
   let workloads =
@@ -529,8 +612,14 @@ let checker =
     ]
 
 let () =
+  (* `bench/main.exe fi` runs only the fault-injection group (the CI step) *)
+  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "fi" then begin
+    fault_injection_report ();
+    exit 0
+  end;
   shape_facts ();
   explore_engine_report ();
+  fault_injection_report ();
   Fmt.pr "==== timings (bechamel, OLS per-run estimates) ====@.";
   List.iter
     (fun t ->

@@ -2,10 +2,12 @@
 
    Subcommands:
      zoo        the type catalog with §5.1/§5.2 analyses
-     verify     exhaustively check a consensus protocol
+     verify     exhaustively check a consensus protocol (with optional
+                fault adversaries, budgets and witness output)
      explore    §4.2 execution-tree statistics for a protocol
      compile    Theorem 5: eliminate a protocol's registers over a type
      stress     multicore agreement trials
+     replay     re-execute a stored counterexample witness, event by event
 *)
 
 open Cmdliner
@@ -66,24 +68,127 @@ let zoo_cmd =
 
 (* --- verify ------------------------------------------------------------------ *)
 
+let crashes_arg =
+  let doc = "Allow up to $(docv) mid-operation crashes." in
+  Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"K" ~doc)
+
+let recoveries_arg =
+  let doc =
+    "Allow up to $(docv) crash-recoveries (a crashed process restarts its \
+     pending operation from scratch against the dirty shared state)."
+  in
+  Arg.(value & opt int 0 & info [ "recoveries" ] ~docv:"K" ~doc)
+
+let glitches_arg =
+  let doc = "Allow up to $(docv) degraded-read glitches (needs --degrade)." in
+  Arg.(value & opt int 0 & info [ "glitches" ] ~docv:"K" ~doc)
+
+let degrade_arg =
+  let doc =
+    "Degrade every base object: 'safe' (overlapping reads may return any \
+     declared response) or 'stale:$(i,D)' (reads may answer from one of the \
+     D most recently overwritten states)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "degrade" ] ~docv:"safe|stale:D" ~doc)
+
+let budget_arg =
+  let doc =
+    "Bound the whole search to $(docv) explored configurations; when \
+     exhausted the verdict is UNKNOWN (exit 2), never a hang."
+  in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"NODES" ~doc)
+
+let deadline_arg =
+  let doc = "Wall-clock bound in seconds; like --budget, cuts to UNKNOWN." in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let witness_out_arg =
+  let doc = "On violation, store the shrunk replayable witness to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "witness" ] ~docv:"FILE" ~doc)
+
+let parse_degrade impl ~glitches = function
+  | None -> None
+  | Some "safe" -> Some (Wfc_sim.Faults.degrade_all impl ~glitches `Safe)
+  | Some s -> (
+    match String.split_on_char ':' s with
+    | [ "stale" ] -> Some (Wfc_sim.Faults.degrade_all impl ~glitches (`Stale 1))
+    | [ "stale"; d ] -> (
+      match int_of_string_opt d with
+      | Some d when d > 0 ->
+        Some (Wfc_sim.Faults.degrade_all impl ~glitches (`Stale d))
+      | _ -> Fmt.failwith "bad --degrade depth %S" d)
+    | _ -> Fmt.failwith "bad --degrade %S (want safe or stale:D)" s)
+
+let faults_of_flags impl ~crashes ~recoveries ~glitches ~degrade =
+  let degraded =
+    match parse_degrade impl ~glitches degrade with
+    | None ->
+      if glitches > 0 then
+        Fmt.failwith "--glitches needs --degrade to name the faulty objects";
+      []
+    | Some f -> f.Wfc_sim.Faults.degraded
+  in
+  {
+    Wfc_sim.Faults.max_crashes = crashes;
+    max_recoveries = recoveries;
+    max_glitches = glitches;
+    degraded;
+  }
+
 let verify_cmd =
-  let run name procs =
+  let run name procs crashes recoveries glitches degrade budget deadline_s
+      witness_file =
     let impl = make_protocol ~procs name in
-    match Check.verify impl with
-    | Ok r ->
+    let faults =
+      faults_of_flags impl ~crashes ~recoveries ~glitches ~degrade
+    in
+    if not (Wfc_sim.Faults.is_none faults) then
+      Fmt.pr "adversary: %a@." Wfc_sim.Faults.pp faults;
+    match Check.verify ~faults ?budget ?deadline_s impl with
+    | Check.Verified r ->
       Fmt.pr
         "OK: agreement, validity and wait-freedom hold over %d executions \
          (%d input vectors, longest run %d events, max %d accesses per op).@."
         r.Check.executions r.Check.vectors r.Check.max_events
         r.Check.max_op_steps;
       0
-    | Error v ->
+    | Check.Falsified v ->
       Fmt.pr "VIOLATION: %a@." Check.pp_violation v;
+      (match (witness_file, v.Check.witness) with
+      | Some file, Some w ->
+        let w =
+          {
+            w with
+            Wfc_sim.Witness.meta =
+              [ ("protocol", name); ("procs", string_of_int procs) ];
+          }
+        in
+        let oc = open_out file in
+        output_string oc (Wfc_sim.Witness.to_string w);
+        close_out oc;
+        Fmt.pr "witness stored to %s (replay with: wfc replay %s)@." file file
+      | Some _, None -> Fmt.pr "no witness to store for this violation@."
+      | None, _ -> ());
       1
+    | Check.Unknown { partial; reason } ->
+      Fmt.pr
+        "UNKNOWN (%s): not falsified within %d vector(s), %d execution(s) — \
+         raise --budget/--deadline for a verdict.@."
+        reason partial.Check.vectors partial.Check.executions;
+      2
   in
   Cmd.v
-    (Cmd.info "verify" ~doc:"Exhaustively check a consensus protocol")
-    Term.(const (fun n p -> Stdlib.exit (run n p)) $ protocol_arg $ procs_arg)
+    (Cmd.info "verify"
+       ~doc:
+         "Exhaustively check a consensus protocol, optionally under a fault \
+          adversary and/or an exploration budget")
+    Term.(
+      const (fun n p c r g d b dl w -> Stdlib.exit (run n p c r g d b dl w))
+      $ protocol_arg $ procs_arg $ crashes_arg $ recoveries_arg $ glitches_arg
+      $ degrade_arg $ budget_arg $ deadline_arg $ witness_out_arg)
 
 (* --- explore ------------------------------------------------------------------ *)
 
@@ -140,7 +245,7 @@ let compile_cmd =
         Fmt.pr "%a@." Theorem5.pp_report r;
         let compiled = r.Theorem5.compiled in
         if compiled.Wfc_program.Implementation.procs <= 2 then (
-          match Check.verify compiled with
+          match Check.result_exn (Check.verify compiled) with
           | Ok rep ->
             Fmt.pr "re-verified: OK over %d executions.@."
               rep.Check.executions;
@@ -294,21 +399,130 @@ let stress_cmd =
   let trials_arg =
     Arg.(value & opt int 500 & info [ "trials" ] ~docv:"K" ~doc:"Trial count.")
   in
-  let run name procs trials =
+  let seed_arg =
+    let doc =
+      "RNG seed for the trial schedules (default: random; the seed used is \
+       always printed, so any run can be reproduced with --seed)."
+    in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run name procs trials seed =
+    let seed =
+      match seed with
+      | Some s -> s
+      | None ->
+        Random.self_init ();
+        Random.int 0x3FFFFFFF
+    in
+    Fmt.pr "seed %d@." seed;
     let make () = make_protocol ~procs name in
-    match Wfc_multicore.Runtime.consensus_trials ~make ~trials () with
+    match Wfc_multicore.Runtime.consensus_trials ~seed ~make ~trials () with
     | Ok t ->
       Fmt.pr "%d/%d parallel trials agreed.@." t trials;
       0
     | Error e ->
-      Fmt.pr "VIOLATION: %s@." e;
+      Fmt.pr "VIOLATION: %s (reproduce with --seed %d)@." e seed;
       1
   in
   Cmd.v
     (Cmd.info "stress" ~doc:"Multicore agreement trials on real domains")
     Term.(
-      const (fun n p t -> Stdlib.exit (run n p t))
-      $ protocol_arg $ procs_arg $ trials_arg)
+      const (fun n p t s -> Stdlib.exit (run n p t s))
+      $ protocol_arg $ procs_arg $ trials_arg $ seed_arg)
+
+(* --- replay -------------------------------------------------------------------- *)
+
+let replay_cmd =
+  let file_arg =
+    let doc = "Witness file stored by 'wfc verify --witness'." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let contents =
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Wfc_sim.Witness.of_string contents with
+    | Error e ->
+      Fmt.pr "cannot parse %s: %s@." file e;
+      1
+    | Ok w -> (
+      let name =
+        match List.assoc_opt "protocol" w.Wfc_sim.Witness.meta with
+        | Some n -> n
+        | None ->
+          Fmt.failwith "witness has no 'meta protocol' line; cannot rebuild \
+                        the implementation"
+      in
+      let procs =
+        match
+          Option.bind
+            (List.assoc_opt "procs" w.Wfc_sim.Witness.meta)
+            int_of_string_opt
+        with
+        | Some p -> p
+        | None -> Array.length w.Wfc_sim.Witness.workloads
+      in
+      let impl = make_protocol ~procs name in
+      Fmt.pr "replaying %s (%a)@." file Wfc_program.Implementation.pp_summary
+        impl;
+      Fmt.pr "%a@." Wfc_sim.Witness.pp w;
+      let i = ref 0 in
+      match
+        Wfc_sim.Witness.replay impl
+          ~on_event:(fun ev ->
+            incr i;
+            Fmt.pr "  %3d  %a@." !i (Wfc_sim.Exec.pp_event impl) ev)
+          w
+      with
+      | Error e ->
+        Fmt.pr "replay failed: %s@." e;
+        1
+      | Ok leaf ->
+        List.iter
+          (fun (o : Wfc_sim.Exec.op) ->
+            Fmt.pr "process %d (op %d) responded %a@." o.proc o.op_index
+              Value.pp o.resp)
+          leaf.Wfc_sim.Exec.ops;
+        (* re-diagnose agreement/validity against the workloads' proposals *)
+        let inputs =
+          Array.to_list w.Wfc_sim.Witness.workloads
+          |> List.concat_map (fun wl ->
+                 match wl with
+                 | inv :: _ -> (
+                   match Ops.propose_arg inv with
+                   | v -> [ v ]
+                   | exception Value.Type_error _ -> [])
+                 | [] -> [])
+        in
+        (match leaf.Wfc_sim.Exec.ops with
+        | [] -> Fmt.pr "no operation completed on this path.@."
+        | o0 :: rest ->
+          let agreement =
+            List.for_all
+              (fun (o : Wfc_sim.Exec.op) -> Value.equal o.resp o0.resp)
+              rest
+          in
+          let validity =
+            inputs = [] || List.exists (Value.equal o0.resp) inputs
+          in
+          if agreement && validity then
+            Fmt.pr "agreement and validity hold on this path.@."
+          else
+            Fmt.pr "VIOLATION reproduced:%s%s@."
+              (if agreement then "" else " agreement broken")
+              (if validity then "" else " validity broken"));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Deterministically re-execute a stored counterexample witness, \
+          event by event")
+    Term.(const (fun f -> Stdlib.exit (run f)) $ file_arg)
 
 let () =
   let doc =
@@ -320,5 +534,5 @@ let () =
        (Cmd.group (Cmd.info "wfc" ~doc)
           [
             zoo_cmd; verify_cmd; explore_cmd; compile_cmd; valence_cmd;
-            trace_cmd; stress_cmd;
+            trace_cmd; stress_cmd; replay_cmd;
           ]))

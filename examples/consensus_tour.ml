@@ -26,7 +26,7 @@ let () =
     "leaves" "depth";
   List.iter
     (fun (name, impl) ->
-      match Check.verify impl with
+      match Check.result_exn (Check.verify impl) with
       | Error v ->
         Fmt.pr "%-28s BUG: %a@." name Check.pp_violation v
       | Ok report -> (
@@ -48,6 +48,6 @@ let () =
             report.Check.executions leaves max_depth))
     protocols;
   Fmt.pr "@.The negative control (registers only) is caught:@.";
-  match Check.verify (Protocols.broken_register_only ()) with
+  match Check.result_exn (Check.verify (Protocols.broken_register_only ())) with
   | Ok _ -> Fmt.pr "  UNEXPECTED: broken protocol passed?!@."
   | Error v -> Fmt.pr "  %a@." Check.pp_violation v

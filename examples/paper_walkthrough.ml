@@ -73,7 +73,9 @@ let () =
   | Error e -> Fmt.pr "error: %s@." e
   | Ok report -> (
     Fmt.pr "%a@." Theorem5.pp_report report;
-    match Wfc_consensus.Check.verify report.Theorem5.compiled with
+    match Wfc_consensus.Check.result_exn
+            (Wfc_consensus.Check.verify report.Theorem5.compiled)
+    with
     | Ok rep ->
       Fmt.pr
         "verified: agreement, validity, wait-freedom over %d executions — @.\

@@ -26,7 +26,7 @@ let () =
   Fmt.pr "   %a@." Wfc_program.Implementation.pp_summary source;
 
   Fmt.pr "== 2. exhaustive verification ==@.";
-  (match Check.verify source with
+  (match Check.result_exn (Check.verify source) with
   | Ok r ->
     Fmt.pr "   OK: %d input vectors, %d executions, longest %d events@."
       r.Check.vectors r.Check.executions r.Check.max_events
@@ -43,7 +43,7 @@ let () =
   Fmt.pr "   %a@." Theorem5.pp_report report;
 
   Fmt.pr "== 4. verify the compiled implementation ==@.";
-  (match Check.verify report.Theorem5.compiled with
+  (match Check.result_exn (Check.verify report.Theorem5.compiled) with
   | Ok r ->
     Fmt.pr "   OK: %d executions — consensus from test-and-set objects ONLY@."
       r.Check.executions

@@ -46,7 +46,7 @@ let () =
           | Error e -> Fmt.pr "%-8s %-28s compile error: %s@." sname tname e
           | Ok r ->
             let verdict =
-              match Check.verify r.Theorem5.compiled with
+              match Check.result_exn (Check.verify r.Theorem5.compiled) with
               | Ok rep -> Fmt.str "OK(%d)" rep.Check.executions
               | Error _ -> "BUG"
             in

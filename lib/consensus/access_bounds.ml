@@ -47,7 +47,7 @@ let vectors ~invocations n =
   in
   go 0
 
-let analyze ?fuel ?(require_deterministic = true)
+let analyze ?fuel ?budget ?deadline_s ?(require_deterministic = true)
     ?(engine = Wfc_sim.Explore.fast) (impl : Implementation.t) =
   let nondet =
     if require_deterministic then
@@ -67,29 +67,61 @@ let analyze ?fuel ?(require_deterministic = true)
     let per_object =
       Array.make (Array.length impl.Implementation.objects) 0
     in
+    let deadline =
+      Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s
+    in
+    let budget_left = ref budget in
+    (* Budget/deadline are global across all |I|^n trees: hand each
+       exploration what remains. *)
     let rec run_trees acc = function
       | [] -> Ok (List.rev acc)
       | inputs :: rest ->
         let workloads = Array.of_list (List.map (fun inv -> [ inv ]) inputs) in
         let depth = ref 0 in
-        (* The bound D is the max over leaves of the total access count — a
-           timing-insensitive observation, so the reduced engine computes the
-           same D (and per-object maxima) while visiting far fewer nodes. *)
-        let stats =
-          Wfc_sim.Explore.run impl ~workloads ?fuel ~options:engine
-            ~on_leaf:(fun leaf ->
-              let d = Array.fold_left ( + ) 0 leaf.Wfc_sim.Exec.accesses in
-              if d > !depth then depth := d)
-            ()
+        let deadline_s_left =
+          Option.map (fun t -> t -. Unix.gettimeofday ()) deadline
         in
+        if (match deadline_s_left with Some s -> s <= 0. | None -> false)
+        then
+          Error
+            "analysis incomplete: deadline exceeded — no bound established \
+             (raise the deadline)"
+        else begin
+          (* The bound D is the max over leaves of the total access count — a
+             timing-insensitive observation, so the reduced engine computes the
+             same D (and per-object maxima) while visiting far fewer nodes. *)
+          let stats =
+            Wfc_sim.Explore.run impl ~workloads ?fuel ?budget:!budget_left
+              ?deadline_s:deadline_s_left ~options:engine
+              ~on_leaf:(fun leaf ->
+                let d = Array.fold_left ( + ) 0 leaf.Wfc_sim.Exec.accesses in
+                if d > !depth then depth := d)
+              ()
+          in
+          budget_left :=
+            Option.map
+              (fun b -> max 0 (b - stats.Wfc_sim.Explore.nodes))
+              !budget_left;
+          match stats.Wfc_sim.Explore.completeness with
+          | Wfc_sim.Explore.Partial reason ->
+            Error
+              (Fmt.str
+                 "analysis incomplete: %a — no bound established (raise the \
+                  budget or deadline)"
+                 Wfc_sim.Explore.pp_partial_reason reason)
+          | Wfc_sim.Explore.Exhaustive ->
         if stats.Wfc_sim.Explore.overflows > 0 then
           Error
             (Fmt.str
                "inputs [%a]: %d path(s) exhausted fuel — suspected \
                 non-wait-freedom (König: an infinite tree has an infinite \
-                path)"
+                path)%a"
                Fmt.(list ~sep:(any ";") Value.pp)
-               inputs stats.Wfc_sim.Explore.overflows)
+               inputs stats.Wfc_sim.Explore.overflows
+               Fmt.(
+                 option (fun ppf t ->
+                     pf ppf "; replay trace: %s" (Wfc_sim.Faults.trace_to_string t)))
+               stats.Wfc_sim.Explore.overflow_trace)
         else begin
           Array.iteri
             (fun i a -> if a > per_object.(i) then per_object.(i) <- a)
@@ -103,6 +135,7 @@ let analyze ?fuel ?(require_deterministic = true)
              }
             :: acc)
             rest
+        end
         end
     in
     Result.map

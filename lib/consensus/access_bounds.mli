@@ -37,6 +37,8 @@ type report = {
 
 val analyze :
   ?fuel:int ->
+  ?budget:int ->
+  ?deadline_s:float ->
   ?require_deterministic:bool ->
   ?engine:Wfc_sim.Explore.options ->
   Implementation.t ->
@@ -46,6 +48,14 @@ val analyze :
     timing-insensitive maxima over leaves, which the reduced engine
     preserves exactly (pass {!Wfc_sim.Explore.naive} to also get the full
     tree's leaf/node counts in [trees]).
+
+    [budget] (configurations visited) and [deadline_s] (wall-clock seconds)
+    bound the {e whole} analysis across all trees; if either runs out before
+    the search finishes, an ["analysis incomplete"] error is returned — no
+    bound is claimed from a partial search, and the analysis never hangs.
+    A fuel-overflow error embeds the runaway path's decision trace
+    ({!Wfc_sim.Faults.trace_of_string} parses it back for
+    {!Wfc_sim.Exec.replay}).
 
     Explore the |I|ⁿ first-invocation trees of the implementation (2ⁿ for
     binary consensus, the paper's count; the target spec's invocation list

@@ -7,6 +7,7 @@ type violation = {
   inputs : (int * Value.t) list;
   reason : string;
   ops : Wfc_sim.Exec.op list;
+  witness : Wfc_sim.Witness.t option;
 }
 
 type report = {
@@ -16,12 +17,41 @@ type report = {
   max_op_steps : int;
 }
 
+type verdict =
+  | Verified of report
+  | Falsified of violation
+  | Unknown of { partial : report; reason : string }
+
 let pp_violation ppf v =
-  Fmt.pf ppf "@[<v>participants %a with inputs %a: %s@,ops: %a@]"
+  Fmt.pf ppf "@[<v>participants %a with inputs %a: %s@,ops: %a"
     Fmt.(list ~sep:(any ",") int)
     v.participants
     Fmt.(list ~sep:(any " ") (pair ~sep:(any ":") int Value.pp))
-    v.inputs v.reason Wfc_linearize.Linearizability.pp_ops v.ops
+    v.inputs v.reason Wfc_linearize.Linearizability.pp_ops v.ops;
+  (match v.witness with
+  | Some w ->
+    Fmt.pf ppf "@,faults: %a@,witness trace: %a" Wfc_sim.Faults.pp
+      w.Wfc_sim.Witness.faults Wfc_sim.Faults.pp_trace w.Wfc_sim.Witness.trace
+  | None -> ());
+  Fmt.pf ppf "@]"
+
+let pp_verdict ppf = function
+  | Verified r ->
+    Fmt.pf ppf "verified: %d vector(s), %d execution(s)" r.vectors r.executions
+  | Falsified v -> Fmt.pf ppf "falsified: %a" pp_violation v
+  | Unknown { partial; reason } ->
+    Fmt.pf ppf
+      "unknown (%s): not falsified within %d vector(s), %d execution(s)"
+      reason partial.vectors partial.executions
+
+let result_exn = function
+  | Verified r -> Ok r
+  | Falsified v -> Error v
+  | Unknown { reason; _ } ->
+    Fmt.failwith
+      "Check: exploration was cut (%s) — no verdict; raise the budget or \
+       deadline"
+      reason
 
 exception Found of violation
 
@@ -64,11 +94,72 @@ let check_leaf ~inputs (leaf : Wfc_sim.Exec.leaf) =
     then Error "validity violated: decision is nobody's proposal"
     else Ok ()
 
+(* Recover ⟨participant, proposal⟩ pairs from (possibly shrunk) workloads:
+   the participants are the processes with a non-empty workload and their
+   input is their first proposal. *)
+let inputs_of_workloads workloads =
+  Array.to_list workloads
+  |> List.mapi (fun p wl -> (p, wl))
+  |> List.filter_map (fun (p, wl) ->
+         match wl with
+         | [] -> None
+         | inv :: _ -> (
+           match Ops.propose_arg inv with
+           | v -> Some (p, v)
+           | exception Value.Type_error _ -> None))
+
+(* A leaf is still "bad" after shrinking when agreement/validity fails
+   against the inputs its own workloads encode. *)
+let bad_leaf ~workloads leaf =
+  let inputs = inputs_of_workloads workloads in
+  inputs <> [] && Result.is_error (check_leaf ~inputs leaf)
+
+let shrink_violation impl (v : violation) =
+  match v.witness with
+  | None -> v
+  | Some w -> (
+    (* Only a violation whose replayed leaf fails the check is shrinkable by
+       the leaf predicate; wait-freedom (overflow) witnesses replay the
+       runaway path as-is. *)
+    match Wfc_sim.Witness.replay impl w with
+    | Ok leaf when bad_leaf ~workloads:w.Wfc_sim.Witness.workloads leaf -> (
+      let w' = Wfc_sim.Witness.shrink impl ~bad:bad_leaf w in
+      match Wfc_sim.Witness.replay impl w' with
+      | Ok leaf' ->
+        let inputs = inputs_of_workloads w'.Wfc_sim.Witness.workloads in
+        let reason =
+          match check_leaf ~inputs leaf' with
+          | Error r -> r
+          | Ok () -> v.reason
+        in
+        {
+          participants = List.map fst inputs;
+          inputs;
+          reason;
+          ops = leaf'.Wfc_sim.Exec.ops;
+          witness = Some w';
+        }
+      | Error _ -> { v with witness = Some w' })
+    | _ -> v)
+
+(* Local control-flow exception: the global budget/deadline ran out. *)
+exception Exhausted of string
+
 let verify_values ~domain ?(subsets = true) ?(repeat = true)
-    ?(max_crashes = 0) ?fuel ?(engine = Wfc_sim.Explore.fast)
-    (impl : Implementation.t) =
+    ?(max_crashes = 0) ?faults ?fuel ?budget ?deadline_s ?(shrink = true)
+    ?(engine = Wfc_sim.Explore.fast) (impl : Implementation.t) =
   if List.length domain < 2 then
     invalid_arg "Check.verify_values: domain needs at least two values";
+  let faults =
+    match faults with
+    | Some f ->
+      {
+        f with
+        Wfc_sim.Faults.max_crashes =
+          max f.Wfc_sim.Faults.max_crashes max_crashes;
+      }
+    | None -> Wfc_sim.Faults.crashes max_crashes
+  in
   let other_than v =
     List.find (fun d -> not (Value.equal d v)) domain
   in
@@ -76,10 +167,20 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
   let participant_sets =
     if subsets then subsets_of n else [ List.init n Fun.id ]
   in
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s in
+  let budget_left = ref budget in
   let vectors = ref 0 in
   let executions = ref 0 in
   let max_events = ref 0 in
   let max_op_steps = ref 0 in
+  let report () =
+    {
+      vectors = !vectors;
+      executions = !executions;
+      max_events = !max_events;
+      max_op_steps = !max_op_steps;
+    }
+  in
   try
     List.iter
       (fun participants ->
@@ -95,13 +196,22 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
                     if repeat then [ first; Ops.propose (other_than v) ]
                     else [ first ])
             in
+            (* The budget and deadline are global across all vectors: hand
+               each exploration what remains. *)
+            let deadline_s_left =
+              Option.map (fun t -> t -. Unix.gettimeofday ()) deadline
+            in
+            (match deadline_s_left with
+            | Some s when s <= 0. -> raise (Exhausted "deadline exceeded")
+            | _ -> ());
             (* Agreement/validity read only operation values, never
                timestamps, so the reduced engine is sound here (see
                {!Wfc_sim.Explore}'s soundness envelope). *)
             let stats =
-              Wfc_sim.Explore.run impl ~workloads ?fuel ~max_crashes
+              Wfc_sim.Explore.run impl ~workloads ?fuel ~faults
+                ?budget:!budget_left ?deadline_s:deadline_s_left
                 ~options:engine
-                ~on_leaf:(fun leaf ->
+                ~on_leaf_trace:(fun trace leaf ->
                   incr executions;
                   match check_leaf ~inputs leaf with
                   | Ok () -> ()
@@ -113,9 +223,25 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
                            inputs;
                            reason;
                            ops = leaf.Wfc_sim.Exec.ops;
+                           witness =
+                             Some
+                               (Wfc_sim.Witness.make ~workloads ~faults trace);
                          }))
                 ()
             in
+            (match stats.Wfc_sim.Explore.completeness with
+            | Wfc_sim.Explore.Exhaustive -> ()
+            | Wfc_sim.Explore.Partial Wfc_sim.Explore.Budget_exhausted ->
+              raise (Exhausted "node budget exhausted")
+            | Wfc_sim.Explore.Partial Wfc_sim.Explore.Deadline_exceeded ->
+              raise (Exhausted "deadline exceeded")
+            | Wfc_sim.Explore.Partial Wfc_sim.Explore.Stopped ->
+              (* on_leaf_trace only ever raises Found, never Stop *)
+              assert false);
+            budget_left :=
+              Option.map
+                (fun b -> max 0 (b - stats.Wfc_sim.Explore.nodes))
+                !budget_left;
             if stats.Wfc_sim.Explore.overflows > 0 then
               raise
                 (Found
@@ -126,6 +252,10 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
                        Fmt.str "%d path(s) exhausted fuel: not wait-free"
                          stats.Wfc_sim.Explore.overflows;
                      ops = [];
+                     witness =
+                       Option.map
+                         (Wfc_sim.Witness.make ~workloads ~faults)
+                         stats.Wfc_sim.Explore.overflow_trace;
                    });
             if stats.Wfc_sim.Explore.max_events > !max_events then
               max_events := stats.Wfc_sim.Explore.max_events;
@@ -133,15 +263,12 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
               max_op_steps := stats.Wfc_sim.Explore.max_op_steps)
           (vectors_over ~domain participants))
       participant_sets;
-    Ok
-      {
-        vectors = !vectors;
-        executions = !executions;
-        max_events = !max_events;
-        max_op_steps = !max_op_steps;
-      }
-  with Found v -> Error v
+    Verified (report ())
+  with
+  | Found v -> Falsified (if shrink then shrink_violation impl v else v)
+  | Exhausted reason -> Unknown { partial = report (); reason }
 
-let verify ?subsets ?repeat ?max_crashes ?fuel ?engine impl =
+let verify ?subsets ?repeat ?max_crashes ?faults ?fuel ?budget ?deadline_s
+    ?shrink ?engine impl =
   verify_values ~domain:[ Value.falsity; Value.truth ] ?subsets ?repeat
-    ?max_crashes ?fuel ?engine impl
+    ?max_crashes ?faults ?fuel ?budget ?deadline_s ?shrink ?engine impl

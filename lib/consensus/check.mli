@@ -14,7 +14,13 @@
     Because the consensus type's sequential specification already forces
     agreement + validity, this is equivalent to linearizability against
     T_{c,n} from ⊥, but the direct check is faster and produces pointed
-    diagnostics. *)
+    diagnostics.
+
+    The verdict is three-valued: {!Verified}, {!Falsified} (with a
+    replayable, shrunk counterexample witness), or {!Unknown} when the
+    optional node budget or deadline ran out before the search finished —
+    "not falsified within budget" is surfaced honestly instead of running
+    forever. *)
 
 open Wfc_program
 
@@ -23,6 +29,10 @@ type violation = {
   inputs : (int * Wfc_spec.Value.t) list;  (** proposals of the participants *)
   reason : string;
   ops : Wfc_sim.Exec.op list;  (** the offending completed operations *)
+  witness : Wfc_sim.Witness.t option;
+      (** replayable decision trace of the offending path (shrunk by default;
+          for wait-freedom violations: the first fuel-overflowing path);
+          [None] only when the engine cannot attribute a path *)
 }
 
 type report = {
@@ -32,14 +42,25 @@ type report = {
   max_op_steps : int;  (** most base accesses by one propose *)
 }
 
+type verdict =
+  | Verified of report
+  | Falsified of violation
+  | Unknown of { partial : report; reason : string }
+      (** search cut by [budget]/[deadline_s]; [partial] covers what was
+          explored before the cut *)
+
 val verify :
   ?subsets:bool ->
   ?repeat:bool ->
   ?max_crashes:int ->
+  ?faults:Wfc_sim.Faults.t ->
   ?fuel:int ->
+  ?budget:int ->
+  ?deadline_s:float ->
+  ?shrink:bool ->
   ?engine:Wfc_sim.Explore.options ->
   Implementation.t ->
-  (report, violation) result
+  verdict
 (** [engine] (default {!Wfc_sim.Explore.fast}) selects the exploration
     engine options. Agreement/validity/wait-freedom are timing-insensitive,
     so duplicate-state pruning and partial-order reduction are sound here and
@@ -56,19 +77,47 @@ val verify :
     {!Wfc_sim.Exec.explore}); agreement and validity are then required of
     the survivors' responses, and wait-freedom of the survivors'
     operations — stopping failures must be harmless, which is the whole
-    point of wait-freedom. *)
+    point of wait-freedom.
+
+    [faults] supplies a full fault adversary ({!Wfc_sim.Faults.t}):
+    crash-recoveries and degraded-read glitches branch the tree exactly like
+    crashes do, and correctness is required of every completed operation in
+    every faulty execution. When both [faults] and [max_crashes] are given
+    the crash budget is the larger of the two.
+
+    [budget] (configurations visited) and [deadline_s] (seconds of wall
+    clock) bound the {e whole} verification, across all participation
+    subsets and input vectors; when either runs out the verdict is
+    {!Unknown} with the partial report — never a false "verified" and never
+    a hang.
+
+    On {!Falsified}, the violation carries a {!Wfc_sim.Witness.t} that
+    {!Wfc_sim.Exec.replay} re-executes to the same violation; it is first
+    minimized by delta debugging ({!Wfc_sim.Witness.shrink} — drop
+    participants, drop trailing proposals, ddmin the decision trace, trim
+    fault budgets) unless [shrink] is [false]. *)
 
 val verify_values :
   domain:Wfc_spec.Value.t list ->
   ?subsets:bool ->
   ?repeat:bool ->
   ?max_crashes:int ->
+  ?faults:Wfc_sim.Faults.t ->
   ?fuel:int ->
+  ?budget:int ->
+  ?deadline_s:float ->
+  ?shrink:bool ->
   ?engine:Wfc_sim.Explore.options ->
   Implementation.t ->
-  (report, violation) result
+  verdict
 (** Like {!verify} but for consensus over an arbitrary finite proposal
     domain (at least two values) — used for the multivalued consensus
     construction. Every input vector over the domain is checked. *)
 
+val result_exn : verdict -> (report, violation) result
+(** Collapse to the pre-budget two-valued interface.
+    @raise Failure on {!Unknown} — callers that set no budget/deadline never
+    see it. *)
+
 val pp_violation : Format.formatter -> violation -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -40,9 +40,11 @@ let certify ~type_name ?(allow_registers = false) (impl : Implementation.t) =
          registers)
   else
     match Wfc_consensus.Check.verify impl with
-    | Error v ->
+    | Wfc_consensus.Check.Falsified v ->
       Error (Fmt.str "verification failed: %a" Wfc_consensus.Check.pp_violation v)
-    | Ok report ->
+    | Wfc_consensus.Check.Unknown { reason; _ } ->
+      Error (Fmt.str "verification incomplete (%s): cannot certify" reason)
+    | Wfc_consensus.Check.Verified report ->
       let objects = Implementation.base_object_count impl in
       Ok
         {

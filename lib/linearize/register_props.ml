@@ -104,19 +104,55 @@ let check_safe ~init ~domain ops =
   in
   go reads
 
-let check_all_regular impl ~init ~workloads ?fuel () =
-  let failure = ref None in
-  let on_leaf (leaf : Wfc_sim.Exec.leaf) =
-    match check_regular ~init leaf.ops with
-    | Ok () -> ()
-    | Error f ->
-      failure := Some (Fmt.str "%a" pp_failure f);
-      raise Wfc_sim.Exec.Stop
+type violation = {
+  failure : failure option;
+  reason : string;
+  witness : Wfc_sim.Witness.t option;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<v>%s" v.reason;
+  (match v.witness with
+  | Some w ->
+    Fmt.pf ppf "@,faults: %a@,witness trace: %a" Wfc_sim.Faults.pp
+      w.Wfc_sim.Witness.faults Wfc_sim.Faults.pp_trace w.Wfc_sim.Witness.trace
+  | None -> ());
+  Fmt.pf ppf "@]"
+
+let check_all_regular impl ~init ~workloads ?fuel
+    ?(faults = Wfc_sim.Faults.none) () =
+  let violation = ref None in
+  (* Regularity reads operation {e timing} (overlap intervals), which
+     duplicate-state merging does not preserve — the naive engine is the
+     only sound one here. *)
+  let stats =
+    Wfc_sim.Explore.run impl ~workloads ?fuel ~faults
+      ~options:Wfc_sim.Explore.naive
+      ~on_leaf_trace:(fun trace leaf ->
+        match check_regular ~init leaf.Wfc_sim.Exec.ops with
+        | Ok () -> ()
+        | Error f ->
+          violation :=
+            Some
+              {
+                failure = Some f;
+                reason = Fmt.str "%a" pp_failure f;
+                witness = Some (Wfc_sim.Witness.make ~workloads ~faults trace);
+              };
+          raise Wfc_sim.Exec.Stop)
+      ()
   in
-  let stats = Wfc_sim.Exec.explore impl ~workloads ?fuel ~on_leaf () in
-  match !failure with
-  | Some why -> Error why
+  match !violation with
+  | Some v -> Error v
   | None ->
-    if stats.Wfc_sim.Exec.overflows > 0 then
-      Error "fuel exhausted: suspected non-wait-freedom"
+    if stats.Wfc_sim.Explore.overflows > 0 then
+      Error
+        {
+          failure = None;
+          reason = "fuel exhausted: suspected non-wait-freedom";
+          witness =
+            Option.map
+              (Wfc_sim.Witness.make ~workloads ~faults)
+              stats.Wfc_sim.Explore.overflow_trace;
+        }
     else Ok stats

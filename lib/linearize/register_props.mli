@@ -36,13 +36,26 @@ val check_safe :
 (** Safe check additionally needs the domain (overlapping reads may return
     any domain value, but nothing outside it). *)
 
+type violation = {
+  failure : failure option;  (** [None] for fuel overflow *)
+  reason : string;
+  witness : Wfc_sim.Witness.t option;
+      (** replayable decision trace of the offending interleaving *)
+}
+
 val check_all_regular :
   Wfc_program.Implementation.t ->
   init:Value.t ->
   workloads:Value.t list array ->
   ?fuel:int ->
+  ?faults:Wfc_sim.Faults.t ->
   unit ->
-  (Wfc_sim.Exec.stats, string) result
-(** Explore all interleavings; check each leaf with {!check_regular}. *)
+  (Wfc_sim.Explore.stats, violation) result
+(** Explore all interleavings (optionally under a fault adversary); check
+    each leaf with {!check_regular}. Regularity depends on operation timing
+    (overlap intervals), so the unreduced naive engine is always used. A
+    violation carries a {!Wfc_sim.Witness.t} that {!Wfc_sim.Exec.replay}
+    re-executes to the offending leaf. *)
 
 val pp_failure : Format.formatter -> failure -> unit
+val pp_violation : Format.formatter -> violation -> unit

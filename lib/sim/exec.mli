@@ -49,11 +49,18 @@ exception Stop
 (** Raise from [on_leaf] to abort the exploration early (statistics reflect
     the explored prefix). *)
 
+exception Stalled
+(** Raised by a {!run} scheduler's [pick_proc] to declare that no enabled
+    process will ever be picked again (e.g. {!Schedulers.crash} when only
+    dead processes remain); {!run} then stops gracefully and returns the
+    partial execution as its leaf. *)
+
 val explore :
   Implementation.t ->
   workloads:Value.t list array ->
   ?fuel:int ->
   ?max_crashes:int ->
+  ?faults:Faults.t ->
   ?on_leaf:(leaf -> unit) ->
   unit ->
   stats
@@ -77,7 +84,19 @@ val explore :
     along some crash-free path (it cannot be retracted by later steps of the
     slow process). What [max_crashes] adds is {e liveness} phrasing:
     executions in which a process never returns become first-class leaves
-    with checkable histories rather than fuel-overflow suspicions. *)
+    with checkable histories rather than fuel-overflow suspicions.
+
+    [faults] generalizes [max_crashes] to a full adversary ({!Faults.t}):
+    besides crashes, the tree additionally branches on {e recoveries} (a
+    crashed process restarts its pending operation from scratch against the
+    dirty shared state — its earlier base accesses are {e not} undone) and
+    on {e read glitches} against degraded base objects (safe-register
+    behaviour or bounded-stale reads, in the style of
+    {!Wfc_zoo.Weak_register}). Under a derailing adversary a process whose
+    next step raises [Type_spec.Bad_step] or [Value.Type_error] {e wedges}
+    (drops out of the enabled set forever) instead of aborting the
+    exploration. When both [faults] and [max_crashes] are given, the crash
+    budget is the larger of the two. *)
 
 type node_view = {
   depth : int;  (** events so far at this configuration *)
@@ -109,8 +128,29 @@ type event =
           observable effect) *)
   | Completed of { proc : int; op_index : int; inv : Value.t; resp : Value.t }
       (** a high-level operation returned *)
+  | Crashed of { proc : int }  (** mid-operation stopping failure *)
+  | Recovered of { proc : int }
+      (** a crashed process restarts its interrupted operation from scratch *)
+  | Glitched of { proc : int; obj : int; inv : Value.t; resp : Value.t }
+      (** a degraded read: [resp] is the glitched {e response} handed to the
+          program (object state unchanged) *)
+  | Wedged of { proc : int }
+      (** the process stepped off its specified envelope and is stuck *)
 
 val pp_event : Implementation.t -> Format.formatter -> event -> unit
+
+val replay :
+  Implementation.t ->
+  workloads:Value.t list array ->
+  ?faults:Faults.t ->
+  ?on_event:(event -> unit) ->
+  Faults.trace ->
+  (leaf, string) result
+(** Deterministically re-execute one path of {!explore}/{!Explore.run} from
+    its decision {!Faults.trace}, streaming [on_event]. A trace that stops
+    before quiescence is fine — the leaf then reflects the partial
+    execution. [Error] explains the first decision that does not apply
+    (wrong process, out-of-range alternative, exhausted fault budget…). *)
 
 val run :
   Implementation.t ->

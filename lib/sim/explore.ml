@@ -14,6 +14,18 @@ let parallel ?domains () =
   in
   { fast with domains }
 
+type partial_reason = Budget_exhausted | Deadline_exceeded | Stopped
+type completeness = Exhaustive | Partial of partial_reason
+
+let pp_partial_reason ppf = function
+  | Budget_exhausted -> Fmt.string ppf "node budget exhausted"
+  | Deadline_exceeded -> Fmt.string ppf "deadline exceeded"
+  | Stopped -> Fmt.string ppf "stopped by on_leaf"
+
+let pp_completeness ppf = function
+  | Exhaustive -> Fmt.string ppf "exhaustive"
+  | Partial r -> Fmt.pf ppf "partial (%a)" pp_partial_reason r
+
 type stats = {
   leaves : int;
   nodes : int;
@@ -24,6 +36,8 @@ type stats = {
   pruned : int;
   sleep_skips : int;
   domains_used : int;
+  completeness : completeness;
+  overflow_trace : Faults.trace option;
 }
 
 let to_exec_stats s =
@@ -43,7 +57,9 @@ let to_exec_stats s =
    ([resps_rev]). Programs are deterministic functions of (proc, invocation,
    local-at-invocation), so ⟨inv0, resps_rev⟩ pins the continuation [node]
    exactly — which is what lets a configuration be fingerprinted even though
-   [node] contains closures. *)
+   [node] contains closures. (A glitched response enters [resps_rev] like an
+   honest one: the continuation depends on what the program saw, not on
+   whether the object really said it.) *)
 
 type pend = {
   inv0 : Value.t;
@@ -69,11 +85,17 @@ type cfg = {
   acc : int array;
   crashed : bool array;
   crashes_left : int;
+  recoveries_left : int;
+  glitches_left : int;
+  stuck : bool array;
+  hist : Value.t list array;
+  faults : Faults.t;
 }
 
 let initial_cfg impl ~workloads =
   if Array.length workloads <> impl.Implementation.procs then
     invalid_arg "Explore: workloads length must equal impl.procs";
+  let n_objs = Array.length impl.Implementation.objects in
   {
     objs = Array.map snd impl.Implementation.objects;
     procs =
@@ -88,72 +110,172 @@ let initial_cfg impl ~workloads =
         workloads;
     ops_rev = [];
     events = 0;
-    acc = Array.make (Array.length impl.Implementation.objects) 0;
+    acc = Array.make n_objs 0;
     crashed = Array.make (Array.length workloads) false;
     crashes_left = 0;
+    recoveries_left = 0;
+    glitches_left = 0;
+    stuck = Array.make (Array.length workloads) false;
+    hist = Array.make n_objs [];
+    faults = Faults.none;
+  }
+
+let with_faults cfg (f : Faults.t) =
+  {
+    cfg with
+    faults = f;
+    crashes_left = f.Faults.max_crashes;
+    recoveries_left = f.Faults.max_recoveries;
+    glitches_left = f.Faults.max_glitches;
   }
 
 let enabled cfg =
   let out = ref [] in
   for p = Array.length cfg.procs - 1 downto 0 do
     let pr = cfg.procs.(p) in
-    if (not cfg.crashed.(p)) && (pr.pending <> None || pr.todo <> []) then
-      out := p :: !out
+    if
+      (not cfg.crashed.(p))
+      && (not cfg.stuck.(p))
+      && (pr.pending <> None || pr.todo <> [])
+    then out := p :: !out
   done;
   !out
+
+let recoverable cfg =
+  if cfg.recoveries_left <= 0 then []
+  else begin
+    let out = ref [] in
+    for p = Array.length cfg.procs - 1 downto 0 do
+      let pr = cfg.procs.(p) in
+      if
+        cfg.crashed.(p)
+        && (not cfg.stuck.(p))
+        && (pr.pending <> None || pr.todo <> [])
+      then out := p :: !out
+    done;
+    !out
+  end
 
 let crash cfg p =
   let crashed = Array.copy cfg.crashed in
   crashed.(p) <- true;
   { cfg with crashed; crashes_left = cfg.crashes_left - 1; events = cfg.events + 1 }
 
-let step_alternatives impl cfg p =
+let recover cfg p =
+  let crashed = Array.copy cfg.crashed in
+  crashed.(p) <- false;
   let pr = cfg.procs.(p) in
-  let set_proc procs p pr' =
-    let procs' = Array.copy procs in
-    procs'.(p) <- pr';
-    procs'
+  let pr' =
+    match pr.pending with
+    | None -> pr
+    | Some pd -> { pr with todo = pd.inv0 :: pr.todo; pending = None }
   in
-  let continue ~objs ~acc ~inv0 ~op_index ~started ~steps ~resps_rev ~todo node
-      =
-    match node with
-    | Program.Return (resp, local') ->
-      let completed =
-        {
-          Exec.proc = p;
-          op_index;
-          inv = inv0;
-          resp;
-          start_step = started;
-          end_step = cfg.events;
-          steps;
-        }
-      in
-      let pr' = { todo; next_op = op_index + 1; pending = None; local = local' } in
+  let procs = Array.copy cfg.procs in
+  procs.(p) <- pr';
+  {
+    cfg with
+    crashed;
+    procs;
+    recoveries_left = cfg.recoveries_left - 1;
+    events = cfg.events + 1;
+  }
+
+let wedge cfg p =
+  let stuck = Array.copy cfg.stuck in
+  stuck.(p) <- true;
+  { cfg with stuck; events = cfg.events + 1 }
+
+let set_proc procs p pr' =
+  let procs' = Array.copy procs in
+  procs'.(p) <- pr';
+  procs'
+
+let push_hist cfg obj q' =
+  let q = cfg.objs.(obj) in
+  if Value.equal q q' || not (Faults.tracks_history cfg.faults obj) then
+    cfg.hist
+  else begin
+    let depth = Faults.stale_depth cfg.faults obj in
+    let hist = Array.copy cfg.hist in
+    hist.(obj) <- List.filteri (fun i _ -> i < depth) (q :: hist.(obj));
+    hist
+  end
+
+let continue cfg p ~objs ~acc ~hist ~glitches_left ~inv0 ~op_index ~started
+    ~steps ~resps_rev ~todo node =
+  match node with
+  | Program.Return (resp, local') ->
+    let completed =
       {
-        cfg with
-        objs;
-        procs = set_proc cfg.procs p pr';
-        ops_rev = completed :: cfg.ops_rev;
-        events = cfg.events + 1;
-        acc;
+        Exec.proc = p;
+        op_index;
+        inv = inv0;
+        resp;
+        start_step = started;
+        end_step = cfg.events;
+        steps;
       }
-    | Program.Invoke _ ->
-      let pd =
-        { inv0; op_index; node; steps_done = steps; started; resps_rev }
-      in
-      let pr' = { pr with todo; pending = Some pd } in
-      {
-        cfg with
-        objs;
-        procs = set_proc cfg.procs p pr';
-        events = cfg.events + 1;
-        acc;
-      }
-  in
-  let access ~inv0 ~op_index ~started ~steps_done ~resps_rev ~todo node =
+    in
+    let pr' = { todo; next_op = op_index + 1; pending = None; local = local' } in
+    {
+      cfg with
+      objs;
+      procs = set_proc cfg.procs p pr';
+      ops_rev = completed :: cfg.ops_rev;
+      events = cfg.events + 1;
+      acc;
+      hist;
+      glitches_left;
+    }
+  | Program.Invoke _ ->
+    let pd = { inv0; op_index; node; steps_done = steps; started; resps_rev } in
+    let pr' = { cfg.procs.(p) with todo; pending = Some pd } in
+    {
+      cfg with
+      objs;
+      procs = set_proc cfg.procs p pr';
+      events = cfg.events + 1;
+      acc;
+      hist;
+      glitches_left;
+    }
+
+let poised impl cfg p =
+  let pr = cfg.procs.(p) in
+  match pr.pending with
+  | Some pd ->
+    Some
+      ( pd.inv0,
+        pd.op_index,
+        pd.started,
+        pd.steps_done,
+        pd.resps_rev,
+        pr.todo,
+        pd.node )
+  | None -> (
+    match pr.todo with
+    | [] -> None
+    | inv :: rest ->
+      Some
+        ( inv,
+          pr.next_op,
+          cfg.events,
+          0,
+          [],
+          rest,
+          impl.Implementation.program ~proc:p ~inv pr.local ))
+
+let step_alternatives impl cfg p =
+  match poised impl cfg p with
+  | None -> []
+  | Some (inv0, op_index, started, steps_done, resps_rev, todo, node) -> (
     match node with
-    | Program.Return _ -> assert false
+    | Program.Return _ ->
+      [
+        continue cfg p ~objs:cfg.objs ~acc:cfg.acc ~hist:cfg.hist
+          ~glitches_left:cfg.glitches_left ~inv0 ~op_index ~started
+          ~steps:steps_done ~resps_rev ~todo node;
+      ]
     | Program.Invoke { obj; inv; k } ->
       let spec, _ = impl.Implementation.objects.(obj) in
       let port = impl.Implementation.port_map ~proc:p ~obj in
@@ -171,29 +293,48 @@ let step_alternatives impl cfg p =
           objs.(obj) <- q';
           let acc = Array.copy cfg.acc in
           acc.(obj) <- acc.(obj) + 1;
-          continue ~objs ~acc ~inv0 ~op_index ~started
-            ~steps:(steps_done + 1) ~resps_rev:(resp :: resps_rev) ~todo
-            (k resp))
-        alts
-  in
-  match pr.pending with
-  | Some pd ->
-    access ~inv0:pd.inv0 ~op_index:pd.op_index ~started:pd.started
-      ~steps_done:pd.steps_done ~resps_rev:pd.resps_rev ~todo:pr.todo pd.node
-  | None -> (
-    match pr.todo with
-    | [] -> []
-    | inv :: rest -> (
-      let prog = impl.Implementation.program ~proc:p ~inv pr.local in
-      match prog with
-      | Program.Return _ ->
-        [
-          continue ~objs:cfg.objs ~acc:cfg.acc ~inv0:inv ~op_index:pr.next_op
-            ~started:cfg.events ~steps:0 ~resps_rev:[] ~todo:rest prog;
-        ]
-      | Program.Invoke _ ->
-        access ~inv0:inv ~op_index:pr.next_op ~started:cfg.events
-          ~steps_done:0 ~resps_rev:[] ~todo:rest prog))
+          let hist = push_hist cfg obj q' in
+          continue cfg p ~objs ~acc ~hist ~glitches_left:cfg.glitches_left
+            ~inv0 ~op_index ~started ~steps:(steps_done + 1)
+            ~resps_rev:(resp :: resps_rev) ~todo (k resp))
+        alts)
+
+let glitch_alternatives impl cfg p =
+  if cfg.glitches_left <= 0 then []
+  else
+    match poised impl cfg p with
+    | None -> []
+    | Some (inv0, op_index, started, steps_done, resps_rev, todo, node) -> (
+      match node with
+      | Program.Return _ -> []
+      | Program.Invoke { obj; inv; k } -> (
+        match Faults.degradation_of cfg.faults obj with
+        | None -> []
+        | Some d ->
+          let spec, _ = impl.Implementation.objects.(obj) in
+          let port = impl.Implementation.port_map ~proc:p ~obj in
+          let q = cfg.objs.(obj) in
+          let alts_at qs =
+            try Type_spec.alternatives spec qs ~port ~inv
+            with Type_spec.Bad_step _ -> []
+          in
+          let resps =
+            Faults.glitch_responses ~alts:(alts_at q) ~alts_at ~q
+              ~hist:cfg.hist.(obj) d
+          in
+          List.filter_map
+            (fun resp ->
+              let acc = Array.copy cfg.acc in
+              acc.(obj) <- acc.(obj) + 1;
+              match
+                continue cfg p ~objs:cfg.objs ~acc ~hist:cfg.hist
+                  ~glitches_left:(cfg.glitches_left - 1) ~inv0 ~op_index
+                  ~started ~steps:(steps_done + 1)
+                  ~resps_rev:(resp :: resps_rev) ~todo (k resp)
+              with
+              | cfg' -> Some ((obj, inv, resp), cfg')
+              | exception Value.Type_error _ -> None)
+            resps))
 
 let leaf_of_cfg cfg =
   {
@@ -211,8 +352,9 @@ let leaf_of_cfg cfg =
    configuration merge; it keeps everything a timing-insensitive leaf
    predicate can observe: object states, per-process control (todo suffix,
    pending continuation identified by ⟨inv0, responses so far⟩, local state),
-   completed operations' values and step counts, the crash bookkeeping, and
-   the event/access totals (which also makes fuel and max-accesses accounting
+   completed operations' values and step counts, the fault bookkeeping
+   (crashed/stuck flags, remaining budgets, staleness histories), and the
+   event/access totals (which also makes fuel and max-accesses accounting
    exact — states at different depths never merge). The active sleep set is
    part of the key: combining sleep sets with state caching is only sound
    when a cached state was explored under the same (or smaller) sleep set,
@@ -263,6 +405,10 @@ let fingerprint ~sleep cfg =
       Value.list (List.map Value.int (Array.to_list cfg.acc));
       Value.list (List.map Value.bool (Array.to_list cfg.crashed));
       Value.int cfg.crashes_left;
+      Value.int cfg.recoveries_left;
+      Value.int cfg.glitches_left;
+      Value.list (List.map Value.bool (Array.to_list cfg.stuck));
+      Value.list (List.map Value.list (Array.to_list cfg.hist));
       Value.int sleep;
     ]
 
@@ -299,6 +445,46 @@ let independent nexts p q =
   | Acc a, Acc b -> a.obj <> b.obj && a.det && b.det
   | _ -> false
 
+(* --- graceful degradation ----------------------------------------------------
+
+   [budget] (configurations visited, across all domains) and [deadline]
+   (absolute wall clock) cut the whole exploration rather than a single
+   path: an exceeded limit raises [Cut], records why, and the final stats
+   carry [completeness = Partial _] — "not falsified within budget" instead
+   of a verdict. *)
+
+exception Cut
+
+type limiter = {
+  budget : int Atomic.t option;  (* remaining visits *)
+  deadline : float option;  (* absolute, Unix.gettimeofday scale *)
+  tripped : partial_reason option Atomic.t;
+}
+
+let make_limiter ?budget ?deadline_s () =
+  {
+    budget = Option.map Atomic.make budget;
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s;
+    tripped = Atomic.make None;
+  }
+
+let trip lim reason =
+  ignore (Atomic.compare_and_set lim.tripped None (Some reason))
+
+let check_limits lim =
+  (match lim.deadline with
+  | Some t when Unix.gettimeofday () > t ->
+    trip lim Deadline_exceeded;
+    raise Cut
+  | _ -> ());
+  match lim.budget with
+  | Some b ->
+    if Atomic.fetch_and_add b (-1) <= 0 then begin
+      trip lim Budget_exhausted;
+      raise Cut
+    end
+  | None -> ()
+
 (* --- the engine -------------------------------------------------------------- *)
 
 type counters = {
@@ -310,6 +496,7 @@ type counters = {
   mutable overflows : int;
   mutable pruned : int;
   mutable sleep_skips : int;
+  mutable overflow_trace : Faults.trace option;
 }
 
 let fresh_counters n_objs =
@@ -322,6 +509,7 @@ let fresh_counters n_objs =
     overflows = 0;
     pruned = 0;
     sleep_skips = 0;
+    overflow_trace = None;
   }
 
 let merge_counters a b =
@@ -334,14 +522,19 @@ let merge_counters a b =
     b.max_accesses;
   a.overflows <- a.overflows + b.overflows;
   a.pruned <- a.pruned + b.pruned;
-  a.sleep_skips <- a.sleep_skips + b.sleep_skips
+  a.sleep_skips <- a.sleep_skips + b.sleep_skips;
+  if a.overflow_trace = None then a.overflow_trace <- b.overflow_trace
 
-(* One node of the search: handle leaf/fuel/dedup bookkeeping in [c], then
-   hand each child configuration (with its sleep set) to [recurse]. Both the
-   sequential DFS and the frontier expansion are instances of this. *)
-let visit impl opts ~fuel ~visited c on_leaf ~recurse cfg sleep =
-  match enabled cfg with
-  | [] ->
+(* One node of the search: handle leaf/limits/fuel/dedup bookkeeping in [c],
+   then hand each child configuration (with its sleep set and extended
+   decision trace) to [recurse]. Both the sequential DFS and the frontier
+   expansion are instances of this. *)
+let visit impl opts ~fuel ~visited ~lim c on_leaf ~recurse cfg sleep trace_rev
+    =
+  let procs = enabled cfg in
+  let recs = recoverable cfg in
+  if lim.budget <> None || lim.deadline <> None then check_limits lim;
+  if procs = [] then begin
     c.leaves <- c.leaves + 1;
     if cfg.events > c.max_events then c.max_events <- cfg.events;
     List.iter
@@ -351,9 +544,16 @@ let visit impl opts ~fuel ~visited c on_leaf ~recurse cfg sleep =
     Array.iteri
       (fun i a -> if a > c.max_accesses.(i) then c.max_accesses.(i) <- a)
       cfg.acc;
-    on_leaf (leaf_of_cfg cfg)
-  | procs ->
-    if cfg.events >= fuel then c.overflows <- c.overflows + 1
+    on_leaf trace_rev (leaf_of_cfg cfg)
+  end;
+  if procs <> [] || recs <> [] then begin
+    if cfg.events >= fuel then begin
+      if procs <> [] then begin
+        c.overflows <- c.overflows + 1;
+        if c.overflow_trace = None then
+          c.overflow_trace <- Some (List.rev trace_rev)
+      end
+    end
     else
       let revisited =
         match visited with
@@ -371,10 +571,12 @@ let visit impl opts ~fuel ~visited c on_leaf ~recurse cfg sleep =
         let nexts =
           if opts.por then
             Array.init (Array.length cfg.procs) (fun p ->
-                if cfg.crashed.(p) then Pure else peek_step impl cfg p)
+                if cfg.crashed.(p) || cfg.stuck.(p) then Pure
+                else peek_step impl cfg p)
           else [||]
         in
         let explored = ref 0 in
+        let derail = Faults.can_derail cfg.faults in
         List.iter
           (fun p ->
             if sleep land (1 lsl p) <> 0 then
@@ -396,21 +598,43 @@ let visit impl opts ~fuel ~visited c on_leaf ~recurse cfg sleep =
                   !s
                 end
               in
-              List.iter
-                (fun cfg' ->
+              (match step_alternatives impl cfg p with
+              | alts ->
+                List.iteri
+                  (fun i cfg' ->
+                    c.nodes <- c.nodes + 1;
+                    recurse cfg' child_sleep
+                      ({ Faults.proc = p; kind = Faults.Step i } :: trace_rev))
+                  alts
+              | exception (Type_spec.Bad_step _ | Value.Type_error _)
+                when derail ->
+                c.nodes <- c.nodes + 1;
+                recurse (wedge cfg p) 0
+                  ({ Faults.proc = p; kind = Faults.Wedge } :: trace_rev));
+              List.iteri
+                (fun i ((_ : int * Value.t * Value.t), cfg') ->
                   c.nodes <- c.nodes + 1;
-                  recurse cfg' child_sleep)
-                (step_alternatives impl cfg p);
+                  recurse cfg' 0
+                    ({ Faults.proc = p; kind = Faults.Glitch i } :: trace_rev))
+                (glitch_alternatives impl cfg p);
               if cfg.crashes_left > 0 then begin
                 c.nodes <- c.nodes + 1;
                 recurse (crash cfg p) 0
+                  ({ Faults.proc = p; kind = Faults.Crash } :: trace_rev)
               end;
               explored := !explored lor (1 lsl p)
             end)
-          procs
+          procs;
+        List.iter
+          (fun p ->
+            c.nodes <- c.nodes + 1;
+            recurse (recover cfg p) 0
+              ({ Faults.proc = p; kind = Faults.Recover } :: trace_rev))
+          recs
       end
+  end
 
-let stats_of c ~domains_used =
+let stats_of c ~domains_used ~lim =
   {
     leaves = c.leaves;
     nodes = c.nodes;
@@ -421,25 +645,46 @@ let stats_of c ~domains_used =
     pruned = c.pruned;
     sleep_skips = c.sleep_skips;
     domains_used;
+    completeness =
+      (match Atomic.get lim.tripped with
+      | None -> Exhaustive
+      | Some reason -> Partial reason);
+    overflow_trace = c.overflow_trace;
   }
 
-let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?(options = naive)
-    ?(on_leaf = fun (_ : Exec.leaf) -> ()) () =
-  (* Sleep sets reason about base accesses only; a crash is a distinct
-     transition of the same process that they would wrongly put to sleep, so
-     POR is disabled whenever crash branching is on. *)
-  let opts = { options with por = options.por && max_crashes = 0 } in
+let resolve_faults ?faults ~max_crashes () =
+  match faults with
+  | Some f -> { f with Faults.max_crashes = max f.Faults.max_crashes max_crashes }
+  | None -> Faults.crashes max_crashes
+
+let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
+    ?deadline_s ?(options = naive) ?(on_leaf = fun (_ : Exec.leaf) -> ())
+    ?(on_leaf_trace = fun (_ : Faults.trace) (_ : Exec.leaf) -> ()) () =
+  let faults = resolve_faults ?faults ~max_crashes () in
+  (* Sleep sets reason about base accesses only; crashes, recoveries and
+     glitches are distinct transitions of the same process that they would
+     wrongly put to sleep, so POR is disabled whenever fault branching is
+     on. *)
+  let opts = { options with por = options.por && Faults.is_none faults } in
+  let lim = make_limiter ?budget ?deadline_s () in
+  let emit_leaf trace_rev leaf =
+    on_leaf leaf;
+    on_leaf_trace (List.rev trace_rev) leaf
+  in
   let n_objs = Array.length impl.Implementation.objects in
-  let root = { (initial_cfg impl ~workloads) with crashes_left = max_crashes } in
+  let root = with_faults (initial_cfg impl ~workloads) faults in
   let n_domains = max 1 opts.domains in
   if n_domains = 1 then begin
     let c = fresh_counters n_objs in
     let visited = if opts.dedup then Some (VH.create 4096) else None in
-    let rec go cfg sleep =
-      visit impl opts ~fuel ~visited c on_leaf ~recurse:go cfg sleep
+    let rec go cfg sleep trace_rev =
+      visit impl opts ~fuel ~visited ~lim c emit_leaf ~recurse:go cfg sleep
+        trace_rev
     in
-    (try go root 0 with Exec.Stop -> ());
-    stats_of c ~domains_used:1
+    (try go root 0 [] with
+    | Exec.Stop -> trip lim Stopped
+    | Cut -> ());
+    stats_of c ~domains_used:1 ~lim
   end
   else begin
     (* Fan-out: expand the top of the tree breadth-first until the frontier
@@ -449,8 +694,8 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?(options = naive)
     let c0 = fresh_counters n_objs in
     let expansion_visited = if opts.dedup then Some (VH.create 1024) else None in
     let target = n_domains * 4 in
-    let stopped_in_expansion = ref false in
-    let frontier = ref [ (root, 0) ] in
+    let cut_in_expansion = ref false in
+    let frontier = ref [ (root, 0, []) ] in
     (try
        let level = ref 0 in
        while
@@ -461,37 +706,44 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?(options = naive)
          incr level;
          let next = ref [] in
          List.iter
-           (fun (cfg, sleep) ->
-             visit impl opts ~fuel ~visited:expansion_visited c0 on_leaf
-               ~recurse:(fun cfg' sleep' -> next := (cfg', sleep') :: !next)
-               cfg sleep)
+           (fun (cfg, sleep, trace_rev) ->
+             visit impl opts ~fuel ~visited:expansion_visited ~lim c0 emit_leaf
+               ~recurse:(fun cfg' sleep' trace_rev' ->
+                 next := (cfg', sleep', trace_rev') :: !next)
+               cfg sleep trace_rev)
            !frontier;
          frontier := List.rev !next
        done
-     with Exec.Stop ->
-       stopped_in_expansion := true;
-       frontier := []);
+     with
+    | Exec.Stop ->
+      trip lim Stopped;
+      cut_in_expansion := true;
+      frontier := []
+    | Cut ->
+      cut_in_expansion := true;
+      frontier := []);
     let work = Array.of_list !frontier in
-    if !stopped_in_expansion || Array.length work = 0 then
-      stats_of c0 ~domains_used:1
+    if !cut_in_expansion || Array.length work = 0 then
+      stats_of c0 ~domains_used:1 ~lim
     else begin
       let next_item = Atomic.make 0 in
       let stop = Atomic.make false in
       let first_error : exn option Atomic.t = Atomic.make None in
       let leaf_mutex = Mutex.create () in
-      let on_leaf_sync leaf =
+      let emit_leaf_sync trace_rev leaf =
         Mutex.lock leaf_mutex;
         Fun.protect
           ~finally:(fun () -> Mutex.unlock leaf_mutex)
-          (fun () -> on_leaf leaf)
+          (fun () -> emit_leaf trace_rev leaf)
       in
       let n_workers = min n_domains (Array.length work) in
       let worker () =
         let c = fresh_counters n_objs in
         let visited = if opts.dedup then Some (VH.create 4096) else None in
-        let rec go cfg sleep =
+        let rec go cfg sleep trace_rev =
           if Atomic.get stop then raise Exec.Stop;
-          visit impl opts ~fuel ~visited c on_leaf_sync ~recurse:go cfg sleep
+          visit impl opts ~fuel ~visited ~lim c emit_leaf_sync ~recurse:go cfg
+            sleep trace_rev
         in
         (try
            let continue = ref true in
@@ -499,12 +751,15 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?(options = naive)
              let i = Atomic.fetch_and_add next_item 1 in
              if i >= Array.length work || Atomic.get stop then continue := false
              else begin
-               let cfg, sleep = work.(i) in
-               go cfg sleep
+               let cfg, sleep, trace_rev = work.(i) in
+               go cfg sleep trace_rev
              end
            done
          with
-        | Exec.Stop -> Atomic.set stop true
+        | Exec.Stop ->
+          trip lim Stopped;
+          Atomic.set stop true
+        | Cut -> Atomic.set stop true
         | e ->
           ignore (Atomic.compare_and_set first_error None (Some e));
           Atomic.set stop true);
@@ -513,6 +768,6 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?(options = naive)
       let handles = Array.init n_workers (fun _ -> Domain.spawn worker) in
       Array.iter (fun h -> merge_counters c0 (Domain.join h)) handles;
       (match Atomic.get first_error with Some e -> raise e | None -> ());
-      stats_of c0 ~domains_used:n_workers
+      stats_of c0 ~domains_used:n_workers ~lim
     end
   end

@@ -60,6 +60,19 @@ val parallel : ?domains:int -> unit -> options
 (** [fast] plus a domain pool (default:
     [Domain.recommended_domain_count () - 1], at least 2). *)
 
+type partial_reason =
+  | Budget_exhausted  (** the [?budget] node allowance ran out *)
+  | Deadline_exceeded  (** the [?deadline_s] wall-clock limit passed *)
+  | Stopped  (** [on_leaf]/[on_leaf_trace] raised {!Exec.Stop} *)
+
+type completeness =
+  | Exhaustive  (** every reachable behaviour was covered *)
+  | Partial of partial_reason
+      (** the search was cut: absence of a violation is {e not} a verdict *)
+
+val pp_partial_reason : Format.formatter -> partial_reason -> unit
+val pp_completeness : Format.formatter -> completeness -> unit
+
 type stats = {
   leaves : int;  (** complete executions actually visited *)
   nodes : int;  (** scheduling events actually executed over the tree *)
@@ -70,6 +83,10 @@ type stats = {
   pruned : int;  (** subtrees cut by duplicate-state pruning *)
   sleep_skips : int;  (** sibling subtrees skipped by the sleep-set rule *)
   domains_used : int;  (** workers that actually explored subtrees *)
+  completeness : completeness;
+  overflow_trace : Faults.trace option;
+      (** decision trace of the first fuel-overflowing path — a replayable
+          non-wait-freedom suspect *)
 }
 
 val to_exec_stats : stats -> Exec.stats
@@ -81,13 +98,34 @@ val run :
   workloads:Value.t list array ->
   ?fuel:int ->
   ?max_crashes:int ->
+  ?faults:Faults.t ->
+  ?budget:int ->
+  ?deadline_s:float ->
   ?options:options ->
   ?on_leaf:(Exec.leaf -> unit) ->
+  ?on_leaf_trace:(Faults.trace -> Exec.leaf -> unit) ->
   unit ->
   stats
 (** Drop-in replacement for {!Exec.explore} (defaults: [fuel = 10_000],
     [max_crashes = 0], [options = naive]). [on_leaf] may raise {!Exec.Stop}
     to abort early — with [domains > 1] the other workers stop at their next
-    node; statistics then reflect the explored prefix. Any other exception
-    raised by [on_leaf] aborts the exploration and is re-raised (on the
-    calling domain when parallel). *)
+    node; statistics then reflect the explored prefix
+    ([completeness = Partial Stopped]). Any other exception raised by
+    [on_leaf] aborts the exploration and is re-raised (on the calling domain
+    when parallel).
+
+    [faults] supplies a full fault adversary ({!Faults.t}, generalizing
+    [max_crashes] — see {!Exec.explore}); POR is switched off automatically
+    whenever any fault branching is on (crash/recovery/glitch transitions
+    are per-process moves the sleep-set rule does not commute).
+
+    [on_leaf_trace] additionally receives each leaf's decision
+    {!Faults.trace} — the path identifier that {!Exec.replay} re-executes;
+    it runs right after [on_leaf] under the same serialization.
+
+    [budget] bounds the configurations visited and [deadline_s] the wall
+    clock, {e across all domains}: when either trips, the whole exploration
+    stops promptly (it never hangs) and [stats.completeness] reports
+    [Partial Budget_exhausted]/[Partial Deadline_exceeded]. Exploration is
+    then a three-valued procedure: a violation found, exhaustively clean, or
+    {e unknown within budget}. *)

@@ -1,0 +1,171 @@
+open Wfc_spec
+open Wfc_program
+
+type degradation = Safe_reads of Value.t list | Stale_reads of int
+
+type t = {
+  max_crashes : int;
+  max_recoveries : int;
+  max_glitches : int;
+  degraded : (int * degradation) list;
+}
+
+let none =
+  { max_crashes = 0; max_recoveries = 0; max_glitches = 0; degraded = [] }
+
+let crashes k =
+  if k < 0 then invalid_arg "Faults.crashes: negative budget";
+  { none with max_crashes = k }
+
+let crash_recovery ~crashes ~recoveries =
+  if crashes < 0 || recoveries < 0 then
+    invalid_arg "Faults.crash_recovery: negative budget";
+  { none with max_crashes = crashes; max_recoveries = recoveries }
+
+let degrade ~glitches degraded =
+  if glitches < 0 then invalid_arg "Faults.degrade: negative budget";
+  { none with max_glitches = glitches; degraded }
+
+let degrade_all impl ~glitches mode =
+  let degraded =
+    Array.to_list impl.Implementation.objects
+    |> List.mapi (fun obj (spec, _) ->
+           match mode with
+           | `Stale depth -> Some (obj, Stale_reads depth)
+           | `Safe -> (
+             match spec.Type_spec.responses with
+             | Some domain -> Some (obj, Safe_reads domain)
+             | None -> None))
+    |> List.filter_map Fun.id
+  in
+  degrade ~glitches degraded
+
+let is_none f =
+  f.max_crashes = 0 && f.max_recoveries = 0
+  && (f.max_glitches = 0 || f.degraded = [])
+
+(* Crash-recovery restarts an operation against dirty state, and glitched
+   reads hand programs responses they were never written to expect: both can
+   push a program onto an invocation its base object has disabled, or onto a
+   local state it cannot decode. Pure crashes cannot — a crashed prefix is a
+   prefix of some fault-free execution. *)
+let can_derail f = f.max_recoveries > 0 || (f.max_glitches > 0 && f.degraded <> [])
+
+let degradation_of f obj = List.assoc_opt obj f.degraded
+
+let tracks_history f obj =
+  match degradation_of f obj with Some (Stale_reads _) -> true | _ -> false
+
+let stale_depth f obj =
+  match degradation_of f obj with Some (Stale_reads d) -> d | _ -> 0
+
+let pp_degradation ppf = function
+  | Safe_reads domain ->
+    Fmt.pf ppf "safe %a" Fmt.(list ~sep:(any "|") Value.pp) domain
+  | Stale_reads depth -> Fmt.pf ppf "stale %d" depth
+
+let pp ppf f =
+  if is_none f then Fmt.string ppf "no faults"
+  else
+    Fmt.pf ppf "crashes=%d recoveries=%d glitches=%d%a" f.max_crashes
+      f.max_recoveries f.max_glitches
+      Fmt.(
+        list ~sep:nop (fun ppf (obj, d) ->
+            Fmt.pf ppf " obj%d:%a" obj pp_degradation d))
+      f.degraded
+
+(* --- glitched read responses ------------------------------------------------
+
+   A glitch may replace the response of a *pure read*: an access all of whose
+   honest alternatives leave the object state unchanged. (Mutating accesses
+   are never glitched — Lamport's safe/regular relaxations only weaken what
+   readers observe.) [Safe_reads] draws from the declared response domain,
+   [Stale_reads] recomputes the access against up to [depth] overwritten past
+   states. Responses an honest alternative could already return are filtered
+   out so glitch branches are genuinely new behaviour. *)
+let glitch_responses ~alts ~alts_at ~q ~hist d =
+  let pure_read =
+    alts <> [] && List.for_all (fun (q', _) -> Value.equal q' q) alts
+  in
+  if not pure_read then []
+  else
+    let honest = List.map snd alts in
+    let candidates =
+      match d with
+      | Safe_reads domain -> domain
+      | Stale_reads depth ->
+        List.concat_map
+          (fun qs -> List.map snd (alts_at qs))
+          (List.filteri (fun i _ -> i < depth) hist)
+    in
+    let seen = ref [] in
+    List.iter
+      (fun r ->
+        if
+          (not (List.exists (Value.equal r) honest))
+          && not (List.exists (Value.equal r) !seen)
+        then seen := r :: !seen)
+      candidates;
+    List.rev !seen
+
+(* --- decision traces -------------------------------------------------------- *)
+
+type kind = Step of int | Glitch of int | Crash | Recover | Wedge
+type decision = { proc : int; kind : kind }
+type trace = decision list
+
+let pp_decision ppf { proc; kind } =
+  match kind with
+  | Step i -> Fmt.pf ppf "p%d.s%d" proc i
+  | Glitch i -> Fmt.pf ppf "p%d.g%d" proc i
+  | Crash -> Fmt.pf ppf "p%d.c" proc
+  | Recover -> Fmt.pf ppf "p%d.r" proc
+  | Wedge -> Fmt.pf ppf "p%d.x" proc
+
+let pp_trace ppf trace =
+  if trace = [] then Fmt.string ppf "(empty)"
+  else Fmt.(hbox (list ~sep:sp pp_decision)) ppf trace
+
+let decision_to_string d = Fmt.str "%a" pp_decision d
+
+let decision_of_string s =
+  let fail () = Error (Fmt.str "bad decision %S (expected e.g. p0.s1)" s) in
+  match String.index_opt s '.' with
+  | None -> fail ()
+  | Some dot -> (
+    if dot < 2 || s.[0] <> 'p' || dot + 1 >= String.length s then fail ()
+    else
+      match int_of_string_opt (String.sub s 1 (dot - 1)) with
+      | None -> fail ()
+      | Some proc -> (
+        let rest = String.sub s (dot + 1) (String.length s - dot - 1) in
+        let indexed c =
+          if String.length rest > 1 && rest.[0] = c then
+            int_of_string_opt (String.sub rest 1 (String.length rest - 1))
+          else None
+        in
+        match rest with
+        | "c" -> Ok { proc; kind = Crash }
+        | "r" -> Ok { proc; kind = Recover }
+        | "x" -> Ok { proc; kind = Wedge }
+        | _ -> (
+          match (indexed 's', indexed 'g') with
+          | Some i, _ -> Ok { proc; kind = Step i }
+          | _, Some i -> Ok { proc; kind = Glitch i }
+          | None, None -> fail ())))
+
+let trace_to_string trace =
+  String.concat " " (List.map decision_to_string trace)
+
+let trace_of_string s =
+  let words =
+    String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest -> (
+      match decision_of_string w with
+      | Ok d -> go (d :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] words

@@ -1,0 +1,112 @@
+(** Fault adversaries and decision traces.
+
+    Wait-freedom is a robustness claim: the paper's constructions must stay
+    correct when processes stall or crash between base accesses (Sections 2
+    and 4.2), and related work shows correctness is sensitive to {e how much}
+    the substrate misbehaves (regular-vs-atomic register relaxations). A
+    value of {!t} describes an adversary — how many mid-operation crashes,
+    crash-{e recoveries} (a crashed process restarts its pending operation
+    from scratch against the dirty shared state) and degraded-read glitches
+    it may inject, and which base objects are degraded. {!Exec.explore} and
+    {!Explore.run} take the adversary as a first-class parameter and branch
+    the execution tree on every injection point.
+
+    Every explored path is identified by its {!trace}: the sequence of
+    {!decision}s (which process moved, and whether the event was an honest
+    step, a glitched read, a crash, a recovery, or a wedge). Traces are what
+    make counterexamples replayable ({!Exec.replay}) and shrinkable
+    ({!Witness.shrink}); they serialize to a compact text form
+    ([p0.s1 p1.c p0.g0 …]). *)
+
+open Wfc_spec
+open Wfc_program
+
+type degradation =
+  | Safe_reads of Value.t list
+      (** Lamport-safe behaviour: a read overlapping other activity may
+          return {e any} value from the given response domain (cf.
+          {!Wfc_zoo.Weak_register}). *)
+  | Stale_reads of int
+      (** Bounded staleness: a read may answer as if executed against one of
+          the [k] most recently overwritten states of the object. *)
+
+type t = {
+  max_crashes : int;  (** mid-operation stopping failures (≥ 0) *)
+  max_recoveries : int;
+      (** crashed processes that may restart their interrupted operation
+          from scratch — local effects rolled back, shared effects not *)
+  max_glitches : int;  (** degraded-read events across all degraded objects *)
+  degraded : (int * degradation) list;
+      (** base objects (by index) subject to read glitches *)
+}
+
+val none : t
+(** The empty adversary: clean runs, exactly the pre-fault semantics. *)
+
+val crashes : int -> t
+(** Crash-only adversary; [crashes k] subsumes the legacy [max_crashes:k]. *)
+
+val crash_recovery : crashes:int -> recoveries:int -> t
+
+val degrade : glitches:int -> (int * degradation) list -> t
+
+val degrade_all :
+  Implementation.t -> glitches:int -> [ `Safe | `Stale of int ] -> t
+(** Degrades every base object of the implementation. [`Safe] applies only
+    to objects with a declared finite response domain. *)
+
+val is_none : t -> bool
+
+val can_derail : t -> bool
+(** Whether this adversary can push a program off its specified envelope
+    (onto a disabled invocation or an undecodable response) — true when
+    recoveries or effective glitches are available. The engines then turn a
+    [Type_spec.Bad_step] / [Value.Type_error] raised by a process into a
+    {e wedged} process (out of the enabled set forever) rather than an
+    exploration error. *)
+
+val degradation_of : t -> int -> degradation option
+val tracks_history : t -> int -> bool
+val stale_depth : t -> int -> int
+
+val glitch_responses :
+  alts:(Value.t * Value.t) list ->
+  alts_at:(Value.t -> (Value.t * Value.t) list) ->
+  q:Value.t ->
+  hist:Value.t list ->
+  degradation ->
+  Value.t list
+(** The glitched responses available for one access: [alts] are the honest
+    alternatives at the current state [q], [alts_at] recomputes alternatives
+    at a historic state, [hist] is the object's overwritten-states history
+    (most recent first). Empty unless the access is a {e pure read} (every
+    honest alternative leaves the state unchanged); honest responses and
+    duplicates are filtered out. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_degradation : Format.formatter -> degradation -> unit
+
+(** {1 Decision traces} *)
+
+type kind =
+  | Step of int  (** honest step, resolving to the i-th alternative *)
+  | Glitch of int  (** glitched read, the i-th available glitch response *)
+  | Crash
+  | Recover
+  | Wedge
+      (** the process's next step raised [Bad_step]/[Type_error] under an
+          adversary that {!can_derail}: it is stuck forever *)
+
+type decision = { proc : int; kind : kind }
+
+type trace = decision list
+(** Root-to-leaf list of decisions — a path identifier for the execution
+    tree, sufficient to deterministically re-execute the path
+    ({!Exec.replay}). *)
+
+val pp_decision : Format.formatter -> decision -> unit
+val pp_trace : Format.formatter -> trace -> unit
+val decision_to_string : decision -> string
+val decision_of_string : string -> (decision, string) result
+val trace_to_string : trace -> string
+val trace_of_string : string -> (trace, string) result

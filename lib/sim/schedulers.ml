@@ -26,6 +26,8 @@ let random rng =
     pick_alt = (fun ~n ~step:_ -> Random.State.int rng n);
   }
 
+exception Stalled = Exec.Stalled
+
 let crash rng ~dead =
   let base = random rng in
   {
@@ -33,7 +35,7 @@ let crash rng ~dead =
     pick_proc =
       (fun ~enabled ~step ->
         match List.filter (fun p -> not (List.mem p dead)) enabled with
-        | [] -> base.pick_proc ~enabled ~step
+        | [] -> raise Stalled
         | alive -> base.pick_proc ~enabled:alive ~step);
   }
 

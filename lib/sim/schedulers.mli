@@ -16,12 +16,18 @@ val round_robin : t
 val random : Random.State.t -> t
 (** Uniform among enabled processes and among alternatives. *)
 
+exception Stalled
+(** Alias of {!Exec.Stalled}: a scheduler raises it from [pick_proc] to
+    declare the execution stalled; {!Exec.run} then stops gracefully and
+    returns the partial execution instead of burning fuel. *)
+
 val crash : Random.State.t -> dead:int list -> t
 (** Like {!random} but never schedules the processes in [dead] — they have
     crashed before taking a single step. Wait-freedom demands the rest still
-    terminate. If all enabled processes are dead the execution cannot
-    proceed; {!Exec.run} will report fuel exhaustion — avoid by giving dead
-    processes empty workloads instead when they must crash {e initially}. *)
+    terminate. When {e only} dead processes remain enabled the execution
+    cannot proceed: the scheduler raises {!Stalled} and {!Exec.run} returns
+    the partial execution as its leaf (dead processes' unfinished operations
+    simply never appear in [ops]). *)
 
 val handicap : Random.State.t -> slow:int list -> bias:int -> t
 (** Adversarial slow-down: processes in [slow] are only scheduled when no

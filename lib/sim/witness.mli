@@ -1,0 +1,61 @@
+(** Replayable, shrinkable counterexample witnesses.
+
+    A witness is everything needed to deterministically re-execute one bad
+    path of an exploration: the per-process workloads, the fault adversary
+    in force, and the decision {!Faults.trace} identifying the path.
+    Violations reported by {!Wfc_consensus.Check},
+    {!Wfc_consensus.Access_bounds} and {!Wfc_linearize.Register_props} carry
+    one; the [wfc replay] CLI subcommand pretty-prints a stored witness
+    event by event.
+
+    {!shrink} minimizes a witness by delta debugging before it is reported:
+    drop whole participants, drop trailing invocations, ddmin the decision
+    trace, and trim the fault budgets to what the trace actually uses —
+    each candidate validated by re-search or replay against the caller's
+    badness predicate. *)
+
+open Wfc_spec
+open Wfc_program
+
+type t = {
+  workloads : Value.t list array;
+  faults : Faults.t;
+  trace : Faults.trace;
+  meta : (string * string) list;
+      (** free-form context (e.g. protocol name) carried through
+          serialization — not consulted by replay *)
+}
+
+val make :
+  ?meta:(string * string) list ->
+  workloads:Value.t list array ->
+  faults:Faults.t ->
+  Faults.trace ->
+  t
+
+val replay :
+  Implementation.t ->
+  ?on_event:(Exec.event -> unit) ->
+  t ->
+  (Exec.leaf, string) result
+(** {!Exec.replay} with the witness's workloads, adversary and trace. *)
+
+val shrink :
+  Implementation.t ->
+  bad:(workloads:Value.t list array -> Exec.leaf -> bool) ->
+  ?budget:int ->
+  t ->
+  t
+(** Greedy fixpoint minimization. [bad] decides whether a leaf (of a
+    possibly partial replay, under possibly changed workloads) still
+    exhibits the violation; [budget] (default [50_000]) bounds each
+    re-search for a bad path in a shrunk scenario. The result always
+    replays to a leaf satisfying [bad]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Line-oriented text format ([wfc-witness/1] header), suitable for
+    storing to a file; inverse of {!of_string}. *)
+
+val of_string : string -> (t, string) result

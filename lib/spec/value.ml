@@ -56,6 +56,101 @@ let rec pp ppf = function
 
 let to_string v = Fmt.str "%a" pp v
 
+(* Parser for the grammar [pp] prints: "()", "true"/"false", integers,
+   "(a, b)", "[a; b; …]", and bare symbol atoms. Symbols round-trip as long
+   as they avoid the delimiter characters — true for every symbol in this
+   library (e.g. "test-and-set", "write-start"). *)
+exception Parse of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Fmt.str "%s at position %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      match peek () with Some (' ' | '\t' | '\n') -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> fail (Fmt.str "expected '%c'" c)
+  in
+  let is_digit c = '0' <= c && c <= '9' in
+  let is_atom_char c =
+    match c with
+    | '(' | ')' | '[' | ']' | ',' | ';' | ' ' | '\t' | '\n' | '|' -> false
+    | _ -> true
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '(' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ')' then begin
+        incr pos;
+        Unit
+      end
+      else begin
+        let a = value () in
+        skip_ws ();
+        expect ',';
+        let b = value () in
+        skip_ws ();
+        expect ')';
+        Pair (a, b)
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        List []
+      end
+      else begin
+        let items = ref [ value () ] in
+        skip_ws ();
+        while peek () = Some ';' do
+          incr pos;
+          items := value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some c when is_digit c || (c = '-' && !pos + 1 < n && is_digit s.[!pos + 1])
+      ->
+      let start = !pos in
+      if c = '-' then incr pos;
+      while (match peek () with Some d -> is_digit d | None -> false) do
+        incr pos
+      done;
+      Int (int_of_string (String.sub s start (!pos - start)))
+    | Some c when is_atom_char c ->
+      let start = !pos in
+      while (match peek () with Some d -> is_atom_char d | None -> false) do
+        incr pos
+      done;
+      (match String.sub s start (!pos - start) with
+      | "true" -> Bool true
+      | "false" -> Bool false
+      | atom -> Sym atom)
+    | Some c -> fail (Fmt.str "unexpected character '%c'" c)
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error (Fmt.str "Value.of_string: %s in %S" msg s)
+
 let unit = Unit
 let bool b = Bool b
 let int i = Int i

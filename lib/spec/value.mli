@@ -25,6 +25,13 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+val of_string : string -> (t, string) result
+(** Parses the concrete syntax printed by {!pp} — ["()"], booleans,
+    integers, ["(a, b)"], ["[a; b]"] and bare symbol atoms. Inverse of
+    {!to_string} for every value whose symbols avoid the delimiter
+    characters [()[],;|] and whitespace (true of all symbols in this
+    library). Used to deserialize stored counterexample witnesses. *)
+
 (** {1 Constructors} *)
 
 val unit : t

@@ -10,6 +10,15 @@ let expect_ok name = function
   | Ok r -> r
   | Error v -> Alcotest.failf "%s: %a" name Check.pp_violation v
 
+(* collapse the three-valued verdict: no test here sets a budget/deadline,
+   so Unknown is unreachable *)
+let verify ?subsets ?repeat ?max_crashes ?fuel impl =
+  Check.result_exn (Check.verify ?subsets ?repeat ?max_crashes ?fuel impl)
+
+let verify_values ~domain ?subsets ?repeat ?max_crashes ?fuel impl =
+  Check.result_exn
+    (Check.verify_values ~domain ?subsets ?repeat ?max_crashes ?fuel impl)
+
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
@@ -18,13 +27,13 @@ let contains haystack needle =
 (* --- protocol correctness (exhaustive, incl. subsets and repeats) --------- *)
 
 let verify_protocol name impl () =
-  let report = expect_ok name (Check.verify impl) in
+  let report = expect_ok name (verify impl) in
   Alcotest.(check bool) "checked several vectors" true (report.Check.vectors > 2);
   Alcotest.(check bool) "explored executions" true (report.Check.executions > 0)
 
 let test_cas_three_procs () =
   let report =
-    expect_ok "cas3" (Check.verify (Protocols.from_cas ~procs:3 ()))
+    expect_ok "cas3" (verify (Protocols.from_cas ~procs:3 ()))
   in
   (* subsets: 7 non-empty subsets; inputs 2^|S| → 2*3 + 4*3 + 8 = 26 vectors *)
   Alcotest.(check int) "vector count" 26 report.Check.vectors
@@ -32,10 +41,10 @@ let test_cas_three_procs () =
 let test_sticky_four_procs () =
   ignore
     (expect_ok "sticky4"
-       (Check.verify ~subsets:false (Protocols.from_sticky ~procs:4 ())))
+       (verify ~subsets:false (Protocols.from_sticky ~procs:4 ())))
 
 let test_broken_register_only () =
-  match Check.verify (Protocols.broken_register_only ()) with
+  match verify (Protocols.broken_register_only ()) with
   | Ok _ -> Alcotest.fail "register-only consensus cannot be correct"
   | Error v ->
     Alcotest.(check bool) "agreement or validity broken" true
@@ -90,7 +99,7 @@ let spinning_consensus () =
     ~program ()
 
 let test_spinning_not_wait_free () =
-  match Check.verify ~fuel:200 (spinning_consensus ()) with
+  match verify ~fuel:200 (spinning_consensus ()) with
   | Ok _ -> Alcotest.fail "spinning protocol must be flagged"
   | Error v ->
     Alcotest.(check bool) "flagged as not wait-free" true
@@ -175,7 +184,7 @@ let int_domain n = List.init n Value.int
 
 let test_multivalued_exhaustive () =
   let impl = Multivalued.from_binary ~procs:2 ~values:3 () in
-  match Check.verify_values ~domain:(int_domain 3) impl with
+  match verify_values ~domain:(int_domain 3) impl with
   | Ok r ->
     (* subsets {0},{1},{0,1} × 3^|S| inputs = 3+3+9 = 15 vectors *)
     Alcotest.(check int) "vectors" 15 r.Check.vectors
@@ -184,21 +193,21 @@ let test_multivalued_exhaustive () =
 let test_multivalued_four_values () =
   let impl = Multivalued.from_binary ~procs:2 ~values:4 () in
   match
-    Check.verify_values ~domain:(int_domain 4) ~subsets:false ~repeat:false impl
+    verify_values ~domain:(int_domain 4) ~subsets:false ~repeat:false impl
   with
   | Ok _ -> ()
   | Error v -> Alcotest.failf "values=4: %a" Check.pp_violation v
 
 let test_multivalued_announce_bits () =
   let impl = Multivalued.from_binary ~announce_bits:true ~procs:2 ~values:2 () in
-  match Check.verify_values ~domain:(int_domain 2) impl with
+  match verify_values ~domain:(int_domain 2) impl with
   | Ok _ -> ()
   | Error v -> Alcotest.failf "announce bits: %a" Check.pp_violation v
 
 let test_multivalued_crashes () =
   let impl = Multivalued.from_binary ~procs:2 ~values:3 () in
   match
-    Check.verify_values ~domain:(int_domain 3) ~subsets:false ~repeat:false
+    verify_values ~domain:(int_domain 3) ~subsets:false ~repeat:false
       ~max_crashes:1 impl
   with
   | Ok _ -> ()
@@ -217,7 +226,7 @@ let test_multivalued_over_tas_protocol () =
          ~announce_bits:false)
   in
   match
-    Check.verify_values ~domain:(int_domain 2) ~subsets:false ~repeat:false
+    verify_values ~domain:(int_domain 2) ~subsets:false ~repeat:false
       composed
   with
   | Ok _ -> ()
@@ -345,7 +354,7 @@ let test_protocols_survive_midop_crashes () =
      process left behind *)
   List.iter
     (fun (name, impl) ->
-      match Check.verify ~subsets:false ~repeat:false ~max_crashes:1 impl with
+      match verify ~subsets:false ~repeat:false ~max_crashes:1 impl with
       | Ok r ->
         Alcotest.(check bool)
           (name ^ ": crashes explored") true
@@ -362,7 +371,7 @@ let test_protocols_survive_midop_crashes () =
 
 let test_cas3_survives_two_crashes () =
   match
-    Check.verify ~subsets:false ~repeat:false ~max_crashes:2
+    verify ~subsets:false ~repeat:false ~max_crashes:2
       (Protocols.from_cas ~procs:3 ())
   with
   | Ok _ -> ()
@@ -428,12 +437,12 @@ let test_fragile_protocol_caught_by_crashes () =
      first-class crash scenario rather than a starved-schedule suspicion.
      Both must flag it. *)
   (match
-     Check.verify ~subsets:false ~repeat:false ~fuel:500 (fragile_consensus ())
+     verify ~subsets:false ~repeat:false ~fuel:500 (fragile_consensus ())
    with
   | Ok _ -> Alcotest.fail "starvation schedules must already expose the spin"
   | Error _ -> ());
   match
-    Check.verify ~subsets:false ~repeat:false ~max_crashes:1 ~fuel:500
+    verify ~subsets:false ~repeat:false ~max_crashes:1 ~fuel:500
       (fragile_consensus ())
   with
   | Ok _ -> Alcotest.fail "crash injection must expose the hang"
@@ -518,7 +527,7 @@ let test_universal_closes_loop () =
   let composed = Implementation.substitute ~obj:0 ~replacement:uqueue base in
   ignore
     (expect_ok "consensus over universal queue"
-       (Check.verify ~subsets:true ~repeat:false composed))
+       (verify ~subsets:true ~repeat:false composed))
 
 let () =
   Alcotest.run "wfc_consensus"

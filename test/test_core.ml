@@ -186,7 +186,7 @@ let test_bounded_bit_access_shape () =
       ~pick_alt:(fun ~n:_ ~step:_ -> 0)
       ~on_event:(function
         | Wfc_sim.Exec.Completed _ -> incr pos
-        | Wfc_sim.Exec.Access _ -> ())
+        | _ -> ())
       ()
   in
   (match leaf.Wfc_sim.Exec.ops with
@@ -466,7 +466,9 @@ let compile_and_verify ~name ~strategy source =
     0
     (Implementation.count_objects_where report.Theorem5.compiled
        ~pred:(fun s -> String.equal s.Type_spec.name "atomic-bit"));
-  (match Wfc_consensus.Check.verify report.Theorem5.compiled with
+  (match Wfc_consensus.Check.result_exn
+           (Wfc_consensus.Check.verify report.Theorem5.compiled)
+   with
   | Ok _ -> ()
   | Error v ->
     Alcotest.failf "%s: compiled implementation wrong: %a" name
@@ -597,12 +599,16 @@ let test_universal_three_procs_random () =
 
 let test_cas_ids_protocol_correct () =
   (* the compiler's n=3 source is itself a correct protocol *)
-  (match Wfc_consensus.Check.verify (Wfc_consensus.Protocols.from_cas_ids ~procs:2 ()) with
+  (match Wfc_consensus.Check.result_exn
+           (Wfc_consensus.Check.verify
+              (Wfc_consensus.Protocols.from_cas_ids ~procs:2 ()))
+   with
   | Ok _ -> ()
   | Error v -> Alcotest.failf "n=2: %a" Wfc_consensus.Check.pp_violation v);
   match
-    Wfc_consensus.Check.verify ~subsets:false ~repeat:false
-      (Wfc_consensus.Protocols.from_cas_ids ~procs:3 ())
+    Wfc_consensus.Check.result_exn
+      (Wfc_consensus.Check.verify ~subsets:false ~repeat:false
+         (Wfc_consensus.Protocols.from_cas_ids ~procs:3 ()))
   with
   | Ok r -> Alcotest.(check int) "8 vectors" 8 r.Wfc_consensus.Check.vectors
   | Error v -> Alcotest.failf "n=3: %a" Wfc_consensus.Check.pp_violation v

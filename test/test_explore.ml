@@ -329,20 +329,24 @@ let test_parallel_stop_and_errors () =
 let test_consensus_verdict_equivalence () =
   let open Wfc_consensus in
   let ok_naive =
-    Check.verify ~engine:Wfc_sim.Explore.naive (Protocols.from_tas ())
+    Check.result_exn
+      (Check.verify ~engine:Wfc_sim.Explore.naive (Protocols.from_tas ()))
   in
   let ok_fast =
-    Check.verify ~engine:Wfc_sim.Explore.fast (Protocols.from_tas ())
+    Check.result_exn
+      (Check.verify ~engine:Wfc_sim.Explore.fast (Protocols.from_tas ()))
   in
   Alcotest.(check bool) "tas: both verdicts Ok" true
     (Result.is_ok ok_naive && Result.is_ok ok_fast);
   let bad_naive =
-    Check.verify ~engine:Wfc_sim.Explore.naive
-      (Protocols.broken_register_only ())
+    Check.result_exn
+      (Check.verify ~engine:Wfc_sim.Explore.naive
+         (Protocols.broken_register_only ()))
   in
   let bad_fast =
-    Check.verify ~engine:Wfc_sim.Explore.fast
-      (Protocols.broken_register_only ())
+    Check.result_exn
+      (Check.verify ~engine:Wfc_sim.Explore.fast
+         (Protocols.broken_register_only ()))
   in
   Alcotest.(check bool) "broken: both verdicts Error" true
     (Result.is_error bad_naive && Result.is_error bad_fast)

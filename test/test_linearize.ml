@@ -196,7 +196,9 @@ let test_regular_not_atomic () =
       ~workloads ()
   with
   | Ok _ -> ()
-  | Error e -> Alcotest.failf "regularity should hold: %s" e
+  | Error v ->
+    Alcotest.failf "regularity should hold: %a"
+      Wfc_linearize.Register_props.pp_violation v
 
 (* --- safe/regular checkers on hand-made histories -------------------------- *)
 

@@ -180,7 +180,9 @@ let prop_theorem5_on_random_types =
         with
         | Error _ -> false
         | Ok r ->
-          Result.is_ok (Wfc_consensus.Check.verify r.Theorem5.compiled)))
+          Result.is_ok
+            (Wfc_consensus.Check.result_exn
+               (Wfc_consensus.Check.verify r.Theorem5.compiled))))
 
 (* sequential-history sanity for generated specs: deterministic runs exist
    for all invocation sequences *)
