@@ -550,6 +550,200 @@ let fault_injection_report () =
   close_out oc;
   Fmt.pr "wrote BENCH_faults.json@.@."
 
+(* --- LZ: linearizability engines (per-leaf vs incremental vs compositional) ---
+
+   One timed Engine.verify per ⟨workload, checking mode⟩, dumped as
+   BENCH_linearize.json. The metric that matters is [transitions] — spec
+   alternatives enumerated — which the fused incremental engine is built to
+   cut by sharing frontier work across sibling leaves. The report doubles as
+   a guard: verdicts must agree across all three modes on every workload, and
+   the incremental modes may never enumerate MORE transitions than per-leaf;
+   any breach makes the runner exit nonzero (the CI step runs
+   `bench/main.exe lz`). *)
+
+module Engine = Wfc_linearize.Engine
+
+let lz_bit_from_two_bits ~procs =
+  let b = Register.bit ~ports:procs in
+  Implementation.make ~target:b ~procs
+    ~objects:[ (b, Value.falsity); (b, Value.falsity) ]
+    ~program:(fun ~proc:_ ~inv local ->
+      let open Program.Syntax in
+      match inv with
+      | Value.Sym "read" ->
+        let+ v = Program.invoke ~obj:1 Ops.read in
+        (v, local)
+      | Value.Pair (Value.Sym "write", v) ->
+        let* _ = Program.invoke ~obj:0 (Ops.write v) in
+        let+ _ = Program.invoke ~obj:1 (Ops.write v) in
+        (Ops.ok, local)
+      | _ -> assert false)
+    ()
+
+(* Non-linearizable on purpose (torn write: v+1 then v into a 3-valued
+   register) — exercises the violation path of all three modes. *)
+let lz_torn_write_reg ~procs =
+  let reg = Register.bounded ~ports:procs ~values:3 in
+  Implementation.make ~target:reg ~procs
+    ~objects:[ (reg, Value.int 0) ]
+    ~program:(fun ~proc:_ ~inv local ->
+      let open Program.Syntax in
+      match inv with
+      | Value.Sym "read" ->
+        let+ v = Program.invoke ~obj:0 Ops.read in
+        (v, local)
+      | Value.Pair (Value.Sym "write", Value.Int v) ->
+        let* _ = Program.invoke ~obj:0 (Ops.write (Value.int ((v + 1) mod 3))) in
+        let+ _ = Program.invoke ~obj:0 (Ops.write (Value.int v)) in
+        (Ops.ok, local)
+      | _ -> assert false)
+    ()
+
+(* Two independent registers under one product target: the compositional
+   mode keeps one frontier per register instead of searching the product
+   state space. *)
+let lz_two_registers ~procs =
+  let reg = Register.bit ~ports:procs in
+  Implementation.make ~target:(Engine.indexed 2 reg) ~procs
+    ~objects:[ (reg, Value.falsity); (reg, Value.falsity) ]
+    ~program:(fun ~proc:_ ~inv local ->
+      let open Program.Syntax in
+      let i, inner = Ops.at_target inv in
+      let+ v = Program.invoke ~obj:i inner in
+      (v, local))
+    ()
+
+let lz_workloads () =
+  let bit = lz_bit_from_two_bits ~procs:2 in
+  let bit_wl =
+    [|
+      [ Ops.write Value.truth; Ops.read ];
+      [ Ops.read; Ops.write Value.falsity ];
+    |]
+  in
+  let reg = Register.bit ~ports:2 in
+  [
+    ("LZ-bit-from-two-bits", bit, bit_wl, Faults.none, None);
+    ("LZ-bit-crash-1", bit, bit_wl, Faults.crashes 1, None);
+    ( "LZ-torn-write",
+      lz_torn_write_reg ~procs:2,
+      [| [ Ops.write (Value.int 1) ]; [ Ops.read ] |],
+      Faults.none,
+      None );
+    ( "LZ-universal-faa",
+      Universal.construct ~target:(Rmw.fetch_add_mod ~ports:2 ~modulus:5)
+        ~procs:2 ~cells:8 (),
+      [| [ Ops.fetch_add 1 ]; [ Ops.fetch_add 2 ] |],
+      Faults.none,
+      None );
+    ( "LZ-two-registers",
+      lz_two_registers ~procs:2,
+      [|
+        [ Ops.at 0 (Ops.write Value.truth); Ops.at 1 Ops.read ];
+        [ Ops.at 1 (Ops.write Value.truth); Ops.at 0 Ops.read ];
+      |],
+      Faults.none,
+      Some (reg, Value.falsity) );
+  ]
+
+let lz_modes =
+  [
+    ("per-leaf", Engine.Per_leaf);
+    ("incremental", Engine.Incremental { compositional = false });
+    ("incremental+comp", Engine.Incremental { compositional = true });
+  ]
+
+let linearize_engine_report () =
+  Fmt.pr "==== LZ linearizability engines (single timed runs) ====@.";
+  let guard_failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> guard_failures := s :: !guard_failures) fmt in
+  (* per-engine totals for the closing one-line summary table *)
+  let totals = Hashtbl.create 8 in
+  let add_total ename nodes transitions wall =
+    let n0, t0, w0 =
+      Option.value (Hashtbl.find_opt totals ename) ~default:(0, 0, 0.0)
+    in
+    Hashtbl.replace totals ename (n0 + nodes, t0 + transitions, w0 +. wall)
+  in
+  let json_workloads =
+    List.map
+      (fun (name, impl, workloads, faults, component) ->
+        Fmt.pr "%s:@." name;
+        let rows =
+          List.map
+            (fun (ename, mode) ->
+              let t0 = Unix.gettimeofday () in
+              let res =
+                Engine.verify impl ~workloads ~faults ~mode ?component ()
+              in
+              let wall = Unix.gettimeofday () -. t0 in
+              let verdict, nodes, leaves, transitions, memo_hits, peak =
+                match res with
+                | Ok s ->
+                  ( "ok",
+                    s.Engine.explore.Explore.nodes,
+                    s.Engine.explore.Explore.leaves,
+                    s.Engine.transitions,
+                    s.Engine.memo_hits,
+                    s.Engine.frontier_peak )
+                | Error _ -> ("violation", 0, 0, 0, 0, 0)
+              in
+              Fmt.pr
+                "  %-16s %9d nodes %8d leaves %9d transitions %7d memo \
+                 %9.3f ms  %s@."
+                ename nodes leaves transitions memo_hits (wall *. 1e3) verdict;
+              add_total ename nodes transitions wall;
+              ( (ename, verdict, transitions),
+                Fmt.str
+                  {|        {"engine": %S, "verdict": %S, "nodes": %d, "leaves": %d, "transitions": %d, "memo_hits": %d, "frontier_peak": %d, "wall_s": %.6f}|}
+                  ename verdict nodes leaves transitions memo_hits peak wall ))
+            lz_modes
+        in
+        (* guards: verdict parity across modes; incremental transitions never
+           above per-leaf *)
+        (match List.map (fun ((_, v, _), _) -> v) rows with
+        | v0 :: vs when List.exists (fun v -> not (String.equal v v0)) vs ->
+          fail "%s: verdicts disagree across engines" name
+        | _ -> ());
+        (match rows with
+        | (("per-leaf", "ok", base), _) :: incr ->
+          List.iter
+            (fun ((ename, verdict, t), _) ->
+              if String.equal verdict "ok" && t > base then
+                fail "%s: %s enumerated %d transitions > per-leaf's %d" name
+                  ename t base)
+            incr
+        | _ -> ());
+        Fmt.str "    {\"name\": %S, \"engines\": [\n%s\n    ]}" name
+          (String.concat ",\n" (List.map snd rows)))
+      (lz_workloads ())
+  in
+  let json =
+    Fmt.str
+      "{\n\
+      \  \"schema\": \"wfc-bench-linearize/1\",\n\
+      \  \"workloads\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      (String.concat ",\n" json_workloads)
+  in
+  let oc = open_out "BENCH_linearize.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "summary (all LZ workloads):@.";
+  List.iter
+    (fun (ename, _) ->
+      match Hashtbl.find_opt totals ename with
+      | Some (nodes, transitions, wall) ->
+        Fmt.pr "  %-16s %9d nodes %9d transitions %9.3f ms@." ename nodes
+          transitions (wall *. 1e3)
+      | None -> ())
+    lz_modes;
+  Fmt.pr "wrote BENCH_linearize.json@.";
+  List.iter (fun s -> Fmt.pr "GUARD FAILED: %s@." s) !guard_failures;
+  !guard_failures = []
+
 let ex =
   let impl = Protocols.from_cas ~procs:3 () in
   let workloads =
@@ -612,14 +806,22 @@ let checker =
     ]
 
 let () =
-  (* `bench/main.exe fi` runs only the fault-injection group (the CI step) *)
+  (* `bench/main.exe fi` runs only the fault-injection group; `lz` only the
+     linearizability-engine group (the CI steps) *)
   if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "fi" then begin
     fault_injection_report ();
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "lz" then
+    exit (if linearize_engine_report () then 0 else 1);
+  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "ex" then begin
+    explore_engine_report ();
     exit 0
   end;
   shape_facts ();
   explore_engine_report ();
   fault_injection_report ();
+  if not (linearize_engine_report ()) then exit 1;
   Fmt.pr "==== timings (bechamel, OLS per-run estimates) ====@.";
   List.iter
     (fun t ->

@@ -147,7 +147,8 @@ exception Exhausted of string
 
 let verify_values ~domain ?(subsets = true) ?(repeat = true)
     ?(max_crashes = 0) ?faults ?fuel ?budget ?deadline_s ?(shrink = true)
-    ?(engine = Wfc_sim.Explore.fast) (impl : Implementation.t) =
+    ?(engine = Wfc_sim.Explore.fast) ?par_threshold
+    (impl : Implementation.t) =
   if List.length domain < 2 then
     invalid_arg "Check.verify_values: domain needs at least two values";
   let faults =
@@ -210,7 +211,7 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
             let stats =
               Wfc_sim.Explore.run impl ~workloads ?fuel ~faults
                 ?budget:!budget_left ?deadline_s:deadline_s_left
-                ~options:engine
+                ~options:engine ?par_threshold
                 ~on_leaf_trace:(fun trace leaf ->
                   incr executions;
                   match check_leaf ~inputs leaf with
@@ -269,6 +270,7 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
   | Exhausted reason -> Unknown { partial = report (); reason }
 
 let verify ?subsets ?repeat ?max_crashes ?faults ?fuel ?budget ?deadline_s
-    ?shrink ?engine impl =
+    ?shrink ?engine ?par_threshold impl =
   verify_values ~domain:[ Value.falsity; Value.truth ] ?subsets ?repeat
-    ?max_crashes ?faults ?fuel ?budget ?deadline_s ?shrink ?engine impl
+    ?max_crashes ?faults ?fuel ?budget ?deadline_s ?shrink ?engine
+    ?par_threshold impl

@@ -59,6 +59,7 @@ val verify :
   ?deadline_s:float ->
   ?shrink:bool ->
   ?engine:Wfc_sim.Explore.options ->
+  ?par_threshold:int ->
   Implementation.t ->
   verdict
 (** [engine] (default {!Wfc_sim.Explore.fast}) selects the exploration
@@ -67,6 +68,9 @@ val verify :
     on by default; pass {!Wfc_sim.Explore.naive} to force the unreduced
     search (the property suite asserts both give the same verdict).
     [report.executions] counts the executions the engine actually visited.
+    [par_threshold] governs the lazy domain pool exactly as in
+    {!Wfc_sim.Explore.run} — with [engine.domains > 1], small per-vector
+    trees are still drained sequentially below it.
 
     [subsets] (default true) also checks partial participation; [repeat]
     (default true) has each participant propose a second, {e different}
@@ -108,6 +112,7 @@ val verify_values :
   ?deadline_s:float ->
   ?shrink:bool ->
   ?engine:Wfc_sim.Explore.options ->
+  ?par_threshold:int ->
   Implementation.t ->
   verdict
 (** Like {!verify} but for consensus over an arbitrary finite proposal

@@ -1,0 +1,710 @@
+open Wfc_spec
+module Exec = Wfc_sim.Exec
+module Explore = Wfc_sim.Explore
+module Faults = Wfc_sim.Faults
+module Witness = Wfc_sim.Witness
+module Ops = Wfc_zoo.Ops
+
+type verdict =
+  | Linearizable of Exec.op list
+  | Not_linearizable of string
+
+let pp_op ppf (o : Exec.op) =
+  Fmt.pf ppf "p%d:%a→%a[%d,%d]" o.proc Value.pp o.inv Value.pp o.resp
+    o.start_step o.end_step
+
+let pp_ops ppf ops = Fmt.(list ~sep:(any " ") pp_op) ppf ops
+
+let tick count n =
+  match count with Some r -> r := !r + n | None -> ()
+
+(* --- the classic per-leaf check ----------------------------------------------
+
+   Wing–Gould DFS over ⟨linearized-set bitmask, spec state⟩, from scratch for
+   one history. Kept verbatim as the oracle the incremental engine is
+   property-tested against, and as the [Per_leaf] mode of [verify]. *)
+
+let check_ops ~spec ?init ?(port_of = Fun.id) ?count ?obj (ops : Exec.op list)
+    =
+  let n = List.length ops in
+  if n > 62 then
+    invalid_arg
+      (match obj with
+      | Some obj ->
+        Fmt.str
+          "Linearizability.check: the subhistory on object %d has %d \
+           operations, above the 62-op limit of the bitmask memoization \
+           (done_mask is one OCaml int); split that object's workload into \
+           shorter histories"
+          obj n
+      | None ->
+        Fmt.str
+          "Linearizability.check: history against %s has %d operations, \
+           above the 62-op limit of the bitmask memoization (done_mask is \
+           one OCaml int); split the workload into shorter histories"
+          spec.Type_spec.name n);
+  let init = Option.value init ~default:spec.Type_spec.initial in
+  let arr = Array.of_list ops in
+  (* precedes.(i) = bitmask of ops that must be linearized before op i *)
+  let precedes =
+    Array.init n (fun i ->
+        let oi = arr.(i) in
+        let mask = ref 0 in
+        Array.iteri
+          (fun j oj ->
+            if j <> i && oj.Exec.end_step < oi.Exec.start_step then
+              mask := !mask lor (1 lsl j))
+          arr;
+        !mask)
+  in
+  let full = if n = 0 then 0 else (1 lsl n) - 1 in
+  let seen : (int * Value.t, unit) Hashtbl.t = Hashtbl.create 512 in
+  (* DFS over (set of linearized ops, spec state). *)
+  let rec go done_mask state acc =
+    if done_mask = full then Some (List.rev acc)
+    else
+      (* a single find_opt-then-add: never probe the table twice per state *)
+      match Hashtbl.find_opt seen (done_mask, state) with
+      | Some () -> None
+      | None ->
+        Hashtbl.add seen (done_mask, state) ();
+        let result = ref None in
+        let i = ref 0 in
+        while !result = None && !i < n do
+          let idx = !i in
+          incr i;
+          if
+            done_mask land (1 lsl idx) = 0
+            && precedes.(idx) land lnot done_mask = 0
+          then begin
+            let o = arr.(idx) in
+            let alts =
+              Type_spec.alternatives spec state ~port:(port_of o.proc)
+                ~inv:o.Exec.inv
+            in
+            tick count (List.length alts);
+            List.iter
+              (fun (state', resp) ->
+                if !result = None && Value.equal resp o.Exec.resp then
+                  result := go (done_mask lor (1 lsl idx)) state' (o :: acc))
+              alts
+          end
+        done;
+        !result
+  in
+  match go 0 init [] with
+  | Some witness -> Linearizable witness
+  | None ->
+    Not_linearizable
+      (Fmt.str "no linearization of {%a} against %s from %a" pp_ops ops
+         spec.Type_spec.name Value.pp init)
+
+(* --- compositional decomposition ---------------------------------------------
+
+   A history over several independent objects (invocations addressed with
+   [Ops.at]) is linearizable iff each per-object subhistory is — Herlihy &
+   Wing's locality theorem. [partition_by_obj] groups the ops by address,
+   pairing each original op with a copy whose invocation is the inner
+   (unwrapped) one; unaddressed ops are object 0 and share the original
+   record. *)
+
+let partition_by_obj (ops : Exec.op list) =
+  let tbl : (int, (Exec.op * Exec.op) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let objs = ref [] in
+  List.iter
+    (fun (o : Exec.op) ->
+      let i, inner = Ops.at_target o.inv in
+      let entry = if inner == o.inv then (o, o) else ({ o with inv = inner }, o) in
+      match Hashtbl.find_opt tbl i with
+      | Some l -> l := entry :: !l
+      | None ->
+        objs := i :: !objs;
+        Hashtbl.add tbl i (ref [ entry ]))
+    ops;
+  List.map
+    (fun i -> (i, List.rev !(Hashtbl.find tbl i)))
+    (List.sort Int.compare (List.rev !objs))
+
+(* Merge per-object linearizations into one global order: topological sort
+   over (a) consecutive pairs of each per-object witness and (b) real-time
+   precedence between ops of different objects. Always acyclic for witnesses
+   of linearizable subhistories — that is exactly the content of the
+   locality theorem. *)
+let merge_witnesses (chains : Exec.op list list) =
+  match chains with
+  | [] -> []
+  | [ c ] -> c
+  | _ ->
+    let arr = Array.of_list (List.concat chains) in
+    let n = Array.length arr in
+    let index_of =
+      let tbl = Hashtbl.create n in
+      Array.iteri (fun i o -> Hashtbl.replace tbl (Obj.repr o) i) arr;
+      fun o -> Hashtbl.find tbl (Obj.repr o)
+    in
+    let succs = Array.make n [] in
+    let indeg = Array.make n 0 in
+    let add_edge u v =
+      succs.(u) <- v :: succs.(u);
+      indeg.(v) <- indeg.(v) + 1
+    in
+    List.iter
+      (fun chain ->
+        let rec link = function
+          | a :: (b :: _ as rest) ->
+            add_edge (index_of a) (index_of b);
+            link rest
+          | _ -> ()
+        in
+        link chain)
+      chains;
+    (* cross-chain real-time precedence; intra-chain order already implies
+       the chain's own precedences *)
+    let chain_id = Array.make n 0 in
+    List.iteri
+      (fun ci chain -> List.iter (fun o -> chain_id.(index_of o) <- ci) chain)
+      chains;
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if
+          u <> v
+          && chain_id.(u) <> chain_id.(v)
+          && arr.(u).Exec.end_step < arr.(v).Exec.start_step
+        then add_edge u v
+      done
+    done;
+    let out = ref [] in
+    let remaining = ref n in
+    let ready = ref [] in
+    for u = n - 1 downto 0 do
+      if indeg.(u) = 0 then ready := u :: !ready
+    done;
+    while !ready <> [] do
+      (* deterministic pick: earliest end_step among the ready ops *)
+      let u =
+        List.fold_left
+          (fun best v ->
+            if arr.(v).Exec.end_step < arr.(best).Exec.end_step then v
+            else best)
+          (List.hd !ready) (List.tl !ready)
+      in
+      ready := List.filter (fun v -> v <> u) !ready;
+      out := arr.(u) :: !out;
+      decr remaining;
+      List.iter
+        (fun v ->
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then ready := v :: !ready)
+        succs.(u)
+    done;
+    if !remaining <> 0 then
+      invalid_arg "Engine: internal error: witness merge found a cycle";
+    List.rev !out
+
+let remap_witness pairs witness =
+  List.map (fun inner -> List.assq inner pairs) witness
+
+let check ~spec ?init ?port_of ?count (ops : Exec.op list) =
+  if not (List.exists (fun (o : Exec.op) -> Ops.is_at o.Exec.inv) ops) then
+    check_ops ~spec ?init ?port_of ?count ops
+  else begin
+    let groups = partition_by_obj ops in
+    let rec go chains = function
+      | [] -> Linearizable (merge_witnesses (List.rev chains))
+      | (obj, pairs) :: rest -> (
+        match
+          check_ops ~spec ?init ?port_of ?count ~obj (List.map fst pairs)
+        with
+        | Linearizable w -> go (remap_witness pairs w :: chains) rest
+        | Not_linearizable why ->
+          Not_linearizable (Fmt.str "object %d: %s" obj why))
+    in
+    go [] groups
+  end
+
+(* --- the configuration frontier ----------------------------------------------
+
+   Lowe-style just-in-time linearization. A configuration is one way of
+   having linearized *every completed operation so far*, possibly
+   early-linearizing some still-pending operations with guessed responses:
+
+     { guesses = pending ops linearized early, with the response each was
+                 guessed to return (checked when the op really completes);
+       state   = the spec state after all of those;
+       acc_rev = the linearization order, most recent first (witness
+                 decoration only — never part of equality) }
+
+   The frontier is the set of all such configurations. Advancing it at a
+   completion is (1) an epsilon-closure — extend each configuration by
+   linearizing any sequence of currently-pending operations, guessing their
+   responses from the spec alternatives — followed by (2) the completion
+   proper: configurations that guessed the completer keep living iff the
+   guess matches the actual response (the guess is then discharged);
+   configurations that did not linearize it now, at a spec alternative
+   matching the actual response. An empty frontier refutes every extension
+   of the path at once: deferring a linearization is always possible, so
+   every valid linearization of the completed ops is represented. *)
+
+type config = {
+  guesses : (int * Value.t) list;  (* sorted by key; ≤ one entry per key *)
+  state : Value.t;
+  acc_rev : Exec.op list;
+}
+
+type pending_op = {
+  pkey : int;
+  pport : int;
+  pinv : Value.t;
+  presp : Value.t option;
+      (* the response the op is known to eventually return — available when
+         checking a complete standalone history, where it prunes guesses
+         that could never be discharged; [None] in fused mode *)
+  pop : Exec.op option;  (* the completed record, for witness decoration *)
+}
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let config_key c =
+  Value.pair
+    (Value.list
+       (List.concat_map (fun (k, v) -> [ Value.int k; v ]) c.guesses))
+    c.state
+
+let encode_frontier fr = Value.list (List.map config_key fr)
+
+let rec insert_guess k v = function
+  | [] -> [ (k, v) ]
+  | (k', v') :: rest ->
+    if k < k' then (k, v) :: (k', v') :: rest
+    else (k', v') :: insert_guess k v rest
+
+let sort_frontier frontier =
+  List.map snd
+    (List.sort
+       (fun (a, _) (b, _) -> Value.compare a b)
+       (List.map (fun c -> (config_key c, c)) frontier))
+
+(* All configurations reachable by early-linearizing any sequence of pending
+   operations (worklist closure, deduped on ⟨guesses, state⟩). *)
+let closure ~spec ~count frontier ~pending =
+  match pending with
+  | [] -> frontier
+  | _ ->
+    let seen = VH.create 32 in
+    let out = ref [] in
+    let todo = Queue.create () in
+    let push c =
+      let k = config_key c in
+      if not (VH.mem seen k) then begin
+        VH.add seen k ();
+        out := c :: !out;
+        Queue.add c todo
+      end
+    in
+    List.iter push frontier;
+    while not (Queue.is_empty todo) do
+      let c = Queue.pop todo in
+      List.iter
+        (fun p ->
+          if not (List.mem_assoc p.pkey c.guesses) then begin
+            let alts =
+              Type_spec.alternatives spec c.state ~port:p.pport ~inv:p.pinv
+            in
+            tick count (List.length alts);
+            List.iter
+              (fun (state', resp) ->
+                let admissible =
+                  match p.presp with
+                  | Some r -> Value.equal r resp
+                  | None -> true
+                in
+                if admissible then
+                  push
+                    {
+                      guesses = insert_guess p.pkey resp c.guesses;
+                      state = state';
+                      acc_rev =
+                        (match p.pop with
+                        | Some o -> o :: c.acc_rev
+                        | None -> c.acc_rev);
+                    })
+              alts
+          end)
+        pending
+    done;
+    !out
+
+(* Advance the frontier over the completion of [op] (whose spec-level
+   invocation is [inv] — already unwrapped for addressed histories). *)
+let advance ~spec ~count frontier ~(op : Exec.op) ~key ~port ~inv ~pending =
+  let cl = closure ~spec ~count frontier ~pending in
+  let seen = VH.create 32 in
+  let out = ref [] in
+  let push c =
+    let k = config_key c in
+    if not (VH.mem seen k) then begin
+      VH.add seen k ();
+      out := c :: !out
+    end
+  in
+  List.iter
+    (fun c ->
+      match List.assoc_opt key c.guesses with
+      | Some g ->
+        if Value.equal g op.Exec.resp then
+          push { c with guesses = List.remove_assoc key c.guesses }
+      | None ->
+        let alts = Type_spec.alternatives spec c.state ~port ~inv in
+        tick count (List.length alts);
+        List.iter
+          (fun (state', resp) ->
+            if Value.equal resp op.Exec.resp then
+              push { c with state = state'; acc_rev = op :: c.acc_rev })
+          alts)
+    cl;
+  sort_frontier !out
+
+(* A crashed/wedged process's pending attempt will never complete; a later
+   recovery restarts the operation with a fresh (later) invocation time. So
+   configurations that early-linearized the attempt can never be discharged
+   — drop them. Deferring is always possible, so the configurations that
+   did not guess it carry every surviving linearization. *)
+let prune_key frontier ~key =
+  List.filter (fun c -> not (List.mem_assoc key c.guesses)) frontier
+
+let accepts frontier = List.exists (fun c -> c.guesses = []) frontier
+
+(* --- standalone incremental check -------------------------------------------- *)
+
+let check_subhistory ~spec ~init ~port_of ~count ?obj pairs =
+  let inner_ops = List.map fst pairs in
+  let events = Exec.completion_events inner_ops in
+  let root = { guesses = []; state = init; acc_rev = [] } in
+  let rec go frontier i = function
+    | [] -> (
+      match List.find_opt (fun c -> c.guesses = []) frontier with
+      | Some c -> Linearizable (remap_witness pairs (List.rev c.acc_rev))
+      | None -> assert false (* every op completed: no guess survives *))
+    | ((op : Exec.op), pending) :: rest ->
+      let pending =
+        List.map
+          (fun (j, (q : Exec.op)) ->
+            {
+              pkey = j;
+              pport = port_of q.proc;
+              pinv = q.inv;
+              presp = Some q.resp;
+              pop = Some q;
+            })
+          pending
+      in
+      let frontier' =
+        advance ~spec ~count frontier ~op ~key:i ~port:(port_of op.proc)
+          ~inv:op.inv ~pending
+      in
+      if frontier' = [] then
+        Not_linearizable
+          (Fmt.str "no linearization of {%a}%s against %s from %a" pp_ops
+             inner_ops
+             (match obj with
+             | Some o -> Fmt.str " (object %d)" o
+             | None -> "")
+             spec.Type_spec.name Value.pp init)
+      else go frontier' (i + 1) rest
+  in
+  go [ root ] 0 events
+
+let check_history ~spec ?init ?(port_of = Fun.id) ?count (ops : Exec.op list)
+    =
+  let init = Option.value init ~default:spec.Type_spec.initial in
+  if not (List.exists (fun (o : Exec.op) -> Ops.is_at o.Exec.inv) ops) then
+    check_subhistory ~spec ~init ~port_of ~count
+      (List.map (fun o -> (o, o)) ops)
+  else begin
+    let groups = partition_by_obj ops in
+    let rec go chains = function
+      | [] -> Linearizable (merge_witnesses (List.rev chains))
+      | (obj, pairs) :: rest -> (
+        match check_subhistory ~spec ~init ~port_of ~count ~obj pairs with
+        | Linearizable w -> go (w :: chains) rest
+        | Not_linearizable why -> Not_linearizable why)
+    in
+    go [] groups
+  end
+
+(* --- product targets ---------------------------------------------------------- *)
+
+let indexed n spec =
+  if n <= 0 then invalid_arg "Engine.indexed: n must be positive";
+  let initial =
+    Value.list (List.init n (fun _ -> spec.Type_spec.initial))
+  in
+  Type_spec.make
+    ~name:(Fmt.str "%s^%d" spec.Type_spec.name n)
+    ~ports:spec.Type_spec.ports ~initial
+    ?responses:spec.Type_spec.responses
+    ~invocations:
+      (List.concat
+         (List.init n (fun i ->
+              List.map (Ops.at i) spec.Type_spec.invocations)))
+    ~oblivious:spec.Type_spec.oblivious
+    (fun q ~port ~inv ->
+      let i, inner = Ops.at_target inv in
+      let comps = Value.as_list q in
+      if i < 0 || i >= List.length comps then
+        raise
+          (Type_spec.Bad_step
+             (Fmt.str "%s^%d: address %d out of range" spec.Type_spec.name n i));
+      let qi = List.nth comps i in
+      List.map
+        (fun (qi', resp) ->
+          ( Value.list (List.mapi (fun j qj -> if j = i then qi' else qj) comps),
+            resp ))
+        (Type_spec.alternatives spec qi ~port ~inv:inner))
+
+(* --- fused verification ------------------------------------------------------- *)
+
+type mode = Per_leaf | Incremental of { compositional : bool }
+
+type run_stats = {
+  explore : Explore.stats;
+  transitions : int;
+  memo_hits : int;
+  frontier_peak : int;
+}
+
+type violation = {
+  reason : string;
+  prefix : Exec.op list;
+  witness : Witness.t option;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<v>%s" v.reason;
+  if v.prefix <> [] then Fmt.pf ppf "@,completed ops: %a" pp_ops v.prefix;
+  (match v.witness with
+  | Some w ->
+    Fmt.pf ppf "@,faults: %a@,witness trace: %a" Faults.pp w.Witness.faults
+      Faults.pp_trace w.Witness.trace
+  | None -> ());
+  Fmt.pf ppf "@]"
+
+type fstate = {
+  frontiers : (int * config list) list;  (* sorted by object id *)
+  done_rev : Exec.op list;  (* diagnostics only: never fingerprinted *)
+}
+
+let rec set_frontier obj fr = function
+  | [] -> [ (obj, fr) ]
+  | (o, f) :: rest ->
+    if o = obj then (obj, fr) :: rest
+    else if o > obj then (obj, fr) :: (o, f) :: rest
+    else (o, f) :: set_frontier obj fr rest
+
+let rec bump_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then bump_max a v
+
+let overflow_violation ~workloads ~faults (stats : Explore.stats) =
+  {
+    reason =
+      Fmt.str "%d path(s) exhausted fuel: suspected non-wait-freedom"
+        stats.Explore.overflows;
+    prefix = [];
+    witness =
+      Option.map
+        (Witness.make ~workloads ~faults)
+        stats.Explore.overflow_trace;
+  }
+
+let verify impl ~workloads ?fuel ?(faults = Faults.none)
+    ?(mode = Incremental { compositional = true }) ?component ?(domains = 1)
+    ?par_threshold () =
+  let target = impl.Wfc_program.Implementation.target in
+  let target_init = impl.Wfc_program.Implementation.implements in
+  match mode with
+  | Per_leaf ->
+    (* The oracle: unreduced exploration (the per-leaf check reads
+       timestamps, outside the reductions' soundness envelope), fresh DFS
+       per leaf. *)
+    let count = ref 0 in
+    let viol = ref None in
+    let stats =
+      Explore.run impl ~workloads ?fuel ~faults
+        ~options:{ Explore.naive with domains }
+        ?par_threshold
+        ~on_leaf_trace:(fun trace (leaf : Exec.leaf) ->
+          match
+            check_ops ~spec:target ~init:target_init ~count leaf.Exec.ops
+          with
+          | Linearizable _ -> ()
+          | Not_linearizable why ->
+            viol :=
+              Some
+                {
+                  reason = why;
+                  prefix = leaf.Exec.ops;
+                  witness = Some (Witness.make ~workloads ~faults trace);
+                };
+            raise Exec.Stop)
+        ()
+    in
+    (match !viol with
+    | Some v -> Error v
+    | None ->
+      if stats.Explore.overflows > 0 then
+        Error (overflow_violation ~workloads ~faults stats)
+      else
+        Ok
+          {
+            explore = stats;
+            transitions = !count;
+            memo_hits = 0;
+            frontier_peak = 0;
+          })
+  | Incremental { compositional } ->
+    let cspec, cinit =
+      if compositional then
+        match component with
+        | Some c -> c
+        | None -> (target, target_init)
+      else (target, target_init)
+    in
+    let transitions = Atomic.make 0 in
+    let memo_hits = Atomic.make 0 in
+    let peak = Atomic.make 0 in
+    let viol : violation option Atomic.t = Atomic.make None in
+    (* one memo table per run and domain: advancing a frontier is a pure
+       function of ⟨object, frontier, completion, pending set⟩, and distinct
+       interleavings hit the same advances constantly *)
+    let memo = Domain.DLS.new_key (fun () -> VH.create 1024) in
+    let decode inv = if compositional then Ops.at_target inv else (0, inv) in
+    let record ~trace_rev ~done_rev reason =
+      let v =
+        {
+          reason;
+          prefix = List.rev done_rev;
+          witness =
+            Some (Witness.make ~workloads ~faults (List.rev trace_rev));
+        }
+      in
+      ignore (Atomic.compare_and_set viol None (Some v));
+      raise Exec.Stop
+    in
+    let event st ~trace_rev = function
+      | Explore.Op_completed { op; pending } ->
+        let obj, inner = decode op.Exec.inv in
+        let fr =
+          match List.assoc_opt obj st.frontiers with
+          | Some f -> f
+          | None -> [ { guesses = []; state = cinit; acc_rev = [] } ]
+        in
+        let pend =
+          List.filter_map
+            (fun (p, pinv) ->
+              let o', pinner = decode pinv in
+              if o' = obj then
+                Some
+                  { pkey = p; pport = p; pinv = pinner; presp = None; pop = None }
+              else None)
+            pending
+        in
+        let mkey =
+          Value.list
+            [
+              Value.int obj;
+              encode_frontier fr;
+              Value.int op.Exec.proc;
+              inner;
+              op.Exec.resp;
+              Value.list
+                (List.map (fun p -> Value.pair (Value.int p.pkey) p.pinv) pend);
+            ]
+        in
+        let tbl = Domain.DLS.get memo in
+        let fr' =
+          match VH.find_opt tbl mkey with
+          | Some fr' ->
+            ignore (Atomic.fetch_and_add memo_hits 1);
+            fr'
+          | None ->
+            let count = ref 0 in
+            let fr' =
+              advance ~spec:cspec ~count:(Some count) fr ~op
+                ~key:op.Exec.proc ~port:op.Exec.proc ~inv:inner ~pending:pend
+            in
+            ignore (Atomic.fetch_and_add transitions !count);
+            VH.add tbl mkey fr';
+            fr'
+        in
+        let done_rev = op :: st.done_rev in
+        if fr' = [] then
+          record ~trace_rev ~done_rev
+            (Fmt.str
+               "no linearization of the completed prefix {%a} against %s \
+                (object %d): every extension of this schedule is a violation"
+               pp_ops (List.rev done_rev) cspec.Type_spec.name obj);
+        let frontiers = set_frontier obj fr' st.frontiers in
+        bump_max peak
+          (List.fold_left (fun n (_, f) -> n + List.length f) 0 frontiers);
+        { frontiers; done_rev }
+      | Explore.Proc_crashed p | Explore.Proc_wedged p ->
+        let frontiers =
+          List.map (fun (o, fr) -> (o, prune_key fr ~key:p)) st.frontiers
+        in
+        (match List.find_opt (fun (_, fr) -> fr = []) frontiers with
+        | Some (obj, _) ->
+          record ~trace_rev ~done_rev:st.done_rev
+            (Fmt.str
+               "no linearization of the completed prefix {%a} against %s \
+                (object %d) once p%d's pending attempt is lost"
+               pp_ops (List.rev st.done_rev) cspec.Type_spec.name obj p)
+        | None -> ());
+        { st with frontiers }
+    in
+    let at_leaf st ~trace_rev (_ : Exec.leaf) =
+      match List.find_opt (fun (_, fr) -> not (accepts fr)) st.frontiers with
+      | Some (obj, _) ->
+        record ~trace_rev ~done_rev:st.done_rev
+          (Fmt.str
+             "object %d: undischarged early linearizations at a complete leaf"
+             obj)
+      | None -> ()
+    in
+    let tracker =
+      {
+        Explore.root = { frontiers = []; done_rev = [] };
+        event;
+        at_leaf;
+        fingerprint =
+          Some
+            (fun st ->
+              Value.list
+                (List.map
+                   (fun (o, fr) -> Value.pair (Value.int o) (encode_frontier fr))
+                   st.frontiers));
+      }
+    in
+    let stats =
+      Explore.run impl ~workloads ?fuel ~faults
+        ~options:{ Explore.fast with domains }
+        ?par_threshold ~tracker ()
+    in
+    (match Atomic.get viol with
+    | Some v -> Error v
+    | None ->
+      if stats.Explore.overflows > 0 then
+        Error (overflow_violation ~workloads ~faults stats)
+      else
+        Ok
+          {
+            explore = stats;
+            transitions = Atomic.get transitions;
+            memo_hits = Atomic.get memo_hits;
+            frontier_peak = Atomic.get peak;
+          })

@@ -1,0 +1,151 @@
+(** The incremental, compositional linearizability engine.
+
+    Three independent layers over the classic per-leaf check
+    ({!Linearizability.check} runs a from-scratch Wing–Gould DFS at every
+    leaf of the execution tree):
+
+    - {b incrementality}: the checker is fused with {!Wfc_sim.Explore} as a
+      path {e tracker}. A set of partial-linearization {e configurations}
+      (Lowe's just-in-time linearization: ⟨guessed responses of
+      early-linearized pending ops, spec state⟩) is threaded down the
+      exploration tree and advanced at each operation completion, so sibling
+      leaves share the checking work of their common schedule prefix. One
+      memo table serves the whole run (keyed on ⟨frontier, completion,
+      pending set⟩), instead of one fresh table per leaf. An empty frontier
+      at an inner node refutes {e every} leaf below it at once — and yields
+      a replayable violation witness for the offending prefix.
+    - {b compositionality} (Herlihy–Wing locality): a history over several
+      independent objects — operations addressed with {!Wfc_zoo.Ops.at} —
+      is linearizable iff each per-object subhistory is, so frontiers are
+      kept per object and the spec-state search never crosses the product
+      state space.
+    - {b engine reuse}: unlike the per-leaf checker, the fused tracker never
+      reads operation timestamps — it observes only completion order and
+      pending sets, which sleep-set POR preserves and which duplicate-state
+      pruning keys on (via the tracker fingerprint) — so it runs on the
+      {e fast} exploration engine the rest of the library uses, with the
+      multicore fan-out available on top. *)
+
+open Wfc_spec
+
+type verdict =
+  | Linearizable of Wfc_sim.Exec.op list
+      (** a witness order (the ops in linearization order) *)
+  | Not_linearizable of string  (** human-readable diagnosis *)
+
+val pp_op : Format.formatter -> Wfc_sim.Exec.op -> unit
+val pp_ops : Format.formatter -> Wfc_sim.Exec.op list -> unit
+
+val check_ops :
+  spec:Type_spec.t ->
+  ?init:Value.t ->
+  ?port_of:(int -> int) ->
+  ?count:int ref ->
+  ?obj:int ->
+  Wfc_sim.Exec.op list ->
+  verdict
+(** The classic single-object check: DFS over ⟨linearized-set bitmask, spec
+    state⟩ with memoization, invocations taken verbatim (no {!Wfc_zoo.Ops.at}
+    decoding). Supports at most 62 operations (the bitmask is one OCaml
+    int); [obj] only names the object in that error message. [count], when
+    given, is incremented by the number of spec alternatives enumerated
+    (the {e spec-state transitions} metric reported by the benches). *)
+
+val check :
+  spec:Type_spec.t ->
+  ?init:Value.t ->
+  ?port_of:(int -> int) ->
+  ?count:int ref ->
+  Wfc_sim.Exec.op list ->
+  verdict
+(** Compositional check: the history is partitioned by
+    {!Wfc_zoo.Ops.at_target} address (unaddressed invocations are object 0),
+    each subhistory is checked with {!check_ops} against an independent
+    instance of [spec] from [init], and the per-object witnesses are merged
+    into one global linearization (topological sort over per-object witness
+    order plus cross-object real-time precedence — always acyclic, by
+    Herlihy–Wing locality). The 62-op limit thus applies {e per object}; a
+    multi-object history may be arbitrarily longer. *)
+
+val check_history :
+  spec:Type_spec.t ->
+  ?init:Value.t ->
+  ?port_of:(int -> int) ->
+  ?count:int ref ->
+  Wfc_sim.Exec.op list ->
+  verdict
+(** The incremental frontier algorithm applied to one standalone history
+    (compositional, like {!check}): completions are replayed from the
+    timestamps via {!Wfc_sim.Exec.completion_events} and the configuration
+    frontier is advanced at each one. No operation-count limit. Agrees with
+    {!check} on every history (property-tested); the witness is recovered
+    from a surviving configuration's linearization order. *)
+
+(** {1 Fused verification} *)
+
+type mode =
+  | Per_leaf
+      (** the oracle: unreduced exploration, {!check_ops} from scratch at
+          every leaf (the pre-engine behaviour, kept for differential
+          testing and benchmarking) *)
+  | Incremental of { compositional : bool }
+      (** fused frontier tracking on the fast engine; [compositional]
+          additionally splits frontiers per {!Wfc_zoo.Ops.at} address *)
+
+type run_stats = {
+  explore : Wfc_sim.Explore.stats;
+  transitions : int;
+      (** spec-state alternatives enumerated — the work metric the
+          incremental engine is built to cut; memoized advances count 0 *)
+  memo_hits : int;  (** frontier advances answered from the run-wide memo *)
+  frontier_peak : int;
+      (** most configurations alive in one path state (summed per object) *)
+}
+
+type violation = {
+  reason : string;
+  prefix : Wfc_sim.Exec.op list;
+      (** completed operations of the offending prefix/leaf, in completion
+          order *)
+  witness : Wfc_sim.Witness.t option;
+      (** replayable decision trace reaching the violation (the trace may
+          stop before quiescence: an inner node whose completed ops already
+          admit no linearization refutes every leaf below it) *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val verify :
+  Wfc_program.Implementation.t ->
+  workloads:Value.t list array ->
+  ?fuel:int ->
+  ?faults:Wfc_sim.Faults.t ->
+  ?mode:mode ->
+  ?component:Type_spec.t * Value.t ->
+  ?domains:int ->
+  ?par_threshold:int ->
+  unit ->
+  (run_stats, violation) result
+(** Explore every interleaving of the workloads (optionally under a fault
+    adversary) and check every leaf history against [impl.target] from
+    [impl.implements]. [mode] defaults to
+    [Incremental { compositional = true }].
+
+    [component] names the per-object spec and initial state that
+    {!Wfc_zoo.Ops.at}-addressed target invocations are instances of
+    (default: [(impl.target, impl.implements)] — correct whenever the target
+    is a single object, i.e. no invocation is addressed). It is consulted
+    only by the compositional mode; [Per_leaf] always checks full histories
+    against the target spec itself (see {!indexed} for building such product
+    targets).
+
+    Also fails on fuel overflow (suspected non-wait-freedom), with the
+    overflowing path as witness. [domains] (default 1) fans the exploration
+    out; [par_threshold] as in {!Wfc_sim.Explore.run}. *)
+
+val indexed : int -> Type_spec.t -> Type_spec.t
+(** [indexed n spec]: the product of [n] independent instances of [spec] —
+    state is the list of component states, invocations are
+    [Ops.at i inner]. The natural [target] for implementations whose
+    histories the compositional engine should decompose; pass
+    [~component:(spec, spec.initial)] to {!verify}. *)

@@ -1,78 +1,13 @@
-open Wfc_spec
+(* Thin facade over [Engine]: the historical entry points keep their
+   signatures, the checking itself lives in the incremental engine. *)
 
-type verdict =
+type verdict = Engine.verdict =
   | Linearizable of Wfc_sim.Exec.op list
   | Not_linearizable of string
 
-let pp_op ppf (o : Wfc_sim.Exec.op) =
-  Fmt.pf ppf "p%d:%a→%a[%d,%d]" o.proc Value.pp o.inv Value.pp o.resp
-    o.start_step o.end_step
+let pp_ops = Engine.pp_ops
 
-let pp_ops ppf ops = Fmt.(list ~sep:(any " ") pp_op) ppf ops
-
-let check ~spec ?init ?(port_of = Fun.id) (ops : Wfc_sim.Exec.op list) =
-  let n = List.length ops in
-  if n > 62 then
-    invalid_arg
-      (Fmt.str
-         "Linearizability.check: history against %s has %d operations, above \
-          the 62-op limit of the bitmask memoization (done_mask is one OCaml \
-          int); split the workload into shorter histories"
-         spec.Type_spec.name n);
-  let init = Option.value init ~default:spec.Type_spec.initial in
-  let arr = Array.of_list ops in
-  (* precedes.(i) = bitmask of ops that must be linearized before op i *)
-  let precedes =
-    Array.init n (fun i ->
-        let oi = arr.(i) in
-        let mask = ref 0 in
-        Array.iteri
-          (fun j oj ->
-            if j <> i && oj.Wfc_sim.Exec.end_step < oi.Wfc_sim.Exec.start_step
-            then mask := !mask lor (1 lsl j))
-          arr;
-        !mask)
-  in
-  let full = if n = 0 then 0 else (1 lsl n) - 1 in
-  let seen : (int * Value.t, unit) Hashtbl.t = Hashtbl.create 512 in
-  (* DFS over (set of linearized ops, spec state). *)
-  let rec go done_mask state acc =
-    if done_mask = full then Some (List.rev acc)
-    else
-      (* a single find_opt-then-add: never probe the table twice per state *)
-      match Hashtbl.find_opt seen (done_mask, state) with
-      | Some () -> None
-      | None ->
-        Hashtbl.add seen (done_mask, state) ();
-        let result = ref None in
-        let i = ref 0 in
-        while !result = None && !i < n do
-          let idx = !i in
-          incr i;
-          if done_mask land (1 lsl idx) = 0
-             && precedes.(idx) land lnot done_mask = 0
-          then begin
-            let o = arr.(idx) in
-            let alts =
-              Type_spec.alternatives spec state ~port:(port_of o.proc)
-                ~inv:o.Wfc_sim.Exec.inv
-            in
-            List.iter
-              (fun (state', resp) ->
-                if !result = None && Value.equal resp o.Wfc_sim.Exec.resp then
-                  result :=
-                    go (done_mask lor (1 lsl idx)) state' (o :: acc))
-              alts
-          end
-        done;
-        !result
-  in
-  match go 0 init [] with
-  | Some witness -> Linearizable witness
-  | None ->
-    Not_linearizable
-      (Fmt.str "no linearization of {%a} against %s from %a" pp_ops ops
-         spec.Type_spec.name Value.pp init)
+let check ~spec ?init ?port_of ops = Engine.check ~spec ?init ?port_of ops
 
 let is_linearizable ~spec ?init ?port_of ops =
   match check ~spec ?init ?port_of ops with
@@ -80,32 +15,11 @@ let is_linearizable ~spec ?init ?port_of ops =
   | Not_linearizable _ -> false
 
 let check_all_executions impl ~workloads ?fuel ?(domains = 1) () =
-  (* Linearizability reads the start/end timestamps of every operation, so
-     duplicate-state pruning and POR are out of scope here (they only
-     preserve timing-insensitive observations); the multicore fan-out of the
-     exploration engine is available because it visits every leaf. The
-     failure cell is only ever written under the engine's leaf mutex. *)
-  let failure = ref None in
-  let on_leaf (leaf : Wfc_sim.Exec.leaf) =
-    match
-      check ~spec:impl.Wfc_program.Implementation.target
-        ~init:impl.Wfc_program.Implementation.implements leaf.ops
-    with
-    | Linearizable _ -> ()
-    | Not_linearizable why ->
-      failure := Some why;
-      raise Wfc_sim.Exec.Stop
-  in
-  let stats =
-    Wfc_sim.Explore.run impl ~workloads ?fuel
-      ~options:{ Wfc_sim.Explore.naive with domains }
-      ~on_leaf ()
-  in
-  match !failure with
-  | Some why -> Error why
-  | None ->
-    if stats.Wfc_sim.Explore.overflows > 0 then
-      Error
-        (Fmt.str "%d path(s) exhausted fuel: suspected non-wait-freedom"
-           stats.Wfc_sim.Explore.overflows)
-    else Ok (Wfc_sim.Explore.to_exec_stats stats)
+  match
+    Engine.verify impl ~workloads ?fuel
+      ~mode:(Engine.Incremental { compositional = true })
+      ~domains ()
+  with
+  | Ok stats ->
+    Ok (Wfc_sim.Explore.to_exec_stats stats.Engine.explore)
+  | Error v -> Error v.Engine.reason

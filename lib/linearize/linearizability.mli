@@ -7,13 +7,16 @@
     [A.end_step < B.start_step]) and (2) the invocation/response pairs form a
     legal sequential history of the spec from the given initial state.
 
-    The checker searches over precedence-minimal candidates with memoization
-    on ⟨linearized-set, spec state⟩; histories here are short (exhaustive
-    exploration keeps them so), so this is fast in practice. *)
+    This module is the stable facade; the checking itself lives in
+    {!Engine}, which adds incremental (fused-with-exploration) and
+    compositional (per-object) checking. Histories whose invocations are
+    addressed with {!Wfc_zoo.Ops.at} are decomposed automatically — each
+    object is checked independently (Herlihy–Wing locality), so the 62-op
+    bitmask limit applies per object, not per history. *)
 
 open Wfc_spec
 
-type verdict =
+type verdict = Engine.verdict =
   | Linearizable of Wfc_sim.Exec.op list
       (** a witness order (the ops in linearization order) *)
   | Not_linearizable of string  (** human-readable diagnosis *)
@@ -25,8 +28,11 @@ val check :
   Wfc_sim.Exec.op list ->
   verdict
 (** [port_of proc] gives the spec port a process's operations use (default:
-    the process id itself). [init] defaults to [spec.initial]. Supports at
-    most 62 operations per history (bitmask memoization). *)
+    the process id itself). [init] defaults to [spec.initial].
+    {!Wfc_zoo.Ops.at}-addressed histories are decomposed per object, each an
+    independent instance of [spec] from [init]; each single-object
+    subhistory supports at most 62 operations (bitmask memoization), and
+    exceeding that raises [Invalid_argument] naming the object. *)
 
 val is_linearizable :
   spec:Type_spec.t ->
@@ -44,13 +50,15 @@ val check_all_executions :
   (Wfc_sim.Exec.stats, string) result
 (** Explore every interleaving of the workloads and check each leaf history
     against [impl.target] from [impl.implements]. [Error] carries the first
-    counterexample (diagnosis plus the offending history, pretty-printed).
+    counterexample (diagnosis plus the offending prefix, pretty-printed).
     Also fails if any path overflows its fuel (suspected non-wait-freedom).
 
-    Linearizability depends on operation timestamps, so this checker never
-    enables the state-space reductions of {!Wfc_sim.Explore} — but
-    [domains] (default 1) fans the {e unreduced} search out across that many
-    OCaml 5 domains, which visits every leaf and is therefore always sound
-    here. *)
+    Delegates to {!Engine.verify} in its fused incremental mode: partial
+    linearizations are threaded down the exploration tree, so shared
+    schedule prefixes share checking work, and the tracker's
+    timestamp-free observations make the {e fast} (dedup + POR) exploration
+    engine sound here — the per-leaf-DFS-on-the-naive-engine behaviour
+    survives as {!Engine.Per_leaf}, the differential-testing oracle.
+    [domains] (default 1) fans the search out across OCaml 5 domains. *)
 
 val pp_ops : Format.formatter -> Wfc_sim.Exec.op list -> unit

@@ -31,6 +31,29 @@ type stats = {
 exception Stop
 exception Stalled
 
+(* Completion order with per-completion pending sets, derived from the
+   timestamps alone. Pending keys are positions in the sorted completion
+   order rather than proc ids: hand-written histories may have tied
+   timestamps or overlapping operations of the same process, and positions
+   stay unique regardless. *)
+let completion_events ops =
+  let arr = Array.of_list ops in
+  Array.sort
+    (fun a b ->
+      compare
+        (a.end_step, a.start_step, a.proc)
+        (b.end_step, b.start_step, b.proc))
+    arr;
+  let n = Array.length arr in
+  List.init n (fun i ->
+      let c = arr.(i) in
+      let pending = ref [] in
+      for j = n - 1 downto i + 1 do
+        if arr.(j).start_step <= c.end_step then
+          pending := (j, arr.(j)) :: !pending
+      done;
+      (c, !pending))
+
 (* Invariant: [node] is an [Invoke] node — [Return]s are retired eagerly
    within the event that produces them. *)
 type pend = {

@@ -49,6 +49,18 @@ exception Stop
 (** Raise from [on_leaf] to abort the exploration early (statistics reflect
     the explored prefix). *)
 
+val completion_events : op list -> (op * (int * op) list) list
+(** Replay a history's completions from its timestamps: the operations in
+    completion order (sorted by [end_step], ties by [start_step] then
+    [proc]), each paired with the ⟨index, op⟩ of every operation still
+    pending at that completion — invoked ([start_step ≤] the completer's
+    [end_step]) but not yet completed (later in the sorted order). Indices
+    refer to positions in the returned completion order, so they are unique
+    even for histories with overlapping operations of the same process or
+    tied timestamps (hand-written test histories). This is the bridge from a
+    timestamped {!leaf} history to the event stream the incremental checker
+    ({!Wfc_linearize.Engine}) consumes. *)
+
 exception Stalled
 (** Raised by a {!run} scheduler's [pick_proc] to declare that no enabled
     process will ever be picked again (e.g. {!Schedulers.crash} when only

@@ -50,6 +50,39 @@ let to_exec_stats s =
     overflows = s.overflows;
   }
 
+(* --- path trackers ----------------------------------------------------------
+
+   A tracker threads caller state down the tree, advanced at every edge that
+   completes an operation or crashes/wedges a process. The state is
+   persistent, so sibling subtrees share the value computed along their
+   common prefix — this is what the incremental linearizability engine fuses
+   into. Trackers observe completion order and pending sets, never raw
+   timestamps; see the .mli for why that makes POR sound here. *)
+
+type path_event =
+  | Op_completed of { op : Exec.op; pending : (int * Value.t) list }
+  | Proc_crashed of int
+  | Proc_wedged of int
+
+type 'a tracker = {
+  root : 'a;
+  event : 'a -> trace_rev:Faults.trace -> path_event -> 'a;
+  at_leaf : 'a -> trace_rev:Faults.trace -> Exec.leaf -> unit;
+  fingerprint : ('a -> Value.t) option;
+}
+
+(* run is monomorphic in its result, so the caller's state type is hidden
+   behind an existential and the engine below is written once, generically. *)
+type etracker = Tracker : 'a tracker -> etracker
+
+let null_tracker =
+  {
+    root = ();
+    event = (fun () ~trace_rev:_ _ -> ());
+    at_leaf = (fun () ~trace_rev:_ _ -> ());
+    fingerprint = Some (fun () -> Value.unit);
+  }
+
 (* --- configurations ---------------------------------------------------------
 
    Same persistent representation as [Exec], with one addition: a pending
@@ -525,12 +558,37 @@ let merge_counters a b =
   a.sleep_skips <- a.sleep_skips + b.sleep_skips;
   if a.overflow_trace = None then a.overflow_trace <- b.overflow_trace
 
+(* The ⟨proc, target-level invocation⟩ of every live pending operation:
+   invoked, not yet returned, process neither crashed nor stuck. Only these
+   attempts can still complete as-is (a recovery restarts the operation with
+   a fresh invocation), which is what a tracker's early-linearization
+   reasoning depends on. *)
+let live_pending cfg =
+  let out = ref [] in
+  for p = Array.length cfg.procs - 1 downto 0 do
+    if (not cfg.crashed.(p)) && not cfg.stuck.(p) then
+      match cfg.procs.(p).pending with
+      | Some pd -> out := (p, pd.inv0) :: !out
+      | None -> ()
+  done;
+  !out
+
+(* Tracker state across a step/glitch edge: an [Op_completed] event exactly
+   when the edge retired an operation. [continue] either prepends to
+   [ops_rev] or leaves it physically untouched, so the physical comparison
+   is an exact completion detector. *)
+let step_state (t : _ tracker) st ~trace_rev cfg cfg' =
+  match cfg'.ops_rev with
+  | o :: rest when rest == cfg.ops_rev ->
+    t.event st ~trace_rev (Op_completed { op = o; pending = live_pending cfg' })
+  | _ -> st
+
 (* One node of the search: handle leaf/limits/fuel/dedup bookkeeping in [c],
-   then hand each child configuration (with its sleep set and extended
-   decision trace) to [recurse]. Both the sequential DFS and the frontier
-   expansion are instances of this. *)
-let visit impl opts ~fuel ~visited ~lim c on_leaf ~recurse cfg sleep trace_rev
-    =
+   then hand each child configuration (with its sleep set, extended decision
+   trace and advanced tracker state) to [recurse]. Both the sequential DFS
+   and the frontier expansion are instances of this. *)
+let visit impl opts ~fuel ~visited ~lim ~t c on_leaf ~recurse cfg sleep
+    trace_rev st =
   let procs = enabled cfg in
   let recs = recoverable cfg in
   if lim.budget <> None || lim.deadline <> None then check_limits lim;
@@ -544,7 +602,7 @@ let visit impl opts ~fuel ~visited ~lim c on_leaf ~recurse cfg sleep trace_rev
     Array.iteri
       (fun i a -> if a > c.max_accesses.(i) then c.max_accesses.(i) <- a)
       cfg.acc;
-    on_leaf trace_rev (leaf_of_cfg cfg)
+    on_leaf trace_rev (leaf_of_cfg cfg) st
   end;
   if procs <> [] || recs <> [] then begin
     if cfg.events >= fuel then begin
@@ -559,7 +617,12 @@ let visit impl opts ~fuel ~visited ~lim c on_leaf ~recurse cfg sleep trace_rev
         match visited with
         | None -> false
         | Some tbl ->
-          let key = fingerprint ~sleep cfg in
+          let key =
+            match t.fingerprint with
+            | Some fp -> Value.pair (fingerprint ~sleep cfg) (fp st)
+            | None -> (* dedup is disabled upstream in this case *)
+              fingerprint ~sleep cfg
+          in
           if VH.mem tbl key then true
           else begin
             VH.add tbl key ();
@@ -603,24 +666,35 @@ let visit impl opts ~fuel ~visited ~lim c on_leaf ~recurse cfg sleep trace_rev
                 List.iteri
                   (fun i cfg' ->
                     c.nodes <- c.nodes + 1;
-                    recurse cfg' child_sleep
-                      ({ Faults.proc = p; kind = Faults.Step i } :: trace_rev))
+                    let tr =
+                      { Faults.proc = p; kind = Faults.Step i } :: trace_rev
+                    in
+                    recurse cfg' child_sleep tr
+                      (step_state t st ~trace_rev:tr cfg cfg'))
                   alts
               | exception (Type_spec.Bad_step _ | Value.Type_error _)
                 when derail ->
                 c.nodes <- c.nodes + 1;
-                recurse (wedge cfg p) 0
-                  ({ Faults.proc = p; kind = Faults.Wedge } :: trace_rev));
+                let tr =
+                  { Faults.proc = p; kind = Faults.Wedge } :: trace_rev
+                in
+                recurse (wedge cfg p) 0 tr
+                  (t.event st ~trace_rev:tr (Proc_wedged p)));
               List.iteri
                 (fun i ((_ : int * Value.t * Value.t), cfg') ->
                   c.nodes <- c.nodes + 1;
-                  recurse cfg' 0
-                    ({ Faults.proc = p; kind = Faults.Glitch i } :: trace_rev))
+                  let tr =
+                    { Faults.proc = p; kind = Faults.Glitch i } :: trace_rev
+                  in
+                  recurse cfg' 0 tr (step_state t st ~trace_rev:tr cfg cfg'))
                 (glitch_alternatives impl cfg p);
               if cfg.crashes_left > 0 then begin
                 c.nodes <- c.nodes + 1;
-                recurse (crash cfg p) 0
-                  ({ Faults.proc = p; kind = Faults.Crash } :: trace_rev)
+                let tr =
+                  { Faults.proc = p; kind = Faults.Crash } :: trace_rev
+                in
+                recurse (crash cfg p) 0 tr
+                  (t.event st ~trace_rev:tr (Proc_crashed p))
               end;
               explored := !explored lor (1 lsl p)
             end)
@@ -629,7 +703,8 @@ let visit impl opts ~fuel ~visited ~lim c on_leaf ~recurse cfg sleep trace_rev
           (fun p ->
             c.nodes <- c.nodes + 1;
             recurse (recover cfg p) 0
-              ({ Faults.proc = p; kind = Faults.Recover } :: trace_rev))
+              ({ Faults.proc = p; kind = Faults.Recover } :: trace_rev)
+              st)
           recs
       end
   end
@@ -657,19 +732,38 @@ let resolve_faults ?faults ~max_crashes () =
   | Some f -> { f with Faults.max_crashes = max f.Faults.max_crashes max_crashes }
   | None -> Faults.crashes max_crashes
 
+(* Calibrated from BENCH_explore.json: a domain spawn costs milliseconds
+   (fast-par was 30x slower than fast on the ~36-node E10-universal-faa
+   tree) while the sequential engine explores on the order of a node per
+   microsecond, so fan-out only pays for itself north of a few thousand
+   nodes. *)
+let default_par_threshold = 4096
+
 let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
-    ?deadline_s ?(options = naive) ?(on_leaf = fun (_ : Exec.leaf) -> ())
+    ?deadline_s ?(options = naive) ?(par_threshold = default_par_threshold)
+    ?tracker ?(on_leaf = fun (_ : Exec.leaf) -> ())
     ?(on_leaf_trace = fun (_ : Faults.trace) (_ : Exec.leaf) -> ()) () =
+  let (Tracker t) =
+    match tracker with Some t -> Tracker t | None -> Tracker null_tracker
+  in
   let faults = resolve_faults ?faults ~max_crashes () in
   (* Sleep sets reason about base accesses only; crashes, recoveries and
      glitches are distinct transitions of the same process that they would
      wrongly put to sleep, so POR is disabled whenever fault branching is
-     on. *)
-  let opts = { options with por = options.por && Faults.is_none faults } in
+     on. Duplicate-state pruning is sound under a tracker only when the
+     tracker state is part of the key, so dedup requires a fingerprint. *)
+  let opts =
+    {
+      options with
+      por = options.por && Faults.is_none faults;
+      dedup = options.dedup && Option.is_some t.fingerprint;
+    }
+  in
   let lim = make_limiter ?budget ?deadline_s () in
-  let emit_leaf trace_rev leaf =
+  let emit_leaf trace_rev leaf st =
     on_leaf leaf;
-    on_leaf_trace (List.rev trace_rev) leaf
+    on_leaf_trace (List.rev trace_rev) leaf;
+    t.at_leaf st ~trace_rev leaf
   in
   let n_objs = Array.length impl.Implementation.objects in
   let root = with_faults (initial_cfg impl ~workloads) faults in
@@ -677,11 +771,11 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
   if n_domains = 1 then begin
     let c = fresh_counters n_objs in
     let visited = if opts.dedup then Some (VH.create 4096) else None in
-    let rec go cfg sleep trace_rev =
-      visit impl opts ~fuel ~visited ~lim c emit_leaf ~recurse:go cfg sleep
-        trace_rev
+    let rec go cfg sleep trace_rev st =
+      visit impl opts ~fuel ~visited ~lim ~t c emit_leaf ~recurse:go cfg sleep
+        trace_rev st
     in
-    (try go root 0 [] with
+    (try go root 0 [] t.root with
     | Exec.Stop -> trip lim Stopped
     | Cut -> ());
     stats_of c ~domains_used:1 ~lim
@@ -690,12 +784,15 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
     (* Fan-out: expand the top of the tree breadth-first until the frontier
        is wide enough to feed the pool, then explore the frontier subtrees on
        worker domains, merging per-domain statistics at the end. Leaves met
-       during expansion are processed inline. *)
+       during expansion are processed inline. The pool itself is lazy:
+       frontier subtrees are drained sequentially until [par_threshold]
+       nodes have been visited, so small trees never pay the domain-spawn
+       cost. *)
     let c0 = fresh_counters n_objs in
     let expansion_visited = if opts.dedup then Some (VH.create 1024) else None in
     let target = n_domains * 4 in
     let cut_in_expansion = ref false in
-    let frontier = ref [ (root, 0, []) ] in
+    let frontier = ref [ (root, 0, [], t.root) ] in
     (try
        let level = ref 0 in
        while
@@ -706,11 +803,12 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
          incr level;
          let next = ref [] in
          List.iter
-           (fun (cfg, sleep, trace_rev) ->
-             visit impl opts ~fuel ~visited:expansion_visited ~lim c0 emit_leaf
-               ~recurse:(fun cfg' sleep' trace_rev' ->
-                 next := (cfg', sleep', trace_rev') :: !next)
-               cfg sleep trace_rev)
+           (fun (cfg, sleep, trace_rev, st) ->
+             visit impl opts ~fuel ~visited:expansion_visited ~lim ~t c0
+               emit_leaf
+               ~recurse:(fun cfg' sleep' trace_rev' st' ->
+                 next := (cfg', sleep', trace_rev', st') :: !next)
+               cfg sleep trace_rev st)
            !frontier;
          frontier := List.rev !next
        done
@@ -723,27 +821,47 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
       cut_in_expansion := true;
       frontier := []);
     let work = Array.of_list !frontier in
-    if !cut_in_expansion || Array.length work = 0 then
+    (* Sequential drain: explore frontier subtrees inline (reusing the
+       expansion dedup table and counters) until the tree has shown
+       [par_threshold] nodes — only what is left after that goes to the
+       pool. *)
+    let drained = ref 0 in
+    (try
+       let rec go cfg sleep trace_rev st =
+         visit impl opts ~fuel ~visited:expansion_visited ~lim ~t c0 emit_leaf
+           ~recurse:go cfg sleep trace_rev st
+       in
+       while !drained < Array.length work && c0.nodes < par_threshold do
+         let cfg, sleep, trace_rev, st = work.(!drained) in
+         incr drained;
+         go cfg sleep trace_rev st
+       done
+     with
+    | Exec.Stop ->
+      trip lim Stopped;
+      cut_in_expansion := true
+    | Cut -> cut_in_expansion := true);
+    if !cut_in_expansion || !drained >= Array.length work then
       stats_of c0 ~domains_used:1 ~lim
     else begin
-      let next_item = Atomic.make 0 in
+      let next_item = Atomic.make !drained in
       let stop = Atomic.make false in
       let first_error : exn option Atomic.t = Atomic.make None in
       let leaf_mutex = Mutex.create () in
-      let emit_leaf_sync trace_rev leaf =
+      let emit_leaf_sync trace_rev leaf st =
         Mutex.lock leaf_mutex;
         Fun.protect
           ~finally:(fun () -> Mutex.unlock leaf_mutex)
-          (fun () -> emit_leaf trace_rev leaf)
+          (fun () -> emit_leaf trace_rev leaf st)
       in
-      let n_workers = min n_domains (Array.length work) in
+      let n_workers = min n_domains (Array.length work - !drained) in
       let worker () =
         let c = fresh_counters n_objs in
         let visited = if opts.dedup then Some (VH.create 4096) else None in
-        let rec go cfg sleep trace_rev =
+        let rec go cfg sleep trace_rev st =
           if Atomic.get stop then raise Exec.Stop;
-          visit impl opts ~fuel ~visited ~lim c emit_leaf_sync ~recurse:go cfg
-            sleep trace_rev
+          visit impl opts ~fuel ~visited ~lim ~t c emit_leaf_sync ~recurse:go
+            cfg sleep trace_rev st
         in
         (try
            let continue = ref true in
@@ -751,8 +869,8 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
              let i = Atomic.fetch_and_add next_item 1 in
              if i >= Array.length work || Atomic.get stop then continue := false
              else begin
-               let cfg, sleep, trace_rev = work.(i) in
-               go cfg sleep trace_rev
+               let cfg, sleep, trace_rev, st = work.(i) in
+               go cfg sleep trace_rev st
              end
            done
          with

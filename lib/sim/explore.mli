@@ -93,6 +93,63 @@ val to_exec_stats : stats -> Exec.stats
 (** Forget the engine-specific counters (for callers exposing
     {!Exec.stats}). *)
 
+(** {1 Path trackers}
+
+    A tracker threads caller state {e down} the exploration tree: the state
+    is advanced functionally at every tree edge that completes a
+    target-level operation (or crashes/wedges a process), so sibling
+    subtrees share the state computed along their common prefix. This is
+    the hook the incremental linearizability engine
+    ({!Wfc_linearize.Engine}) fuses into: checking work done for a schedule
+    prefix is paid once, not once per leaf.
+
+    {b Soundness envelope.} A tracker observes the completion {e order} of
+    operations, each completed operation's values, and the set of
+    operations pending (invoked, not yet returned) at each completion —
+    never raw [start_step]/[end_step] timestamps. Sleep-set POR commutes
+    only accesses strictly between completions, so these observations are
+    identical on the representative and the skipped interleavings: [por]
+    is sound under a tracker. Duplicate-state pruning is sound only when
+    the tracker state is part of the dedup key, so [dedup] is switched off
+    automatically unless the tracker supplies a [fingerprint]. *)
+
+type path_event =
+  | Op_completed of {
+      op : Exec.op;  (** the operation that just returned *)
+      pending : (int * Value.t) list;
+          (** ⟨proc, target-level invocation⟩ of every {e live} pending
+              operation (invoked, not returned, process neither crashed nor
+              wedged) right after this completion *)
+    }
+  | Proc_crashed of int
+      (** the process crashed mid-operation: its current pending attempt
+          will never complete as-is (a recovery restarts it from scratch
+          with a fresh invocation time) *)
+  | Proc_wedged of int
+      (** the process stepped off its envelope and is stuck forever *)
+
+type 'a tracker = {
+  root : 'a;  (** state at the root of the tree *)
+  event : 'a -> trace_rev:Faults.trace -> path_event -> 'a;
+      (** advance the state over one edge; [trace_rev] is the decision
+          trace from the root to the child, most recent first (for building
+          replayable witnesses). May raise {!Exec.Stop} to abort the whole
+          exploration (e.g. the prefix is already a violation). *)
+  at_leaf : 'a -> trace_rev:Faults.trace -> Exec.leaf -> unit;
+      (** called at every complete leaf with the state accumulated along
+          its path, after [on_leaf]/[on_leaf_trace]; may raise
+          {!Exec.Stop} *)
+  fingerprint : ('a -> Value.t) option;
+      (** canonical encoding of the state, folded into the duplicate-state
+          key; [None] disables [dedup] for the run *)
+}
+
+val default_par_threshold : int
+(** Minimum nodes a tree must show before [domains > 1] actually spawns the
+    pool (4096, calibrated from BENCH_explore.json: a domain spawn costs
+    milliseconds while the sequential engine explores ≳1 node/µs, so
+    fan-out only pays for itself north of a few thousand nodes). *)
+
 val run :
   Implementation.t ->
   workloads:Value.t list array ->
@@ -102,6 +159,8 @@ val run :
   ?budget:int ->
   ?deadline_s:float ->
   ?options:options ->
+  ?par_threshold:int ->
+  ?tracker:'a tracker ->
   ?on_leaf:(Exec.leaf -> unit) ->
   ?on_leaf_trace:(Faults.trace -> Exec.leaf -> unit) ->
   unit ->
@@ -113,6 +172,18 @@ val run :
     ([completeness = Partial Stopped]). Any other exception raised by
     [on_leaf] aborts the exploration and is re-raised (on the calling domain
     when parallel).
+
+    With [domains > 1] the pool is {e lazy}: after the breadth-first
+    frontier expansion, frontier subtrees are drained sequentially until
+    [par_threshold] (default {!default_par_threshold}) nodes have been
+    visited, and only then are worker domains spawned for the remaining
+    subtrees. Small trees therefore never pay the domain-spawn cost —
+    [domains > 1] is never slower than [domains = 1] — and
+    [stats.domains_used] reports [1] when the pool was never needed. Pass
+    [~par_threshold:0] to force the pool.
+
+    [tracker] threads per-path state down the tree (see {!type:tracker});
+    [dedup] is honoured only when the tracker supplies a [fingerprint].
 
     [faults] supplies a full fault adversary ({!Faults.t}, generalizing
     [max_crashes] — see {!Exec.explore}); POR is switched off automatically

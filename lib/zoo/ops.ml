@@ -25,6 +25,16 @@ let fetch_add d = Value.pair (Value.sym "fetch-add") (Value.int d)
 let cas ~expect ~update =
   Value.pair (Value.sym "cas") (Value.pair expect update)
 
+let at i inner = Value.pair (Value.sym "at") (Value.pair (Value.int i) inner)
+
+let is_at = function
+  | Value.Pair (Value.Sym "at", Value.Pair (Value.Int _, _)) -> true
+  | _ -> false
+
+let at_target = function
+  | Value.Pair (Value.Sym "at", Value.Pair (Value.Int i, inner)) -> (i, inner)
+  | v -> (0, v)
+
 let enq v = Value.pair (Value.sym "enq") v
 let deq = Value.sym "deq"
 let push v = Value.pair (Value.sym "push") v

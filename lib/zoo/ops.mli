@@ -25,6 +25,20 @@ val propose : Value.t -> Value.t
 
 val propose_arg : Value.t -> Value.t
 
+val at : int -> Value.t -> Value.t
+(** [at i inner] = [Pair (Sym "at", Pair (Int i, inner))] — address an
+    invocation to sub-object [i] of a composite target. The linearizability
+    checker ({!Wfc_linearize}) decomposes a history per addressed object
+    (Herlihy–Wing locality): operations with distinct [i] are checked
+    against independent copies of the spec. *)
+
+val is_at : Value.t -> bool
+
+val at_target : Value.t -> int * Value.t
+(** Decode an {!at} address: [(i, inner)] for an addressed invocation,
+    [(0, v)] for an unaddressed one — plain histories are single-object
+    histories on object [0]. *)
+
 val test_and_set : Value.t
 val swap : Value.t -> Value.t
 val fetch_add : int -> Value.t

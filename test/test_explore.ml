@@ -59,10 +59,13 @@ let full_proj (leaf : Exec.leaf) =
            leaf.ops);
     ]
 
-let collect ?fuel ?max_crashes ~options ~proj impl workloads =
+(* [par_threshold:0] forces the domain pool even on these deliberately tiny
+   trees — the lazy-pool fallback is exercised separately below. *)
+let collect ?fuel ?max_crashes ?(par_threshold = 0) ~options ~proj impl
+    workloads =
   let acc = ref [] in
   let stats =
-    Explore.run impl ~workloads ?fuel ?max_crashes ~options
+    Explore.run impl ~workloads ?fuel ?max_crashes ~options ~par_threshold
       ~on_leaf:(fun leaf -> acc := proj leaf :: !acc)
       ()
   in
