@@ -744,6 +744,234 @@ let linearize_engine_report () =
   List.iter (fun s -> Fmt.pr "GUARD FAILED: %s@." s) !guard_failures;
   !guard_failures = []
 
+(* --- CX: state-space compaction (hash-consing + symmetry) ---------------------
+
+   One timed Explore.run per ⟨workload, compaction config⟩, dumped as
+   BENCH_compact.json. The three configs isolate each layer: [fast] (dedup +
+   POR, structural fingerprints), [fast+intern] (hash-consed incremental
+   keys — same pruning decisions, cheaper probes), [fast+intern+symmetry]
+   (canonical keys under permutation of interchangeable processes). The
+   report doubles as a guard: interning may never change the node count,
+   symmetry may never increase it, the three configs must agree with
+   Check.verify's verdict on every guard protocol, and at least one
+   ≥3-process symmetric workload must show a ≥2x node cut; any breach makes
+   the runner exit nonzero (the CI step runs `bench/main.exe cx`). *)
+
+let cx_engines () =
+  [
+    ("fast", { Explore.fast with Explore.intern = false; symmetry = false });
+    ("fast+intern", { Explore.fast with Explore.symmetry = false });
+    ("fast+intern+symmetry", Explore.fast);
+  ]
+
+let cx_workloads () =
+  let equal_inputs n v = Array.init n (fun _ -> [ Ops.propose v ]) in
+  [
+    ("CX-cas3-equal", Protocols.from_cas ~procs:3 (), equal_inputs 3 Value.truth);
+    ( "CX-cas3-mixed",
+      Protocols.from_cas ~procs:3 (),
+      [|
+        [ Ops.propose Value.truth ];
+        [ Ops.propose Value.truth ];
+        [ Ops.propose Value.falsity ];
+      |] );
+    ( "CX-sticky3-equal",
+      Protocols.from_sticky ~procs:3 (),
+      equal_inputs 3 Value.truth );
+    ( "CX-sticky4-equal",
+      Protocols.from_sticky ~procs:4 (),
+      equal_inputs 4 Value.truth );
+    (* control row: the universal construction does not declare process
+       symmetry, so the symmetry config must be a no-op here *)
+    ( "CX-universal-faa-control",
+      Universal.construct ~target:(Rmw.fetch_add_mod ~ports:2 ~modulus:5)
+        ~procs:2 ~cells:8 (),
+      [| [ Ops.fetch_add 1 ]; [ Ops.fetch_add 2 ] |] );
+  ]
+
+(* Collision probe: the pre-compaction hash chained [ha * 65599 + hb], which
+   is commutative across the elements of a right-nested pair chain — exactly
+   the shape dedup fingerprints have. Count colliding (unordered) pairs over
+   all permutations of a 5-element chain, legacy formula vs Value.hash. *)
+let cx_collision_probe () =
+  let legacy =
+    let rec h = function
+      | Value.Unit -> 17
+      | Value.Bool b -> if b then 31 else 37
+      | Value.Int i -> Hashtbl.hash i
+      | Value.Sym s -> Hashtbl.hash s
+      | Value.Pair (a, b) -> (h a * 65599) + h b
+      | Value.List xs -> List.fold_left (fun acc x -> (acc * 131) + h x) 43 xs
+    in
+    h
+  in
+  let atoms = List.init 5 (fun i -> Value.int (101 + (i * 17))) in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | xs ->
+      List.concat_map
+        (fun x ->
+          permutations (List.filter (fun y -> not (y == x)) xs)
+          |> List.map (fun p -> x :: p))
+        xs
+  in
+  let chain xs =
+    List.fold_right (fun x acc -> Value.Pair (x, acc)) xs Value.Unit
+  in
+  let chains = List.map chain (permutations atoms) in
+  let colliding_pairs hash =
+    let tbl = Hashtbl.create 256 in
+    List.iter
+      (fun c ->
+        let h = hash c in
+        Hashtbl.replace tbl h
+          (1 + Option.value (Hashtbl.find_opt tbl h) ~default:0))
+      chains;
+    Hashtbl.fold (fun _ k acc -> acc + (k * (k - 1) / 2)) tbl 0
+  in
+  let n = List.length chains in
+  (n * (n - 1) / 2, colliding_pairs legacy, colliding_pairs Value.hash)
+
+let cx_verdict_guards () =
+  [
+    ("cas3", Protocols.from_cas ~procs:3 (), "verified");
+    ("sticky3", Protocols.from_sticky ~procs:3 (), "verified");
+    ("broken-register-only", Protocols.broken_register_only (), "falsified");
+  ]
+
+let compact_report () =
+  Fmt.pr "==== CX state-space compaction (single timed runs) ====@.";
+  let guard_failures = ref [] in
+  let fail fmt =
+    Fmt.kstr (fun s -> guard_failures := s :: !guard_failures) fmt
+  in
+  let best_cut = ref 1.0 in
+  let json_workloads =
+    List.map
+      (fun (name, impl, workloads) ->
+        Fmt.pr "%s:@." name;
+        let base_nodes = ref 0 and intern_nodes = ref 0 in
+        let rows =
+          List.map
+            (fun (ename, options) ->
+              let t0 = Unix.gettimeofday () in
+              (* dedup_threshold 0: these trees are the object of study, so
+                 pruning is active from the root in every config *)
+              let s =
+                Explore.run impl ~workloads ~options ~dedup_threshold:0 ()
+              in
+              let wall = Unix.gettimeofday () -. t0 in
+              if String.equal ename "fast" then base_nodes := s.Explore.nodes;
+              if String.equal ename "fast+intern" then
+                intern_nodes := s.Explore.nodes;
+              let cut =
+                if s.Explore.nodes = 0 then 1.0
+                else float_of_int !base_nodes /. float_of_int s.Explore.nodes
+              in
+              let nodes_per_s =
+                if wall > 0.0 then float_of_int s.Explore.nodes /. wall else 0.0
+              in
+              Fmt.pr
+                "  %-22s %9d nodes %8d leaves %8d pruned %9.3f ms %12.0f \
+                 nodes/s (nodes x%.2f vs fast)@."
+                ename s.Explore.nodes s.Explore.leaves s.Explore.pruned
+                (wall *. 1e3) nodes_per_s cut;
+              ( (ename, s, cut),
+                Fmt.str
+                  {|        {"engine": %S, "nodes": %d, "leaves": %d, "pruned": %d, "sleep_skips": %d, "max_events": %d, "wall_s": %.6f, "nodes_per_s": %.0f, "node_cut_vs_fast": %.3f}|}
+                  ename s.Explore.nodes s.Explore.leaves s.Explore.pruned
+                  s.Explore.sleep_skips s.Explore.max_events wall nodes_per_s
+                  cut ))
+            (cx_engines ())
+        in
+        List.iter
+          (fun ((ename, s, cut), _) ->
+            match ename with
+            | "fast+intern" ->
+              if s.Explore.nodes <> !base_nodes then
+                fail
+                  "%s: fast+intern visited %d nodes, fast visited %d \
+                   (interning must not change pruning decisions)"
+                  name s.Explore.nodes !base_nodes
+            | "fast+intern+symmetry" ->
+              if s.Explore.nodes > !intern_nodes then
+                fail "%s: symmetry increased nodes (%d > %d)" name
+                  s.Explore.nodes !intern_nodes;
+              if impl.Implementation.procs >= 3 && cut > !best_cut then
+                best_cut := cut
+            | _ -> ())
+          rows;
+        Fmt.str "    {\"name\": %S, \"engines\": [\n%s\n    ]}" name
+          (String.concat ",\n" (List.map snd rows)))
+      (cx_workloads ())
+  in
+  if !best_cut < 2.0 then
+    fail
+      "no >=3-process symmetric workload reached a 2x node cut (best %.2fx)"
+      !best_cut;
+  (* verdict parity: the full checker must reach the same verdict under every
+     compaction config *)
+  let verdict_str = function
+    | Check.Verified _ -> "verified"
+    | Check.Falsified _ -> "falsified"
+    | Check.Unknown _ -> "unknown"
+  in
+  Fmt.pr "verdict parity (Check.verify under each config):@.";
+  let json_verdicts =
+    List.map
+      (fun (name, impl, expected) ->
+        let verdicts =
+          List.map
+            (fun (ename, engine) ->
+              (ename, verdict_str (Check.verify ~engine impl)))
+            (cx_engines ())
+        in
+        List.iter
+          (fun (ename, v) ->
+            if not (String.equal v expected) then
+              fail "%s: %s verdict %S, expected %S" name ename v expected)
+          verdicts;
+        Fmt.pr "  %-24s %s@." name
+          (String.concat " "
+             (List.map (fun (e, v) -> Fmt.str "%s=%s" e v) verdicts));
+        Fmt.str {|    {"name": %S, "expected": %S, "verdicts": {%s}}|} name
+          expected
+          (String.concat ", "
+             (List.map (fun (e, v) -> Fmt.str "%S: %S" e v) verdicts)))
+      (cx_verdict_guards ())
+  in
+  let probe_pairs, probe_legacy, probe_new = cx_collision_probe () in
+  Fmt.pr
+    "hash collision probe (120 permuted 5-chains, %d pairs): legacy %d \
+     colliding, current %d@."
+    probe_pairs probe_legacy probe_new;
+  if probe_new >= probe_legacy && probe_legacy > 0 then
+    fail "hash mixing no better than legacy (%d >= %d colliding pairs)"
+      probe_new probe_legacy;
+  let json =
+    Fmt.str
+      "{\n\
+      \  \"schema\": \"wfc-bench-compact/1\",\n\
+      \  \"workloads\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"verdict_guards\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"collision_probe\": {\"pairs\": %d, \"legacy_colliding\": %d, \
+       \"current_colliding\": %d}\n\
+       }\n"
+      (String.concat ",\n" json_workloads)
+      (String.concat ",\n" json_verdicts)
+      probe_pairs probe_legacy probe_new
+  in
+  let oc = open_out "BENCH_compact.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_compact.json@.";
+  List.iter (fun s -> Fmt.pr "GUARD FAILED: %s@." s) !guard_failures;
+  !guard_failures = []
+
 let ex =
   let impl = Protocols.from_cas ~procs:3 () in
   let workloads =
@@ -818,10 +1046,13 @@ let () =
     explore_engine_report ();
     exit 0
   end;
+  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "cx" then
+    exit (if compact_report () then 0 else 1);
   shape_facts ();
   explore_engine_report ();
   fault_injection_report ();
   if not (linearize_engine_report ()) then exit 1;
+  if not (compact_report ()) then exit 1;
   Fmt.pr "==== timings (bechamel, OLS per-run estimates) ====@.";
   List.iter
     (fun t ->

@@ -109,6 +109,24 @@ let witness_out_arg =
   let doc = "On violation, store the shrunk replayable witness to $(docv)." in
   Arg.(value & opt (some string) None & info [ "witness" ] ~docv:"FILE" ~doc)
 
+let no_intern_arg =
+  let doc =
+    "Disable hash-consed (interned) duplicate-state keys and fall back to \
+     deep structural fingerprints. Escape hatch for debugging the engine; \
+     verdicts are identical either way, interning is only faster. Implies \
+     $(b,--no-symmetry)."
+  in
+  Arg.(value & flag & info [ "no-intern" ] ~doc)
+
+let no_symmetry_arg =
+  let doc =
+    "Disable process-symmetry reduction (merging schedules that differ only \
+     by a permutation of equal-input processes of a symmetric protocol). \
+     Escape hatch for debugging; verdicts are identical either way, \
+     symmetry only shrinks the explored state space."
+  in
+  Arg.(value & flag & info [ "no-symmetry" ] ~doc)
+
 let parse_degrade impl ~glitches = function
   | None -> None
   | Some "safe" -> Some (Wfc_sim.Faults.degrade_all impl ~glitches `Safe)
@@ -140,14 +158,21 @@ let faults_of_flags impl ~crashes ~recoveries ~glitches ~degrade =
 
 let verify_cmd =
   let run name procs crashes recoveries glitches degrade budget deadline_s
-      witness_file =
+      witness_file no_intern no_symmetry =
     let impl = make_protocol ~procs name in
     let faults =
       faults_of_flags impl ~crashes ~recoveries ~glitches ~degrade
     in
     if not (Wfc_sim.Faults.is_none faults) then
       Fmt.pr "adversary: %a@." Wfc_sim.Faults.pp faults;
-    match Check.verify ~faults ?budget ?deadline_s impl with
+    let engine =
+      {
+        Wfc_sim.Explore.fast with
+        intern = not no_intern;
+        symmetry = not (no_symmetry || no_intern);
+      }
+    in
+    match Check.verify ~faults ?budget ?deadline_s ~engine impl with
     | Check.Verified r ->
       Fmt.pr
         "OK: agreement, validity and wait-freedom hold over %d executions \
@@ -186,9 +211,11 @@ let verify_cmd =
          "Exhaustively check a consensus protocol, optionally under a fault \
           adversary and/or an exploration budget")
     Term.(
-      const (fun n p c r g d b dl w -> Stdlib.exit (run n p c r g d b dl w))
+      const (fun n p c r g d b dl w ni ns ->
+          Stdlib.exit (run n p c r g d b dl w ni ns))
       $ protocol_arg $ procs_arg $ crashes_arg $ recoveries_arg $ glitches_arg
-      $ degrade_arg $ budget_arg $ deadline_arg $ witness_out_arg)
+      $ degrade_arg $ budget_arg $ deadline_arg $ witness_out_arg
+      $ no_intern_arg $ no_symmetry_arg)
 
 (* --- explore ------------------------------------------------------------------ *)
 

@@ -207,7 +207,11 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
             | _ -> ());
             (* Agreement/validity read only operation values, never
                timestamps, so the reduced engine is sound here (see
-               {!Wfc_sim.Explore}'s soundness envelope). *)
+               {!Wfc_sim.Explore}'s soundness envelope). That includes
+               process-symmetry reduction: equal-input participants get
+               syntactically equal workloads (the [repeat] follow-up
+               proposal is a function of the input alone), and both
+               predicates are invariant under permuting them. *)
             let stats =
               Wfc_sim.Explore.run impl ~workloads ?fuel ~faults
                 ?budget:!budget_left ?deadline_s:deadline_s_left

@@ -65,8 +65,14 @@ val verify :
 (** [engine] (default {!Wfc_sim.Explore.fast}) selects the exploration
     engine options. Agreement/validity/wait-freedom are timing-insensitive,
     so duplicate-state pruning and partial-order reduction are sound here and
-    on by default; pass {!Wfc_sim.Explore.naive} to force the unreduced
-    search (the property suite asserts both give the same verdict).
+    on by default — as are hash-consed dedup keys ([intern]) and
+    process-symmetry reduction ([symmetry]; agreement and validity are
+    invariant under permuting equal-input participants, and it only
+    activates for implementations declaring
+    {!Wfc_program.Implementation.symmetric}). Pass {!Wfc_sim.Explore.naive}
+    to force the unreduced search (the property suite asserts both give the
+    same verdict), or clear individual fields — [wfc verify --no-intern /
+    --no-symmetry] does exactly that.
     [report.executions] counts the executions the engine actually visited.
     [par_threshold] governs the lazy domain pool exactly as in
     {!Wfc_sim.Explore.run} — with [engine.domains > 1], small per-vector

@@ -97,12 +97,16 @@ let from_cas ~procs () =
     let+ decided = Program.invoke ~obj:0 Ops.read in
     (to_bool decided, local)
   in
+  (* [program] never inspects [proc] and the decider is one shared object,
+     so processes are interchangeable up to their inputs; [symmetric] lets
+     the exploration engine merge pid-permuted schedules. (The two_process
+     protocols above do NOT qualify: they index proposal registers by pid.) *)
   with_decision_cache
     (Implementation.make
        ~target:(Consensus_type.binary ~ports:procs)
        ~implements:Consensus_type.bot ~procs
        ~objects:[ (cas, Rmw.bot) ]
-       ~program ())
+       ~symmetric:true ~program ())
 
 let from_sticky ~procs () =
   let sticky = Sticky.bit ~ports:procs in
@@ -117,7 +121,7 @@ let from_sticky ~procs () =
        ~target:(Consensus_type.binary ~ports:procs)
        ~implements:Consensus_type.bot ~procs
        ~objects:[ (sticky, Sticky.bot) ]
-       ~program ())
+       ~symmetric:true ~program ())
 
 let broken_register_only () =
   let procs = 2 in

@@ -581,8 +581,16 @@ let verify impl ~workloads ?fuel ?(faults = Faults.none)
     let viol : violation option Atomic.t = Atomic.make None in
     (* one memo table per run and domain: advancing a frontier is a pure
        function of ⟨object, frontier, completion, pending set⟩, and distinct
-       interleavings hit the same advances constantly *)
-    let memo = Domain.DLS.new_key (fun () -> VH.create 1024) in
+       interleavings hit the same advances constantly. Keys are hash-consed
+       (per-domain intern state paired with a cell-keyed table, so no
+       mutable interning structure crosses a domain): the probe is a
+       physical-equality lookup on a cached hash, and the intern walk of a
+       fresh key is cheap because recurring subterms — frontier encodings
+       above all — are already maximally shared from earlier probes. *)
+    let memo =
+      Domain.DLS.new_key (fun () ->
+          (Value.Intern.create (), Value.Intern.H.create 1024))
+    in
     let decode inv = if compositional then Ops.at_target inv else (0, inv) in
     let record ~trace_rev ~done_rev reason =
       let v =
@@ -626,9 +634,10 @@ let verify impl ~workloads ?fuel ?(faults = Faults.none)
                 (List.map (fun p -> Value.pair (Value.int p.pkey) p.pinv) pend);
             ]
         in
-        let tbl = Domain.DLS.get memo in
+        let ist, tbl = Domain.DLS.get memo in
+        let mkey = Value.Intern.intern ist mkey in
         let fr' =
-          match VH.find_opt tbl mkey with
+          match Value.Intern.H.find_opt tbl mkey with
           | Some fr' ->
             ignore (Atomic.fetch_and_add memo_hits 1);
             fr'
@@ -639,7 +648,7 @@ let verify impl ~workloads ?fuel ?(faults = Faults.none)
                 ~key:op.Exec.proc ~port:op.Exec.proc ~inv:inner ~pending:pend
             in
             ignore (Atomic.fetch_and_add transitions !count);
-            VH.add tbl mkey fr';
+            Value.Intern.H.add tbl mkey fr';
             fr'
         in
         let done_rev = op :: st.done_rev in

@@ -10,11 +10,12 @@ type t = {
   port_map : proc:int -> obj:int -> int;
   local_init : int -> Value.t;
   program : proc:int -> inv:Value.t -> body;
+  symmetric : bool;
 }
 
 let make ~target ?implements ~procs ~objects
     ?(port_map = fun ~proc ~obj:_ -> proc) ?(local_init = fun _ -> Value.unit)
-    ~program () =
+    ?(symmetric = false) ~program () =
   {
     target;
     implements = Option.value implements ~default:target.Type_spec.initial;
@@ -23,11 +24,16 @@ let make ~target ?implements ~procs ~objects
     port_map;
     local_init;
     program;
+    symmetric;
   }
 
 let identity spec ~procs =
+  (* The program ignores [proc] and addresses the single shared object, so
+     processes are interchangeable whenever the spec itself is oblivious
+     (which the exploration engine re-checks before using the declaration). *)
   make ~target:spec ~procs
     ~objects:[ (spec, spec.Type_spec.initial) ]
+    ~symmetric:true
     ~program:(fun ~proc:_ ~inv local ->
       Program.map (fun resp -> (resp, local)) (Program.invoke ~obj:0 inv))
     ()
@@ -139,6 +145,10 @@ let substitute ~obj ?(proc_map = Fun.id) ~replacement impl =
     port_map;
     local_init;
     program;
+    (* Conservative: [proc_map] may assign processes distinct roles in the
+       replacement, breaking interchangeability even when both parts are
+       individually symmetric. Composites must re-declare explicitly. *)
+    symmetric = false;
   }
 
 let substitute_where impl ~pred ~replace =

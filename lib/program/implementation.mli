@@ -26,6 +26,17 @@ type t = {
       (** the port through which a process accesses a base object *)
   local_init : int -> Value.t;  (** initial local state per process *)
   program : proc:int -> inv:Value.t -> body;
+  symmetric : bool;
+      (** Declaration that the program text is process-oblivious: it never
+          branches on [proc] and never uses [proc] to pick an object index,
+          so any two processes differ only in their pid, workload and initial
+          local state. Enables process-symmetry reduction in the exploration
+          engine ([Wfc_sim.Explore]), which additionally requires every base
+          spec to be port-oblivious and only merges processes with equal
+          workloads and equal initial locals. Declaring it for a program that
+          does inspect [proc] (e.g. per-pid proposal registers) is unsound —
+          leave it [false] when in doubt; the only cost is a smaller
+          reduction. *)
 }
 
 val make :
@@ -35,11 +46,13 @@ val make :
   objects:(Type_spec.t * Value.t) list ->
   ?port_map:(proc:int -> obj:int -> int) ->
   ?local_init:(int -> Value.t) ->
+  ?symmetric:bool ->
   program:(proc:int -> inv:Value.t -> body) ->
   unit ->
   t
 (** [implements] defaults to [target.initial]; [port_map] to
-    [fun ~proc ~obj:_ -> proc]; [local_init] to [fun _ -> Value.unit]. *)
+    [fun ~proc ~obj:_ -> proc]; [local_init] to [fun _ -> Value.unit];
+    [symmetric] to [false] (see {!type:t}). *)
 
 val identity : Type_spec.t -> procs:int -> t
 (** The trivial implementation: one base object of the very same type; each
@@ -74,7 +87,9 @@ val substitute :
     The replacement's base objects are appended to the object array (its
     first object reuses slot [obj] so other indices are stable); its
     per-process local states are threaded inside the composite local state;
-    its port map is composed through. *)
+    its port map is composed through. The composite's [symmetric] flag is
+    always [false]: [proc_map] can assign processes distinct roles, so the
+    declaration does not survive composition automatically. *)
 
 val substitute_where :
   t -> pred:(Type_spec.t -> bool) -> replace:(int -> Type_spec.t * Value.t -> t) -> t

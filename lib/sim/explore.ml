@@ -1,10 +1,19 @@
 open Wfc_spec
 open Wfc_program
 
-type options = { dedup : bool; por : bool; domains : int }
+type options = {
+  dedup : bool;
+  por : bool;
+  domains : int;
+  intern : bool;
+  symmetry : bool;
+}
 
-let naive = { dedup = false; por = false; domains = 1 }
-let fast = { dedup = true; por = true; domains = 1 }
+let naive =
+  { dedup = false; por = false; domains = 1; intern = false; symmetry = false }
+
+let fast =
+  { dedup = true; por = true; domains = 1; intern = true; symmetry = true }
 
 let parallel ?domains () =
   let domains =
@@ -445,6 +454,247 @@ let fingerprint ~sleep cfg =
       Value.int sleep;
     ]
 
+(* --- process-symmetry reduction ---------------------------------------------
+
+   Two configurations that differ only by a permutation π of interchangeable
+   processes have π-isomorphic subtrees: every schedule of one is a schedule
+   of the other with pids renamed, and every verdict predicate we run
+   (agreement, validity, wait-freedom fuel, per-object access bounds) is
+   invariant under renaming processes *within a class of equal inputs*. So
+   instead of exploring both, we canonicalize the dedup KEY — never the
+   configuration itself — by sorting the per-process fingerprint components
+   within each class under a fixed total order. Exploration always proceeds
+   on real configurations, so traces, witnesses and leaves are reported in
+   un-permuted pids; symmetry only makes the dedup table coarser, which
+   composes with sleep sets exactly like plain dedup does (the sleep bits
+   are canonicalized along with the process components).
+
+   Interchangeability is DECLARED ([Implementation.symmetric] promises the
+   program text never inspects [proc]) and then narrowed here: every base
+   spec must be port-oblivious, and only processes with equal workloads and
+   equal initial local states fall in one class. Trackers thread caller
+   state whose pid-equivariance we cannot see, so a user tracker disables
+   the reduction (the engine falls back to exact, pid-ordered keys). *)
+
+module Symmetry = struct
+  (* [classes.(p)] is the smallest pid interchangeable with [p]; a process
+     in no nontrivial class is its own representative. *)
+  type t = { classes : int array }
+
+  let classes g = g.classes
+
+  let group_order g =
+    let n = Array.length g.classes in
+    let size = Array.make n 0 in
+    Array.iter (fun r -> size.(r) <- size.(r) + 1) g.classes;
+    let fact k =
+      let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
+      go 1 k
+    in
+    Array.fold_left (fun acc s -> if s > 1 then acc * fact s else acc) 1 size
+
+  let of_impl (impl : Implementation.t) ~(workloads : Value.t list array) =
+    if not impl.Implementation.symmetric then None
+    else if
+      Array.exists
+        (fun (spec, _) -> not spec.Type_spec.oblivious)
+        impl.Implementation.objects
+    then None
+    else begin
+      let n = Array.length workloads in
+      let classes = Array.init n Fun.id in
+      for p = 1 to n - 1 do
+        let rec find q =
+          if q >= p then p
+          else if
+            classes.(q) = q
+            && List.equal Value.equal workloads.(q) workloads.(p)
+            && Value.equal
+                 (impl.Implementation.local_init q)
+                 (impl.Implementation.local_init p)
+          then q
+          else find (q + 1)
+        in
+        classes.(p) <- find 0
+      done;
+      let nontrivial = ref false in
+      Array.iteri (fun p r -> if r <> p then nontrivial := true) classes;
+      if !nontrivial then Some { classes } else None
+    end
+end
+
+(* --- interned, incremental fingerprints --------------------------------------
+
+   The hash-consed twin of [fingerprint]: every component of the key is an
+   [Value.Intern.cell], so the dedup probe is a physical-equality hashtable
+   lookup on a cached hash instead of a deep [Value.hash]/[Value.equal] walk
+   over the whole configuration.
+
+   The cells are maintained *incrementally* along tree edges. Configurations
+   are persistent — every transition [Array.copy]s the touched array and
+   shares all other elements — so a physical diff of child against parent
+   pinpoints the components that changed in O(#procs + #objs) pointer
+   comparisons, and only those are re-interned. There is no "unapply" pass:
+   backtracking is free because each node holds its own immutable [fpc] and
+   the parent's is untouched.
+
+   Per-process components deliberately exclude the pid itself (the position
+   in the key carries it; under symmetry, the canonical position), and a
+   process's completed operations form a cons-chain extended by one cell
+   when an edge retires an operation — completion order across processes
+   never enters the key, matching [fp_ops]'s canonical ⟨proc, op_index⟩
+   order in the legacy path. *)
+
+module I = Value.Intern
+
+type fpc = {
+  src : cfg;  (* the configuration these cells fingerprint *)
+  obj_cells : I.cell array;
+  hist_cells : I.cell array;
+  proc_cells : I.cell array;
+  ops_cells : I.cell array;  (* per proc: cons-chain of completed-op cells *)
+}
+
+let fp_op_cell ist (o : Exec.op) =
+  I.list ist
+    [ I.int ist o.op_index; I.intern ist o.inv; I.intern ist o.resp;
+      I.int ist o.steps ]
+
+let fp_proc_cell ist pr =
+  I.list ist
+    [
+      I.list ist (List.map (I.intern ist) pr.todo);
+      I.int ist pr.next_op;
+      (match pr.pending with
+      | None -> I.unit ist
+      | Some pd ->
+        I.list ist
+          (I.intern ist pd.inv0
+          :: I.int ist pd.op_index
+          :: List.map (I.intern ist) pd.resps_rev));
+      I.intern ist pr.local;
+    ]
+
+let fp_hist_cell ist h = I.list ist (List.map (I.intern ist) h)
+
+(* Build from scratch — the root of an exploration (or of a worker's
+   subtree: intern states are per-domain, so cells never cross domains). *)
+let fpc_of_cfg ist cfg =
+  let ops_cells = Array.make (Array.length cfg.procs) (I.unit ist) in
+  List.iter
+    (fun (o : Exec.op) ->
+      ops_cells.(o.proc) <- I.pair ist (fp_op_cell ist o) ops_cells.(o.proc))
+    (List.rev cfg.ops_rev);
+  {
+    src = cfg;
+    obj_cells = Array.map (I.intern ist) cfg.objs;
+    hist_cells = Array.map (fp_hist_cell ist) cfg.hist;
+    proc_cells = Array.map (fp_proc_cell ist) cfg.procs;
+    ops_cells;
+  }
+
+(* Re-intern exactly the indices where the child array's element is not
+   physically the parent's. Immediate values (e.g. [Value.Unit]) compare by
+   value under [!=], and a false "changed" on a block merely re-interns to
+   the same cell — the diff is conservative, never wrong. *)
+let update_cells cells olds news f =
+  if olds == news then cells
+  else begin
+    let out = ref cells in
+    Array.iteri
+      (fun i x ->
+        if x != Array.unsafe_get olds i then begin
+          if !out == cells then out := Array.copy cells;
+          !out.(i) <- f x
+        end)
+      news;
+    !out
+  end
+
+let fpc_advance ist fpc cfg' =
+  if fpc.src == cfg' then fpc
+  else begin
+    let src = fpc.src in
+    let ops_cells =
+      (* Same physical completion detector as [step_state]: an edge retires
+         at most one operation. *)
+      match cfg'.ops_rev with
+      | o :: rest when rest == src.ops_rev ->
+        let a = Array.copy fpc.ops_cells in
+        a.(o.proc) <- I.pair ist (fp_op_cell ist o) a.(o.proc);
+        a
+      | _ -> fpc.ops_cells
+    in
+    {
+      src = cfg';
+      obj_cells = update_cells fpc.obj_cells src.objs cfg'.objs (I.intern ist);
+      hist_cells =
+        update_cells fpc.hist_cells src.hist cfg'.hist (fp_hist_cell ist);
+      proc_cells =
+        update_cells fpc.proc_cells src.procs cfg'.procs (fp_proc_cell ist);
+      ops_cells;
+    }
+  end
+
+(* Assemble the probe key. Mirrors [fingerprint]'s content exactly (object
+   states + staleness histories + access counts, per-process control +
+   completed ops + crashed/stuck flags + sleep bit, event count and fault
+   budgets), but groups everything per-process so that symmetry can permute
+   whole process components. Under [classes], each class's components are
+   emitted in cell-id order at the class's fixed positions — any total order
+   on the multiset yields the same canonical sequence, and [I.compare_id]
+   is O(1). *)
+let key_of_cfg ist fpc cfg ~sleep ~classes ~tracker_cell =
+  let objs_part =
+    I.list ist
+      (List.init (Array.length fpc.obj_cells) (fun o ->
+           I.list ist
+             [ fpc.obj_cells.(o); fpc.hist_cells.(o); I.int ist cfg.acc.(o) ]))
+  in
+  let composite p =
+    I.list ist
+      [
+        fpc.proc_cells.(p);
+        fpc.ops_cells.(p);
+        I.bool ist cfg.crashed.(p);
+        I.bool ist cfg.stuck.(p);
+        I.bool ist (sleep land (1 lsl p) <> 0);
+      ]
+  in
+  let nprocs = Array.length cfg.procs in
+  let procs_part =
+    match classes with
+    | None -> I.list ist (List.init nprocs composite)
+    | Some rep ->
+      (* Emit classes at the representative's position, members sorted.
+         Class sizes are fixed for the whole run, so positions still
+         determine which class a component belongs to. *)
+      let out = ref [] in
+      for p = nprocs - 1 downto 0 do
+        if rep.(p) = p then begin
+          let members = ref [] in
+          for q = nprocs - 1 downto p do
+            if rep.(q) = p then members := composite q :: !members
+          done;
+          out := List.sort I.compare_id !members @ !out
+        end
+      done;
+      I.list ist !out
+  in
+  let scalars =
+    I.list ist
+      [
+        I.int ist cfg.events;
+        I.int ist cfg.crashes_left;
+        I.int ist cfg.recoveries_left;
+        I.int ist cfg.glitches_left;
+      ]
+  in
+  let base = I.list ist [ objs_part; procs_part; scalars ] in
+  match tracker_cell with
+  | None -> base
+  | Some c -> I.pair ist base c
+
 (* --- partial-order reduction -------------------------------------------------
 
    Two enabled processes are independent at a configuration when their next
@@ -583,12 +833,89 @@ let step_state (t : _ tracker) st ~trace_rev cfg cfg' =
     t.event st ~trace_rev (Op_completed { op = o; pending = live_pending cfg' })
   | _ -> st
 
+(* Per-domain duplicate-state machinery. The tables (and, in interned mode,
+   the intern state whose cells key them) are allocated lazily, only once
+   the domain has visited [threshold] nodes: on trees smaller than that the
+   table can never pay for its own allocation, let alone the per-node
+   fingerprinting — that was the E3-sticky3-tree regression, where a
+   4096-bucket table plus deep fingerprints served a 15-node tree. States
+   visited before activation are simply never cached, which is sound
+   (pruning only ever happens on a hit). *)
+
+type dtables =
+  | T_value of unit VH.t
+  | T_intern of I.state * unit I.H.t
+
+type dedup_ctx = {
+  threshold : int;
+  use_intern : bool;
+  classes : int array option;  (* symmetry classes, if active *)
+  mutable tables : dtables option;
+}
+
+(* Probe (and record) the current state. Returns ⟨already seen?, advanced
+   fingerprint cache for the children⟩. Below the activation threshold this
+   is a no-op — no table, no intern state, no fingerprint is ever built. *)
+let probe_dedup dd ~t ~nodes cfg sleep st fpcur =
+  if Option.is_none dd.tables && nodes < dd.threshold then (false, None)
+  else begin
+    let tables =
+      match dd.tables with
+      | Some tabs -> tabs
+      | None ->
+        let tabs =
+          if dd.use_intern then T_intern (I.create (), I.H.create 256)
+          else T_value (VH.create 256)
+        in
+        dd.tables <- Some tabs;
+        tabs
+    in
+    (match tables with
+    | T_value tbl ->
+      let key =
+        match t.fingerprint with
+        | Some fp -> Value.pair (fingerprint ~sleep cfg) (fp st)
+        | None -> (* dedup is disabled upstream in this case *)
+          fingerprint ~sleep cfg
+      in
+      let revisited =
+        if VH.mem tbl key then true
+        else begin
+          VH.add tbl key ();
+          false
+        end
+      in
+      (revisited, None)
+    | T_intern (ist, tbl) ->
+      let fpc =
+        match fpcur with
+        | Some f -> fpc_advance ist f cfg
+        | None -> fpc_of_cfg ist cfg
+      in
+      let tracker_cell =
+        match t.fingerprint with
+        | Some fp -> Some (I.intern ist (fp st))
+        | None -> None
+      in
+      let key =
+        key_of_cfg ist fpc cfg ~sleep ~classes:dd.classes ~tracker_cell
+      in
+      let revisited =
+        if I.H.mem tbl key then true
+        else begin
+          I.H.add tbl key ();
+          false
+        end
+      in
+      (revisited, Some fpc))
+  end
+
 (* One node of the search: handle leaf/limits/fuel/dedup bookkeeping in [c],
    then hand each child configuration (with its sleep set, extended decision
    trace and advanced tracker state) to [recurse]. Both the sequential DFS
    and the frontier expansion are instances of this. *)
-let visit impl opts ~fuel ~visited ~lim ~t c on_leaf ~recurse cfg sleep
-    trace_rev st =
+let visit impl opts ~fuel ~dd ~lim ~t c on_leaf ~recurse cfg sleep
+    trace_rev st fpcur =
   let procs = enabled cfg in
   let recs = recoverable cfg in
   if lim.budget <> None || lim.deadline <> None then check_limits lim;
@@ -613,21 +940,10 @@ let visit impl opts ~fuel ~visited ~lim ~t c on_leaf ~recurse cfg sleep
       end
     end
     else
-      let revisited =
-        match visited with
-        | None -> false
-        | Some tbl ->
-          let key =
-            match t.fingerprint with
-            | Some fp -> Value.pair (fingerprint ~sleep cfg) (fp st)
-            | None -> (* dedup is disabled upstream in this case *)
-              fingerprint ~sleep cfg
-          in
-          if VH.mem tbl key then true
-          else begin
-            VH.add tbl key ();
-            false
-          end
+      let revisited, fpc_next =
+        match dd with
+        | None -> (false, None)
+        | Some dd -> probe_dedup dd ~t ~nodes:c.nodes cfg sleep st fpcur
       in
       if revisited then c.pruned <- c.pruned + 1
       else begin
@@ -670,7 +986,8 @@ let visit impl opts ~fuel ~visited ~lim ~t c on_leaf ~recurse cfg sleep
                       { Faults.proc = p; kind = Faults.Step i } :: trace_rev
                     in
                     recurse cfg' child_sleep tr
-                      (step_state t st ~trace_rev:tr cfg cfg'))
+                      (step_state t st ~trace_rev:tr cfg cfg')
+                      fpc_next)
                   alts
               | exception (Type_spec.Bad_step _ | Value.Type_error _)
                 when derail ->
@@ -679,14 +996,17 @@ let visit impl opts ~fuel ~visited ~lim ~t c on_leaf ~recurse cfg sleep
                   { Faults.proc = p; kind = Faults.Wedge } :: trace_rev
                 in
                 recurse (wedge cfg p) 0 tr
-                  (t.event st ~trace_rev:tr (Proc_wedged p)));
+                  (t.event st ~trace_rev:tr (Proc_wedged p))
+                  fpc_next);
               List.iteri
                 (fun i ((_ : int * Value.t * Value.t), cfg') ->
                   c.nodes <- c.nodes + 1;
                   let tr =
                     { Faults.proc = p; kind = Faults.Glitch i } :: trace_rev
                   in
-                  recurse cfg' 0 tr (step_state t st ~trace_rev:tr cfg cfg'))
+                  recurse cfg' 0 tr
+                    (step_state t st ~trace_rev:tr cfg cfg')
+                    fpc_next)
                 (glitch_alternatives impl cfg p);
               if cfg.crashes_left > 0 then begin
                 c.nodes <- c.nodes + 1;
@@ -695,6 +1015,7 @@ let visit impl opts ~fuel ~visited ~lim ~t c on_leaf ~recurse cfg sleep
                 in
                 recurse (crash cfg p) 0 tr
                   (t.event st ~trace_rev:tr (Proc_crashed p))
+                  fpc_next
               end;
               explored := !explored lor (1 lsl p)
             end)
@@ -704,7 +1025,7 @@ let visit impl opts ~fuel ~visited ~lim ~t c on_leaf ~recurse cfg sleep
             c.nodes <- c.nodes + 1;
             recurse (recover cfg p) 0
               ({ Faults.proc = p; kind = Faults.Recover } :: trace_rev)
-              st)
+              st fpc_next)
           recs
       end
   end
@@ -739,10 +1060,19 @@ let resolve_faults ?faults ~max_crashes () =
    nodes. *)
 let default_par_threshold = 4096
 
+(* Calibrated from the same BENCH_explore.json family: the sequential engine
+   visits a node in ~1 µs without dedup, while allocating a dedup table plus
+   fingerprinting every node costs tens of µs up front — on the 15-node
+   E3-sticky3-tree that overhead was 40x the naive walk. Well under 64 nodes
+   a table can never win; well over, a single pruned subtree pays for it. *)
+let default_dedup_threshold = 64
+
 let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
     ?deadline_s ?(options = naive) ?(par_threshold = default_par_threshold)
-    ?tracker ?(on_leaf = fun (_ : Exec.leaf) -> ())
+    ?(dedup_threshold = default_dedup_threshold) ?tracker
+    ?(on_leaf = fun (_ : Exec.leaf) -> ())
     ?(on_leaf_trace = fun (_ : Faults.trace) (_ : Exec.leaf) -> ()) () =
+  let user_tracker = Option.is_some tracker in
   let (Tracker t) =
     match tracker with Some t -> Tracker t | None -> Tracker null_tracker
   in
@@ -759,6 +1089,27 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
       dedup = options.dedup && Option.is_some t.fingerprint;
     }
   in
+  (* Symmetry narrows further: the implementation must declare its program
+     process-oblivious, every base spec must be port-oblivious, and a user
+     tracker disables the reduction outright — tracker state is caller
+     -defined and we cannot check it is invariant under pid permutation, so
+     the sound composition with trackers is exact pid-ordered keys. *)
+  let classes =
+    if opts.dedup && opts.intern && opts.symmetry && not user_tracker then
+      Option.map Symmetry.classes (Symmetry.of_impl impl ~workloads)
+    else None
+  in
+  let mk_dd () =
+    if opts.dedup then
+      Some
+        {
+          threshold = dedup_threshold;
+          use_intern = opts.intern;
+          classes;
+          tables = None;
+        }
+    else None
+  in
   let lim = make_limiter ?budget ?deadline_s () in
   let emit_leaf trace_rev leaf st =
     on_leaf leaf;
@@ -770,12 +1121,12 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
   let n_domains = max 1 opts.domains in
   if n_domains = 1 then begin
     let c = fresh_counters n_objs in
-    let visited = if opts.dedup then Some (VH.create 4096) else None in
-    let rec go cfg sleep trace_rev st =
-      visit impl opts ~fuel ~visited ~lim ~t c emit_leaf ~recurse:go cfg sleep
-        trace_rev st
+    let dd = mk_dd () in
+    let rec go cfg sleep trace_rev st fpcur =
+      visit impl opts ~fuel ~dd ~lim ~t c emit_leaf ~recurse:go cfg sleep
+        trace_rev st fpcur
     in
-    (try go root 0 [] t.root with
+    (try go root 0 [] t.root None with
     | Exec.Stop -> trip lim Stopped
     | Cut -> ());
     stats_of c ~domains_used:1 ~lim
@@ -789,10 +1140,10 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
        nodes have been visited, so small trees never pay the domain-spawn
        cost. *)
     let c0 = fresh_counters n_objs in
-    let expansion_visited = if opts.dedup then Some (VH.create 1024) else None in
+    let expansion_dd = mk_dd () in
     let target = n_domains * 4 in
     let cut_in_expansion = ref false in
-    let frontier = ref [ (root, 0, [], t.root) ] in
+    let frontier = ref [ (root, 0, [], t.root, None) ] in
     (try
        let level = ref 0 in
        while
@@ -803,12 +1154,12 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
          incr level;
          let next = ref [] in
          List.iter
-           (fun (cfg, sleep, trace_rev, st) ->
-             visit impl opts ~fuel ~visited:expansion_visited ~lim ~t c0
+           (fun (cfg, sleep, trace_rev, st, fpcur) ->
+             visit impl opts ~fuel ~dd:expansion_dd ~lim ~t c0
                emit_leaf
-               ~recurse:(fun cfg' sleep' trace_rev' st' ->
-                 next := (cfg', sleep', trace_rev', st') :: !next)
-               cfg sleep trace_rev st)
+               ~recurse:(fun cfg' sleep' trace_rev' st' fpcur' ->
+                 next := (cfg', sleep', trace_rev', st', fpcur') :: !next)
+               cfg sleep trace_rev st fpcur)
            !frontier;
          frontier := List.rev !next
        done
@@ -827,14 +1178,14 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
        pool. *)
     let drained = ref 0 in
     (try
-       let rec go cfg sleep trace_rev st =
-         visit impl opts ~fuel ~visited:expansion_visited ~lim ~t c0 emit_leaf
-           ~recurse:go cfg sleep trace_rev st
+       let rec go cfg sleep trace_rev st fpcur =
+         visit impl opts ~fuel ~dd:expansion_dd ~lim ~t c0 emit_leaf
+           ~recurse:go cfg sleep trace_rev st fpcur
        in
        while !drained < Array.length work && c0.nodes < par_threshold do
-         let cfg, sleep, trace_rev, st = work.(!drained) in
+         let cfg, sleep, trace_rev, st, fpcur = work.(!drained) in
          incr drained;
-         go cfg sleep trace_rev st
+         go cfg sleep trace_rev st fpcur
        done
      with
     | Exec.Stop ->
@@ -857,11 +1208,15 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
       let n_workers = min n_domains (Array.length work - !drained) in
       let worker () =
         let c = fresh_counters n_objs in
-        let visited = if opts.dedup then Some (VH.create 4096) else None in
-        let rec go cfg sleep trace_rev st =
+        (* Fresh per-domain dedup context: its (lazily created) intern state
+           never sees another domain's cells. The fingerprint caches stored
+           in [work] belong to the expansion domain's intern state, so each
+           subtree restarts from [None] and re-roots with [fpc_of_cfg]. *)
+        let dd = mk_dd () in
+        let rec go cfg sleep trace_rev st fpcur =
           if Atomic.get stop then raise Exec.Stop;
-          visit impl opts ~fuel ~visited ~lim ~t c emit_leaf_sync ~recurse:go
-            cfg sleep trace_rev st
+          visit impl opts ~fuel ~dd ~lim ~t c emit_leaf_sync ~recurse:go
+            cfg sleep trace_rev st fpcur
         in
         (try
            let continue = ref true in
@@ -869,8 +1224,8 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
              let i = Atomic.fetch_and_add next_item 1 in
              if i >= Array.length work || Atomic.get stop then continue := false
              else begin
-               let cfg, sleep, trace_rev, st = work.(i) in
-               go cfg sleep trace_rev st
+               let cfg, sleep, trace_rev, st, _fpc0 = work.(i) in
+               go cfg sleep trace_rev st None
              end
            done
          with

@@ -46,6 +46,25 @@ type options = {
   dedup : bool;  (** prune subtrees of revisited configurations *)
   por : bool;  (** sleep-set partial-order reduction *)
   domains : int;  (** size of the exploration pool; 1 = sequential *)
+  intern : bool;
+      (** hash-consed dedup keys: fingerprints are maintained incrementally
+          as {!Wfc_spec.Value.Intern} cells along tree edges (only the
+          components a transition touched are re-interned, detected by
+          physical diff of the persistent configuration arrays), and the
+          dedup probe becomes a physical-equality lookup on a cached hash
+          instead of a deep [Value.hash]/[Value.equal] walk. Purely a
+          representation change: the same states merge. No effect unless
+          [dedup] is on. *)
+  symmetry : bool;
+      (** process-symmetry reduction: canonicalize the dedup {e key} (never
+          the configuration) under permutations of interchangeable
+          processes, so schedules differing only by a pid permutation within
+          a class merge. Active only when [dedup] and [intern] are on, the
+          implementation declares {!Wfc_program.Implementation.symmetric},
+          every base spec is port-oblivious, no user tracker is supplied,
+          and at least two processes have equal workloads and equal initial
+          locals (see {!Symmetry}). Otherwise silently a no-op — which is
+          why it is safe to have on by default in {!fast}. *)
 }
 
 val naive : options
@@ -53,12 +72,41 @@ val naive : options
     statistics) of {!Exec.explore}. *)
 
 val fast : options
-(** [dedup] + [por], sequential. The right choice for timing-insensitive
-    verdicts. *)
+(** [dedup] + [por] + [intern] + [symmetry], sequential. The right choice
+    for timing-insensitive verdicts. *)
 
 val parallel : ?domains:int -> unit -> options
 (** [fast] plus a domain pool (default:
     [Domain.recommended_domain_count () - 1], at least 2). *)
+
+(** Process-symmetry classes: which processes are interchangeable.
+
+    Soundness: exploration always proceeds on real configurations — traces,
+    witnesses and leaves keep their un-permuted pids, and replayability is
+    untouched. Only the dedup key is canonicalized, by emitting each class's
+    per-process fingerprint components in a fixed total order (interned cell
+    id). A state π-equivalent to a visited one is then pruned; its subtree
+    is the π-image of the visited subtree, and every timing-insensitive
+    verdict in this library (consensus agreement/validity, wait-freedom
+    fuel, per-object access bounds) is invariant under renaming processes
+    within a class of equal inputs, so verdicts are unchanged. *)
+module Symmetry : sig
+  type t
+
+  val of_impl :
+    Wfc_program.Implementation.t -> workloads:Value.t list array -> t option
+  (** Derive the symmetry group the engine would use: requires the
+      implementation to declare [symmetric], every base spec to be
+      port-oblivious, and groups processes by ⟨workload, initial local⟩.
+      [None] when no class has ≥ 2 members. *)
+
+  val classes : t -> int array
+  (** [classes g].(p) is the smallest pid interchangeable with [p]. *)
+
+  val group_order : t -> int
+  (** Order of the permutation group (product of class factorials) — the
+      ideal-case node-reduction factor. *)
+end
 
 type partial_reason =
   | Budget_exhausted  (** the [?budget] node allowance ran out *)
@@ -150,6 +198,15 @@ val default_par_threshold : int
     milliseconds while the sequential engine explores ≳1 node/µs, so
     fan-out only pays for itself north of a few thousand nodes). *)
 
+val default_dedup_threshold : int
+(** Minimum nodes a domain must visit before its dedup table (and intern
+    state) is allocated and states start being fingerprinted (64). Mirrors
+    {!default_par_threshold}: on trees well under the threshold the table
+    can never pay for its own allocation — the E3-sticky3-tree regression —
+    while a single pruned subtree pays for it on anything larger. States
+    visited before activation are simply not cached, which is sound. Pass
+    [~dedup_threshold:0] to fingerprint from the root. *)
+
 val run :
   Implementation.t ->
   workloads:Value.t list array ->
@@ -160,6 +217,7 @@ val run :
   ?deadline_s:float ->
   ?options:options ->
   ?par_threshold:int ->
+  ?dedup_threshold:int ->
   ?tracker:'a tracker ->
   ?on_leaf:(Exec.leaf -> unit) ->
   ?on_leaf_trace:(Faults.trace -> Exec.leaf -> unit) ->

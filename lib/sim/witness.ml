@@ -37,7 +37,12 @@ let pp ppf w =
    fixpoint, then the fault budgets are trimmed to what the final trace
    actually uses. *)
 
-let search_options = { Explore.dedup = true; por = false; domains = 1 }
+(* Interned keys speed the re-search up; symmetry stays off — shrinking
+   replays concrete traces, so the search should see exactly the pid-exact
+   state space the trace was found in. *)
+let search_options =
+  { Explore.dedup = true; por = false; domains = 1; intern = true;
+    symmetry = false }
 
 let find_bad impl ~bad ~budget ~faults workloads =
   let found = ref None in

@@ -38,13 +38,26 @@ and compare_lists xs ys =
 
 let equal a b = compare a b = 0
 
+(* Position-sensitive bit mixer (Boost hash_combine style). The
+   multiplicative chains it replaces ([h a * 65599 + h b]) are linear, so
+   right-nested spines collided on reordered siblings:
+   [Pair (a, Pair (b, c))] and [Pair (b, Pair (a, c))] both hashed to
+   65599·(h a + h b) + h c — exactly the cons-chain shape of exploration
+   fingerprints. [combine] is not commutative in its arguments and not
+   associative across nesting levels, so those families separate. *)
+let combine h k =
+  (h lxor (k + 0x9e3779b9 + (h lsl 6) + (h lsr 2))) land max_int
+
+let pair_seed = 29
+let list_seed = 43
+
 let rec hash = function
   | Unit -> 17
   | Bool b -> if b then 31 else 37
   | Int i -> Hashtbl.hash i
   | Sym s -> Hashtbl.hash s
-  | Pair (a, b) -> (hash a * 65599) + hash b
-  | List xs -> List.fold_left (fun acc x -> (acc * 131) + hash x) 43 xs
+  | Pair (a, b) -> combine (combine pair_seed (hash a)) (hash b)
+  | List xs -> List.fold_left (fun acc x -> combine acc (hash x)) list_seed xs
 
 let rec pp ppf = function
   | Unit -> Fmt.string ppf "()"
@@ -179,3 +192,97 @@ end
 
 module Map = Map.Make (Ord)
 module Set = Set.Make (Ord)
+
+(* Hash-consing. A [state] owns an intern table mapping a *shallow* key —
+   constructor tag plus the ids of already-interned children — to a unique
+   [cell]. Interning is bottom-up, so two structurally equal values always
+   reach the same cell: equality on cells is physical equality, the hash is
+   cached (and equal to [hash] of the underlying value), and the id gives a
+   total order that is cheap to sort on.
+
+   States are deliberately NOT global: the exploration engine creates one
+   state per domain, living exactly as long as the per-domain dedup/memo
+   table keyed on its cells. No mutable state is shared across domains, so
+   the scheme is safe under multicore fan-out without any locking; the cost
+   is only that domains re-intern values the other domains already saw,
+   which is the same trade the per-domain dedup tables already make. *)
+module Intern = struct
+  let structural_hash = hash
+
+  type cell = { value : t; chash : int; id : int }
+
+  type key =
+    | KAtom of t (* Unit | Bool | Int | Sym: compared structurally *)
+    | KPair of int * int (* child cell ids *)
+    | KList of int list
+
+  module KH = Hashtbl.Make (struct
+    type t = key
+
+    let equal k1 k2 =
+      match (k1, k2) with
+      | KAtom a, KAtom b -> equal a b
+      | KPair (a1, b1), KPair (a2, b2) -> a1 = a2 && b1 = b2
+      | KList a, KList b -> List.equal Int.equal a b
+      | (KAtom _ | KPair _ | KList _), _ -> false
+
+    let hash = function
+      | KAtom a -> structural_hash a
+      | KPair (a, b) -> combine (combine 7 a) b
+      | KList ids -> List.fold_left combine 11 ids
+  end)
+
+  type state = { cells : cell KH.t; mutable next_id : int }
+
+  let create () = { cells = KH.create 512; next_id = 0 }
+  let value c = c.value
+  let hash c = c.chash
+  let id c = c.id
+  let equal (a : cell) (b : cell) = a == b
+  let compare_id (a : cell) (b : cell) = Int.compare a.id b.id
+
+  (* [build] is only run on a miss, so hits allocate nothing. [h] must equal
+     [structural_hash (build ())]; the constructors below maintain this by
+     replaying the [hash] recurrence on the children's cached hashes. *)
+  let find st key build h =
+    match KH.find_opt st.cells key with
+    | Some c -> c
+    | None ->
+      let c = { value = build (); chash = h; id = st.next_id } in
+      st.next_id <- st.next_id + 1;
+      KH.add st.cells key c;
+      c
+
+  let atom st v = find st (KAtom v) (fun () -> v) (structural_hash v)
+  let unit st = atom st Unit
+  let bool st b = atom st (Bool b)
+  let int st i = atom st (Int i)
+  let sym st s = atom st (Sym s)
+
+  let pair st a b =
+    find st
+      (KPair (a.id, b.id))
+      (fun () -> Pair (a.value, b.value))
+      (combine (combine pair_seed a.chash) b.chash)
+
+  let list st cs =
+    find st
+      (KList (List.map (fun c -> c.id) cs))
+      (fun () -> List (List.map (fun c -> c.value) cs))
+      (List.fold_left (fun acc c -> combine acc c.chash) list_seed cs)
+
+  let rec intern st v =
+    match v with
+    | Unit | Bool _ | Int _ | Sym _ -> atom st v
+    | Pair (a, b) -> pair st (intern st a) (intern st b)
+    | List xs -> list st (List.map (intern st) xs)
+
+  (* Hashtable keyed on cells of a single state: physical equality plus the
+     (unique, densely allocated) id as hash — probes never walk values. *)
+  module H = Hashtbl.Make (struct
+    type t = cell
+
+    let equal = ( == )
+    let hash c = c.id
+  end)
+end

@@ -20,6 +20,11 @@ val compare : t -> t -> int
 (** Total order, suitable for [Map]/[Set] keys. *)
 
 val hash : t -> int
+(** Structural hash, consistent with {!equal}. Children are folded in with a
+    position-sensitive bit mixer (Boost [hash_combine] style), so reordered
+    siblings and re-nested spines — the shapes exploration fingerprints are
+    made of — land in different buckets, unlike the multiplicative
+    [h*65599 + h'] chains this replaced. *)
 
 val pp : Format.formatter -> t -> unit
 
@@ -61,3 +66,64 @@ val as_list : t -> t list
 
 module Map : Map.S with type key = t
 module Set : Set.S with type elt = t
+
+(** {1 Hash-consing}
+
+    Maximal-sharing constructors over an explicit intern {!Intern.state}.
+    Within one state, structurally equal values are represented by one
+    physically unique {!Intern.cell} carrying a cached hash (equal to
+    {!val:hash} of the underlying value) and a dense id, so equality is
+    pointer comparison and hashing is a field read — O(1) instead of a walk
+    over the whole configuration tree.
+
+    States are not global and not thread-safe by design: create one per
+    domain and key only that domain's tables on its cells. The exploration
+    engine pairs each per-domain dedup table with its own state, so the
+    multicore fan-out shares no mutable interning structure at all — that is
+    the whole safety argument, no locks required. Never mix cells from
+    different states: physical equality and ids are meaningful only within
+    the state that allocated them. *)
+module Intern : sig
+  type state
+  (** An intern table plus an id counter. Owned by a single domain. *)
+
+  type cell
+  (** An interned value. Cells of one state are in bijection with the
+      distinct values interned into it. *)
+
+  val create : unit -> state
+
+  val value : cell -> t
+  (** The underlying value, with maximal sharing among subterms. *)
+
+  val hash : cell -> int
+  (** Cached; equals [hash (value c)]. *)
+
+  val id : cell -> int
+  (** Dense, unique within the owning state, in order of first interning. *)
+
+  val equal : cell -> cell -> bool
+  (** Physical equality. Within one state, [equal (intern st a) (intern st b)]
+      iff [Value.equal a b]. *)
+
+  val compare_id : cell -> cell -> int
+  (** Total order on cells of one state by {!id}. Any fixed total order works
+      for canonical sorting; this one is O(1). *)
+
+  val intern : state -> t -> cell
+  (** Bottom-up interning of an arbitrary value. *)
+
+  (** Smart constructors interning one node given already-interned children —
+      O(1) each (amortized), no traversal of the children. *)
+
+  val unit : state -> cell
+  val bool : state -> bool -> cell
+  val int : state -> int -> cell
+  val sym : state -> string -> cell
+  val pair : state -> cell -> cell -> cell
+  val list : state -> cell list -> cell
+
+  (** Hashtables keyed on cells of a single state: physical-equality probes
+      with the id as hash — O(1) per operation regardless of value size. *)
+  module H : Hashtbl.S with type key = cell
+end

@@ -388,10 +388,13 @@ let test_par_threshold () =
       [ Ops.read; Ops.write Value.truth; Ops.read ];
     |]
   in
+  (* [dedup_threshold:0] pins dedup activation to the root in both runs:
+     with the lazy default the sequential drain and the per-worker tables
+     would activate at different points and visit different leaf counts. *)
   let run ?par_threshold () =
     Explore.run impl ~workloads
       ~options:(Explore.parallel ~domains:2 ())
-      ?par_threshold ()
+      ?par_threshold ~dedup_threshold:0 ()
   in
   (* tiny tree, default threshold: the pool must NOT spin up *)
   let seq = run () in

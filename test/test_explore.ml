@@ -59,13 +59,15 @@ let full_proj (leaf : Exec.leaf) =
            leaf.ops);
     ]
 
-(* [par_threshold:0] forces the domain pool even on these deliberately tiny
-   trees — the lazy-pool fallback is exercised separately below. *)
-let collect ?fuel ?max_crashes ?(par_threshold = 0) ~options ~proj impl
-    workloads =
+(* [par_threshold:0] forces the domain pool and [dedup_threshold:0] the
+   dedup/intern machinery even on these deliberately tiny trees — the lazy
+   fallbacks are exercised separately below. *)
+let collect ?fuel ?max_crashes ?(par_threshold = 0) ?(dedup_threshold = 0)
+    ~options ~proj impl workloads =
   let acc = ref [] in
   let stats =
     Explore.run impl ~workloads ?fuel ?max_crashes ~options ~par_threshold
+      ~dedup_threshold
       ~on_leaf:(fun leaf -> acc := proj leaf :: !acc)
       ()
   in
@@ -96,7 +98,13 @@ let check_same_invariants ~msg (naive : Explore.stats) (s : Explore.stats) =
     (s.nodes <= naive.nodes)
 
 (* Assert that every optimization level agrees with the naive engine on the
-   timing-insensitive observation set and the invariant statistics. *)
+   timing-insensitive observation set and the invariant statistics.
+
+   Symmetry is checked separately: it deliberately keeps only one
+   representative per orbit of pid-permuted schedules, so the observation
+   set (which keys ops by pid) is a *subset* of the naive one, while every
+   pid-invariant statistic (max events/op steps/accesses, overflow
+   detection) must still match exactly. *)
 let assert_equiv ?fuel ?max_crashes impl workloads =
   let naive_stats, naive_leaves =
     collect ?fuel ?max_crashes ~options:Explore.naive ~proj:value_proj impl
@@ -115,8 +123,20 @@ let assert_equiv ?fuel ?max_crashes impl workloads =
     [
       ("dedup", { Explore.naive with dedup = true });
       ("por", { Explore.naive with por = true });
-      ("fast", Explore.fast);
+      ("dedup-nointern", { Explore.fast with intern = false; symmetry = false });
+      ("fast", { Explore.fast with symmetry = false });
     ];
+  let s_sym, sym_leaves =
+    collect ?fuel ?max_crashes ~options:Explore.fast ~proj:value_proj impl
+      workloads
+  in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        "fast+symmetry: observations are naive observations" true
+        (List.exists (Value.equal l) naive_set))
+    (leaf_set sym_leaves);
+  check_same_invariants ~msg:"fast+symmetry" naive_stats s_sym;
   naive_stats
 
 (* --- fixture implementations ---------------------------------------------- *)
@@ -269,6 +289,140 @@ let test_dedup_strictly_prunes () =
     (fast.Explore.sleep_skips > 0);
   (* fully independent processes: POR needs only one interleaving order *)
   Alcotest.(check int) "one representative schedule" 1 fast.Explore.leaves
+
+(* --- lazy dedup-table activation -------------------------------------------- *)
+
+let test_dedup_threshold_laziness () =
+  (* same diamond as above: with [dedup_threshold] at its default the whole
+     tree is visited before the table would activate, so no pruning happens
+     and no table is ever allocated — yet the observations are identical *)
+  let impl = rw_impl ~procs:2 ~bits:2 ~coin:false in
+  let workloads = [| [ wr 0 true; wr 0 false ]; [ wr 1 true; wr 1 false ] |] in
+  let options = { Explore.fast with por = false; symmetry = false } in
+  let eager, eager_leaves = collect ~options ~proj:value_proj impl workloads in
+  let deferred, deferred_leaves =
+    collect ~dedup_threshold:Explore.default_dedup_threshold ~options
+      ~proj:value_proj impl workloads
+  in
+  Alcotest.(check bool) "threshold 0 prunes the diamond" true
+    (eager.Explore.pruned > 0);
+  Alcotest.(check int) "default threshold never activates on a tiny tree" 0
+    deferred.Explore.pruned;
+  Alcotest.(check (list value)) "same observation set" (leaf_set eager_leaves)
+    (leaf_set deferred_leaves)
+
+(* --- process-symmetry reduction ---------------------------------------------- *)
+
+let test_symmetry_detection () =
+  let open Wfc_consensus in
+  let cas3 = Protocols.from_cas ~procs:3 () in
+  let equal3 = Array.make 3 [ Ops.propose Value.truth ] in
+  (match Explore.Symmetry.of_impl cas3 ~workloads:equal3 with
+  | None -> Alcotest.fail "equal workloads: symmetry expected"
+  | Some sym ->
+    Alcotest.(check (array int))
+      "one class of three" [| 0; 0; 0 |]
+      (Explore.Symmetry.classes sym);
+    Alcotest.(check int) "3! orderings merged" 6
+      (Explore.Symmetry.group_order sym));
+  let mixed =
+    [|
+      [ Ops.propose Value.truth ];
+      [ Ops.propose Value.truth ];
+      [ Ops.propose Value.falsity ];
+    |]
+  in
+  (match Explore.Symmetry.of_impl cas3 ~workloads:mixed with
+  | None -> Alcotest.fail "two equal workloads: symmetry expected"
+  | Some sym ->
+    Alcotest.(check (array int))
+      "only the equal-input pair interchanges" [| 0; 0; 2 |]
+      (Explore.Symmetry.classes sym);
+    Alcotest.(check int) "2! orderings merged" 2
+      (Explore.Symmetry.group_order sym));
+  let distinct =
+    [| [ Ops.propose Value.truth ]; [ Ops.propose Value.falsity ]; [] |]
+  in
+  Alcotest.(check bool) "distinct workloads: no symmetry" true
+    (Option.is_none (Explore.Symmetry.of_impl cas3 ~workloads:distinct));
+  Alcotest.(check bool) "undeclared implementation: no symmetry" true
+    (Option.is_none
+       (Explore.Symmetry.of_impl
+          (rw_impl ~procs:3 ~bits:1 ~coin:false)
+          ~workloads:(Array.make 3 [ rd 0 ])))
+
+let test_symmetry_node_reduction () =
+  let open Wfc_consensus in
+  let impl = Protocols.from_cas ~procs:3 () in
+  let workloads = Array.make 3 [ Ops.propose Value.truth ] in
+  let nosym, _ =
+    collect
+      ~options:{ Explore.fast with symmetry = false }
+      ~proj:value_proj impl workloads
+  in
+  let sym, _ = collect ~options:Explore.fast ~proj:value_proj impl workloads in
+  Alcotest.(check bool)
+    "symmetry cuts nodes at least 2x on equal-input cas3" true
+    (2 * sym.Explore.nodes <= nosym.Explore.nodes);
+  Alcotest.(check bool) "never more leaves" true
+    (sym.Explore.leaves <= nosym.Explore.leaves)
+
+(* Verdict parity of the full checker across compaction configs, clean and
+   under fault adversaries; every falsification must carry a witness that
+   replays — symmetry canonicalizes only dedup keys, never the configuration
+   the trace is recorded against. *)
+let test_symmetry_verdict_parity () =
+  let open Wfc_consensus in
+  let module Faults = Wfc_sim.Faults in
+  let verdict_str = function
+    | Check.Verified _ -> "verified"
+    | Check.Falsified _ -> "falsified"
+    | Check.Unknown _ -> "unknown"
+  in
+  let engines =
+    [
+      ("naive", Explore.naive);
+      ("fast-nosym", { Explore.fast with symmetry = false });
+      ("fast", Explore.fast);
+    ]
+  in
+  let cas3 = Protocols.from_cas ~procs:3 () in
+  let sticky3 = Protocols.from_sticky ~procs:3 () in
+  List.iter
+    (fun (pname, impl, faults) ->
+      let verdicts =
+        List.map
+          (fun (ename, engine) ->
+            let v = Check.verify ~engine ~faults impl in
+            (match v with
+            | Check.Falsified viol -> (
+              match viol.Check.witness with
+              | None ->
+                Alcotest.failf "%s/%s: violation without witness" pname ename
+              | Some w ->
+                Alcotest.(check bool)
+                  (Fmt.str "%s/%s: witness replays" pname ename)
+                  true
+                  (Result.is_ok (Wfc_sim.Witness.replay impl w)))
+            | _ -> ());
+            (ename, verdict_str v))
+          engines
+      in
+      match verdicts with
+      | (_, v0) :: rest ->
+        List.iter
+          (fun (ename, v) ->
+            Alcotest.(check string) (Fmt.str "%s: %s verdict" pname ename) v0 v)
+          rest
+      | [] -> ())
+    [
+      ("cas3-clean", cas3, Faults.none);
+      ("cas3-crash", cas3, Faults.crashes 1);
+      ( "sticky3-crash-recovery",
+        sticky3,
+        Faults.crash_recovery ~crashes:1 ~recoveries:1 );
+      ("sticky3-stale", sticky3, Faults.degrade_all sticky3 ~glitches:1 (`Stale 1));
+    ]
 
 (* --- multicore fan-out ------------------------------------------------------ *)
 
@@ -423,6 +577,16 @@ let () =
         [
           Alcotest.test_case "pruning strictly shrinks" `Quick
             test_dedup_strictly_prunes;
+          Alcotest.test_case "dedup threshold is lazy" `Quick
+            test_dedup_threshold_laziness;
+        ] );
+      ( "symmetry",
+        [
+          Alcotest.test_case "class detection" `Quick test_symmetry_detection;
+          Alcotest.test_case "node reduction on equal inputs" `Quick
+            test_symmetry_node_reduction;
+          Alcotest.test_case "verdict parity incl. faults" `Quick
+            test_symmetry_verdict_parity;
         ] );
       ( "multicore",
         [

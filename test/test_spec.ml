@@ -95,6 +95,51 @@ let prop_compare_transitive =
          consequence of transitivity *)
       List.equal Value.equal sorted (List.sort Value.compare sorted))
 
+(* --- Value.Intern ------------------------------------------------------- *)
+
+module I = Value.Intern
+
+(* one table shared across all qcheck iterations: sharing must keep holding
+   as the table grows *)
+let intern_st = I.create ()
+
+let prop_intern_roundtrip =
+  QCheck.Test.make ~name:"intern preserves value, hash and printing" value_arb
+    (fun v ->
+      let c = I.intern intern_st v in
+      Value.equal (I.value c) v
+      && I.hash c = Value.hash v
+      && String.equal (Value.to_string (I.value c)) (Value.to_string v))
+
+let prop_intern_sharing =
+  QCheck.Test.make ~name:"intern is maximal sharing (equal iff same cell)"
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      let ca = I.intern intern_st a and cb = I.intern intern_st b in
+      Value.equal a b = I.equal ca cb
+      && I.equal ca cb = (I.compare_id ca cb = 0))
+
+let prop_intern_constructors =
+  QCheck.Test.make ~name:"smart constructors agree with intern"
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      let ca = I.intern intern_st a and cb = I.intern intern_st b in
+      I.equal
+        (I.pair intern_st ca cb)
+        (I.intern intern_st (Value.Pair (a, b)))
+      && I.equal
+           (I.list intern_st [ ca; cb ])
+           (I.intern intern_st (Value.List [ a; b ])))
+
+let test_hash_sibling_reorder () =
+  (* the pre-compaction [ha * 65599 + hb] chain was commutative across the
+     elements of a right-nested pair chain — the shape dedup fingerprints
+     have; the current mixer must separate reordered siblings *)
+  let a = Value.int 1 and b = Value.int 2 and t = Value.sym "t" in
+  let chain x y = Value.pair x (Value.pair y t) in
+  Alcotest.(check bool) "pair chains with swapped heads differ" false
+    (Value.hash (chain a b) = Value.hash (chain b a));
+  Alcotest.(check bool) "lists with swapped heads differ" false
+    (Value.hash (Value.list [ a; b; t ]) = Value.hash (Value.list [ b; a; t ]))
+
 (* --- Type_spec --------------------------------------------------------- *)
 
 let toggle =
@@ -250,6 +295,14 @@ let () =
           QCheck_alcotest.to_alcotest prop_compare_total;
           QCheck_alcotest.to_alcotest prop_equal_hash;
           QCheck_alcotest.to_alcotest prop_compare_transitive;
+        ] );
+      ( "intern",
+        [
+          Alcotest.test_case "sibling-reorder hash separation" `Quick
+            test_hash_sibling_reorder;
+          QCheck_alcotest.to_alcotest prop_intern_roundtrip;
+          QCheck_alcotest.to_alcotest prop_intern_sharing;
+          QCheck_alcotest.to_alcotest prop_intern_constructors;
         ] );
       ( "type_spec",
         [
