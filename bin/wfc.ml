@@ -127,6 +127,42 @@ let no_symmetry_arg =
   in
   Arg.(value & flag & info [ "no-symmetry" ] ~doc)
 
+let checkpoint_arg =
+  let doc =
+    "Periodically (see $(b,--checkpoint-interval)) save a resumable \
+     checkpoint of the search frontier to $(docv); on a budget, deadline or \
+     SIGINT/SIGTERM cut the final frontier is flushed there, and \
+     $(b,wfc verify PROTOCOL --resume) $(docv) continues the run. The file \
+     is removed once a definitive verdict is reached."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let checkpoint_interval_arg =
+  let doc = "Seconds between periodic checkpoint saves." in
+  Arg.(
+    value
+    & opt float 5.0
+    & info [ "checkpoint-interval" ] ~docv:"SECONDS" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume a checkpointed verification from $(docv): already-verified \
+     input vectors are skipped and the interrupted vector picks up at its \
+     saved frontier. Pass the remaining $(b,--budget)/$(b,--deadline) \
+     explicitly (they are not stored); without them the resumed run is \
+     unbounded. Checkpointing continues to the same file unless \
+     $(b,--checkpoint) names another."
+  in
+  Arg.(value & opt (some file) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let mem_budget_arg =
+  let doc =
+    "Soft major-heap budget in MiB: under pressure the engine evicts \
+     duplicate-state tables (oldest domain first) and degrades to \
+     undeduped exploration instead of dying — evictions are reported."
+  in
+  Arg.(value & opt (some int) None & info [ "mem-budget" ] ~docv:"MB" ~doc)
+
 let parse_degrade impl ~glitches = function
   | None -> None
   | Some "safe" -> Some (Wfc_sim.Faults.degrade_all impl ~glitches `Safe)
@@ -158,7 +194,8 @@ let faults_of_flags impl ~crashes ~recoveries ~glitches ~degrade =
 
 let verify_cmd =
   let run name procs crashes recoveries glitches degrade budget deadline_s
-      witness_file no_intern no_symmetry =
+      witness_file no_intern no_symmetry ckpt_file ckpt_interval resume_file
+      mem_budget_mb =
     let impl = make_protocol ~procs name in
     let faults =
       faults_of_flags impl ~crashes ~recoveries ~glitches ~degrade
@@ -172,13 +209,73 @@ let verify_cmd =
         symmetry = not (no_symmetry || no_intern);
       }
     in
-    match Check.verify ~faults ?budget ?deadline_s ~engine impl with
+    let resume =
+      match resume_file with
+      | None -> None
+      | Some file -> (
+        match Wfc_sim.Checkpoint.load file with
+        | Error e -> Fmt.failwith "cannot load checkpoint %s: %s" file e
+        | Ok ck ->
+          (match Wfc_sim.Checkpoint.meta_find ck "protocol" with
+          | Some p when not (String.equal p name) ->
+            Fmt.failwith
+              "checkpoint %s was taken for protocol %s, not %s" file p name
+          | _ -> ());
+          (match
+             Option.bind
+               (Wfc_sim.Checkpoint.meta_find ck "procs")
+               int_of_string_opt
+           with
+          | Some k when k <> procs ->
+            Fmt.failwith
+              "checkpoint %s was taken with %d processes, not %d" file k
+              procs
+          | _ -> ());
+          Some ck)
+    in
+    let checkpoint =
+      match (ckpt_file, resume_file) with
+      | Some f, _ | None, Some f -> Some (f, ckpt_interval)
+      | None, None -> None
+    in
+    (* With a checkpoint sink armed, Ctrl-C / TERM become a graceful cut:
+       the engine polls the flag, flushes a final checkpoint and the
+       verdict comes back UNKNOWN (interrupted) → exit 2. *)
+    let interrupt =
+      match checkpoint with
+      | None -> None
+      | Some _ ->
+        let flag = Atomic.make false in
+        let handler = Sys.Signal_handle (fun _ -> Atomic.set flag true) in
+        List.iter
+          (fun s ->
+            try Sys.set_signal s handler with
+            | Invalid_argument _ | Sys_error _ -> ())
+          [ Sys.sigint; Sys.sigterm ];
+        Some flag
+    in
+    let meta = [ ("protocol", name); ("procs", string_of_int procs) ] in
+    let pp_pressure ppf (r : Check.report) =
+      if r.Check.degraded > 0 then
+        Fmt.pf ppf "@.degraded: absorbed %d worker failure/stall event(s)."
+          r.Check.degraded;
+      if r.Check.evictions > 0 then
+        Fmt.pf ppf
+          "@.memory pressure: evicted %d duplicate-state table(s); parts \
+           of the search ran undeduped."
+          r.Check.evictions
+    in
+    match
+      Check.verify ~faults ?budget ?deadline_s ~engine ?checkpoint ?resume
+        ?mem_budget_mb ?interrupt ~meta impl
+    with
     | Check.Verified r ->
       Fmt.pr
         "OK: agreement, validity and wait-freedom hold over %d executions \
-         (%d input vectors, longest run %d events, max %d accesses per op).@."
+         (%d input vectors, longest run %d events, max %d accesses per \
+         op).%a@."
         r.Check.executions r.Check.vectors r.Check.max_events
-        r.Check.max_op_steps;
+        r.Check.max_op_steps pp_pressure r;
       0
     | Check.Falsified v ->
       Fmt.pr "VIOLATION: %a@." Check.pp_violation v;
@@ -200,9 +297,18 @@ let verify_cmd =
       1
     | Check.Unknown { partial; reason } ->
       Fmt.pr
-        "UNKNOWN (%s): not falsified within %d vector(s), %d execution(s) — \
-         raise --budget/--deadline for a verdict.@."
-        reason partial.Check.vectors partial.Check.executions;
+        "UNKNOWN (%s): not falsified within %d vector(s), %d execution(s)%s%a@."
+        reason partial.Check.vectors partial.Check.executions
+        (match checkpoint with
+        | Some (f, _) ->
+          let flag k v = if v = 0 then "" else Fmt.str " --%s %d" k v in
+          Fmt.str " — resume with: wfc verify %s -n %d%s%s%s%s --resume %s"
+            name procs (flag "crashes" crashes) (flag "recoveries" recoveries)
+            (flag "glitches" glitches)
+            (match degrade with Some d -> " --degrade " ^ d | None -> "")
+            f
+        | None -> " — raise --budget/--deadline for a verdict.")
+        pp_pressure partial;
       2
   in
   Cmd.v
@@ -211,11 +317,12 @@ let verify_cmd =
          "Exhaustively check a consensus protocol, optionally under a fault \
           adversary and/or an exploration budget")
     Term.(
-      const (fun n p c r g d b dl w ni ns ->
-          Stdlib.exit (run n p c r g d b dl w ni ns))
+      const (fun n p c r g d b dl w ni ns cf ci rf mb ->
+          Stdlib.exit (run n p c r g d b dl w ni ns cf ci rf mb))
       $ protocol_arg $ procs_arg $ crashes_arg $ recoveries_arg $ glitches_arg
       $ degrade_arg $ budget_arg $ deadline_arg $ witness_out_arg
-      $ no_intern_arg $ no_symmetry_arg)
+      $ no_intern_arg $ no_symmetry_arg $ checkpoint_arg
+      $ checkpoint_interval_arg $ resume_arg $ mem_budget_arg)
 
 (* --- explore ------------------------------------------------------------------ *)
 

@@ -48,7 +48,8 @@ let vectors ~invocations n =
   go 0
 
 let analyze ?fuel ?budget ?deadline_s ?(require_deterministic = true)
-    ?(engine = Wfc_sim.Explore.fast) (impl : Implementation.t) =
+    ?(engine = Wfc_sim.Explore.fast) ?mem_budget_mb ?interrupt
+    (impl : Implementation.t) =
   let nondet =
     if require_deterministic then
       Array.to_list impl.Implementation.objects
@@ -68,7 +69,7 @@ let analyze ?fuel ?budget ?deadline_s ?(require_deterministic = true)
       Array.make (Array.length impl.Implementation.objects) 0
     in
     let deadline =
-      Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s
+      Option.map (fun s -> Wfc_sim.Monotime.now () +. s) deadline_s
     in
     let budget_left = ref budget in
     (* Budget/deadline are global across all |I|^n trees: hand each
@@ -79,7 +80,7 @@ let analyze ?fuel ?budget ?deadline_s ?(require_deterministic = true)
         let workloads = Array.of_list (List.map (fun inv -> [ inv ]) inputs) in
         let depth = ref 0 in
         let deadline_s_left =
-          Option.map (fun t -> t -. Unix.gettimeofday ()) deadline
+          Option.map (fun t -> t -. Wfc_sim.Monotime.now ()) deadline
         in
         if (match deadline_s_left with Some s -> s <= 0. | None -> false)
         then
@@ -92,7 +93,8 @@ let analyze ?fuel ?budget ?deadline_s ?(require_deterministic = true)
              same D (and per-object maxima) while visiting far fewer nodes. *)
           let stats =
             Wfc_sim.Explore.run impl ~workloads ?fuel ?budget:!budget_left
-              ?deadline_s:deadline_s_left ~options:engine
+              ?deadline_s:deadline_s_left ~options:engine ?mem_budget_mb
+              ?interrupt
               ~on_leaf:(fun leaf ->
                 let d = Array.fold_left ( + ) 0 leaf.Wfc_sim.Exec.accesses in
                 if d > !depth then depth := d)

@@ -41,6 +41,8 @@ val analyze :
   ?deadline_s:float ->
   ?require_deterministic:bool ->
   ?engine:Wfc_sim.Explore.options ->
+  ?mem_budget_mb:int ->
+  ?interrupt:bool Atomic.t ->
   Implementation.t ->
   (report, string) result
 (** [engine] (default {!Wfc_sim.Explore.fast}) selects the exploration
@@ -55,7 +57,11 @@ val analyze :
     bound is claimed from a partial search, and the analysis never hangs.
     A fuel-overflow error embeds the runaway path's decision trace
     ({!Wfc_sim.Faults.trace_of_string} parses it back for
-    {!Wfc_sim.Exec.replay}).
+    {!Wfc_sim.Exec.replay}). [interrupt] (a flag the engine polls at every
+    node, e.g. set from a signal handler) and [mem_budget_mb] (the engine's
+    memory watchdog) thread through to {!Wfc_sim.Explore.run}; an
+    interrupted analysis returns the same ["analysis incomplete"] error
+    shape as a budget cut.
 
     Explore the |I|ⁿ first-invocation trees of the implementation (2ⁿ for
     binary consensus, the paper's count; the target spec's invocation list

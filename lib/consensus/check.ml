@@ -15,6 +15,8 @@ type report = {
   executions : int;
   max_events : int;
   max_op_steps : int;
+  degraded : int;
+  evictions : int;
 }
 
 type verdict =
@@ -147,8 +149,8 @@ exception Exhausted of string
 
 let verify_values ~domain ?(subsets = true) ?(repeat = true)
     ?(max_crashes = 0) ?faults ?fuel ?budget ?deadline_s ?(shrink = true)
-    ?(engine = Wfc_sim.Explore.fast) ?par_threshold
-    (impl : Implementation.t) =
+    ?(engine = Wfc_sim.Explore.fast) ?par_threshold ?checkpoint ?resume
+    ?mem_budget_mb ?interrupt ?(meta = []) (impl : Implementation.t) =
   if List.length domain < 2 then
     invalid_arg "Check.verify_values: domain needs at least two values";
   let faults =
@@ -168,113 +170,252 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
   let participant_sets =
     if subsets then subsets_of n else [ List.init n Fun.id ]
   in
-  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s in
+  let deadline =
+    Option.map (fun s -> Wfc_sim.Monotime.now () +. s) deadline_s
+  in
   let budget_left = ref budget in
   let vectors = ref 0 in
   let executions = ref 0 in
   let max_events = ref 0 in
   let max_op_steps = ref 0 in
+  let degraded = ref 0 in
+  let evictions = ref 0 in
+  (* Restore the cross-vector accumulators a previous run snapshotted into
+     the checkpoint's meta section, and remember at which vector (in the
+     deterministic subset × input-vector enumeration) to pick the search
+     back up. *)
+  let resume_at =
+    match resume with
+    | None -> None
+    | Some ck ->
+      let geti k =
+        match Wfc_sim.Checkpoint.meta_find ck k with
+        | Some s -> (
+          match int_of_string_opt s with
+          | Some i -> i
+          | None ->
+            invalid_arg (Fmt.str "Check: bad %s in checkpoint meta" k))
+        | None ->
+          invalid_arg
+            (Fmt.str
+               "Check: checkpoint has no %s entry (not a verification \
+                checkpoint)"
+               k)
+      in
+      vectors := geti "check.vectors";
+      executions := geti "check.executions";
+      max_events := geti "check.max_events";
+      max_op_steps := geti "check.max_op_steps";
+      degraded := geti "check.degraded";
+      evictions := geti "check.evictions";
+      Some (geti "check.vector", ck)
+  in
+  let resume_pending = ref resume_at in
+  let pos = ref 0 in
   let report () =
     {
       vectors = !vectors;
       executions = !executions;
       max_events = !max_events;
       max_op_steps = !max_op_steps;
+      degraded = !degraded;
+      evictions = !evictions;
     }
+  in
+  let remove_checkpoint () =
+    match checkpoint with
+    | Some (path, _) -> ( try Sys.remove path with Sys_error _ -> ())
+    | None -> ()
   in
   try
     List.iter
       (fun participants ->
         List.iter
           (fun inputs ->
-            incr vectors;
-            let workloads =
-              Array.init n (fun p ->
-                  match List.assoc_opt p inputs with
-                  | None -> []
-                  | Some v ->
-                    let first = Ops.propose v in
-                    if repeat then [ first; Ops.propose (other_than v) ]
-                    else [ first ])
+            incr pos;
+            let skip, this_resume =
+              match !resume_pending with
+              | Some (v0, _) when !pos < v0 -> (true, None)
+              | Some (v0, ck) when !pos = v0 ->
+                resume_pending := None;
+                (false, Some ck)
+              | _ -> (false, None)
             in
-            (* The budget and deadline are global across all vectors: hand
-               each exploration what remains. *)
-            let deadline_s_left =
-              Option.map (fun t -> t -. Unix.gettimeofday ()) deadline
-            in
-            (match deadline_s_left with
-            | Some s when s <= 0. -> raise (Exhausted "deadline exceeded")
-            | _ -> ());
-            (* Agreement/validity read only operation values, never
-               timestamps, so the reduced engine is sound here (see
-               {!Wfc_sim.Explore}'s soundness envelope). That includes
-               process-symmetry reduction: equal-input participants get
-               syntactically equal workloads (the [repeat] follow-up
-               proposal is a function of the input alone), and both
-               predicates are invariant under permuting them. *)
-            let stats =
-              Wfc_sim.Explore.run impl ~workloads ?fuel ~faults
-                ?budget:!budget_left ?deadline_s:deadline_s_left
-                ~options:engine ?par_threshold
-                ~on_leaf_trace:(fun trace leaf ->
-                  incr executions;
-                  match check_leaf ~inputs leaf with
-                  | Ok () -> ()
-                  | Error reason ->
-                    raise
-                      (Found
-                         {
-                           participants;
-                           inputs;
-                           reason;
-                           ops = leaf.Wfc_sim.Exec.ops;
-                           witness =
-                             Some
-                               (Wfc_sim.Witness.make ~workloads ~faults trace);
-                         }))
-                ()
-            in
-            (match stats.Wfc_sim.Explore.completeness with
-            | Wfc_sim.Explore.Exhaustive -> ()
-            | Wfc_sim.Explore.Partial Wfc_sim.Explore.Budget_exhausted ->
-              raise (Exhausted "node budget exhausted")
-            | Wfc_sim.Explore.Partial Wfc_sim.Explore.Deadline_exceeded ->
-              raise (Exhausted "deadline exceeded")
-            | Wfc_sim.Explore.Partial Wfc_sim.Explore.Stopped ->
-              (* on_leaf_trace only ever raises Found, never Stop *)
-              assert false);
-            budget_left :=
-              Option.map
-                (fun b -> max 0 (b - stats.Wfc_sim.Explore.nodes))
-                !budget_left;
-            if stats.Wfc_sim.Explore.overflows > 0 then
-              raise
-                (Found
-                   {
-                     participants;
-                     inputs;
-                     reason =
-                       Fmt.str "%d path(s) exhausted fuel: not wait-free"
-                         stats.Wfc_sim.Explore.overflows;
-                     ops = [];
-                     witness =
-                       Option.map
-                         (Wfc_sim.Witness.make ~workloads ~faults)
-                         stats.Wfc_sim.Explore.overflow_trace;
-                   });
-            if stats.Wfc_sim.Explore.max_events > !max_events then
-              max_events := stats.Wfc_sim.Explore.max_events;
-            if stats.Wfc_sim.Explore.max_op_steps > !max_op_steps then
-              max_op_steps := stats.Wfc_sim.Explore.max_op_steps)
+            if not skip then begin
+              (* A resumed vector was already counted when first armed. *)
+              (match this_resume with
+              | None -> incr vectors
+              | Some _ -> ());
+              let workloads =
+                Array.init n (fun p ->
+                    match List.assoc_opt p inputs with
+                    | None -> []
+                    | Some v ->
+                      let first = Ops.propose v in
+                      if repeat then [ first; Ops.propose (other_than v) ]
+                      else [ first ])
+              in
+              (* Snapshot the accumulators {e excluding} this vector: a
+                 checkpoint taken mid-vector restores exactly this state and
+                 re-adds the vector's own contribution from its counts. *)
+              let vec_meta =
+                meta
+                @ [
+                    ("check.vector", string_of_int !pos);
+                    ("check.vectors", string_of_int !vectors);
+                    ("check.executions", string_of_int !executions);
+                    ("check.max_events", string_of_int !max_events);
+                    ("check.max_op_steps", string_of_int !max_op_steps);
+                    ("check.degraded", string_of_int !degraded);
+                    ("check.evictions", string_of_int !evictions);
+                  ]
+              in
+              (* The budget and deadline are global across all vectors: hand
+                 each exploration what remains. *)
+              let deadline_s_left =
+                Option.map (fun t -> t -. Wfc_sim.Monotime.now ()) deadline
+              in
+              (match deadline_s_left with
+              | Some s when s <= 0. ->
+                (* Tripping between vectors bypasses the engine's own
+                   checkpoint sink, so save a vector-boundary checkpoint:
+                   the empty trace prefix is the unexplored root of this
+                   whole vector. *)
+                (match checkpoint with
+                | Some (path, _) ->
+                  let ck =
+                    Wfc_sim.Checkpoint.make ~meta:vec_meta
+                      ~engine:
+                        {
+                          Wfc_sim.Checkpoint.dedup = engine.Wfc_sim.Explore.dedup;
+                          por = engine.Wfc_sim.Explore.por;
+                          domains = engine.Wfc_sim.Explore.domains;
+                          intern = engine.Wfc_sim.Explore.intern;
+                          symmetry = engine.Wfc_sim.Explore.symmetry;
+                        }
+                      ~fuel:
+                        (Option.value fuel
+                           ~default:Wfc_sim.Explore.default_fuel)
+                      ?budget_left:!budget_left ~faults ~workloads
+                      ~counts:
+                        (Wfc_sim.Checkpoint.zero_counts
+                           ~n_objs:(Array.length impl.Implementation.objects))
+                      ~frontier:[ [] ] ()
+                  in
+                  Wfc_sim.Checkpoint.save ck ~path
+                | None -> ());
+                raise (Exhausted "deadline exceeded")
+              | _ -> ());
+              (* Leaves the resumed segment already emitted are not
+                 re-visited; fold them into the execution count up front. *)
+              let base =
+                match this_resume with
+                | Some ck -> ck.Wfc_sim.Checkpoint.counts
+                | None -> Wfc_sim.Checkpoint.zero_counts ~n_objs:0
+              in
+              executions := !executions + base.Wfc_sim.Checkpoint.leaves;
+              (* Agreement/validity read only operation values, never
+                 timestamps, so the reduced engine is sound here (see
+                 {!Wfc_sim.Explore}'s soundness envelope). That includes
+                 process-symmetry reduction: equal-input participants get
+                 syntactically equal workloads (the [repeat] follow-up
+                 proposal is a function of the input alone), and both
+                 predicates are invariant under permuting them. *)
+              let stats =
+                Wfc_sim.Explore.run impl ~workloads ?fuel ~faults
+                  ?budget:!budget_left ?deadline_s:deadline_s_left
+                  ~options:engine ?par_threshold
+                  ~on_leaf_trace:(fun trace leaf ->
+                    incr executions;
+                    match check_leaf ~inputs leaf with
+                    | Ok () -> ()
+                    | Error reason ->
+                      raise
+                        (Found
+                           {
+                             participants;
+                             inputs;
+                             reason;
+                             ops = leaf.Wfc_sim.Exec.ops;
+                             witness =
+                               Some
+                                 (Wfc_sim.Witness.make ~workloads ~faults
+                                    trace);
+                           }))
+                  ?checkpoint ~checkpoint_meta:vec_meta
+                  ?resume_from:this_resume ?interrupt ?mem_budget_mb ()
+              in
+              (* The engine folds the resumed segment's counts into its
+                 stats; subtract that base wherever we accumulate, so it is
+                 not double-counted against the restored state. *)
+              degraded :=
+                !degraded
+                + (stats.Wfc_sim.Explore.degraded
+                  - base.Wfc_sim.Checkpoint.degraded);
+              evictions :=
+                !evictions
+                + (stats.Wfc_sim.Explore.evictions
+                  - base.Wfc_sim.Checkpoint.evictions);
+              if stats.Wfc_sim.Explore.max_events > !max_events then
+                max_events := stats.Wfc_sim.Explore.max_events;
+              if stats.Wfc_sim.Explore.max_op_steps > !max_op_steps then
+                max_op_steps := stats.Wfc_sim.Explore.max_op_steps;
+              (match stats.Wfc_sim.Explore.completeness with
+              | Wfc_sim.Explore.Exhaustive -> ()
+              | Wfc_sim.Explore.Partial Wfc_sim.Explore.Budget_exhausted ->
+                raise (Exhausted "node budget exhausted")
+              | Wfc_sim.Explore.Partial Wfc_sim.Explore.Deadline_exceeded ->
+                raise (Exhausted "deadline exceeded")
+              | Wfc_sim.Explore.Partial Wfc_sim.Explore.Interrupted ->
+                raise (Exhausted "interrupted")
+              | Wfc_sim.Explore.Partial Wfc_sim.Explore.Stopped ->
+                (* on_leaf_trace only ever raises Found, never Stop *)
+                assert false);
+              budget_left :=
+                Option.map
+                  (fun b ->
+                    max 0
+                      (b
+                      - (stats.Wfc_sim.Explore.nodes
+                        - base.Wfc_sim.Checkpoint.nodes)))
+                  !budget_left;
+              if stats.Wfc_sim.Explore.overflows > 0 then
+                raise
+                  (Found
+                     {
+                       participants;
+                       inputs;
+                       reason =
+                         Fmt.str "%d path(s) exhausted fuel: not wait-free"
+                           stats.Wfc_sim.Explore.overflows;
+                       ops = [];
+                       witness =
+                         Option.map
+                           (Wfc_sim.Witness.make ~workloads ~faults)
+                           stats.Wfc_sim.Explore.overflow_trace;
+                     })
+            end)
           (vectors_over ~domain participants))
       participant_sets;
+    (match !resume_pending with
+    | Some (v0, _) ->
+      invalid_arg
+        (Fmt.str
+           "Check: checkpoint points at vector %d but only %d exist — was it \
+            taken with different subsets/repeat/domain settings?"
+           v0 !pos)
+    | None -> ());
+    remove_checkpoint ();
     Verified (report ())
   with
-  | Found v -> Falsified (if shrink then shrink_violation impl v else v)
+  | Found v ->
+    remove_checkpoint ();
+    Falsified (if shrink then shrink_violation impl v else v)
   | Exhausted reason -> Unknown { partial = report (); reason }
 
 let verify ?subsets ?repeat ?max_crashes ?faults ?fuel ?budget ?deadline_s
-    ?shrink ?engine ?par_threshold impl =
+    ?shrink ?engine ?par_threshold ?checkpoint ?resume ?mem_budget_mb
+    ?interrupt ?meta impl =
   verify_values ~domain:[ Value.falsity; Value.truth ] ?subsets ?repeat
     ?max_crashes ?faults ?fuel ?budget ?deadline_s ?shrink ?engine
-    ?par_threshold impl
+    ?par_threshold ?checkpoint ?resume ?mem_budget_mb ?interrupt ?meta impl

@@ -40,6 +40,11 @@ type report = {
   executions : int;  (** total complete executions examined *)
   max_events : int;  (** longest execution *)
   max_op_steps : int;  (** most base accesses by one propose *)
+  degraded : int;
+      (** supervised-pool degradation events absorbed (worker crashes and
+          stall requeues, see {!Wfc_sim.Explore.stats}) *)
+  evictions : int;
+      (** dedup-table evictions forced by the memory watchdog *)
 }
 
 type verdict =
@@ -60,6 +65,11 @@ val verify :
   ?shrink:bool ->
   ?engine:Wfc_sim.Explore.options ->
   ?par_threshold:int ->
+  ?checkpoint:string * float ->
+  ?resume:Wfc_sim.Checkpoint.t ->
+  ?mem_budget_mb:int ->
+  ?interrupt:bool Atomic.t ->
+  ?meta:(string * string) list ->
   Implementation.t ->
   verdict
 (** [engine] (default {!Wfc_sim.Explore.fast}) selects the exploration
@@ -105,7 +115,36 @@ val verify :
     {!Wfc_sim.Exec.replay} re-executes to the same violation; it is first
     minimized by delta debugging ({!Wfc_sim.Witness.shrink} — drop
     participants, drop trailing proposals, ddmin the decision trace, trim
-    fault budgets) unless [shrink] is [false]. *)
+    fault budgets) unless [shrink] is [false].
+
+    {2 Resilience}
+
+    [checkpoint:(path, interval_s)] arms durable checkpointing: every
+    per-vector exploration periodically saves its unexplored frontier to
+    [path] (see {!Wfc_sim.Checkpoint}), tagged with the current position in
+    the deterministic subset × input-vector enumeration and the
+    cross-vector accumulators, so a budget-, deadline- or
+    interrupt-truncated run leaves a resumable file behind. The file is
+    deleted once a definitive {!Verified}/{!Falsified} verdict is reached;
+    it survives only an {!Unknown} cut. [meta] adds caller entries (e.g.
+    the protocol name) to every checkpoint written; keys must be space-free.
+
+    [resume] continues a prior run from its loaded checkpoint: vectors
+    before the checkpointed one are skipped (their results were
+    accumulated into the checkpoint's meta), the checkpointed vector is
+    re-entered at its saved frontier, and the report is stitched across
+    segments — a resumed run that finishes reports the same verdict as an
+    uninterrupted one. Raises [Invalid_argument] when the checkpoint was
+    not written by this verifier or does not match the problem (the caller
+    chooses the remaining [budget]/[deadline_s]; they are {e not} read from
+    the checkpoint).
+
+    [interrupt] is polled by the engine at every node; setting it (e.g.
+    from a SIGINT handler) makes the verdict
+    [Unknown {reason = "interrupted"}] after a final checkpoint flush.
+    [mem_budget_mb] arms the engine's memory watchdog ({!Wfc_sim.Explore}):
+    dedup tables are evicted under heap pressure and the count is surfaced
+    as [report.evictions]. *)
 
 val verify_values :
   domain:Wfc_spec.Value.t list ->
@@ -119,6 +158,11 @@ val verify_values :
   ?shrink:bool ->
   ?engine:Wfc_sim.Explore.options ->
   ?par_threshold:int ->
+  ?checkpoint:string * float ->
+  ?resume:Wfc_sim.Checkpoint.t ->
+  ?mem_budget_mb:int ->
+  ?interrupt:bool Atomic.t ->
+  ?meta:(string * string) list ->
   Implementation.t ->
   verdict
 (** Like {!verify} but for consensus over an arbitrary finite proposal

@@ -98,12 +98,22 @@ let run ?(seed = 0) ?(backend = Mutex_cells) (impl : Implementation.t)
     in
     ops_loop (impl.Implementation.local_init proc) 0 [] workloads.(proc)
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Wfc_sim.Monotime.now () in
   let domains =
-    Array.init procs (fun proc -> Domain.spawn (fun () -> worker proc))
+    Array.init procs (fun proc ->
+        Domain.spawn (fun () ->
+            match worker proc with
+            | ops -> Ok ops
+            | exception e -> Error e))
   in
-  let per_proc = Array.map Domain.join domains in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  (* Join every domain before surfacing a failure: raising on the first
+     failed join would leak the later domains (and their mutexes) into a
+     run that has already unwound. *)
+  let results = Array.map Domain.join domains in
+  let wall_s = Wfc_sim.Monotime.now () -. t0 in
+  let per_proc =
+    Array.map (function Ok ops -> ops | Error e -> raise e) results
+  in
   {
     ops = List.concat (Array.to_list per_proc);
     wall_s;

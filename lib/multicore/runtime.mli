@@ -43,6 +43,11 @@ val run :
   unit ->
   outcome
 (** Spawn [impl.procs] domains; each executes its workload to completion.
+    If a worker raises (e.g. {!Wfc_spec.Type_spec.Bad_step} from a disabled
+    invocation), every other domain is still joined before the exception is
+    re-raised on the caller — a failing process never leaves stragglers
+    running or a mutex-guarded cell torn. [wall_s] is measured on the
+    monotonic clock.
     @raise Invalid_argument when workloads length ≠ procs. *)
 
 val consensus_trials :

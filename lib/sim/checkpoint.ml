@@ -1,0 +1,378 @@
+open Wfc_spec
+
+(* Mirror of Explore.options — Checkpoint sits below Explore (Witness depends
+   on Explore, Explore depends on Checkpoint), so it cannot name that type. *)
+type engine = {
+  dedup : bool;
+  por : bool;
+  domains : int;
+  intern : bool;
+  symmetry : bool;
+}
+
+type counts = {
+  leaves : int;
+  nodes : int;
+  max_events : int;
+  max_op_steps : int;
+  max_accesses : int array;
+  overflows : int;
+  pruned : int;
+  sleep_skips : int;
+  degraded : int;
+  evictions : int;
+}
+
+let zero_counts ~n_objs =
+  {
+    leaves = 0;
+    nodes = 0;
+    max_events = 0;
+    max_op_steps = 0;
+    max_accesses = Array.make n_objs 0;
+    overflows = 0;
+    pruned = 0;
+    sleep_skips = 0;
+    degraded = 0;
+    evictions = 0;
+  }
+
+type t = {
+  meta : (string * string) list;
+  engine : engine;
+  fuel : int;
+  budget_left : int option;
+  faults : Faults.t;
+  workloads : Value.t list array;
+  counts : counts;
+  frontier : Faults.trace list;
+}
+
+let make ?(meta = []) ~engine ~fuel ?budget_left ~faults ~workloads ~counts
+    ~frontier () =
+  List.iter
+    (fun (k, v) ->
+      if
+        k = ""
+        || String.exists (fun c -> c = ' ' || c = '\n') k
+        || String.contains v '\n'
+      then invalid_arg "Checkpoint.make: meta keys/values must be line-safe")
+    meta;
+  { meta; engine; fuel; budget_left; faults; workloads; counts; frontier }
+
+(* --- serialization -----------------------------------------------------------
+
+   Line-oriented text in the wfc-witness/1 style, reusing the Faults line
+   codec for the adversary and workloads. The digest line is an MD5 of the
+   canonical body (everything after it): [of_string] re-serializes what it
+   parsed and compares, so any corruption that changes the meaning of the
+   file — even one surviving the parser — is refused. *)
+
+let header = "wfc-checkpoint/1"
+
+let body_lines t =
+  let b = Buffer.create 512 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  List.iter (fun (k, v) -> line "meta %s %s" k v) t.meta;
+  line "engine dedup=%d por=%d domains=%d intern=%d symmetry=%d"
+    (Bool.to_int t.engine.dedup) (Bool.to_int t.engine.por) t.engine.domains
+    (Bool.to_int t.engine.intern)
+    (Bool.to_int t.engine.symmetry);
+  line "fuel %d" t.fuel;
+  (match t.budget_left with Some n -> line "budget %d" n | None -> ());
+  let c = t.counts in
+  line
+    "counts leaves=%d nodes=%d max_events=%d max_op_steps=%d overflows=%d \
+     pruned=%d sleep_skips=%d degraded=%d evictions=%d"
+    c.leaves c.nodes c.max_events c.max_op_steps c.overflows c.pruned
+    c.sleep_skips c.degraded c.evictions;
+  line "max_accesses %s"
+    (String.concat "|" (Array.to_list (Array.map string_of_int c.max_accesses)));
+  line "%s" (Faults.budgets_line t.faults);
+  List.iter (fun d -> line "%s" (Faults.degrade_line d)) t.faults.degraded;
+  Array.iteri
+    (fun p wl -> line "workload %d %s" p (Faults.field_of_values wl))
+    t.workloads;
+  List.iter
+    (fun trace -> line "frontier %s" (Faults.trace_to_string trace))
+    t.frontier;
+  Buffer.contents b
+
+let to_string t =
+  let body = body_lines t in
+  Fmt.str "%s\ndigest %s\n%s" header (Digest.to_hex (Digest.string body)) body
+
+let ( let* ) = Result.bind
+
+let parse_kv_ints body keys =
+  let fields =
+    String.split_on_char ' ' body
+    |> List.filter (fun w -> w <> "")
+    |> List.filter_map (fun w ->
+           match String.split_on_char '=' w with
+           | [ k; v ] -> Option.map (fun n -> (k, n)) (int_of_string_opt v)
+           | _ -> None)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | k :: rest -> (
+      match List.assoc_opt k fields with
+      | Some n -> go (n :: acc) rest
+      | None -> Error (Fmt.str "missing field %s in %S" k body))
+  in
+  go [] keys
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let* () =
+    match lines with
+    | h :: _ when h = header -> Ok ()
+    | _ -> Error (Fmt.str "expected %s header" header)
+  in
+  let lines = List.tl lines in
+  let* digest, lines =
+    match lines with
+    | l :: rest when String.length l > 7 && String.sub l 0 7 = "digest " ->
+      Ok (String.sub l 7 (String.length l - 7), rest)
+    | _ -> Error "expected digest line"
+  in
+  let meta = ref [] in
+  let engine = ref None in
+  let fuel = ref None in
+  let budget_left = ref None in
+  let counts = ref None in
+  let max_accesses = ref None in
+  let budgets = ref None in
+  let degraded = ref [] in
+  let workloads = ref [] in
+  let frontier = ref [] in
+  let parse_line l =
+    let keyword, body =
+      match String.index_opt l ' ' with
+      | Some i ->
+        (String.sub l 0 i, String.sub l (i + 1) (String.length l - i - 1))
+      | None -> (l, "")
+    in
+    match keyword with
+    | "meta" -> (
+      match String.index_opt body ' ' with
+      | Some i ->
+        meta :=
+          (String.sub body 0 i, String.sub body (i + 1) (String.length body - i - 1))
+          :: !meta;
+        Ok ()
+      | None -> Error (Fmt.str "bad meta line %S" l))
+    | "engine" ->
+      let* fields =
+        parse_kv_ints body [ "dedup"; "por"; "domains"; "intern"; "symmetry" ]
+      in
+      (match fields with
+      | [ dedup; por; domains; intern; symmetry ] ->
+        engine :=
+          Some
+            {
+              dedup = dedup <> 0;
+              por = por <> 0;
+              domains;
+              intern = intern <> 0;
+              symmetry = symmetry <> 0;
+            }
+      | _ -> assert false);
+      Ok ()
+    | "fuel" -> (
+      match int_of_string_opt body with
+      | Some n ->
+        fuel := Some n;
+        Ok ()
+      | None -> Error (Fmt.str "bad fuel line %S" l))
+    | "budget" -> (
+      match int_of_string_opt body with
+      | Some n ->
+        budget_left := Some n;
+        Ok ()
+      | None -> Error (Fmt.str "bad budget line %S" l))
+    | "counts" ->
+      let* fields =
+        parse_kv_ints body
+          [
+            "leaves"; "nodes"; "max_events"; "max_op_steps"; "overflows";
+            "pruned"; "sleep_skips"; "degraded"; "evictions";
+          ]
+      in
+      (match fields with
+      | [
+       leaves; nodes; max_events; max_op_steps; overflows; pruned; sleep_skips;
+       degraded; evictions;
+      ] ->
+        counts :=
+          Some
+            {
+              leaves; nodes; max_events; max_op_steps;
+              max_accesses = [||];
+              overflows; pruned; sleep_skips; degraded; evictions;
+            }
+      | _ -> assert false);
+      Ok ()
+    | "max_accesses" ->
+      let parts =
+        if String.trim body = "" then []
+        else String.split_on_char '|' body |> List.map String.trim
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+          match int_of_string_opt p with
+          | Some n -> go (n :: acc) rest
+          | None -> Error (Fmt.str "bad max_accesses line %S" l))
+      in
+      let* ns = go [] parts in
+      max_accesses := Some (Array.of_list ns);
+      Ok ()
+    | "faults" ->
+      let* c, r, g = Faults.parse_budgets body in
+      budgets := Some (c, r, g);
+      Ok ()
+    | "degrade" ->
+      let* d = Faults.parse_degrade body in
+      degraded := d :: !degraded;
+      Ok ()
+    | "workload" -> (
+      match String.index_opt body ' ' with
+      | None -> (
+        (* a bare "workload N" line: empty workload *)
+        match int_of_string_opt body with
+        | Some p ->
+          workloads := (p, []) :: !workloads;
+          Ok ()
+        | None -> Error (Fmt.str "bad workload line %S" l))
+      | Some i -> (
+        match int_of_string_opt (String.sub body 0 i) with
+        | None -> Error (Fmt.str "bad workload line %S" l)
+        | Some p ->
+          let* vs =
+            Faults.values_of_field
+              (String.sub body (i + 1) (String.length body - i - 1))
+          in
+          workloads := (p, vs) :: !workloads;
+          Ok ()))
+    | "frontier" ->
+      let* trace = Faults.trace_of_string body in
+      frontier := trace :: !frontier;
+      Ok ()
+    | _ -> Error (Fmt.str "unknown checkpoint line %S" l)
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | l :: rest ->
+      let* () = parse_line l in
+      all rest
+  in
+  let* () = all lines in
+  let* engine =
+    match !engine with Some e -> Ok e | None -> Error "missing engine line"
+  in
+  let* fuel =
+    match !fuel with Some f -> Ok f | None -> Error "missing fuel line"
+  in
+  let* counts =
+    match (!counts, !max_accesses) with
+    | Some c, Some a -> Ok { c with max_accesses = a }
+    | Some _, None -> Error "missing max_accesses line"
+    | None, _ -> Error "missing counts line"
+  in
+  let* c, r, g =
+    match !budgets with Some b -> Ok b | None -> Error "missing faults line"
+  in
+  let faults =
+    {
+      Faults.max_crashes = c;
+      max_recoveries = r;
+      max_glitches = g;
+      degraded = List.rev !degraded;
+    }
+  in
+  let wls = List.rev !workloads in
+  let n = List.length wls in
+  let* workloads =
+    if n = 0 then Error "missing workload lines"
+    else if
+      List.for_all (fun (p, _) -> p >= 0 && p < n) wls
+      && List.sort_uniq compare (List.map fst wls) = List.init n Fun.id
+    then (
+      let arr = Array.make n [] in
+      List.iter (fun (p, wl) -> arr.(p) <- wl) wls;
+      Ok arr)
+    else Error "workload lines must cover processes 0..n-1 exactly once"
+  in
+  let t =
+    {
+      meta = List.rev !meta;
+      engine;
+      fuel;
+      budget_left = !budget_left;
+      faults;
+      workloads;
+      counts;
+      frontier = List.rev !frontier;
+    }
+  in
+  let expect = Digest.to_hex (Digest.string (body_lines t)) in
+  if String.lowercase_ascii (String.trim digest) = expect then Ok t
+  else Error "checkpoint digest mismatch (file corrupted or edited)"
+
+(* --- file I/O ---------------------------------------------------------------- *)
+
+let save t ~path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string t));
+  (* rename within a directory is atomic: a reader (or a resume after a
+     crash mid-save) sees either the old checkpoint or the new one. *)
+  Sys.rename tmp path
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_string s
+
+(* --- resume validation ------------------------------------------------------- *)
+
+let engine_equal a b =
+  a.dedup = b.dedup && a.por = b.por && a.domains = b.domains
+  && a.intern = b.intern && a.symmetry = b.symmetry
+
+let workloads_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (List.equal Value.equal) a b
+
+let describe_mismatch t ~engine ~fuel ~faults ~workloads =
+  if not (engine_equal t.engine engine) then
+    Some "engine options differ from the checkpointed run"
+  else if t.fuel <> fuel then
+    Some (Fmt.str "fuel differs (checkpoint %d, run %d)" t.fuel fuel)
+  else if not (Faults.equal t.faults faults) then
+    Some "fault adversary differs from the checkpointed run"
+  else if not (workloads_equal t.workloads workloads) then
+    Some "workloads differ from the checkpointed run"
+  else None
+
+let meta_find t k = List.assoc_opt k t.meta
+
+let pp ppf t =
+  Fmt.pf ppf "checkpoint: %d frontier roots, %d nodes, %d leaves%a"
+    (List.length t.frontier) t.counts.nodes t.counts.leaves
+    Fmt.(
+      list ~sep:nop (fun ppf (k, v) -> Fmt.pf ppf ", %s=%s" k v))
+    t.meta

@@ -1,0 +1,103 @@
+(** Durable checkpoints for long exploration runs.
+
+    A budgeted or interrupted {!Explore.run} no longer throws away the work
+    it did: in the TLC tradition, the engine periodically serializes its
+    {e unexplored frontier} — each pending subtree root identified by the
+    replayable {!Faults.trace} prefix that reaches it — together with the
+    accumulated statistics, the engine options and the problem configuration
+    (workloads, fuel, fault adversary). Resuming re-materializes every
+    frontier root by replaying its prefix and continues the search, with
+    [stats] and [completeness] stitched across segments.
+
+    The file format is line-oriented text in the wfc-witness/1 style and
+    reuses the {!Faults} line codec (fault budgets, degradations, workloads,
+    decision traces). A [digest] line carries an MD5 of the canonical body;
+    {!of_string} refuses files whose digest does not match, and
+    {!describe_mismatch} lets {!Explore.run} refuse to resume a checkpoint
+    against a different problem. *)
+
+open Wfc_spec
+
+type engine = {
+  dedup : bool;
+  por : bool;
+  domains : int;
+  intern : bool;
+  symmetry : bool;
+}
+(** Mirror of [Explore.options] (this module sits below [Explore] in the
+    dependency order, so it cannot name that type). *)
+
+type counts = {
+  leaves : int;
+  nodes : int;
+  max_events : int;
+  max_op_steps : int;
+  max_accesses : int array;
+  overflows : int;
+  pruned : int;
+  sleep_skips : int;
+  degraded : int;
+  evictions : int;
+}
+(** Accumulated statistics of the checkpointed segments — the plain-data
+    mirror of [Explore.stats] (minus completeness, which is implied: a
+    checkpoint with a non-empty frontier is by construction partial). *)
+
+val zero_counts : n_objs:int -> counts
+
+type t = {
+  meta : (string * string) list;
+      (** caller context, excluded from validation: protocol name, vector
+          index, report counters… Keys must be space- and newline-free,
+          values newline-free. *)
+  engine : engine;
+  fuel : int;
+  budget_left : int option;  (** remaining node budget at save time *)
+  faults : Faults.t;
+  workloads : Value.t list array;
+  counts : counts;
+  frontier : Faults.trace list;
+      (** decision-trace prefixes of the unexplored subtree roots; empty
+          means the checkpointed run finished this problem *)
+}
+
+val make :
+  ?meta:(string * string) list ->
+  engine:engine ->
+  fuel:int ->
+  ?budget_left:int ->
+  faults:Faults.t ->
+  workloads:Value.t list array ->
+  counts:counts ->
+  frontier:Faults.trace list ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on meta entries that would corrupt the
+    line-oriented format. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Total: returns [Error _] on any malformed input, never raises. Verifies
+    the digest by re-serializing the parsed checkpoint. *)
+
+val save : t -> path:string -> unit
+(** Atomic: writes [path ^ ".tmp"] then renames, so a crash mid-save leaves
+    the previous checkpoint intact. *)
+
+val load : string -> (t, string) result
+
+val describe_mismatch :
+  t ->
+  engine:engine ->
+  fuel:int ->
+  faults:Faults.t ->
+  workloads:Value.t list array ->
+  string option
+(** [Some reason] when the checkpoint was taken for a different problem than
+    the resuming run — different engine options, fuel, adversary or
+    workloads. [meta] is deliberately not compared. *)
+
+val meta_find : t -> string -> string option
+val pp : Format.formatter -> t -> unit

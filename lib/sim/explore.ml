@@ -23,13 +23,19 @@ let parallel ?domains () =
   in
   { fast with domains }
 
-type partial_reason = Budget_exhausted | Deadline_exceeded | Stopped
+type partial_reason =
+  | Budget_exhausted
+  | Deadline_exceeded
+  | Stopped
+  | Interrupted
+
 type completeness = Exhaustive | Partial of partial_reason
 
 let pp_partial_reason ppf = function
   | Budget_exhausted -> Fmt.string ppf "node budget exhausted"
   | Deadline_exceeded -> Fmt.string ppf "deadline exceeded"
   | Stopped -> Fmt.string ppf "stopped by on_leaf"
+  | Interrupted -> Fmt.string ppf "interrupted"
 
 let pp_completeness ppf = function
   | Exhaustive -> Fmt.string ppf "exhaustive"
@@ -45,9 +51,13 @@ type stats = {
   pruned : int;
   sleep_skips : int;
   domains_used : int;
+  degraded : int;
+  evictions : int;
   completeness : completeness;
   overflow_trace : Faults.trace option;
 }
+
+let default_fuel = 10_000
 
 let to_exec_stats s =
   {
@@ -740,23 +750,36 @@ exception Cut
 
 type limiter = {
   budget : int Atomic.t option;  (* remaining visits *)
-  deadline : float option;  (* absolute, Unix.gettimeofday scale *)
+  deadline : float option;  (* absolute, Monotime scale *)
+  interrupt : bool Atomic.t option;  (* e.g. set by a SIGINT handler *)
   tripped : partial_reason option Atomic.t;
+  active : bool;
 }
 
-let make_limiter ?budget ?deadline_s () =
+let make_limiter ?budget ?deadline_s ?interrupt () =
+  let budget = Option.map Atomic.make budget in
+  let deadline = Option.map (fun s -> Monotime.now () +. s) deadline_s in
   {
-    budget = Option.map Atomic.make budget;
-    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s;
+    budget;
+    deadline;
+    interrupt;
     tripped = Atomic.make None;
+    active =
+      Option.is_some budget || Option.is_some deadline
+      || Option.is_some interrupt;
   }
 
 let trip lim reason =
   ignore (Atomic.compare_and_set lim.tripped None (Some reason))
 
 let check_limits lim =
+  (match lim.interrupt with
+  | Some flag when Atomic.get flag ->
+    trip lim Interrupted;
+    raise Cut
+  | _ -> ());
   (match lim.deadline with
-  | Some t when Unix.gettimeofday () > t ->
+  | Some t when Monotime.now () > t ->
     trip lim Deadline_exceeded;
     raise Cut
   | _ -> ());
@@ -779,6 +802,8 @@ type counters = {
   mutable overflows : int;
   mutable pruned : int;
   mutable sleep_skips : int;
+  mutable degraded : int;
+  mutable evictions : int;
   mutable overflow_trace : Faults.trace option;
 }
 
@@ -792,6 +817,8 @@ let fresh_counters n_objs =
     overflows = 0;
     pruned = 0;
     sleep_skips = 0;
+    degraded = 0;
+    evictions = 0;
     overflow_trace = None;
   }
 
@@ -806,7 +833,51 @@ let merge_counters a b =
   a.overflows <- a.overflows + b.overflows;
   a.pruned <- a.pruned + b.pruned;
   a.sleep_skips <- a.sleep_skips + b.sleep_skips;
+  a.degraded <- a.degraded + b.degraded;
+  a.evictions <- a.evictions + b.evictions;
   if a.overflow_trace = None then a.overflow_trace <- b.overflow_trace
+
+(* Stitch in the accumulated counts of previously checkpointed segments, so
+   the stats (and completeness) a resumed run reports cover the whole search,
+   not just the last segment. *)
+let add_counts (a : counters) (k : Checkpoint.counts) =
+  a.leaves <- a.leaves + k.Checkpoint.leaves;
+  a.nodes <- a.nodes + k.nodes;
+  if k.max_events > a.max_events then a.max_events <- k.max_events;
+  if k.max_op_steps > a.max_op_steps then a.max_op_steps <- k.max_op_steps;
+  Array.iteri
+    (fun i v ->
+      if i < Array.length a.max_accesses && v > a.max_accesses.(i) then
+        a.max_accesses.(i) <- v)
+    k.max_accesses;
+  a.overflows <- a.overflows + k.overflows;
+  a.pruned <- a.pruned + k.pruned;
+  a.sleep_skips <- a.sleep_skips + k.sleep_skips;
+  a.degraded <- a.degraded + k.degraded;
+  a.evictions <- a.evictions + k.evictions
+
+let counts_of_counters (c : counters) =
+  {
+    Checkpoint.leaves = c.leaves;
+    nodes = c.nodes;
+    max_events = c.max_events;
+    max_op_steps = c.max_op_steps;
+    max_accesses = Array.copy c.max_accesses;
+    overflows = c.overflows;
+    pruned = c.pruned;
+    sleep_skips = c.sleep_skips;
+    degraded = c.degraded;
+    evictions = c.evictions;
+  }
+
+let engine_of_options (o : options) =
+  {
+    Checkpoint.dedup = o.dedup;
+    por = o.por;
+    domains = o.domains;
+    intern = o.intern;
+    symmetry = o.symmetry;
+  }
 
 (* The ⟨proc, target-level invocation⟩ of every live pending operation:
    invoked, not yet returned, process neither crashed nor stuck. Only these
@@ -851,13 +922,18 @@ type dedup_ctx = {
   use_intern : bool;
   classes : int array option;  (* symmetry classes, if active *)
   mutable tables : dtables option;
+  mutable evicted : bool;
+      (* the memory watchdog dropped this domain's tables: keep exploring
+         undeduped rather than OOM — sound, pruning only ever happens on a
+         hit *)
 }
 
 (* Probe (and record) the current state. Returns ⟨already seen?, advanced
    fingerprint cache for the children⟩. Below the activation threshold this
    is a no-op — no table, no intern state, no fingerprint is ever built. *)
 let probe_dedup dd ~t ~nodes cfg sleep st fpcur =
-  if Option.is_none dd.tables && nodes < dd.threshold then (false, None)
+  if dd.evicted || (Option.is_none dd.tables && nodes < dd.threshold) then
+    (false, None)
   else begin
     let tables =
       match dd.tables with
@@ -918,7 +994,7 @@ let visit impl opts ~fuel ~dd ~lim ~t c on_leaf ~recurse cfg sleep
     trace_rev st fpcur =
   let procs = enabled cfg in
   let recs = recoverable cfg in
-  if lim.budget <> None || lim.deadline <> None then check_limits lim;
+  if lim.active then check_limits lim;
   if procs = [] then begin
     c.leaves <- c.leaves + 1;
     if cfg.events > c.max_events then c.max_events <- cfg.events;
@@ -1041,12 +1117,90 @@ let stats_of c ~domains_used ~lim =
     pruned = c.pruned;
     sleep_skips = c.sleep_skips;
     domains_used;
+    degraded = c.degraded;
+    evictions = c.evictions;
     completeness =
       (match Atomic.get lim.tripped with
       | None -> Exhaustive
       | Some reason -> Partial reason);
     overflow_trace = c.overflow_trace;
   }
+
+(* --- prefix replay -----------------------------------------------------------
+
+   Re-materialize the configuration a decision-trace prefix reaches, using
+   the same transition functions the search used to produce it. This is what
+   turns a checkpoint's frontier — trace prefixes — back into live subtree
+   roots on resume. *)
+let replay_prefix impl root trace =
+  let fail fmt = Fmt.kstr (fun s -> Error s) fmt in
+  let rec go cfg trace_rev = function
+    | [] -> Ok (cfg, trace_rev)
+    | ({ Faults.proc = p; kind } as d) :: rest ->
+      if p < 0 || p >= Array.length cfg.procs then
+        fail "replay: no process p%d" p
+      else
+        let next =
+          match kind with
+          | Faults.Step i -> (
+            match step_alternatives impl cfg p with
+            | alts -> (
+              match List.nth_opt alts i with
+              | Some cfg' -> Ok cfg'
+              | None -> fail "replay: p%d has no step alternative %d" p i)
+            | exception (Type_spec.Bad_step _ | Value.Type_error _) ->
+              fail "replay: p%d cannot step" p)
+          | Faults.Glitch i -> (
+            match List.nth_opt (glitch_alternatives impl cfg p) i with
+            | Some (_, cfg') -> Ok cfg'
+            | None -> fail "replay: p%d has no glitch alternative %d" p i)
+          | Faults.Crash ->
+            if cfg.crashes_left > 0 && List.mem p (enabled cfg) then
+              Ok (crash cfg p)
+            else fail "replay: p%d cannot crash here" p
+          | Faults.Recover ->
+            if List.mem p (recoverable cfg) then Ok (recover cfg p)
+            else fail "replay: p%d cannot recover here" p
+          | Faults.Wedge -> Ok (wedge cfg p)
+        in
+        (match next with
+        | Ok cfg' -> go cfg' (d :: trace_rev) rest
+        | Error _ as e -> e)
+  in
+  go root [] trace
+
+(* --- memory watchdog ---------------------------------------------------------
+
+   Long exhaustive runs die of dedup tables, not of the DFS stack: the
+   tables grow with the number of distinct states. When the major heap
+   crosses the budget, domains drop their tables oldest-first (domain 0 — the
+   coordinating/expansion domain, whose table has been filling the longest —
+   before any worker) and continue undeduped instead of OOMing. [evict_upto]
+   only ever grows; each domain polls it and sacrifices itself when its id
+   falls below the mark. Bumps are rate-limited so the GC can actually
+   reclaim one table before the next is sacrificed. *)
+
+type memwatch = {
+  budget_words : int;
+  evict_upto : int Atomic.t;
+  last_bump : float Atomic.t;
+}
+
+let mem_sample mw ~domain_id c (dd : dedup_ctx option) =
+  if (Gc.quick_stat ()).Gc.heap_words > mw.budget_words then begin
+    let now = Monotime.now () in
+    let last = Atomic.get mw.last_bump in
+    if now -. last > 0.25 && Atomic.compare_and_set mw.last_bump last now then
+      Atomic.incr mw.evict_upto
+  end;
+  (* checked after the bump so the sacrificed domain reacts on the very
+     sample that detected the pressure, not one sample period later *)
+  match dd with
+  | Some dd when (not dd.evicted) && Atomic.get mw.evict_upto > domain_id ->
+    dd.tables <- None;
+    dd.evicted <- true;
+    c.evictions <- c.evictions + 1
+  | _ -> ()
 
 let resolve_faults ?faults ~max_crashes () =
   match faults with
@@ -1067,16 +1221,42 @@ let default_par_threshold = 4096
    a table can never win; well over, a single pruned subtree pays for it. *)
 let default_dedup_threshold = 64
 
-let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
-    ?deadline_s ?(options = naive) ?(par_threshold = default_par_threshold)
+(* Worker-failure taxonomy for the supervised pool: [User_error] tags an
+   exception escaping a user leaf callback (it must surface on the caller —
+   that is how checkers report violations), [Abandoned] is raised by a worker
+   that discovers the coordinator gave its subtree away after a stall. Any
+   other exception in a worker is an infrastructure failure: the subtree is
+   requeued and the pool degrades to fewer domains. *)
+exception User_error of exn
+exception Abandoned
+
+let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
+    ?budget ?deadline_s ?(options = naive)
+    ?(par_threshold = default_par_threshold)
     ?(dedup_threshold = default_dedup_threshold) ?tracker
     ?(on_leaf = fun (_ : Exec.leaf) -> ())
-    ?(on_leaf_trace = fun (_ : Faults.trace) (_ : Exec.leaf) -> ()) () =
+    ?(on_leaf_trace = fun (_ : Faults.trace) (_ : Exec.leaf) -> ())
+    ?checkpoint ?(checkpoint_meta = []) ?resume_from ?interrupt ?mem_budget_mb
+    ?stall_timeout_s ?chaos () =
   let user_tracker = Option.is_some tracker in
+  let ckpt_armed = Option.is_some checkpoint || Option.is_some resume_from in
+  if user_tracker && ckpt_armed then
+    invalid_arg
+      "Explore.run: checkpointing does not compose with a user tracker \
+       (tracker state cannot be serialized)";
   let (Tracker t) =
     match tracker with Some t -> Tracker t | None -> Tracker null_tracker
   in
   let faults = resolve_faults ?faults ~max_crashes () in
+  (match resume_from with
+  | Some ck -> (
+    match
+      Checkpoint.describe_mismatch ck ~engine:(engine_of_options options)
+        ~fuel ~faults ~workloads
+    with
+    | Some reason -> invalid_arg ("Explore.run: cannot resume: " ^ reason)
+    | None -> ())
+  | None -> ());
   (* Sleep sets reason about base accesses only; crashes, recoveries and
      glitches are distinct transitions of the same process that they would
      wrongly put to sleep, so POR is disabled whenever fault branching is
@@ -1107,10 +1287,27 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
           use_intern = opts.intern;
           classes;
           tables = None;
+          evicted = false;
         }
     else None
   in
-  let lim = make_limiter ?budget ?deadline_s () in
+  let lim = make_limiter ?budget ?deadline_s ?interrupt () in
+  let memwatch =
+    Option.map
+      (fun mb ->
+        {
+          budget_words = mb * 1024 * 1024 / (Sys.word_size / 8);
+          evict_upto = Atomic.make 0;
+          last_bump = Atomic.make 0.0;
+        })
+      mem_budget_mb
+  in
+  (* Cheap per-node hook: a real sample only every 1024 nodes. *)
+  let memcheck ~domain_id c dd =
+    match memwatch with
+    | Some mw when c.nodes land 1023 = 0 -> mem_sample mw ~domain_id c dd
+    | _ -> ()
+  in
   let emit_leaf trace_rev leaf st =
     on_leaf leaf;
     on_leaf_trace (List.rev trace_rev) leaf;
@@ -1119,10 +1316,11 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
   let n_objs = Array.length impl.Implementation.objects in
   let root = with_faults (initial_cfg impl ~workloads) faults in
   let n_domains = max 1 opts.domains in
-  if n_domains = 1 then begin
+  if n_domains = 1 && not ckpt_armed then begin
     let c = fresh_counters n_objs in
     let dd = mk_dd () in
     let rec go cfg sleep trace_rev st fpcur =
+      memcheck ~domain_id:0 c dd;
       visit impl opts ~fuel ~dd ~lim ~t c emit_leaf ~recurse:go cfg sleep
         trace_rev st fpcur
     in
@@ -1132,115 +1330,360 @@ let run impl ~workloads ?(fuel = 10_000) ?(max_crashes = 0) ?faults ?budget
     stats_of c ~domains_used:1 ~lim
   end
   else begin
-    (* Fan-out: expand the top of the tree breadth-first until the frontier
-       is wide enough to feed the pool, then explore the frontier subtrees on
-       worker domains, merging per-domain statistics at the end. Leaves met
-       during expansion are processed inline. The pool itself is lazy:
-       frontier subtrees are drained sequentially until [par_threshold]
-       nodes have been visited, so small trees never pay the domain-spawn
-       cost. *)
+    (* Frontier mode — the multicore fan-out, and any checkpointed or
+       resumed run (a checkpoint needs an explicit frontier of pending
+       subtrees to serialize; a resume starts from one). Expand the top of
+       the tree breadth-first until the frontier is wide enough, then drain
+       frontier subtrees — sequentially first, then on a supervised worker
+       pool. Leaves met during expansion are processed inline. *)
     let c0 = fresh_counters n_objs in
+    (match resume_from with
+    | Some ck -> add_counts c0 ck.Checkpoint.counts
+    | None -> ());
     let expansion_dd = mk_dd () in
-    let target = n_domains * 4 in
-    let cut_in_expansion = ref false in
-    let frontier = ref [ (root, 0, [], t.root, None) ] in
+    let sink = checkpoint in
+    let last_save = ref (Monotime.now ()) in
+    let saved_any = ref false in
+    let save_ck remaining =
+      match sink with
+      | None -> ()
+      | Some (path, _) ->
+        let ck =
+          Checkpoint.make ~meta:checkpoint_meta
+            ~engine:(engine_of_options options) ~fuel
+            ?budget_left:(Option.map (fun b -> max 0 (Atomic.get b)) lim.budget)
+            ~faults ~workloads ~counts:(counts_of_counters c0)
+            ~frontier:remaining ()
+        in
+        Checkpoint.save ck ~path;
+        saved_any := true;
+        last_save := Monotime.now ()
+    in
+    let maybe_save remaining =
+      match sink with
+      | Some (_, interval) when Monotime.now () -. !last_save >= interval ->
+        save_ck (remaining ())
+      | _ -> ()
+    in
+    let trace_of_item (_, _, tr, _, _) = List.rev tr in
+    let roots =
+      match resume_from with
+      | None -> [ (root, 0, [], t.root, None) ]
+      | Some ck ->
+        (* Re-materialize each frontier root by replaying its decision-trace
+           prefix. Sleep sets are not serialized; resumed roots restart with
+           an empty one, which is sound (sleep only ever skips). *)
+        List.map
+          (fun trace ->
+            match replay_prefix impl root trace with
+            | Ok (cfg, trace_rev) -> (cfg, 0, trace_rev, t.root, None)
+            | Error e -> invalid_arg ("Explore.run: cannot resume: " ^ e))
+          ck.Checkpoint.frontier
+    in
+    (* When checkpointing, expand wider even on one domain: the frontier is
+       the unit of checkpoint progress, so finer granularity means a resumed
+       segment can finish items (and shrink the checkpoint) sooner. *)
+    let target = max (n_domains * 4) (if ckpt_armed then 16 else 0) in
+    let cut = ref false in
+    let pending_expansion = ref None in
+    let frontier = ref roots in
     (try
        let level = ref 0 in
-       while
-         !level < 8
-         && List.length !frontier < target
-         && !frontier <> []
-       do
+       while !level < 8 && List.length !frontier < target && !frontier <> [] do
          incr level;
          let next = ref [] in
-         List.iter
-           (fun (cfg, sleep, trace_rev, st, fpcur) ->
-             visit impl opts ~fuel ~dd:expansion_dd ~lim ~t c0
-               emit_leaf
-               ~recurse:(fun cfg' sleep' trace_rev' st' fpcur' ->
-                 next := (cfg', sleep', trace_rev', st', fpcur') :: !next)
-               cfg sleep trace_rev st fpcur)
-           !frontier;
+         let rest = ref !frontier in
+         while !rest <> [] do
+           let ((cfg, sleep, trace_rev, st, fpcur) as item) = List.hd !rest in
+           rest := List.tl !rest;
+           let before = !next in
+           (try
+              visit impl opts ~fuel ~dd:expansion_dd ~lim ~t c0 emit_leaf
+                ~recurse:(fun cfg' sleep' trace_rev' st' fpcur' ->
+                  next := (cfg', sleep', trace_rev', st', fpcur') :: !next)
+                cfg sleep trace_rev st fpcur
+            with e ->
+              (* Keep the in-flight item whole in the checkpoint and drop its
+                 partial children — they would otherwise be explored twice on
+                 resume. Children of items already finished this level stay. *)
+              let rec strip l = if l == before then l else strip (List.tl l) in
+              pending_expansion := Some ((item :: !rest) @ strip !next);
+              raise e);
+           memcheck ~domain_id:0 c0 expansion_dd
+         done;
          frontier := List.rev !next
        done
      with
     | Exec.Stop ->
       trip lim Stopped;
-      cut_in_expansion := true;
-      frontier := []
-    | Cut ->
-      cut_in_expansion := true;
-      frontier := []);
-    let work = Array.of_list !frontier in
-    (* Sequential drain: explore frontier subtrees inline (reusing the
-       expansion dedup table and counters) until the tree has shown
-       [par_threshold] nodes — only what is left after that goes to the
-       pool. *)
-    let drained = ref 0 in
-    (try
-       let rec go cfg sleep trace_rev st fpcur =
-         visit impl opts ~fuel ~dd:expansion_dd ~lim ~t c0 emit_leaf
-           ~recurse:go cfg sleep trace_rev st fpcur
-       in
-       while !drained < Array.length work && c0.nodes < par_threshold do
-         let cfg, sleep, trace_rev, st, fpcur = work.(!drained) in
-         incr drained;
-         go cfg sleep trace_rev st fpcur
-       done
-     with
-    | Exec.Stop ->
-      trip lim Stopped;
-      cut_in_expansion := true
-    | Cut -> cut_in_expansion := true);
-    if !cut_in_expansion || !drained >= Array.length work then
+      cut := true
+    | Cut -> cut := true);
+    if !cut then begin
+      (match !pending_expansion with
+      | Some items -> save_ck (List.map trace_of_item items)
+      | None -> save_ck (List.map trace_of_item !frontier));
       stats_of c0 ~domains_used:1 ~lim
+    end
     else begin
-      let next_item = Atomic.make !drained in
-      let stop = Atomic.make false in
-      let first_error : exn option Atomic.t = Atomic.make None in
-      let leaf_mutex = Mutex.create () in
-      let emit_leaf_sync trace_rev leaf st =
-        Mutex.lock leaf_mutex;
-        Fun.protect
-          ~finally:(fun () -> Mutex.unlock leaf_mutex)
-          (fun () -> emit_leaf trace_rev leaf st)
+      let work = Array.of_list !frontier in
+      let n_items = Array.length work in
+      (* Written by whichever domain finishes the item, read by the
+         coordinator for checkpoints. A stale [false] merely re-includes a
+         finished item in a checkpoint — re-exploring it on resume is sound. *)
+      let completed = Array.make n_items false in
+      let remaining_traces () =
+        let out = ref [] in
+        for i = n_items - 1 downto 0 do
+          if not completed.(i) then out := trace_of_item work.(i) :: !out
+        done;
+        !out
       in
-      let n_workers = min n_domains (Array.length work - !drained) in
-      let worker () =
-        let c = fresh_counters n_objs in
-        (* Fresh per-domain dedup context: its (lazily created) intern state
-           never sees another domain's cells. The fingerprint caches stored
-           in [work] belong to the expansion domain's intern state, so each
-           subtree restarts from [None] and re-roots with [fpc_of_cfg]. *)
-        let dd = mk_dd () in
-        let rec go cfg sleep trace_rev st fpcur =
-          if Atomic.get stop then raise Exec.Stop;
-          visit impl opts ~fuel ~dd ~lim ~t c emit_leaf_sync ~recurse:go
-            cfg sleep trace_rev st fpcur
+      (* Sequential drain: explore frontier subtrees inline (reusing the
+         expansion dedup table and counters) until the tree has shown
+         [par_threshold] nodes — only what is left after that goes to the
+         pool. With one domain this drains everything. *)
+      let drained = ref 0 in
+      (try
+         let rec go cfg sleep trace_rev st fpcur =
+           memcheck ~domain_id:0 c0 expansion_dd;
+           visit impl opts ~fuel ~dd:expansion_dd ~lim ~t c0 emit_leaf
+             ~recurse:go cfg sleep trace_rev st fpcur
+         in
+         while
+           !drained < n_items && (n_domains = 1 || c0.nodes < par_threshold)
+         do
+           let i = !drained in
+           let cfg, sleep, trace_rev, st, fpcur = work.(i) in
+           go cfg sleep trace_rev st fpcur;
+           completed.(i) <- true;
+           incr drained;
+           maybe_save remaining_traces
+         done
+       with
+      | Exec.Stop ->
+        trip lim Stopped;
+        cut := true
+      | Cut -> cut := true);
+      if !cut then begin
+        save_ck (remaining_traces ());
+        stats_of c0 ~domains_used:1 ~lim
+      end
+      else if !drained >= n_items then begin
+        (* Fully explored. No checkpoint is needed for a completed run; only
+           refresh the file (to an empty frontier) if interval saves already
+           wrote a now-stale one. *)
+        if !saved_any then save_ck [];
+        stats_of c0 ~domains_used:1 ~lim
+      end
+      else begin
+        let next_item = Atomic.make !drained in
+        let stop = Atomic.make false in
+        let first_error : exn option Atomic.t = Atomic.make None in
+        let leaf_mutex = Mutex.create () in
+        let emit_leaf_sync trace_rev leaf st =
+          Mutex.lock leaf_mutex;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock leaf_mutex)
+            (fun () -> emit_leaf trace_rev leaf st)
         in
-        (try
-           let continue = ref true in
-           while !continue do
-             let i = Atomic.fetch_and_add next_item 1 in
-             if i >= Array.length work || Atomic.get stop then continue := false
-             else begin
-               let cfg, sleep, trace_rev, st, _fpc0 = work.(i) in
-               go cfg sleep trace_rev st None
-             end
-           done
-         with
-        | Exec.Stop ->
-          trip lim Stopped;
-          Atomic.set stop true
-        | Cut -> Atomic.set stop true
-        | e ->
-          ignore (Atomic.compare_and_set first_error None (Some e));
-          Atomic.set stop true);
-        c
-      in
-      let handles = Array.init n_workers (fun _ -> Domain.spawn worker) in
-      Array.iter (fun h -> merge_counters c0 (Domain.join h)) handles;
-      (match Atomic.get first_error with Some e -> raise e | None -> ());
-      stats_of c0 ~domains_used:n_workers ~lim
+        (* A user leaf callback raising (that is how checkers report
+           violations) must surface on the caller, not count as an
+           infrastructure failure of the worker running it. *)
+        let emit_leaf_worker trace_rev leaf st =
+          try emit_leaf_sync trace_rev leaf st with
+          | Exec.Stop as e -> raise e
+          | e -> raise (User_error e)
+        in
+        let n_workers = min n_domains (n_items - !drained) in
+        let track_hb =
+          Option.is_some stall_timeout_s || Option.is_some chaos
+        in
+        let supervise =
+          Option.is_some sink || Option.is_some stall_timeout_s
+        in
+        let hb = Array.init n_workers (fun _ -> Atomic.make 0) in
+        let cur = Array.init n_workers (fun _ -> Atomic.make (-1)) in
+        let wdone = Array.init n_workers (fun _ -> Atomic.make false) in
+        let abandoned = Array.init n_workers (fun _ -> Atomic.make false) in
+        let requeue = ref [] in
+        let requeue_mutex = Mutex.create () in
+        let attempts = Array.make n_items 0 in
+        let take () =
+          Mutex.lock requeue_mutex;
+          let from_requeue =
+            match !requeue with
+            | [] -> None
+            | i :: rest ->
+              requeue := rest;
+              Some i
+          in
+          Mutex.unlock requeue_mutex;
+          match from_requeue with
+          | Some _ as r -> r
+          | None ->
+            let i = Atomic.fetch_and_add next_item 1 in
+            if i < n_items then Some i else None
+        in
+        let requeue_item i =
+          Mutex.lock requeue_mutex;
+          requeue := i :: !requeue;
+          Mutex.unlock requeue_mutex
+        in
+        let worker w () =
+          let c = fresh_counters n_objs in
+          (* Fresh per-domain dedup context: its (lazily created) intern
+             state never sees another domain's cells. The fingerprint caches
+             stored in [work] belong to the expansion domain's intern state,
+             so each subtree restarts from [None] and re-roots with
+             [fpc_of_cfg]. *)
+          let dd = mk_dd () in
+          let rec go cfg sleep trace_rev st fpcur =
+            if Atomic.get stop then raise Exec.Stop;
+            if track_hb then begin
+              if Atomic.get abandoned.(w) then raise Abandoned;
+              Atomic.incr hb.(w);
+              match chaos with
+              | Some f -> f ~worker:w ~nodes:(Atomic.get hb.(w))
+              | None -> ()
+            end;
+            memcheck ~domain_id:(w + 1) c dd;
+            visit impl opts ~fuel ~dd ~lim ~t c emit_leaf_worker ~recurse:go
+              cfg sleep trace_rev st fpcur
+          in
+          (try
+             let continue = ref true in
+             while !continue do
+               if Atomic.get stop then continue := false
+               else
+                 match take () with
+                 | None -> continue := false
+                 | Some i ->
+                   Atomic.set cur.(w) i;
+                   let cfg, sleep, trace_rev, st, _fpc0 = work.(i) in
+                   go cfg sleep trace_rev st None;
+                   completed.(i) <- true;
+                   Atomic.set cur.(w) (-1)
+             done
+           with
+          | Exec.Stop ->
+            trip lim Stopped;
+            Atomic.set stop true
+          | Cut -> Atomic.set stop true
+          | Abandoned ->
+            (* the coordinator already requeued our subtree and counted the
+               degradation *)
+            ()
+          | User_error _ as e ->
+            ignore (Atomic.compare_and_set first_error None (Some e));
+            Atomic.set stop true
+          | e ->
+            (* Infrastructure failure: hand the subtree back and retire this
+               worker — the pool degrades to fewer domains instead of
+               poisoning the join. An item that already failed on another
+               worker is deterministic: surface it instead of cycling. *)
+            c.degraded <- c.degraded + 1;
+            let i = Atomic.get cur.(w) in
+            if i >= 0 && not completed.(i) then begin
+              if attempts.(i) >= 1 then begin
+                ignore (Atomic.compare_and_set first_error None (Some e));
+                Atomic.set stop true
+              end
+              else begin
+                attempts.(i) <- attempts.(i) + 1;
+                requeue_item i
+              end
+            end);
+          Atomic.set cur.(w) (-1);
+          Atomic.set wdone.(w) true;
+          c
+        in
+        let handles = Array.init n_workers (fun w -> Domain.spawn (worker w)) in
+        (* Supervision: the coordinator polls worker heartbeats (nodes
+           visited) instead of blocking in join, writes interval checkpoints,
+           and — when a stall timeout is armed — abandons a worker that has
+           stopped making progress, requeueing its subtree onto the
+           survivors. Without a sink or stall timeout the poll loop is
+           skipped and the join below blocks as before. *)
+        if supervise then begin
+          let last_hb = Array.make n_workers (-1) in
+          let last_progress = Array.make n_workers (Monotime.now ()) in
+          let live w =
+            not (Atomic.get wdone.(w) || Atomic.get abandoned.(w))
+          in
+          let any_live () =
+            let l = ref false in
+            for w = 0 to n_workers - 1 do
+              if live w then l := true
+            done;
+            !l
+          in
+          while any_live () do
+            Unix.sleepf 0.002;
+            maybe_save remaining_traces;
+            match stall_timeout_s with
+            | None -> ()
+            | Some timeout ->
+              let now = Monotime.now () in
+              for w = 0 to n_workers - 1 do
+                if live w then begin
+                  let h = Atomic.get hb.(w) in
+                  if h <> last_hb.(w) then begin
+                    last_hb.(w) <- h;
+                    last_progress.(w) <- now
+                  end
+                  else if now -. last_progress.(w) > timeout then begin
+                    let i = Atomic.get cur.(w) in
+                    if i >= 0 then begin
+                      (* mark first, so the worker cannot finish the item
+                         after we hand it away *)
+                      Atomic.set abandoned.(w) true;
+                      c0.degraded <- c0.degraded + 1;
+                      if not completed.(i) && attempts.(i) < 1 then begin
+                        attempts.(i) <- attempts.(i) + 1;
+                        requeue_item i
+                      end
+                    end
+                  end
+                end
+              done
+          done
+        end;
+        Array.iter (fun h -> merge_counters c0 (Domain.join h)) handles;
+        (* Items left behind — requeued after the survivors already exited,
+           or never taken because every worker died — are drained inline on
+           the coordinator: degraded, not dead. A deterministic failure
+           re-raises here and reaches the caller. *)
+        if Atomic.get first_error = None && Atomic.get lim.tripped = None
+        then begin
+          try
+            let rec go cfg sleep trace_rev st fpcur =
+              memcheck ~domain_id:0 c0 expansion_dd;
+              visit impl opts ~fuel ~dd:expansion_dd ~lim ~t c0 emit_leaf
+                ~recurse:go cfg sleep trace_rev st fpcur
+            in
+            let continue = ref true in
+            while !continue do
+              match take () with
+              | None -> continue := false
+              | Some i ->
+                if not completed.(i) then begin
+                  let cfg, sleep, trace_rev, st, _ = work.(i) in
+                  go cfg sleep trace_rev st None;
+                  completed.(i) <- true
+                end;
+                maybe_save remaining_traces
+            done
+          with
+          | Exec.Stop -> trip lim Stopped
+          | Cut -> ()
+        end;
+        (match Atomic.get first_error with
+        | Some (User_error e) -> raise e
+        | Some e -> raise e
+        | None -> ());
+        if Atomic.get lim.tripped <> None then save_ck (remaining_traces ())
+        else if !saved_any then save_ck [];
+        stats_of c0 ~domains_used:n_workers ~lim
+      end
     end
   end

@@ -112,6 +112,10 @@ type partial_reason =
   | Budget_exhausted  (** the [?budget] node allowance ran out *)
   | Deadline_exceeded  (** the [?deadline_s] wall-clock limit passed *)
   | Stopped  (** [on_leaf]/[on_leaf_trace] raised {!Exec.Stop} *)
+  | Interrupted
+      (** the [?interrupt] flag was set (e.g. by a SIGINT/SIGTERM handler);
+          if a checkpoint sink is armed, a final checkpoint was flushed
+          before returning *)
 
 type completeness =
   | Exhaustive  (** every reachable behaviour was covered *)
@@ -131,11 +135,25 @@ type stats = {
   pruned : int;  (** subtrees cut by duplicate-state pruning *)
   sleep_skips : int;  (** sibling subtrees skipped by the sleep-set rule *)
   domains_used : int;  (** workers that actually explored subtrees *)
+  degraded : int;
+      (** supervised-pool degradations: worker domains that crashed on an
+          infrastructure failure or were abandoned after a stall, their
+          subtrees requeued onto the survivors (or the coordinator). The
+          verdict is unaffected; [> 0] means the run limped home on fewer
+          domains than requested. *)
+  evictions : int;
+      (** dedup tables dropped by the memory watchdog ([?mem_budget_mb]):
+          the affected domains fell back to undeduped exploration instead
+          of exhausting the heap *)
   completeness : completeness;
   overflow_trace : Faults.trace option;
       (** decision trace of the first fuel-overflowing path — a replayable
           non-wait-freedom suspect *)
 }
+
+val default_fuel : int
+(** The [?fuel] default (10_000) — exposed so callers building checkpoints
+    ({!Check.verify}) use the same value the engine will. *)
 
 val to_exec_stats : stats -> Exec.stats
 (** Forget the engine-specific counters (for callers exposing
@@ -221,6 +239,13 @@ val run :
   ?tracker:'a tracker ->
   ?on_leaf:(Exec.leaf -> unit) ->
   ?on_leaf_trace:(Faults.trace -> Exec.leaf -> unit) ->
+  ?checkpoint:string * float ->
+  ?checkpoint_meta:(string * string) list ->
+  ?resume_from:Checkpoint.t ->
+  ?interrupt:bool Atomic.t ->
+  ?mem_budget_mb:int ->
+  ?stall_timeout_s:float ->
+  ?chaos:(worker:int -> nodes:int -> unit) ->
   unit ->
   stats
 (** Drop-in replacement for {!Exec.explore} (defaults: [fuel = 10_000],
@@ -253,8 +278,54 @@ val run :
     it runs right after [on_leaf] under the same serialization.
 
     [budget] bounds the configurations visited and [deadline_s] the wall
-    clock, {e across all domains}: when either trips, the whole exploration
-    stops promptly (it never hangs) and [stats.completeness] reports
+    clock (monotonic — immune to NTP steps and suspends), {e across all
+    domains}: when either trips, the whole exploration stops promptly (it
+    never hangs) and [stats.completeness] reports
     [Partial Budget_exhausted]/[Partial Deadline_exceeded]. Exploration is
     then a three-valued procedure: a violation found, exhaustively clean, or
-    {e unknown within budget}. *)
+    {e unknown within budget}.
+
+    {2 Resilience}
+
+    [checkpoint:(path, interval_s)] arms a checkpoint sink: the run switches
+    to frontier mode (breadth-first expansion into explicit pending
+    subtrees, even on one domain), and at least every [interval_s] seconds —
+    and always when the run is cut early by budget, deadline, [interrupt] or
+    {!Exec.Stop} — serializes the unexplored frontier, accumulated counts
+    and problem configuration to [path] (atomically, via rename; see
+    {!Checkpoint}). [checkpoint_meta] is stored verbatim for the caller.
+    A run that completes exhaustively does not need a checkpoint; the file
+    is refreshed (empty frontier) only if interval saves already wrote one.
+
+    [resume_from] continues a checkpointed search: every frontier root is
+    re-materialized by replaying its decision-trace prefix and exploration
+    proceeds from there, with counts — and therefore [stats] and
+    [completeness] — stitched across segments. Raises [Invalid_argument] if
+    the checkpoint was taken for a different problem (engine options, fuel,
+    adversary or workloads differ), if a frontier prefix does not replay, or
+    if combined with a user [tracker] (tracker state cannot be serialized).
+    In-progress subtrees are re-explored whole, so leaf callbacks may see a
+    bounded number of duplicate leaves across segments; [budget] is {e not}
+    read from the checkpoint — pass the remaining allowance explicitly
+    ([Checkpoint.t.budget_left] records it).
+
+    [interrupt] is a cooperative cancellation flag, checked at every node:
+    setting it (e.g. from a signal handler) cuts the run like a deadline,
+    with [Partial Interrupted] — and a final checkpoint when a sink is
+    armed.
+
+    [mem_budget_mb] arms the memory watchdog: every 1024 nodes a domain
+    samples the major heap, and past the budget dedup tables are evicted
+    oldest-domain-first ([stats.evictions]), degrading to undeduped — but
+    alive — exploration instead of OOM.
+
+    [stall_timeout_s] arms stuck-worker supervision in the pool: the
+    coordinator samples per-worker heartbeats (nodes visited) and a worker
+    that makes no progress for the timeout is abandoned, its subtree
+    requeued onto the surviving workers ([stats.degraded]). A worker domain
+    that {e crashes} (an exception that is not a leaf-callback error)
+    likewise degrades the pool and requeues its subtree instead of
+    poisoning the join; an item that fails on two workers is deterministic
+    and its error is re-raised on the caller. [chaos] is a test hook called
+    on every worker node with the worker id and its heartbeat, for
+    fault-injecting the pool itself. *)

@@ -108,6 +108,87 @@ let glitch_responses ~alts ~alts_at ~q ~hist d =
       candidates;
     List.rev !seen
 
+let degradation_equal a b =
+  match (a, b) with
+  | Safe_reads l1, Safe_reads l2 -> List.equal Value.equal l1 l2
+  | Stale_reads d1, Stale_reads d2 -> d1 = d2
+  | _ -> false
+
+let equal f g =
+  f.max_crashes = g.max_crashes
+  && f.max_recoveries = g.max_recoveries
+  && f.max_glitches = g.max_glitches
+  && List.equal
+       (fun (o1, d1) (o2, d2) -> o1 = o2 && degradation_equal d1 d2)
+       f.degraded g.degraded
+
+(* --- shared line codec -------------------------------------------------------
+
+   The wfc-witness/1 text format's fault lines, factored out so that the
+   checkpoint format (PR 5) reuses the same load-bearing codec instead of
+   inventing a second one. [field_of_values]/[values_of_field] is the
+   '|'-separated value-list convention both formats use for workloads and
+   safe-read domains. *)
+
+let field_of_values vs = String.concat "|" (List.map Value.to_string vs)
+
+let values_of_field s =
+  let parts =
+    if String.trim s = "" then []
+    else String.split_on_char '|' s |> List.map String.trim
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+      match Value.of_string part with
+      | Ok v -> go (v :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] parts
+
+let budgets_line f =
+  Fmt.str "faults crashes=%d recoveries=%d glitches=%d" f.max_crashes
+    f.max_recoveries f.max_glitches
+
+(* [body] is the part after the "faults " keyword. *)
+let parse_budgets body =
+  let fields =
+    String.split_on_char ' ' body
+    |> List.filter (fun w -> w <> "")
+    |> List.filter_map (fun w ->
+           match String.split_on_char '=' w with
+           | [ k; v ] -> Option.map (fun n -> (k, n)) (int_of_string_opt v)
+           | _ -> None)
+  in
+  match
+    ( List.assoc_opt "crashes" fields,
+      List.assoc_opt "recoveries" fields,
+      List.assoc_opt "glitches" fields )
+  with
+  | Some c, Some r, Some g -> Ok (c, r, g)
+  | _ -> Error (Fmt.str "bad faults line %S" body)
+
+let degrade_line (obj, d) =
+  match d with
+  | Stale_reads depth -> Fmt.str "degrade %d stale %d" obj depth
+  | Safe_reads domain -> Fmt.str "degrade %d safe %s" obj (field_of_values domain)
+
+(* [body] is the part after the "degrade " keyword. *)
+let parse_degrade body =
+  match String.split_on_char ' ' body with
+  | obj :: "stale" :: [ depth ] -> (
+    match (int_of_string_opt obj, int_of_string_opt depth) with
+    | Some obj, Some depth -> Ok (obj, Stale_reads depth)
+    | _ -> Error (Fmt.str "bad degrade line %S" body))
+  | obj :: "safe" :: domain -> (
+    match int_of_string_opt obj with
+    | Some obj -> (
+      match values_of_field (String.concat " " domain) with
+      | Ok vs -> Ok (obj, Safe_reads vs)
+      | Error e -> Error e)
+    | None -> Error (Fmt.str "bad degrade line %S" body))
+  | _ -> Error (Fmt.str "bad degrade line %S" body)
+
 (* --- decision traces -------------------------------------------------------- *)
 
 type kind = Step of int | Glitch of int | Crash | Recover | Wedge

@@ -86,6 +86,36 @@ val glitch_responses :
 val pp : Format.formatter -> t -> unit
 val pp_degradation : Format.formatter -> degradation -> unit
 
+val equal : t -> t -> bool
+(** Structural equality, with [Value.equal] on safe-read domains. Used by
+    {!Checkpoint} resume validation to refuse a checkpoint taken under a
+    different adversary. *)
+
+(** {1 Shared line codec}
+
+    The fault lines of the wfc-witness/1 text format, factored out so the
+    checkpoint format ({!Checkpoint}) reuses the same codec rather than
+    inventing a second one. *)
+
+val field_of_values : Value.t list -> string
+(** ['|']-separated value list, the field convention shared by workload
+    lines and safe-read domains ([0|1|unit]). *)
+
+val values_of_field : string -> (Value.t list, string) result
+
+val budgets_line : t -> string
+(** The [faults crashes=N recoveries=N glitches=N] line. *)
+
+val parse_budgets : string -> (int * int * int, string) result
+(** Parses the body after the [faults] keyword back into
+    [(crashes, recoveries, glitches)]. *)
+
+val degrade_line : int * degradation -> string
+(** The [degrade OBJ stale K] / [degrade OBJ safe v|v] line. *)
+
+val parse_degrade : string -> (int * degradation, string) result
+(** Parses the body after the [degrade] keyword. *)
+
 (** {1 Decision traces} *)
 
 type kind =

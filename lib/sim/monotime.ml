@@ -1,0 +1,16 @@
+external clock_now : unit -> float = "wfc_monotime_now"
+
+(* CLOCK_MONOTONIC never steps backwards, but the stub's CLOCK_REALTIME
+   fallback (exotic platforms only) can; clamp so [now] is nondecreasing
+   process-wide even there. The CAS loop keeps this correct across domains. *)
+let last = Atomic.make 0.0
+
+let now () =
+  let t = clock_now () in
+  let rec clamp () =
+    let l = Atomic.get last in
+    if t <= l then l
+    else if Atomic.compare_and_set last l t then t
+    else clamp ()
+  in
+  clamp ()

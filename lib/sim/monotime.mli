@@ -1,0 +1,13 @@
+(** Monotonic time for deadline arithmetic.
+
+    [Unix.gettimeofday] is wall-clock time: an NTP step or a suspend/resume
+    moves it arbitrarily, so deadlines derived from it can fire years early
+    or never. Every deadline and elapsed-time computation in this repo
+    ({!Explore.run}'s [?deadline_s], [Check.verify], [Access_bounds.analyze],
+    [Runtime.run]'s [wall_s], checkpoint intervals) goes through this one
+    helper instead, backed by a [clock_gettime(CLOCK_MONOTONIC)] C stub
+    (OCaml 5.1's unix library does not expose it). *)
+
+val now : unit -> float
+(** Seconds from an arbitrary fixed origin; nondecreasing process-wide.
+    Only differences are meaningful. *)

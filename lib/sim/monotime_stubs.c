@@ -1,0 +1,23 @@
+/* Monotonic clock for deadline arithmetic.
+ *
+ * OCaml 5.1's unix library does not expose clock_gettime, and
+ * Unix.gettimeofday is wall-clock time: an NTP step or a laptop suspend
+ * moves it arbitrarily, silently shortening or extending every deadline
+ * derived from it. CLOCK_MONOTONIC is immune to both.
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value wfc_monotime_now(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+#endif
+  /* POSIX guarantees CLOCK_REALTIME; the OCaml side re-monotonizes it. */
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+}

@@ -110,6 +110,36 @@ let test_atomic_cas_backend () =
          |]
        ~trials:40 ())
 
+let test_worker_failure_joins_all () =
+  (* One worker hits a disabled transition (Bad_step) while another is still
+     mid-workload: the runtime must join every domain before re-raising, so
+     by the time the exception surfaces the healthy worker has finished. *)
+  let finished = Atomic.make 0 in
+  let reads = 200 in
+  let ou = One_use.spec in
+  let impl =
+    Wfc_program.Implementation.make ~target:ou ~procs:2
+      ~objects:[ (ou, ou.Type_spec.initial) ]
+      ~program:(fun ~proc ~inv:_ local ->
+        let open Wfc_program.Program.Syntax in
+        if proc = 0 then
+          (* fetch-add is undefined on a one-use bit: δ raises Bad_step *)
+          let+ r = Wfc_program.Program.invoke ~obj:0 (Ops.fetch_add 1) in
+          (r, local)
+        else
+          let+ v = Wfc_program.Program.invoke ~obj:0 Ops.read in
+          Atomic.incr finished;
+          (v, local))
+      ()
+  in
+  let workloads = [| [ Ops.read ]; List.init reads (fun _ -> Ops.read) |] in
+  match Wfc_multicore.Runtime.run impl ~workloads () with
+  | _ -> Alcotest.fail "expected Bad_step from the failing worker"
+  | exception Type_spec.Bad_step _ ->
+    Alcotest.(check int)
+      "healthy worker ran to completion before the raise" reads
+      (Atomic.get finished)
+
 let test_outcome_fields () =
   let impl = Protocols.from_sticky ~procs:2 () in
   let outcome =
@@ -139,6 +169,8 @@ let () =
           Alcotest.test_case "universal construction" `Quick
             test_universal_parallel;
           Alcotest.test_case "Atomic CAS backend" `Quick test_atomic_cas_backend;
+          Alcotest.test_case "worker failure joins all" `Quick
+            test_worker_failure_joins_all;
           Alcotest.test_case "outcome fields" `Quick test_outcome_fields;
         ] );
     ]

@@ -1,0 +1,596 @@
+(* E13 — resilience of long-running verification: checkpoint/resume with
+   completeness stitched across segments, graceful degradation of the
+   supervised domain pool, the memory watchdog, and total (never-raising)
+   parsing of the witness/checkpoint text codecs. *)
+
+open Wfc_spec
+open Wfc_zoo
+open Wfc_consensus
+module Explore = Wfc_sim.Explore
+module Checkpoint = Wfc_sim.Checkpoint
+module Faults = Wfc_sim.Faults
+module Witness = Wfc_sim.Witness
+module Monotime = Wfc_sim.Monotime
+
+let cas3 () = Protocols.from_cas ~procs:3 ()
+
+let workloads3 =
+  [|
+    [ Ops.propose Value.truth ];
+    [ Ops.propose Value.falsity ];
+    [ Ops.propose Value.truth ];
+  |]
+
+let temp_ck () = Filename.temp_file "wfc_resilience" ".ck"
+
+let completeness_of (s : Explore.stats) = s.Explore.completeness
+
+(* --- monotonic time -------------------------------------------------------- *)
+
+let test_monotime_nondecreasing () =
+  let t0 = Monotime.now () in
+  Alcotest.(check bool) "positive" true (t0 > 0.);
+  let prev = ref t0 in
+  for _ = 1 to 10_000 do
+    let t = Monotime.now () in
+    if t < !prev then Alcotest.failf "clock went backwards: %f < %f" t !prev;
+    prev := t
+  done
+
+(* --- checkpoint codec ------------------------------------------------------ *)
+
+let sample_trace =
+  [
+    { Faults.proc = 0; kind = Faults.Step 1 };
+    { Faults.proc = 1; kind = Faults.Crash };
+    { Faults.proc = 0; kind = Faults.Glitch 0 };
+    { Faults.proc = 1; kind = Faults.Recover };
+    { Faults.proc = 2; kind = Faults.Wedge };
+  ]
+
+let sample_checkpoint () =
+  let faults =
+    {
+      Faults.max_crashes = 1;
+      max_recoveries = 1;
+      max_glitches = 2;
+      degraded =
+        [
+          (0, Faults.Stale_reads 2);
+          (1, Faults.Safe_reads [ Value.truth; Value.falsity ]);
+        ];
+    }
+  in
+  let counts =
+    {
+      Checkpoint.leaves = 42;
+      nodes = 999;
+      max_events = 12;
+      max_op_steps = 3;
+      max_accesses = [| 4; 5 |];
+      overflows = 0;
+      pruned = 7;
+      sleep_skips = 1;
+      degraded = 2;
+      evictions = 1;
+    }
+  in
+  Checkpoint.make
+    ~meta:[ ("protocol", "cas"); ("check.vector", "3") ]
+    ~engine:
+      {
+        Checkpoint.dedup = true;
+        por = false;
+        domains = 2;
+        intern = true;
+        symmetry = false;
+      }
+    ~fuel:10_000 ~budget_left:1234 ~faults
+    ~workloads:
+      [|
+        [ Ops.propose Value.truth ];
+        [];
+        [ Ops.propose Value.falsity; Ops.propose Value.truth ];
+      |]
+    ~counts
+    ~frontier:[ sample_trace; []; [ { Faults.proc = 1; kind = Faults.Step 0 } ] ]
+    ()
+
+let test_checkpoint_roundtrip () =
+  let ck = sample_checkpoint () in
+  let s = Checkpoint.to_string ck in
+  match Checkpoint.of_string s with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok ck' ->
+    Alcotest.(check string) "canonical form stable" s (Checkpoint.to_string ck');
+    Alcotest.(check int) "leaves" 42 ck'.Checkpoint.counts.Checkpoint.leaves;
+    Alcotest.(check int) "frontier size" 3 (List.length ck'.Checkpoint.frontier);
+    Alcotest.(check (option string))
+      "meta preserved" (Some "3")
+      (Checkpoint.meta_find ck' "check.vector")
+
+let test_checkpoint_digest_rejects_tampering () =
+  let s = Checkpoint.to_string (sample_checkpoint ()) in
+  (* corrupt one payload character (a count digit), keeping the digest *)
+  let tampered = String.map (fun c -> if c = '9' then '8' else c) s in
+  (match Checkpoint.of_string tampered with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered body accepted");
+  match Checkpoint.of_string "wfc-checkpoint/1\ndigest 00000000\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad digest accepted"
+
+let test_checkpoint_of_string_total () =
+  let s = Checkpoint.to_string (sample_checkpoint ()) in
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 500 do
+    let b = Bytes.of_string s in
+    let i = Random.State.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Random.State.int rng 256));
+    match Checkpoint.of_string (Bytes.to_string b) with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "of_string raised %s on mutated input at byte %d"
+        (Printexc.to_string e) i
+  done;
+  (* truncations must be rejected, not crash.  Stop at [len - 2]: cutting
+     only the trailing newline leaves a syntactically complete checkpoint. *)
+  for n = 0 to String.length s - 2 do
+    match Checkpoint.of_string (String.sub s 0 n) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation to %d bytes accepted" n
+    | exception e ->
+      Alcotest.failf "of_string raised %s on %d-byte truncation"
+        (Printexc.to_string e) n
+  done
+
+let test_checkpoint_mismatch_detected () =
+  let ck = sample_checkpoint () in
+  let same =
+    Checkpoint.describe_mismatch ck ~engine:ck.Checkpoint.engine
+      ~fuel:ck.Checkpoint.fuel ~faults:ck.Checkpoint.faults
+      ~workloads:ck.Checkpoint.workloads
+  in
+  Alcotest.(check bool) "same problem accepted" true (same = None);
+  let wrong_fuel =
+    Checkpoint.describe_mismatch ck ~engine:ck.Checkpoint.engine ~fuel:99
+      ~faults:ck.Checkpoint.faults ~workloads:ck.Checkpoint.workloads
+  in
+  Alcotest.(check bool) "fuel mismatch reported" true (wrong_fuel <> None);
+  let wrong_workloads =
+    Checkpoint.describe_mismatch ck ~engine:ck.Checkpoint.engine
+      ~fuel:ck.Checkpoint.fuel ~faults:ck.Checkpoint.faults
+      ~workloads:[| [ Ops.propose Value.truth ] |]
+  in
+  Alcotest.(check bool) "workload mismatch reported" true
+    (wrong_workloads <> None);
+  let wrong_faults =
+    Checkpoint.describe_mismatch ck ~engine:ck.Checkpoint.engine
+      ~fuel:ck.Checkpoint.fuel ~faults:Faults.none
+      ~workloads:ck.Checkpoint.workloads
+  in
+  Alcotest.(check bool) "adversary mismatch reported" true (wrong_faults <> None)
+
+let test_checkpoint_meta_validation () =
+  match
+    Checkpoint.make
+      ~meta:[ ("bad key", "v") ]
+      ~engine:
+        {
+          Checkpoint.dedup = false;
+          por = false;
+          domains = 1;
+          intern = false;
+          symmetry = false;
+        }
+      ~fuel:1 ~faults:Faults.none ~workloads:[| [] |]
+      ~counts:(Checkpoint.zero_counts ~n_objs:0)
+      ~frontier:[] ()
+  with
+  | _ -> Alcotest.fail "meta key with a space was accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- witness codec: qcheck round-trip + fuzz ------------------------------- *)
+
+let gen_kind =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Faults.Step i) (int_bound 5);
+        map (fun i -> Faults.Glitch i) (int_bound 3);
+        return Faults.Crash;
+        return Faults.Recover;
+        return Faults.Wedge;
+      ])
+
+let gen_decision =
+  QCheck.Gen.(
+    map2 (fun p kind -> { Faults.proc = p; kind }) (int_bound 4) gen_kind)
+
+let gen_trace = QCheck.Gen.(list_size (int_bound 24) gen_decision)
+
+let gen_inv =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun b -> Ops.propose (Value.bool b)) bool;
+        return Ops.read;
+        map (fun i -> Ops.write (Value.int i)) (int_bound 9);
+        map (fun i -> Ops.fetch_add i) (int_bound 9);
+      ])
+
+let gen_workloads =
+  QCheck.Gen.(
+    map Array.of_list
+      (list_size (int_range 1 4) (list_size (int_bound 3) gen_inv)))
+
+let gen_faults =
+  QCheck.Gen.(
+    map3
+      (fun c r g ->
+        {
+          Faults.max_crashes = c;
+          max_recoveries = r;
+          max_glitches = g;
+          degraded = (if g > 0 then [ (0, Faults.Stale_reads 1) ] else []);
+        })
+      (int_bound 2) (int_bound 2) (int_bound 2))
+
+let gen_witness =
+  QCheck.Gen.(
+    map3
+      (fun workloads faults trace -> Witness.make ~workloads ~faults trace)
+      gen_workloads gen_faults gen_trace)
+
+let arb_witness =
+  QCheck.make ~print:(fun w -> Witness.to_string w) gen_witness
+
+let prop_witness_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"witness text codec round-trips"
+    arb_witness (fun w ->
+      match Witness.of_string (Witness.to_string w) with
+      | Ok w' -> String.equal (Witness.to_string w) (Witness.to_string w')
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e)
+
+let prop_witness_of_string_total =
+  (* mutate one byte anywhere: the parser may accept or reject, never raise *)
+  let arb =
+    QCheck.make
+      ~print:(fun (w, i, c) ->
+        Fmt.str "byte %d -> %C in:@.%s" i c (Witness.to_string w))
+      QCheck.Gen.(
+        map3 (fun w i c -> (w, i, c)) gen_witness (int_bound 4096) (map Char.chr (int_bound 255)))
+  in
+  QCheck.Test.make ~count:500 ~name:"witness parser is total under corruption"
+    arb (fun (w, i, c) ->
+      let s = Witness.to_string w in
+      let b = Bytes.of_string s in
+      Bytes.set b (i mod Bytes.length b) c;
+      match Witness.of_string (Bytes.to_string b) with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "raised %s" (Printexc.to_string e))
+
+let test_witness_targeted_corruption () =
+  let w =
+    Witness.make
+      ~workloads:[| [ Ops.propose Value.truth ]; [ Ops.propose Value.falsity ] |]
+      ~faults:(Faults.crashes 1) sample_trace
+  in
+  let s = Witness.to_string w in
+  List.iter
+    (fun (what, s') ->
+      match Witness.of_string s' with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s accepted" what
+      | exception e ->
+        Alcotest.failf "%s raised %s" what (Printexc.to_string e))
+    [
+      ("empty input", "");
+      ("missing header", "trace p0.s0\n");
+      ("wrong version", "wfc-witness/9\ntrace p0.s0\n");
+      ("garbage trace token", s ^ "trace p0.q9\n");
+      ("malformed workload index", "wfc-witness/1\nworkload x |\n");
+    ]
+
+(* --- explore-level checkpoint / resume / interrupt ------------------------- *)
+
+let test_explore_budget_checkpoint_resume () =
+  let impl = cas3 () in
+  let clean =
+    Explore.run impl ~workloads:workloads3 ~options:Explore.naive ()
+  in
+  let path = temp_ck () in
+  let rec go resume_from rounds =
+    if rounds > 500 then Alcotest.fail "resume loop did not converge";
+    let stats =
+      (* the clean naive tree is ~270 nodes: a budget of 60 forces several
+         checkpoint/resume segments *)
+      Explore.run impl ~workloads:workloads3 ~options:Explore.naive ~budget:60
+        ?resume_from
+        ~checkpoint:(path, 3600.) ()
+    in
+    match completeness_of stats with
+    | Explore.Exhaustive -> (stats, rounds)
+    | Explore.Partial _ -> (
+      match Checkpoint.load path with
+      | Ok ck -> go (Some ck) (rounds + 1)
+      | Error e -> Alcotest.failf "checkpoint load failed: %s" e)
+  in
+  let final, rounds = go None 0 in
+  if Sys.file_exists path then Sys.remove path;
+  Alcotest.(check bool) "took more than one segment" true (rounds >= 1);
+  (* duplicate re-emissions at segment boundaries are allowed, lost work is
+     not *)
+  Alcotest.(check bool)
+    (Fmt.str "no leaves lost (%d vs clean %d)" final.Explore.leaves
+       clean.Explore.leaves)
+    true
+    (final.Explore.leaves >= clean.Explore.leaves);
+  Alcotest.(check bool)
+    (Fmt.str "duplicates bounded (%d vs clean %d)" final.Explore.leaves
+       clean.Explore.leaves)
+    true
+    (final.Explore.leaves <= 3 * clean.Explore.leaves)
+
+let test_explore_interrupt_flush_and_resume () =
+  let impl = cas3 () in
+  let path = temp_ck () in
+  let flag = Atomic.make true in
+  let stats =
+    Explore.run impl ~workloads:workloads3 ~options:Explore.naive
+      ~interrupt:flag ~checkpoint:(path, 3600.) ()
+  in
+  (match completeness_of stats with
+  | Explore.Partial Explore.Interrupted -> ()
+  | Explore.Exhaustive -> Alcotest.fail "expected Partial Interrupted, got exhaustive"
+  | Explore.Partial r ->
+    Alcotest.failf "expected Partial Interrupted, got %a"
+      Explore.pp_partial_reason r);
+  let ck =
+    match Checkpoint.load path with
+    | Ok ck -> ck
+    | Error e -> Alcotest.failf "no final flush: %s" e
+  in
+  Alcotest.(check bool) "frontier saved" true (ck.Checkpoint.frontier <> []);
+  Atomic.set flag false;
+  let stats2 =
+    Explore.run impl ~workloads:workloads3 ~options:Explore.naive
+      ~interrupt:flag ~resume_from:ck ()
+  in
+  if Sys.file_exists path then Sys.remove path;
+  match completeness_of stats2 with
+  | Explore.Exhaustive -> ()
+  | Explore.Partial _ -> Alcotest.fail "resume after interrupt did not finish"
+
+(* --- supervised pool: crash and stall degradation -------------------------- *)
+
+let test_worker_crash_degrades_not_poisons () =
+  let impl = cas3 () in
+  let clean =
+    Explore.run impl ~workloads:workloads3 ~options:Explore.naive ()
+  in
+  let injected = Atomic.make false in
+  (* exactly one worker dies at its very first node, before it can have
+     emitted any leaf: the requeued subtree must be re-explored in full *)
+  let chaos ~worker:_ ~nodes =
+    if nodes = 1 && Atomic.compare_and_set injected false true then
+      failwith "injected worker crash"
+  in
+  let stats =
+    Explore.run impl ~workloads:workloads3
+      ~options:{ Explore.naive with domains = 4 }
+      ~par_threshold:0 ~chaos ()
+  in
+  Alcotest.(check bool) "chaos fired" true (Atomic.get injected);
+  (match completeness_of stats with
+  | Explore.Exhaustive -> ()
+  | Explore.Partial _ -> Alcotest.fail "degraded run must still be exhaustive");
+  Alcotest.(check int) "crash counted as degradation" 1 stats.Explore.degraded;
+  Alcotest.(check int)
+    "verdict-relevant coverage identical to the clean run" clean.Explore.leaves
+    stats.Explore.leaves
+
+let test_user_exception_still_propagates () =
+  (* a leaf callback's exception is a user error, not a worker failure: it
+     must abort the run and re-raise on the caller, never count as
+     degradation *)
+  let impl = cas3 () in
+  let exception Probe in
+  (match
+     Explore.run impl ~workloads:workloads3
+       ~options:{ Explore.naive with domains = 4 }
+       ~par_threshold:0
+       ~chaos:(fun ~worker:_ ~nodes:_ -> ())
+       ~on_leaf:(fun _ -> raise Probe)
+       ()
+   with
+  | _ -> Alcotest.fail "expected the callback's exception to propagate"
+  | exception Probe -> ())
+
+let test_stalled_worker_requeued () =
+  let impl = cas3 () in
+  let clean =
+    Explore.run impl ~workloads:workloads3 ~options:Explore.naive ()
+  in
+  let stalled = Atomic.make false in
+  let chaos ~worker:_ ~nodes =
+    if nodes = 1 && Atomic.compare_and_set stalled false true then
+      Unix.sleepf 0.4
+  in
+  let stats =
+    Explore.run impl ~workloads:workloads3
+      ~options:{ Explore.naive with domains = 4 }
+      ~par_threshold:0 ~stall_timeout_s:0.05 ~chaos ()
+  in
+  (match completeness_of stats with
+  | Explore.Exhaustive -> ()
+  | Explore.Partial _ -> Alcotest.fail "stall must not cut the run");
+  Alcotest.(check bool) "stall counted as degradation" true
+    (stats.Explore.degraded >= 1);
+  Alcotest.(check bool)
+    (Fmt.str "no work lost (%d vs clean %d)" stats.Explore.leaves
+       clean.Explore.leaves)
+    true
+    (stats.Explore.leaves >= clean.Explore.leaves)
+
+(* --- memory watchdog ------------------------------------------------------- *)
+
+let test_mem_watchdog_evicts_and_finishes () =
+  let impl = cas3 () in
+  (* a small exploration lives entirely in the minor heap, where
+     [Gc.quick_stat] sees nothing — retain 2M words (~16 MiB) of ballast so
+     the major heap genuinely exceeds the 1 MiB budget and the watchdog must
+     trip on its first sample and evict the dedup tables *)
+  let ballast = Array.init (1 lsl 21) (fun i -> i) in
+  let stats =
+    Explore.run impl ~workloads:workloads3 ~options:Explore.fast
+      ~mem_budget_mb:1 ()
+  in
+  ignore (Sys.opaque_identity ballast.(0));
+  (match completeness_of stats with
+  | Explore.Exhaustive -> ()
+  | Explore.Partial _ -> Alcotest.fail "eviction must not cut the run");
+  Alcotest.(check bool) "evicted under pressure" true
+    (stats.Explore.evictions >= 1);
+  (* undeduped fallback explores at least as much as the deduped engine *)
+  let deduped =
+    Explore.run impl ~workloads:workloads3 ~options:Explore.fast ()
+  in
+  Alcotest.(check bool) "fallback loses no coverage" true
+    (stats.Explore.leaves >= deduped.Explore.leaves)
+
+(* --- Check-level: verdict parity across interruption ----------------------- *)
+
+let reference_verdict impl =
+  match Check.verify ~engine:Explore.fast impl with
+  | Check.Verified r -> r
+  | v -> Alcotest.failf "reference run not verified: %a" Check.pp_verdict v
+
+let test_verify_budget_resume_parity () =
+  let impl = cas3 () in
+  let reference = reference_verdict impl in
+  let path = temp_ck () in
+  let rec go resume rounds =
+    if rounds > 300 then Alcotest.fail "resume loop did not converge";
+    match
+      Check.verify ~engine:Explore.fast ~budget:500 ~checkpoint:(path, 3600.)
+        ?resume impl
+    with
+    | Check.Unknown _ -> (
+      match Checkpoint.load path with
+      | Ok ck -> go (Some ck) (rounds + 1)
+      | Error e -> Alcotest.failf "checkpoint load failed: %s" e)
+    | v -> (v, rounds)
+  in
+  let verdict, rounds = go None 0 in
+  Alcotest.(check bool) "was actually interrupted" true (rounds >= 1);
+  Alcotest.(check bool) "checkpoint removed on definitive verdict" false
+    (Sys.file_exists path);
+  match verdict with
+  | Check.Verified r ->
+    Alcotest.(check int) "vector parity" reference.Check.vectors
+      r.Check.vectors;
+    Alcotest.(check int) "max_events parity" reference.Check.max_events
+      r.Check.max_events
+  | v -> Alcotest.failf "expected Verified after resume, got %a" Check.pp_verdict v
+
+let test_verify_interrupt_resume_parity () =
+  let impl = cas3 () in
+  let reference = reference_verdict impl in
+  let path = temp_ck () in
+  let flag = Atomic.make true in
+  (match
+     Check.verify ~engine:Explore.fast ~checkpoint:(path, 3600.)
+       ~interrupt:flag
+       ~meta:[ ("protocol", "cas"); ("procs", "3") ]
+       impl
+   with
+  | Check.Unknown { reason; _ } ->
+    Alcotest.(check string) "reason" "interrupted" reason
+  | v -> Alcotest.failf "expected Unknown, got %a" Check.pp_verdict v);
+  let ck =
+    match Checkpoint.load path with
+    | Ok ck -> ck
+    | Error e -> Alcotest.failf "no checkpoint after interrupt: %s" e
+  in
+  Alcotest.(check (option string))
+    "caller meta carried through" (Some "cas")
+    (Checkpoint.meta_find ck "protocol");
+  Atomic.set flag false;
+  (match
+     Check.verify ~engine:Explore.fast ~checkpoint:(path, 3600.) ~resume:ck
+       ~interrupt:flag impl
+   with
+  | Check.Verified r ->
+    Alcotest.(check int) "vector parity" reference.Check.vectors
+      r.Check.vectors
+  | v -> Alcotest.failf "expected Verified after resume, got %a" Check.pp_verdict v);
+  Alcotest.(check bool) "checkpoint removed" false (Sys.file_exists path)
+
+let test_verify_falsified_unaffected_by_checkpointing () =
+  (* a protocol with a real violation must still be falsified identically
+     when checkpointing is armed *)
+  let impl = Protocols.broken_register_only () in
+  let path = temp_ck () in
+  match Check.verify ~engine:Explore.fast ~checkpoint:(path, 3600.) impl with
+  | Check.Falsified _ ->
+    Alcotest.(check bool) "checkpoint removed" false (Sys.file_exists path)
+  | v -> Alcotest.failf "expected Falsified, got %a" Check.pp_verdict v
+
+let () =
+  Alcotest.run "wfc_resilience"
+    [
+      ( "monotime",
+        [ Alcotest.test_case "nondecreasing" `Quick test_monotime_nondecreasing ]
+      );
+      ( "checkpoint codec",
+        [
+          Alcotest.test_case "round-trip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "digest rejects tampering" `Quick
+            test_checkpoint_digest_rejects_tampering;
+          Alcotest.test_case "parser total under mutation" `Quick
+            test_checkpoint_of_string_total;
+          Alcotest.test_case "problem mismatch detected" `Quick
+            test_checkpoint_mismatch_detected;
+          Alcotest.test_case "meta validation" `Quick
+            test_checkpoint_meta_validation;
+        ] );
+      ( "witness codec",
+        [
+          QCheck_alcotest.to_alcotest prop_witness_roundtrip;
+          QCheck_alcotest.to_alcotest prop_witness_of_string_total;
+          Alcotest.test_case "targeted corruption" `Quick
+            test_witness_targeted_corruption;
+        ] );
+      ( "checkpoint/resume",
+        [
+          Alcotest.test_case "budgeted resume loop" `Quick
+            test_explore_budget_checkpoint_resume;
+          Alcotest.test_case "interrupt flushes and resumes" `Quick
+            test_explore_interrupt_flush_and_resume;
+        ] );
+      ( "supervised pool",
+        [
+          Alcotest.test_case "worker crash degrades" `Quick
+            test_worker_crash_degrades_not_poisons;
+          Alcotest.test_case "user exception propagates" `Quick
+            test_user_exception_still_propagates;
+          Alcotest.test_case "stalled worker requeued" `Slow
+            test_stalled_worker_requeued;
+        ] );
+      ( "memory watchdog",
+        [
+          Alcotest.test_case "evicts and finishes" `Quick
+            test_mem_watchdog_evicts_and_finishes;
+        ] );
+      ( "verify parity",
+        [
+          Alcotest.test_case "budget-cut resume" `Quick
+            test_verify_budget_resume_parity;
+          Alcotest.test_case "interrupt resume" `Quick
+            test_verify_interrupt_resume_parity;
+          Alcotest.test_case "falsified with checkpointing" `Quick
+            test_verify_falsified_unaffected_by_checkpointing;
+        ] );
+    ]
