@@ -414,15 +414,105 @@ let engine_variants () =
     ("naive", Explore.naive);
     ("dedup", { Explore.naive with Explore.dedup = true });
     ("por", { Explore.naive with Explore.por = true });
+    ("fast-boxed", { Explore.fast with Explore.flat = false });
     ("fast", Explore.fast);
     ("fast-par", Explore.parallel ());
   ]
 
-(* One timed run per ⟨workload, engine⟩, printed as a table and dumped as
-   machine-readable JSON (BENCH_explore.json) so the node-count/wall-time
-   trajectory of the engine is tracked across PRs. *)
-let explore_engine_report () =
-  Fmt.pr "==== EX exploration engine (single timed runs) ====@.";
+(* Warm, repeat-averaged timing: one warmup run, then repeat until 20 ms of
+   accumulated wall clock (or 200 runs). [wall_s] reports the best single
+   run — the steady-state cost, free of cold-start table allocation — and
+   [nodes_per_sec] the aggregate throughput, which is the engine's figure
+   of merit now that single runs on these trees sit in the microseconds. *)
+let timed_explore f =
+  ignore (f ());
+  let total = ref 0.0 and runs = ref 0 and best = ref infinity in
+  let last = ref None in
+  while !total < 0.02 && !runs < 200 do
+    let t0 = Wfc_sim.Monotime.now () in
+    let s = f () in
+    let w = Wfc_sim.Monotime.now () -. t0 in
+    total := !total +. w;
+    incr runs;
+    if w < !best then best := w;
+    last := Some s
+  done;
+  let s = Option.get !last in
+  let nps =
+    if !total > 0.0 then float_of_int (!runs * s.Explore.nodes) /. !total
+    else 0.0
+  in
+  (s, !best, nps)
+
+(* Substring / field scraping over our own line-oriented JSON (one engine
+   row per line), so the regression check needs no JSON dependency. *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+let float_field line key =
+  let pat = Fmt.str "%S: " key in
+  let n = String.length line and m = String.length pat in
+  let rec find i =
+    if i + m > n then None
+    else if String.equal (String.sub line i m) pat then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < n
+      && (match line.[!stop] with
+         | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.sub line start (!stop - start))
+
+(* The committed baseline's E10-universal-faa fast-engine throughput (None
+   when the file is missing or predates schema /2). *)
+let baseline_e10_fast_nps path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let in_e10 = ref false and result = ref None in
+    (try
+       while true do
+         let l = input_line ic in
+         if contains l {|"name"|} then
+           in_e10 := contains l {|"E10-universal-faa"|};
+         if
+           !in_e10
+           && contains l {|"engine": "fast"|}
+           && not (contains l {|"fast-par"|})
+           && not (contains l {|"fast-boxed"|})
+         then
+           match float_field l "nodes_per_sec" with
+           | Some v -> result := Some v
+           | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !result
+
+(* Warm repeat-averaged runs per ⟨workload, engine⟩, printed as a table and
+   dumped as machine-readable JSON (BENCH_explore.json, schema /2 with
+   [nodes_per_sec] per row) so the throughput trajectory of the engine is
+   tracked across PRs. Guards: the fast engine may never lose to naive on
+   wall time (25% + 100 µs tolerance), and in [--check] mode the
+   E10-universal-faa fast throughput may not drop more than 30% below the
+   committed baseline. [--check] does not rewrite the baseline file. *)
+let explore_engine_report ~check () =
+  Fmt.pr "==== EX exploration engine (warm repeat-averaged runs) ====@.";
+  let guard_failures = ref [] in
+  let fail fmt =
+    Fmt.kstr (fun s -> guard_failures := s :: !guard_failures) fmt
+  in
+  let e10_fast_nps = ref 0.0 in
   let json_workloads =
     List.map
       (fun (name, impl, workloads) ->
@@ -431,42 +521,82 @@ let explore_engine_report () =
         let rows =
           List.map
             (fun (ename, options) ->
-              let t0 = Unix.gettimeofday () in
-              let s = Explore.run impl ~workloads ~options () in
-              let wall = Unix.gettimeofday () -. t0 in
+              let s, wall, nps =
+                timed_explore (fun () ->
+                    Explore.run impl ~workloads ~options ())
+              in
               if String.equal ename "naive" then begin
                 naive_nodes := s.Explore.nodes;
                 naive_wall := wall
+              end;
+              if String.equal ename "fast" then begin
+                if wall > (!naive_wall *. 1.25) +. 0.0001 then
+                  fail "%s: fast wall %.1f us > naive %.1f us" name
+                    (wall *. 1e6) (!naive_wall *. 1e6);
+                if String.equal name "E10-universal-faa" then
+                  e10_fast_nps := nps
               end;
               let node_speedup =
                 if s.Explore.nodes = 0 then 1.0
                 else float_of_int !naive_nodes /. float_of_int s.Explore.nodes
               in
-              let wall_speedup = if wall > 0.0 then !naive_wall /. wall else 1.0 in
+              let wall_speedup =
+                if wall > 0.0 then !naive_wall /. wall else 1.0
+              in
               Fmt.pr
                 "  %-10s %9d nodes %8d leaves %8d pruned %8d sleeps %9.3f ms \
-                 (nodes x%.1f, time x%.1f)@."
+                 %12.0f nodes/s (nodes x%.1f, time x%.1f)@."
                 ename s.Explore.nodes s.Explore.leaves s.Explore.pruned
-                s.Explore.sleep_skips (wall *. 1e3) node_speedup wall_speedup;
+                s.Explore.sleep_skips (wall *. 1e3) nps node_speedup
+                wall_speedup;
               Fmt.str
-                {|        {"engine": %S, "domains": %d, "nodes": %d, "leaves": %d, "pruned": %d, "sleep_skips": %d, "max_events": %d, "wall_s": %.6f}|}
+                {|        {"engine": %S, "domains": %d, "nodes": %d, "leaves": %d, "pruned": %d, "sleep_skips": %d, "max_events": %d, "wall_s": %.6f, "nodes_per_sec": %.0f}|}
                 ename s.Explore.domains_used s.Explore.nodes s.Explore.leaves
-                s.Explore.pruned s.Explore.sleep_skips s.Explore.max_events wall)
+                s.Explore.pruned s.Explore.sleep_skips s.Explore.max_events
+                wall nps)
             (engine_variants ())
         in
         Fmt.str "    {\"name\": %S, \"engines\": [\n%s\n    ]}" name
           (String.concat ",\n" rows))
       (explore_workloads ())
   in
-  let json =
-    Fmt.str
-      "{\n  \"schema\": \"wfc-bench-explore/1\",\n  \"workloads\": [\n%s\n  ]\n}\n"
-      (String.concat ",\n" json_workloads)
-  in
-  let oc = open_out "BENCH_explore.json" in
-  output_string oc json;
-  close_out oc;
-  Fmt.pr "wrote BENCH_explore.json@.@."
+  if check then begin
+    match baseline_e10_fast_nps "BENCH_explore.json" with
+    | Some base ->
+      let ratio = !e10_fast_nps /. base in
+      Fmt.pr
+        "  E10 fast throughput vs committed baseline: %.0f / %.0f nodes/s \
+         (x%.2f)@."
+        !e10_fast_nps base ratio;
+      if ratio < 0.7 then
+        fail
+          "E10-universal-faa fast throughput regressed >30%%: %.0f nodes/s \
+           vs baseline %.0f"
+          !e10_fast_nps base
+    | None ->
+      Fmt.pr
+        "  (no schema-/2 baseline in BENCH_explore.json — skipping the \
+         throughput ratio check)@."
+  end
+  else begin
+    let json =
+      Fmt.str
+        "{\n\
+        \  \"schema\": \"wfc-bench-explore/2\",\n\
+        \  \"workloads\": [\n\
+         %s\n\
+        \  ]\n\
+         }\n"
+        (String.concat ",\n" json_workloads)
+    in
+    let oc = open_out "BENCH_explore.json" in
+    output_string oc json;
+    close_out oc;
+    Fmt.pr "wrote BENCH_explore.json@."
+  end;
+  List.iter (fun s -> Fmt.pr "GUARD FAILED: %s@." s) !guard_failures;
+  Fmt.pr "@.";
+  !guard_failures = []
 
 (* --- FI: fault-injection overhead -------------------------------------------------------------
 
@@ -759,9 +889,14 @@ let linearize_engine_report () =
 
 let cx_engines () =
   [
-    ("fast", { Explore.fast with Explore.intern = false; symmetry = false });
-    ("fast+intern", { Explore.fast with Explore.symmetry = false });
-    ("fast+intern+symmetry", Explore.fast);
+    (* flat pinned off on the first three rows so each isolates exactly one
+       layer; the last row turns on the flat fingerprint path on top *)
+    ( "fast",
+      { Explore.fast with Explore.intern = false; symmetry = false; flat = false }
+    );
+    ("fast+intern", { Explore.fast with Explore.symmetry = false; flat = false });
+    ("fast+intern+symmetry", { Explore.fast with Explore.flat = false });
+    ("fast+flat", Explore.fast);
   ]
 
 let cx_workloads () =
@@ -851,6 +986,7 @@ let compact_report () =
       (fun (name, impl, workloads) ->
         Fmt.pr "%s:@." name;
         let base_nodes = ref 0 and intern_nodes = ref 0 in
+        let sym_nodes = ref 0 in
         let rows =
           List.map
             (fun (ename, options) ->
@@ -894,11 +1030,19 @@ let compact_report () =
                    (interning must not change pruning decisions)"
                   name s.Explore.nodes !base_nodes
             | "fast+intern+symmetry" ->
+              sym_nodes := s.Explore.nodes;
               if s.Explore.nodes > !intern_nodes then
                 fail "%s: symmetry increased nodes (%d > %d)" name
                   s.Explore.nodes !intern_nodes;
               if impl.Implementation.procs >= 3 && cut > !best_cut then
                 best_cut := cut
+            | "fast+flat" ->
+              if s.Explore.nodes <> !sym_nodes then
+                fail
+                  "%s: fast+flat visited %d nodes, boxed fast+intern+symmetry \
+                   visited %d (the flat path must not change pruning \
+                   decisions)"
+                  name s.Explore.nodes !sym_nodes
             | _ -> ())
           rows;
         Fmt.str "    {\"name\": %S, \"engines\": [\n%s\n    ]}" name
@@ -1194,15 +1338,19 @@ let () =
   if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "lz" then
     exit (if linearize_engine_report () then 0 else 1);
   if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "ex" then begin
-    explore_engine_report ();
-    exit 0
+    (* `ex` regenerates BENCH_explore.json; `ex --check` compares against the
+       committed baseline instead of rewriting it (the CI regression step) *)
+    let check =
+      Array.length Sys.argv > 2 && String.equal Sys.argv.(2) "--check"
+    in
+    exit (if explore_engine_report ~check () then 0 else 1)
   end;
   if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "cx" then
     exit (if compact_report () then 0 else 1);
   if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "rs" then
     exit (if resume_report () then 0 else 1);
   shape_facts ();
-  explore_engine_report ();
+  if not (explore_engine_report ~check:false ()) then exit 1;
   fault_injection_report ();
   if not (linearize_engine_report ()) then exit 1;
   if not (compact_report ()) then exit 1;

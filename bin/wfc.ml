@@ -114,7 +114,8 @@ let no_intern_arg =
     "Disable hash-consed (interned) duplicate-state keys and fall back to \
      deep structural fingerprints. Escape hatch for debugging the engine; \
      verdicts are identical either way, interning is only faster. Implies \
-     $(b,--no-symmetry)."
+     $(b,--no-symmetry) and disables the flat fingerprint path (which \
+     encodes interned-cell ids)."
   in
   Arg.(value & flag & info [ "no-intern" ] ~doc)
 
@@ -157,9 +158,13 @@ let resume_arg =
 
 let mem_budget_arg =
   let doc =
-    "Soft major-heap budget in MiB: under pressure the engine evicts \
-     duplicate-state tables (oldest domain first) and degrades to \
-     undeduped exploration instead of dying — evictions are reported."
+    "Soft major-heap budget in MiB. Under pressure the flat engine \
+     migrates exact duplicate-state tables into Bloom filters and spills \
+     pending frontier entries to disk: the search finishes, but dedup \
+     becomes probabilistic, so a clean pass reports UNKNOWN instead of \
+     VERIFIED (violations found are still definitive). With \
+     $(b,--no-intern) the boxed engine instead evicts tables (oldest \
+     domain first) and degrades to undeduped exploration."
   in
   Arg.(value & opt (some int) None & info [ "mem-budget" ] ~docv:"MB" ~doc)
 
@@ -255,15 +260,21 @@ let verify_cmd =
         Some flag
     in
     let meta = [ ("protocol", name); ("procs", string_of_int procs) ] in
-    let pp_pressure ppf (r : Check.report) =
+    let pp_pressure ?(probabilistic = false) () ppf (r : Check.report) =
       if r.Check.degraded > 0 then
         Fmt.pf ppf "@.degraded: absorbed %d worker failure/stall event(s)."
           r.Check.degraded;
       if r.Check.evictions > 0 then
-        Fmt.pf ppf
-          "@.memory pressure: evicted %d duplicate-state table(s); parts \
-           of the search ran undeduped."
-          r.Check.evictions
+        if probabilistic then
+          Fmt.pf ppf
+            "@.memory pressure: migrated %d duplicate-state table(s) to \
+             the probabilistic Bloom tier."
+            r.Check.evictions
+        else
+          Fmt.pf ppf
+            "@.memory pressure: evicted %d duplicate-state table(s); parts \
+             of the search ran undeduped."
+            r.Check.evictions
     in
     match
       Check.verify ~faults ?budget ?deadline_s ~engine ?checkpoint ?resume
@@ -275,7 +286,7 @@ let verify_cmd =
          (%d input vectors, longest run %d events, max %d accesses per \
          op).%a@."
         r.Check.executions r.Check.vectors r.Check.max_events
-        r.Check.max_op_steps pp_pressure r;
+        r.Check.max_op_steps (pp_pressure ()) r;
       0
     | Check.Falsified v ->
       Fmt.pr "VIOLATION: %a@." Check.pp_violation v;
@@ -296,19 +307,27 @@ let verify_cmd =
       | None, _ -> ());
       1
     | Check.Unknown { partial; reason } ->
+      (* a probabilistic-dedup Unknown finished its search: there is no
+         checkpoint left to resume and resuming would not sharpen the
+         verdict — more memory would *)
+      let probabilistic = reason = "probabilistic dedup (memory budget)" in
       Fmt.pr
         "UNKNOWN (%s): not falsified within %d vector(s), %d execution(s)%s%a@."
         reason partial.Check.vectors partial.Check.executions
-        (match checkpoint with
-        | Some (f, _) ->
-          let flag k v = if v = 0 then "" else Fmt.str " --%s %d" k v in
-          Fmt.str " — resume with: wfc verify %s -n %d%s%s%s%s --resume %s"
-            name procs (flag "crashes" crashes) (flag "recoveries" recoveries)
-            (flag "glitches" glitches)
-            (match degrade with Some d -> " --degrade " ^ d | None -> "")
-            f
-        | None -> " — raise --budget/--deadline for a verdict.")
-        pp_pressure partial;
+        (if probabilistic then
+           " — raise --mem-budget to keep exact dedup for a full verdict."
+         else
+           match checkpoint with
+           | Some (f, _) ->
+             let flag k v = if v = 0 then "" else Fmt.str " --%s %d" k v in
+             Fmt.str " — resume with: wfc verify %s -n %d%s%s%s%s --resume %s"
+               name procs (flag "crashes" crashes)
+               (flag "recoveries" recoveries) (flag "glitches" glitches)
+               (match degrade with Some d -> " --degrade " ^ d | None -> "")
+               f
+           | None -> " — raise --budget/--deadline for a verdict.")
+        (pp_pressure ~probabilistic ())
+        partial;
       2
   in
   Cmd.v

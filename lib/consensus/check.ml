@@ -180,6 +180,7 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
   let max_op_steps = ref 0 in
   let degraded = ref 0 in
   let evictions = ref 0 in
+  let probabilistic = ref false in
   (* Restore the cross-vector accumulators a previous run snapshotted into
      the checkpoint's meta section, and remember at which vector (in the
      deterministic subset × input-vector enumeration) to pick the search
@@ -208,6 +209,10 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
       max_op_steps := geti "check.max_op_steps";
       degraded := geti "check.degraded";
       evictions := geti "check.evictions";
+      (* absent in checkpoints from before the Bloom tier: default clean *)
+      (match Wfc_sim.Checkpoint.meta_find ck "check.probabilistic" with
+      | Some "1" -> probabilistic := true
+      | _ -> ());
       Some (geti "check.vector", ck)
   in
   let resume_pending = ref resume_at in
@@ -268,6 +273,7 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
                     ("check.max_op_steps", string_of_int !max_op_steps);
                     ("check.degraded", string_of_int !degraded);
                     ("check.evictions", string_of_int !evictions);
+                    ("check.probabilistic", if !probabilistic then "1" else "0");
                   ]
               in
               (* The budget and deadline are global across all vectors: hand
@@ -292,6 +298,7 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
                           domains = engine.Wfc_sim.Explore.domains;
                           intern = engine.Wfc_sim.Explore.intern;
                           symmetry = engine.Wfc_sim.Explore.symmetry;
+                          flat = engine.Wfc_sim.Explore.flat;
                         }
                       ~fuel:
                         (Option.value fuel
@@ -368,6 +375,12 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
                 raise (Exhausted "deadline exceeded")
               | Wfc_sim.Explore.Partial Wfc_sim.Explore.Interrupted ->
                 raise (Exhausted "interrupted")
+              | Wfc_sim.Explore.Partial Wfc_sim.Explore.Probabilistic ->
+                (* the vector finished — under a Bloom-tier dedup whose
+                   false positives can wrongly prune. Keep searching: a
+                   violation found later is still definitive; only a final
+                   clean sweep must be downgraded to Unknown. *)
+                probabilistic := true
               | Wfc_sim.Explore.Partial Wfc_sim.Explore.Stopped ->
                 (* on_leaf_trace only ever raises Found, never Stop *)
                 assert false);
@@ -406,7 +419,15 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
            v0 !pos)
     | None -> ());
     remove_checkpoint ();
-    Verified (report ())
+    if !probabilistic then
+      (* Every vector ran to completion, but at least one did so on the
+         Bloom dedup tier: a false positive could have pruned a genuinely
+         new subtree, so the clean sweep is a probabilistic claim, not a
+         proof. (The run is over — resuming would not help — hence the
+         checkpoint is removed above.) *)
+      Unknown
+        { partial = report (); reason = "probabilistic dedup (memory budget)" }
+    else Verified (report ())
   with
   | Found v ->
     remove_checkpoint ();

@@ -8,6 +8,7 @@ type engine = {
   domains : int;
   intern : bool;
   symmetry : bool;
+  flat : bool;
 }
 
 type counts = {
@@ -21,6 +22,10 @@ type counts = {
   sleep_skips : int;
   degraded : int;
   evictions : int;
+  spilled : int;
+  probabilistic : bool;
+      (* some segment ran on the Bloom dedup tier: the stitched run's clean
+         sweep is probabilistic, and every later segment must report it *)
 }
 
 let zero_counts ~n_objs =
@@ -35,6 +40,8 @@ let zero_counts ~n_objs =
     sleep_skips = 0;
     degraded = 0;
     evictions = 0;
+    spilled = 0;
+    probabilistic = false;
   }
 
 type t = {
@@ -63,29 +70,52 @@ let make ?(meta = []) ~engine ~fuel ?budget_left ~faults ~workloads ~counts
 (* --- serialization -----------------------------------------------------------
 
    Line-oriented text in the wfc-witness/1 style, reusing the Faults line
-   codec for the adversary and workloads. The digest line is an MD5 of the
+   codec for the adversary and workloads. The digest line covers the
    canonical body (everything after it): [of_string] re-serializes what it
    parsed and compares, so any corruption that changes the meaning of the
-   file — even one surviving the parser — is refused. *)
+   file — even one surviving the parser — is refused.
 
-let header = "wfc-checkpoint/1"
+   Two versions coexist. wfc-checkpoint/1 carried an MD5 hex digest and no
+   flat/spilled/probabilistic fields; wfc-checkpoint/2 digests the body with
+   [Fingerprint.hash_string] (16 hex chars) and adds those fields. [save]
+   always writes v2; [of_string] still parses v1 (new fields default to
+   zero, digest verified as MD5 against the v1 body serialization). *)
 
-let body_lines t =
+let header = "wfc-checkpoint/2"
+let header_v1 = "wfc-checkpoint/1"
+
+let body_lines ?(version = 2) t =
   let b = Buffer.create 512 in
   let line fmt = Fmt.kstr (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   List.iter (fun (k, v) -> line "meta %s %s" k v) t.meta;
-  line "engine dedup=%d por=%d domains=%d intern=%d symmetry=%d"
-    (Bool.to_int t.engine.dedup) (Bool.to_int t.engine.por) t.engine.domains
-    (Bool.to_int t.engine.intern)
-    (Bool.to_int t.engine.symmetry);
+  if version >= 2 then
+    line "engine dedup=%d por=%d domains=%d intern=%d symmetry=%d flat=%d"
+      (Bool.to_int t.engine.dedup) (Bool.to_int t.engine.por) t.engine.domains
+      (Bool.to_int t.engine.intern)
+      (Bool.to_int t.engine.symmetry)
+      (Bool.to_int t.engine.flat)
+  else
+    line "engine dedup=%d por=%d domains=%d intern=%d symmetry=%d"
+      (Bool.to_int t.engine.dedup) (Bool.to_int t.engine.por) t.engine.domains
+      (Bool.to_int t.engine.intern)
+      (Bool.to_int t.engine.symmetry);
   line "fuel %d" t.fuel;
   (match t.budget_left with Some n -> line "budget %d" n | None -> ());
   let c = t.counts in
-  line
-    "counts leaves=%d nodes=%d max_events=%d max_op_steps=%d overflows=%d \
-     pruned=%d sleep_skips=%d degraded=%d evictions=%d"
-    c.leaves c.nodes c.max_events c.max_op_steps c.overflows c.pruned
-    c.sleep_skips c.degraded c.evictions;
+  if version >= 2 then
+    line
+      "counts leaves=%d nodes=%d max_events=%d max_op_steps=%d overflows=%d \
+       pruned=%d sleep_skips=%d degraded=%d evictions=%d spilled=%d \
+       probabilistic=%d"
+      c.leaves c.nodes c.max_events c.max_op_steps c.overflows c.pruned
+      c.sleep_skips c.degraded c.evictions c.spilled
+      (Bool.to_int c.probabilistic)
+  else
+    line
+      "counts leaves=%d nodes=%d max_events=%d max_op_steps=%d overflows=%d \
+       pruned=%d sleep_skips=%d degraded=%d evictions=%d"
+      c.leaves c.nodes c.max_events c.max_op_steps c.overflows c.pruned
+      c.sleep_skips c.degraded c.evictions;
   line "max_accesses %s"
     (String.concat "|" (Array.to_list (Array.map string_of_int c.max_accesses)));
   line "%s" (Faults.budgets_line t.faults);
@@ -100,19 +130,20 @@ let body_lines t =
 
 let to_string t =
   let body = body_lines t in
-  Fmt.str "%s\ndigest %s\n%s" header (Digest.to_hex (Digest.string body)) body
+  Fmt.str "%s\ndigest %016x\n%s" header (Fingerprint.hash_string body) body
 
 let ( let* ) = Result.bind
 
+let kv_fields body =
+  String.split_on_char ' ' body
+  |> List.filter (fun w -> w <> "")
+  |> List.filter_map (fun w ->
+         match String.split_on_char '=' w with
+         | [ k; v ] -> Option.map (fun n -> (k, n)) (int_of_string_opt v)
+         | _ -> None)
+
 let parse_kv_ints body keys =
-  let fields =
-    String.split_on_char ' ' body
-    |> List.filter (fun w -> w <> "")
-    |> List.filter_map (fun w ->
-           match String.split_on_char '=' w with
-           | [ k; v ] -> Option.map (fun n -> (k, n)) (int_of_string_opt v)
-           | _ -> None)
-  in
+  let fields = kv_fields body in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | k :: rest -> (
@@ -122,16 +153,21 @@ let parse_kv_ints body keys =
   in
   go [] keys
 
+(* fields absent from v1 files: default, never an error *)
+let kv_default body key default =
+  Option.value (List.assoc_opt key (kv_fields body)) ~default
+
 let of_string s =
   let lines =
     String.split_on_char '\n' s
     |> List.map String.trim
     |> List.filter (fun l -> l <> "" && l.[0] <> '#')
   in
-  let* () =
+  let* version =
     match lines with
-    | h :: _ when h = header -> Ok ()
-    | _ -> Error (Fmt.str "expected %s header" header)
+    | h :: _ when h = header -> Ok 2
+    | h :: _ when h = header_v1 -> Ok 1
+    | _ -> Error (Fmt.str "expected %s (or %s) header" header header_v1)
   in
   let lines = List.tl lines in
   let* digest, lines =
@@ -180,6 +216,7 @@ let of_string s =
               domains;
               intern = intern <> 0;
               symmetry = symmetry <> 0;
+              flat = kv_default body "flat" 0 <> 0;
             }
       | _ -> assert false);
       Ok ()
@@ -214,6 +251,8 @@ let of_string s =
               leaves; nodes; max_events; max_op_steps;
               max_accesses = [||];
               overflows; pruned; sleep_skips; degraded; evictions;
+              spilled = kv_default body "spilled" 0;
+              probabilistic = kv_default body "probabilistic" 0 <> 0;
             }
       | _ -> assert false);
       Ok ()
@@ -320,9 +359,20 @@ let of_string s =
       frontier = List.rev !frontier;
     }
   in
-  let expect = Digest.to_hex (Digest.string (body_lines t)) in
-  if String.lowercase_ascii (String.trim digest) = expect then Ok t
-  else Error "checkpoint digest mismatch (file corrupted or edited)"
+  let body = body_lines ~version t in
+  let given = String.lowercase_ascii (String.trim digest) in
+  let matches =
+    if version = 1 then given = Digest.to_hex (Digest.string body)
+    else
+      match int_of_string_opt ("0x" ^ given) with
+      | Some d -> d = Fingerprint.hash_string body
+      | None -> false
+  in
+  if matches then Ok t
+  else
+    Error
+      (Fmt.str "checkpoint digest mismatch (%s file corrupted or edited)"
+         (if version = 1 then header_v1 else header))
 
 (* --- file I/O ---------------------------------------------------------------- *)
 
@@ -351,7 +401,7 @@ let load path =
 
 let engine_equal a b =
   a.dedup = b.dedup && a.por = b.por && a.domains = b.domains
-  && a.intern = b.intern && a.symmetry = b.symmetry
+  && a.intern = b.intern && a.symmetry = b.symmetry && a.flat = b.flat
 
 let workloads_equal a b =
   Array.length a = Array.length b

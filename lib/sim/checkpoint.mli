@@ -11,8 +11,10 @@
 
     The file format is line-oriented text in the wfc-witness/1 style and
     reuses the {!Faults} line codec (fault budgets, degradations, workloads,
-    decision traces). A [digest] line carries an MD5 of the canonical body;
-    {!of_string} refuses files whose digest does not match, and
+    decision traces). A [digest] line covers the canonical body — a
+    {!Wfc_spec.Fingerprint.hash_string} digest in the current
+    wfc-checkpoint/2 format, MD5 in the legacy /1 format, which still
+    parses. {!of_string} refuses files whose digest does not match, and
     {!describe_mismatch} lets {!Explore.run} refuse to resume a checkpoint
     against a different problem. *)
 
@@ -24,6 +26,7 @@ type engine = {
   domains : int;
   intern : bool;
   symmetry : bool;
+  flat : bool;
 }
 (** Mirror of [Explore.options] (this module sits below [Explore] in the
     dependency order, so it cannot name that type). *)
@@ -39,6 +42,10 @@ type counts = {
   sleep_skips : int;
   degraded : int;
   evictions : int;
+  spilled : int;
+  probabilistic : bool;
+      (** some checkpointed segment ran on the Bloom dedup tier, so the
+          stitched run's clean sweep is probabilistic *)
 }
 (** Accumulated statistics of the checkpointed segments — the plain-data
     mirror of [Explore.stats] (minus completeness, which is implied: a

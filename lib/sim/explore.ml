@@ -7,13 +7,28 @@ type options = {
   domains : int;
   intern : bool;
   symmetry : bool;
+  flat : bool;
 }
 
 let naive =
-  { dedup = false; por = false; domains = 1; intern = false; symmetry = false }
+  {
+    dedup = false;
+    por = false;
+    domains = 1;
+    intern = false;
+    symmetry = false;
+    flat = false;
+  }
 
 let fast =
-  { dedup = true; por = true; domains = 1; intern = true; symmetry = true }
+  {
+    dedup = true;
+    por = true;
+    domains = 1;
+    intern = true;
+    symmetry = true;
+    flat = true;
+  }
 
 let parallel ?domains () =
   let domains =
@@ -28,6 +43,7 @@ type partial_reason =
   | Deadline_exceeded
   | Stopped
   | Interrupted
+  | Probabilistic
 
 type completeness = Exhaustive | Partial of partial_reason
 
@@ -36,6 +52,8 @@ let pp_partial_reason ppf = function
   | Deadline_exceeded -> Fmt.string ppf "deadline exceeded"
   | Stopped -> Fmt.string ppf "stopped by on_leaf"
   | Interrupted -> Fmt.string ppf "interrupted"
+  | Probabilistic ->
+    Fmt.string ppf "probabilistic dedup (memory budget forced the Bloom tier)"
 
 let pp_completeness ppf = function
   | Exhaustive -> Fmt.string ppf "exhaustive"
@@ -53,6 +71,7 @@ type stats = {
   domains_used : int;
   degraded : int;
   evictions : int;
+  spilled : int;
   completeness : completeness;
   overflow_trace : Faults.trace option;
 }
@@ -317,6 +336,27 @@ let poised impl cfg p =
           rest,
           impl.Implementation.program ~proc:p ~inv pr.local ))
 
+let bad_step impl cfg p obj inv =
+  let spec, _ = impl.Implementation.objects.(obj) in
+  raise
+    (Type_spec.Bad_step
+       (Fmt.str "proc %d: invocation %a disabled on object %d (%s) in state %a"
+          p Value.pp inv obj spec.Type_spec.name Value.pp cfg.objs.(obj)))
+
+let invoke_children cfg p ~inv0 ~op_index ~started ~steps_done ~resps_rev
+    ~todo ~obj k alts =
+  List.map
+    (fun (q', resp) ->
+      let objs = Array.copy cfg.objs in
+      objs.(obj) <- q';
+      let acc = Array.copy cfg.acc in
+      acc.(obj) <- acc.(obj) + 1;
+      let hist = push_hist cfg obj q' in
+      continue cfg p ~objs ~acc ~hist ~glitches_left:cfg.glitches_left ~inv0
+        ~op_index ~started ~steps:(steps_done + 1)
+        ~resps_rev:(resp :: resps_rev) ~todo (k resp))
+    alts
+
 let step_alternatives impl cfg p =
   match poised impl cfg p with
   | None -> []
@@ -332,24 +372,9 @@ let step_alternatives impl cfg p =
       let spec, _ = impl.Implementation.objects.(obj) in
       let port = impl.Implementation.port_map ~proc:p ~obj in
       let alts = Type_spec.alternatives spec cfg.objs.(obj) ~port ~inv in
-      if alts = [] then
-        raise
-          (Type_spec.Bad_step
-             (Fmt.str
-                "proc %d: invocation %a disabled on object %d (%s) in state %a"
-                p Value.pp inv obj spec.Type_spec.name Value.pp
-                cfg.objs.(obj)));
-      List.map
-        (fun (q', resp) ->
-          let objs = Array.copy cfg.objs in
-          objs.(obj) <- q';
-          let acc = Array.copy cfg.acc in
-          acc.(obj) <- acc.(obj) + 1;
-          let hist = push_hist cfg obj q' in
-          continue cfg p ~objs ~acc ~hist ~glitches_left:cfg.glitches_left
-            ~inv0 ~op_index ~started ~steps:(steps_done + 1)
-            ~resps_rev:(resp :: resps_rev) ~todo (k resp))
-        alts)
+      if alts = [] then bad_step impl cfg p obj inv;
+      invoke_children cfg p ~inv0 ~op_index ~started ~steps_done ~resps_rev
+        ~todo ~obj k alts)
 
 let glitch_alternatives impl cfg p =
   if cfg.glitches_left <= 0 then []
@@ -705,37 +730,83 @@ let key_of_cfg ist fpc cfg ~sleep ~classes ~tracker_cell =
   | None -> base
   | Some c -> I.pair ist base c
 
-(* --- partial-order reduction -------------------------------------------------
+(* --- partial-order reduction (source-set style) ------------------------------
 
-   Two enabled processes are independent at a configuration when their next
-   base accesses target different objects and both are deterministic
-   single-alternative steps: then the two orders commute exactly (same object
-   states, same responses, same access counts — only per-op timestamps
-   differ). Zero-access completions and nondeterministic accesses are
-   conservatively dependent with everything. *)
+   Each node classifies every runnable process's next transition ONCE into a
+   [pstep]: the POR kind plus everything needed to generate its children —
+   the base-object alternatives are computed here and reused for generation,
+   never recomputed. The branch set at a node is the source set: enabled
+   processes minus the sleep set; members of the sleep set have their
+   subtrees excluded before any child configuration is constructed.
 
-type next_step = Pure | Acc of { obj : int; det : bool }
+   Two processes are independent at a configuration when both next accesses
+   are deterministic single-alternative steps and either (a) they target
+   different objects, or (b) they target the same object and both leave its
+   state unchanged (read-read commutation: the two orders reach literally
+   identical configurations — same object states, same responses, same
+   access counts and histories — only per-op timestamps differ, and those
+   are outside the soundness envelope). Zero-access completions and
+   nondeterministic accesses are conservatively dependent with
+   everything. *)
 
-let peek_step impl cfg p =
-  let pr = cfg.procs.(p) in
-  let of_node = function
-    | Program.Return _ -> Pure
-    | Program.Invoke { obj; inv; _ } ->
-      let spec, _ = impl.Implementation.objects.(obj) in
-      let port = impl.Implementation.port_map ~proc:p ~obj in
-      let alts = Type_spec.alternatives spec cfg.objs.(obj) ~port ~inv in
-      Acc { obj; det = List.length alts = 1 }
-  in
-  match pr.pending with
-  | Some pd -> of_node pd.node
-  | None -> (
-    match pr.todo with
-    | [] -> Pure
-    | inv :: _ -> of_node (impl.Implementation.program ~proc:p ~inv pr.local))
+type acc_kind = { obj : int; det : bool; pure_read : bool }
+type next_kind = Pure | Acc of acc_kind
 
-let independent nexts p q =
+type pstep = {
+  kind : next_kind;
+  inv0 : Value.t;
+  op_index : int;
+  started : int;
+  steps_done : int;
+  resps_rev : Value.t list;
+  todo : Value.t list;
+  node : (Value.t * Value.t) Program.t;
+  alts : (Value.t * Value.t) list;  (* cached; [] for [Pure] *)
+}
+
+let pstep_of impl cfg p =
+  match poised impl cfg p with
+  | None -> None
+  | Some (inv0, op_index, started, steps_done, resps_rev, todo, node) ->
+    let kind, alts =
+      match node with
+      | Program.Return _ -> (Pure, [])
+      | Program.Invoke { obj; inv; _ } ->
+        let spec, _ = impl.Implementation.objects.(obj) in
+        let port = impl.Implementation.port_map ~proc:p ~obj in
+        let alts = Type_spec.alternatives spec cfg.objs.(obj) ~port ~inv in
+        let det, pure_read =
+          match alts with
+          | [ (q', _) ] ->
+            (true, q' == cfg.objs.(obj) || Value.equal q' cfg.objs.(obj))
+          | _ -> (false, false)
+        in
+        (Acc { obj; det; pure_read }, alts)
+    in
+    Some
+      { kind; inv0; op_index; started; steps_done; resps_rev; todo; node; alts }
+
+(* Children of a classified step — reuses the alternatives [pstep_of]
+   already computed instead of walking the spec again. *)
+let children_of_pstep impl cfg p ps =
+  match ps.node with
+  | Program.Return _ ->
+    [
+      continue cfg p ~objs:cfg.objs ~acc:cfg.acc ~hist:cfg.hist
+        ~glitches_left:cfg.glitches_left ~inv0:ps.inv0 ~op_index:ps.op_index
+        ~started:ps.started ~steps:ps.steps_done ~resps_rev:ps.resps_rev
+        ~todo:ps.todo ps.node;
+    ]
+  | Program.Invoke { obj; inv; k } ->
+    if ps.alts = [] then bad_step impl cfg p obj inv;
+    invoke_children cfg p ~inv0:ps.inv0 ~op_index:ps.op_index
+      ~started:ps.started ~steps_done:ps.steps_done ~resps_rev:ps.resps_rev
+      ~todo:ps.todo ~obj k ps.alts
+
+let independent (nexts : pstep option array) p q =
   match (nexts.(p), nexts.(q)) with
-  | Acc a, Acc b -> a.obj <> b.obj && a.det && b.det
+  | Some { kind = Acc a; _ }, Some { kind = Acc b; _ } ->
+    a.det && b.det && (a.obj <> b.obj || (a.pure_read && b.pure_read))
   | _ -> false
 
 (* --- graceful degradation ----------------------------------------------------
@@ -804,6 +875,8 @@ type counters = {
   mutable sleep_skips : int;
   mutable degraded : int;
   mutable evictions : int;
+  mutable spilled : int;
+  mutable probabilistic : bool;
   mutable overflow_trace : Faults.trace option;
 }
 
@@ -819,6 +892,8 @@ let fresh_counters n_objs =
     sleep_skips = 0;
     degraded = 0;
     evictions = 0;
+    spilled = 0;
+    probabilistic = false;
     overflow_trace = None;
   }
 
@@ -835,6 +910,8 @@ let merge_counters a b =
   a.sleep_skips <- a.sleep_skips + b.sleep_skips;
   a.degraded <- a.degraded + b.degraded;
   a.evictions <- a.evictions + b.evictions;
+  a.spilled <- a.spilled + b.spilled;
+  a.probabilistic <- a.probabilistic || b.probabilistic;
   if a.overflow_trace = None then a.overflow_trace <- b.overflow_trace
 
 (* Stitch in the accumulated counts of previously checkpointed segments, so
@@ -854,7 +931,9 @@ let add_counts (a : counters) (k : Checkpoint.counts) =
   a.pruned <- a.pruned + k.pruned;
   a.sleep_skips <- a.sleep_skips + k.sleep_skips;
   a.degraded <- a.degraded + k.degraded;
-  a.evictions <- a.evictions + k.evictions
+  a.evictions <- a.evictions + k.evictions;
+  a.spilled <- a.spilled + k.spilled;
+  a.probabilistic <- a.probabilistic || k.probabilistic
 
 let counts_of_counters (c : counters) =
   {
@@ -868,6 +947,8 @@ let counts_of_counters (c : counters) =
     sleep_skips = c.sleep_skips;
     degraded = c.degraded;
     evictions = c.evictions;
+    spilled = c.spilled;
+    probabilistic = c.probabilistic;
   }
 
 let engine_of_options (o : options) =
@@ -877,6 +958,7 @@ let engine_of_options (o : options) =
     domains = o.domains;
     intern = o.intern;
     symmetry = o.symmetry;
+    flat = o.flat;
   }
 
 (* The ⟨proc, target-level invocation⟩ of every live pending operation:
@@ -913,19 +995,147 @@ let step_state (t : _ tracker) st ~trace_rev cfg cfg' =
    visited before activation are simply never cached, which is sound
    (pruning only ever happens on a hit). *)
 
+(* --- flat fingerprint encoding -----------------------------------------------
+
+   The hot-path representation of a dedup key: a fixed-size scratch
+   [int array] of interned-cell ids and raw scalars, hashed into a ⟨hi, lo⟩
+   124-bit {!Wfc_spec.Fingerprint} and probed in an open-addressing table —
+   no boxed key is allocated, no hashtable bucket or list cell is built, no
+   structural equality is ever walked, and (unlike [T_intern], which interns
+   the composite key itself) nothing is added to the intern state per probe.
+
+   Layout, mirroring [key_of_cfg]'s content exactly:
+
+     per object   : [obj_cell; hist_cell; acc]                (3·n_objs)
+     per process  : [proc_cell; ops_cell; crashed; stuck; sleep]  (5·n_procs)
+     scalars      : [events; crashes_left; recoveries_left; glitches_left]
+     tracker      : [tracker cell id, or -1]
+
+   Every per-process component has a FIXED width of five ints, so symmetry
+   canonicalization is an in-place insertion sort of five-int records within
+   each class segment — no allocation there either. Cell ids are unique
+   within the owning intern state, so two encodings are equal iff the boxed
+   interned keys would have been equal: flat and boxed prune identically
+   (up to 124-bit fingerprint collisions, which hash compaction treats as
+   negligible). *)
+
+type flat_ctx = {
+  ist : I.state;
+  buf : int array;  (* the scratch encoding; length fixed per run *)
+  tmp : int array;  (* one 5-int record, for the insertion sort *)
+  mutable table : Fingerprint.Table.t option;  (* exact tier *)
+  mutable bloom : Fingerprint.Bloom.t option;  (* probabilistic tier *)
+}
+
+let flat_create ~n_objs ~n_procs ~tier2 ~bloom_bits_log2 =
+  {
+    ist = I.create ();
+    buf = Array.make ((3 * n_objs) + (5 * n_procs) + 5) 0;
+    tmp = Array.make 5 0;
+    table = (if tier2 then None else Some (Fingerprint.Table.create ()));
+    bloom =
+      (if tier2 then Some (Fingerprint.Bloom.create ~bits_log2:bloom_bits_log2 ())
+       else None);
+  }
+
+(* Sort the five-int records in [buf.(base + 5*lo) .. buf.(base + 5*hi - 1)]
+   lexicographically, in place. Class segments are tiny (≤ n_procs), so
+   insertion sort wins. *)
+let sort_records buf tmp ~base ~lo ~hi =
+  let copy_rec j i = Array.blit buf (base + (5 * j)) buf (base + (5 * i)) 5 in
+  (* is the record in [tmp] < the record at slot [j]? *)
+  let tmp_lt j =
+    let rec go k =
+      if k = 5 then false
+      else
+        let c = compare tmp.(k) buf.(base + (5 * j) + k) in
+        if c < 0 then true else if c > 0 then false else go (k + 1)
+    in
+    go 0
+  in
+  for i = lo + 1 to hi - 1 do
+    Array.blit buf (base + (5 * i)) tmp 0 5;
+    let j = ref (i - 1) in
+    while !j >= lo && tmp_lt !j do
+      copy_rec !j (!j + 1);
+      decr j
+    done;
+    Array.blit tmp 0 buf (base + (5 * (!j + 1))) 5
+  done
+
+(* Fill the scratch buffer from the incremental cell cache and hash it.
+   Zero allocation. *)
+let encode_flat fx fpc cfg ~sleep ~classes ~tracker_id =
+  let buf = fx.buf in
+  let n_objs = Array.length fpc.obj_cells in
+  let nprocs = Array.length cfg.procs in
+  let j = ref 0 in
+  for o = 0 to n_objs - 1 do
+    buf.(!j) <- I.id fpc.obj_cells.(o);
+    buf.(!j + 1) <- I.id fpc.hist_cells.(o);
+    buf.(!j + 2) <- cfg.acc.(o);
+    j := !j + 3
+  done;
+  let base = !j in
+  let put slot p =
+    let k = base + (5 * slot) in
+    buf.(k) <- I.id fpc.proc_cells.(p);
+    buf.(k + 1) <- I.id fpc.ops_cells.(p);
+    buf.(k + 2) <- Bool.to_int cfg.crashed.(p);
+    buf.(k + 3) <- Bool.to_int cfg.stuck.(p);
+    buf.(k + 4) <- (sleep lsr p) land 1
+  in
+  (match classes with
+  | None ->
+    for p = 0 to nprocs - 1 do
+      put p p
+    done
+  | Some rep ->
+    (* Emit each class's members contiguously at the representative's
+       position and canonicalize by sorting the segment — any fixed total
+       order on the record multiset yields the same canonical sequence as
+       the boxed path's cell-id sort. *)
+    let slot = ref 0 in
+    for p = 0 to nprocs - 1 do
+      if rep.(p) = p then begin
+        let seg = !slot in
+        for q = p to nprocs - 1 do
+          if rep.(q) = p then begin
+            put !slot q;
+            incr slot
+          end
+        done;
+        if !slot - seg > 1 then
+          sort_records buf fx.tmp ~base ~lo:seg ~hi:!slot
+      end
+    done);
+  j := base + (5 * nprocs);
+  buf.(!j) <- cfg.events;
+  buf.(!j + 1) <- cfg.crashes_left;
+  buf.(!j + 2) <- cfg.recoveries_left;
+  buf.(!j + 3) <- cfg.glitches_left;
+  buf.(!j + 4) <- tracker_id;
+  Fingerprint.hash_array buf ~len:(!j + 5)
+
 type dtables =
   | T_value of unit VH.t
   | T_intern of I.state * unit I.H.t
+  | T_flat of flat_ctx
 
 type dedup_ctx = {
   threshold : int;
   use_intern : bool;
+  use_flat : bool;
+  bloom_bits_log2 : int;
   classes : int array option;  (* symmetry classes, if active *)
   mutable tables : dtables option;
   mutable evicted : bool;
       (* the memory watchdog dropped this domain's tables: keep exploring
          undeduped rather than OOM — sound, pruning only ever happens on a
          hit *)
+  mutable tier2 : bool;
+      (* flat contexts only: the watchdog demoted this domain to the Bloom
+         tier — dedup answers become probabilistic instead of vanishing *)
 }
 
 (* Probe (and record) the current state. Returns ⟨already seen?, advanced
@@ -940,13 +1150,40 @@ let probe_dedup dd ~t ~nodes cfg sleep st fpcur =
       | Some tabs -> tabs
       | None ->
         let tabs =
-          if dd.use_intern then T_intern (I.create (), I.H.create 256)
+          if dd.use_flat then
+            T_flat
+              (flat_create
+                 ~n_objs:(Array.length cfg.objs)
+                 ~n_procs:(Array.length cfg.procs) ~tier2:dd.tier2
+                 ~bloom_bits_log2:dd.bloom_bits_log2)
+          else if dd.use_intern then T_intern (I.create (), I.H.create 256)
           else T_value (VH.create 256)
         in
         dd.tables <- Some tabs;
         tabs
     in
     (match tables with
+    | T_flat fx ->
+      let fpc =
+        match fpcur with
+        | Some f -> fpc_advance fx.ist f cfg
+        | None -> fpc_of_cfg fx.ist cfg
+      in
+      let tracker_id =
+        match t.fingerprint with
+        | Some fp -> I.id (I.intern fx.ist (fp st))
+        | None -> -1
+      in
+      let hi, lo =
+        encode_flat fx fpc cfg ~sleep ~classes:dd.classes ~tracker_id
+      in
+      let revisited =
+        match (fx.table, fx.bloom) with
+        | Some tbl, _ -> Fingerprint.Table.mem_or_add tbl ~hi ~lo
+        | None, Some bl -> Fingerprint.Bloom.mem_or_add bl ~hi ~lo
+        | None, None -> false
+      in
+      (revisited, Some fpc)
     | T_value tbl ->
       let key =
         match t.fingerprint with
@@ -1023,11 +1260,14 @@ let visit impl opts ~fuel ~dd ~lim ~t c on_leaf ~recurse cfg sleep
       in
       if revisited then c.pruned <- c.pruned + 1
       else begin
+        (* Classify each runnable process's next transition once: the POR
+           kind for independence queries AND the cached alternatives for
+           child generation below. *)
         let nexts =
           if opts.por then
             Array.init (Array.length cfg.procs) (fun p ->
-                if cfg.crashed.(p) || cfg.stuck.(p) then Pure
-                else peek_step impl cfg p)
+                if cfg.crashed.(p) || cfg.stuck.(p) then None
+                else pstep_of impl cfg p)
           else [||]
         in
         let explored = ref 0 in
@@ -1053,7 +1293,14 @@ let visit impl opts ~fuel ~dd ~lim ~t c on_leaf ~recurse cfg sleep
                   !s
                 end
               in
-              (match step_alternatives impl cfg p with
+              let children () =
+                if opts.por then
+                  match nexts.(p) with
+                  | Some ps -> children_of_pstep impl cfg p ps
+                  | None -> []
+                else step_alternatives impl cfg p
+              in
+              (match children () with
               | alts ->
                 List.iteri
                   (fun i cfg' ->
@@ -1119,10 +1366,14 @@ let stats_of c ~domains_used ~lim =
     domains_used;
     degraded = c.degraded;
     evictions = c.evictions;
+    spilled = c.spilled;
     completeness =
+      (* An explicit cut (budget, deadline, interrupt, stop) takes priority:
+         those runs can be resumed. A run that merely passed through the
+         Bloom tier finished — but its clean sweep is only probabilistic. *)
       (match Atomic.get lim.tripped with
-      | None -> Exhaustive
-      | Some reason -> Partial reason);
+      | Some reason -> Partial reason
+      | None -> if c.probabilistic then Partial Probabilistic else Exhaustive);
     overflow_trace = c.overflow_trace;
   }
 
@@ -1197,9 +1448,40 @@ let mem_sample mw ~domain_id c (dd : dedup_ctx option) =
      sample that detected the pressure, not one sample period later *)
   match dd with
   | Some dd when (not dd.evicted) && Atomic.get mw.evict_upto > domain_id ->
-    dd.tables <- None;
-    dd.evicted <- true;
-    c.evictions <- c.evictions + 1
+    if dd.use_flat then begin
+      (* Flat contexts degrade to the Bloom tier instead of giving up dedup:
+         migrate the exact table's fingerprints into a constant-memory Bloom
+         filter and free the table. Dedup answers become probabilistic from
+         here on — the run's completeness is downgraded, never its
+         falsifications. Idempotent: once on tier 2 there is nothing left to
+         shed (the Bloom is constant-size), so repeated pressure moves on to
+         other domains. *)
+      if not dd.tier2 then begin
+        dd.tier2 <- true;
+        c.evictions <- c.evictions + 1;
+        c.probabilistic <- true;
+        match dd.tables with
+        | Some (T_flat fx) when fx.bloom = None ->
+          let bl =
+            Fingerprint.Bloom.create ~bits_log2:dd.bloom_bits_log2 ()
+          in
+          (match fx.table with
+          | Some tbl ->
+            Fingerprint.Table.iter
+              (fun ~hi ~lo -> ignore (Fingerprint.Bloom.mem_or_add bl ~hi ~lo))
+              tbl
+          | None -> ());
+          fx.table <- None;
+          fx.bloom <- Some bl
+        | _ -> ()
+        (* tables not yet allocated: they will start on the Bloom tier *)
+      end
+    end
+    else begin
+      dd.tables <- None;
+      dd.evicted <- true;
+      c.evictions <- c.evictions + 1
+    end
   | _ -> ()
 
 let resolve_faults ?faults ~max_crashes () =
@@ -1233,7 +1515,8 @@ exception Abandoned
 let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
     ?budget ?deadline_s ?(options = naive)
     ?(par_threshold = default_par_threshold)
-    ?(dedup_threshold = default_dedup_threshold) ?tracker
+    ?(dedup_threshold = default_dedup_threshold)
+    ?(bloom_bits_log2 = Fingerprint.Bloom.default_bits_log2) ?tracker
     ?(on_leaf = fun (_ : Exec.leaf) -> ())
     ?(on_leaf_trace = fun (_ : Faults.trace) (_ : Exec.leaf) -> ())
     ?checkpoint ?(checkpoint_meta = []) ?resume_from ?interrupt ?mem_budget_mb
@@ -1267,6 +1550,10 @@ let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
       options with
       por = options.por && Faults.is_none faults;
       dedup = options.dedup && Option.is_some t.fingerprint;
+      (* The flat encoding is made of interned-cell ids: no intern, no flat.
+         It silently degrades to the boxed path rather than erroring, so
+         [fast with intern = false] keeps meaning something. *)
+      flat = options.flat && options.intern;
     }
   in
   (* Symmetry narrows further: the implementation must declare its program
@@ -1285,9 +1572,12 @@ let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
         {
           threshold = dedup_threshold;
           use_intern = opts.intern;
+          use_flat = opts.flat;
+          bloom_bits_log2;
           classes;
           tables = None;
           evicted = false;
+          tier2 = false;
         }
     else None
   in
@@ -1382,8 +1672,16 @@ let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
     in
     (* When checkpointing, expand wider even on one domain: the frontier is
        the unit of checkpoint progress, so finer granularity means a resumed
-       segment can finish items (and shrink the checkpoint) sooner. *)
-    let target = max (n_domains * 4) (if ckpt_armed then 16 else 0) in
+       segment can finish items (and shrink the checkpoint) sooner. When a
+       memory budget is armed, expand wider still: everything beyond a small
+       in-RAM window is spilled to disk below, so a wide frontier costs a
+       few text lines in a temp file, not heap — and gives the watchdogged
+       run fine-grained work units. *)
+    let spill_armed = Option.is_some memwatch && not user_tracker in
+    let target =
+      let base = max (n_domains * 4) (if ckpt_armed then 16 else 0) in
+      if spill_armed then max base 256 else base
+    in
     let cut = ref false in
     let pending_expansion = ref None in
     let frontier = ref roots in
@@ -1427,6 +1725,50 @@ let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
     else begin
       let work = Array.of_list !frontier in
       let n_items = Array.length work in
+      (* Two-tier frontier: items beyond a small in-RAM window are demoted
+         to their decision-trace prefix — one line in a disk spill file,
+         exactly the representation checkpoints use — and their materialized
+         configuration, tracker state, sleep set and fingerprint cache are
+         dropped. Taking a demoted item re-reads the line and replays the
+         prefix (the resume path); sleep sets restart empty, which is sound.
+         Only armed together with the memory watchdog, and never under a
+         user tracker (tracker state cannot be re-derived from a trace
+         without replaying events the engine does not retain). *)
+      let spill_window = max 16 (4 * n_domains) in
+      let spill =
+        if spill_armed && n_items > spill_window then Some (Frontier.create ())
+        else None
+      in
+      let spill_handle = Array.make (max 1 n_items) None in
+      (match spill with
+      | Some sp ->
+        let dummy = (root, 0, [], t.root, None) in
+        for i = spill_window to n_items - 1 do
+          spill_handle.(i) <- Some (Frontier.append sp (trace_of_item work.(i)));
+          work.(i) <- dummy
+        done;
+        c0.spilled <- c0.spilled + Frontier.spilled sp
+      | None -> ());
+      let item_trace i =
+        match spill_handle.(i) with
+        | None -> trace_of_item work.(i)
+        | Some (off, len) -> (
+          match Frontier.read (Option.get spill) ~off ~len with
+          | Ok trace -> trace
+          | Error e -> failwith ("Explore: frontier spill: " ^ e))
+      in
+      let item i =
+        match spill_handle.(i) with
+        | None -> work.(i)
+        | Some (off, len) -> (
+          match Frontier.read (Option.get spill) ~off ~len with
+          | Error e -> failwith ("Explore: frontier spill: " ^ e)
+          | Ok trace -> (
+            match replay_prefix impl root trace with
+            | Ok (cfg, trace_rev) -> (cfg, 0, trace_rev, t.root, None)
+            | Error e -> failwith ("Explore: frontier spill: " ^ e)))
+      in
+      let close_spill () = Option.iter Frontier.close spill in
       (* Written by whichever domain finishes the item, read by the
          coordinator for checkpoints. A stale [false] merely re-includes a
          finished item in a checkpoint — re-exploring it on resume is sound. *)
@@ -1434,7 +1776,7 @@ let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
       let remaining_traces () =
         let out = ref [] in
         for i = n_items - 1 downto 0 do
-          if not completed.(i) then out := trace_of_item work.(i) :: !out
+          if not completed.(i) then out := item_trace i :: !out
         done;
         !out
       in
@@ -1453,7 +1795,7 @@ let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
            !drained < n_items && (n_domains = 1 || c0.nodes < par_threshold)
          do
            let i = !drained in
-           let cfg, sleep, trace_rev, st, fpcur = work.(i) in
+           let cfg, sleep, trace_rev, st, fpcur = item i in
            go cfg sleep trace_rev st fpcur;
            completed.(i) <- true;
            incr drained;
@@ -1466,6 +1808,7 @@ let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
       | Cut -> cut := true);
       if !cut then begin
         save_ck (remaining_traces ());
+        close_spill ();
         stats_of c0 ~domains_used:1 ~lim
       end
       else if !drained >= n_items then begin
@@ -1473,6 +1816,7 @@ let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
            refresh the file (to an empty frontier) if interval saves already
            wrote a now-stale one. *)
         if !saved_any then save_ck [];
+        close_spill ();
         stats_of c0 ~domains_used:1 ~lim
       end
       else begin
@@ -1559,7 +1903,7 @@ let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
                  | None -> continue := false
                  | Some i ->
                    Atomic.set cur.(w) i;
-                   let cfg, sleep, trace_rev, st, _fpc0 = work.(i) in
+                   let cfg, sleep, trace_rev, st, _fpc0 = item i in
                    go cfg sleep trace_rev st None;
                    completed.(i) <- true;
                    Atomic.set cur.(w) (-1)
@@ -1667,7 +2011,7 @@ let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
               | None -> continue := false
               | Some i ->
                 if not completed.(i) then begin
-                  let cfg, sleep, trace_rev, st, _ = work.(i) in
+                  let cfg, sleep, trace_rev, st, _ = item i in
                   go cfg sleep trace_rev st None;
                   completed.(i) <- true
                 end;
@@ -1683,6 +2027,7 @@ let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
         | None -> ());
         if Atomic.get lim.tripped <> None then save_ck (remaining_traces ())
         else if !saved_any then save_ck [];
+        close_spill ();
         stats_of c0 ~domains_used:n_workers ~lim
       end
     end

@@ -7,7 +7,7 @@
     workloads (consensus checking over all input vectors, the §4.2 access
     bounds behind König's bound D, Theorem 5 pipelines) revisit the same
     configuration over and over along different schedules. This module keeps
-    the naive engine's semantics and statistics contract while adding three
+    the naive engine's semantics and statistics contract while adding four
     independent optimizations:
 
     - {b duplicate-state pruning} ([dedup]): configurations are fingerprinted
@@ -16,10 +16,22 @@
       state), completed operations' {e values} and step counts, crash
       bookkeeping, event and access totals — and a revisited fingerprint cuts
       the whole subtree ([stats.pruned] counts the cuts);
-    - {b partial-order reduction} ([por]): a sleep-set rule explores only one
-      order of two adjacent steps when they are commuting deterministic
-      accesses to {e different} base objects ([stats.sleep_skips] counts
-      sibling subtrees skipped);
+    - {b partial-order reduction} ([por]): a source-set/sleep-set rule
+      explores only one order of two adjacent steps when they are commuting
+      deterministic accesses — to {e different} base objects, or state-
+      preserving reads of the {e same} object ([stats.sleep_skips] counts
+      sibling subtrees skipped); each process's poised step and its
+      alternatives are computed {e once} per node and shared between the
+      independence check and child generation;
+    - {b flat-state fingerprinting} ([flat]): the dedup key is a flat
+      [int array] of interned-cell ids hashed into a fixed-width ⟨hi, lo⟩
+      124-bit fingerprint ({!Wfc_spec.Fingerprint}) probed in an
+      open-addressing table — no boxed key is ever built on the hot path.
+      Runs that outgrow [?mem_budget_mb] migrate the table into a constant-
+      memory Bloom filter instead of dropping dedup entirely, and in
+      frontier mode the pending-subtree queue spills to disk beyond a small
+      in-RAM window; a Bloom-tier run reports
+      [Partial Probabilistic] instead of [Exhaustive];
     - {b multicore fan-out} ([domains]): the top of the tree is expanded
       breadth-first and the frontier subtrees are explored on a pool of
       OCaml 5 domains, with per-domain statistics merged at the end
@@ -44,7 +56,7 @@ open Wfc_spec
 
 type options = {
   dedup : bool;  (** prune subtrees of revisited configurations *)
-  por : bool;  (** sleep-set partial-order reduction *)
+  por : bool;  (** source-set dynamic partial-order reduction *)
   domains : int;  (** size of the exploration pool; 1 = sequential *)
   intern : bool;
       (** hash-consed dedup keys: fingerprints are maintained incrementally
@@ -65,6 +77,16 @@ type options = {
           and at least two processes have equal workloads and equal initial
           locals (see {!Symmetry}). Otherwise silently a no-op — which is
           why it is safe to have on by default in {!fast}. *)
+  flat : bool;
+      (** flat-state hot path: encode the configuration as a contiguous
+          [int array] of interned-cell ids, fingerprint it with
+          {!Wfc_spec.Fingerprint.hash_array} and probe the fixed-width
+          ⟨hi, lo⟩ pair in an open-addressing table (or its Bloom second
+          tier under memory pressure) — replacing the boxed
+          [Value.t]-keyed hash table. Same states merge (cell ids are
+          unique within an intern state), up to a ≈2^-64 hash-compaction
+          collision risk at 10^9 states. Effective only when [dedup] and
+          [intern] are both on. *)
 }
 
 val naive : options
@@ -72,8 +94,8 @@ val naive : options
     statistics) of {!Exec.explore}. *)
 
 val fast : options
-(** [dedup] + [por] + [intern] + [symmetry], sequential. The right choice
-    for timing-insensitive verdicts. *)
+(** [dedup] + [por] + [intern] + [symmetry] + [flat], sequential. The right
+    choice for timing-insensitive verdicts. *)
 
 val parallel : ?domains:int -> unit -> options
 (** [fast] plus a domain pool (default:
@@ -116,6 +138,14 @@ type partial_reason =
       (** the [?interrupt] flag was set (e.g. by a SIGINT/SIGTERM handler);
           if a checkpoint sink is armed, a final checkpoint was flushed
           before returning *)
+  | Probabilistic
+      (** the run finished, but the memory watchdog forced the flat dedup
+          table onto the Bloom tier at some point: every state was visited
+          {e unless} a Bloom false positive wrongly pruned a genuinely new
+          state's subtree. A found violation is still a real violation;
+          only the clean sweep is downgraded. Explicit cuts
+          (budget/deadline/interrupt/stop) take precedence over this
+          reason. *)
 
 type completeness =
   | Exhaustive  (** every reachable behaviour was covered *)
@@ -142,9 +172,14 @@ type stats = {
           verdict is unaffected; [> 0] means the run limped home on fewer
           domains than requested. *)
   evictions : int;
-      (** dedup tables dropped by the memory watchdog ([?mem_budget_mb]):
-          the affected domains fell back to undeduped exploration instead
-          of exhausting the heap *)
+      (** memory-watchdog actions ([?mem_budget_mb]): on the flat path the
+          exact fingerprint table was migrated into its constant-memory
+          Bloom tier (completeness degrades to [Partial Probabilistic]);
+          on the boxed path the dedup table was dropped and the domain fell
+          back to undeduped — but alive — exploration *)
+  spilled : int;
+      (** frontier work items demoted to disk ({!Frontier}) instead of held
+          materialized in RAM; each is re-read and replayed when taken *)
   completeness : completeness;
   overflow_trace : Faults.trace option;
       (** decision trace of the first fuel-overflowing path — a replayable
@@ -236,6 +271,7 @@ val run :
   ?options:options ->
   ?par_threshold:int ->
   ?dedup_threshold:int ->
+  ?bloom_bits_log2:int ->
   ?tracker:'a tracker ->
   ?on_leaf:(Exec.leaf -> unit) ->
   ?on_leaf_trace:(Faults.trace -> Exec.leaf -> unit) ->
@@ -315,9 +351,16 @@ val run :
     armed.
 
     [mem_budget_mb] arms the memory watchdog: every 1024 nodes a domain
-    samples the major heap, and past the budget dedup tables are evicted
-    oldest-domain-first ([stats.evictions]), degrading to undeduped — but
-    alive — exploration instead of OOM.
+    samples the major heap, and past the budget dedup state is shed
+    ([stats.evictions]) instead of OOM. On the flat path the exact
+    fingerprint table migrates into a Bloom filter of [2^bloom_bits_log2]
+    bits (default {!Wfc_spec.Fingerprint.Bloom.default_bits_log2}) and the
+    run's clean sweep becomes [Partial Probabilistic]; on the boxed path
+    tables are dropped oldest-domain-first, degrading to undeduped — but
+    alive — exploration. In frontier mode (checkpoint sink or large pool
+    expansions) an armed watchdog additionally spills pending subtrees
+    beyond a small in-RAM window to a disk file as decision-trace prefixes
+    ([stats.spilled]), re-materialized by replay when taken.
 
     [stall_timeout_s] arms stuck-worker supervision in the pool: the
     coordinator samples per-worker heartbeats (nodes visited) and a worker

@@ -1,0 +1,387 @@
+(* E14 — flat-state hot path: the flat engine (fixed-width fingerprints in
+   an open-addressing table) must be observationally identical to the boxed
+   interned-key engine — same node/leaf counts, same observations, same
+   downstream verdicts including under fault adversaries — the Bloom second
+   tier must only ever prune (never flip a Falsified verdict, always
+   downgrade a clean sweep), and the fingerprint structures themselves are
+   fuzzed against oracles. *)
+
+open Wfc_spec
+open Wfc_zoo
+open Wfc_consensus
+open Wfc_program
+module Exec = Wfc_sim.Exec
+module Explore = Wfc_sim.Explore
+module Faults = Wfc_sim.Faults
+module Witness = Wfc_sim.Witness
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* Timing-insensitive leaf projection (same as test_explore's): ops keyed by
+   ⟨proc, op_index⟩, timestamps dropped. *)
+let value_proj (leaf : Exec.leaf) =
+  let ops =
+    List.sort
+      (fun (a : Exec.op) (b : Exec.op) ->
+        compare (a.proc, a.op_index) (b.proc, b.op_index))
+      leaf.ops
+  in
+  Value.list
+    [
+      Value.list (Array.to_list leaf.objects);
+      Value.list (Array.to_list leaf.locals);
+      Value.list
+        (List.map
+           (fun (o : Exec.op) ->
+             Value.list
+               [
+                 Value.int o.proc;
+                 Value.int o.op_index;
+                 o.inv;
+                 o.resp;
+                 Value.int o.steps;
+               ])
+           ops);
+      Value.int leaf.events;
+      Value.list (List.map Value.int (Array.to_list leaf.accesses));
+    ]
+
+(* --- fixture: the randomized register machine from test_explore ------------ *)
+
+let rw_impl ~procs ~bits ~coin =
+  let bit = Register.bit ~ports:procs in
+  let coin_spec = Nondet.coin ~ports:procs in
+  let objects =
+    List.init bits (fun _ -> (bit, Value.falsity))
+    @ (if coin then [ (coin_spec, coin_spec.Type_spec.initial) ] else [])
+  in
+  Implementation.make
+    ~target:(Register.bit ~ports:procs)
+    ~procs ~objects
+    ~local_init:(fun _ -> Value.falsity)
+    ~program:(fun ~proc:_ ~inv local ->
+      let open Program.Syntax in
+      match inv with
+      | Value.Pair (Value.Sym "wr", Value.Pair (Value.Int o, b)) ->
+        let+ _ = Program.invoke ~obj:o (Ops.write b) in
+        (Ops.ok, local)
+      | Value.Pair (Value.Sym "rd", Value.Int o) ->
+        let+ v = Program.invoke ~obj:o Ops.read in
+        (v, v)
+      | Value.Pair (Value.Sym "cp", Value.Pair (Value.Int a, Value.Int b)) ->
+        let* v = Program.invoke ~obj:a Ops.read in
+        let+ _ = Program.invoke ~obj:b (Ops.write v) in
+        (v, local)
+      | Value.Sym "flip" ->
+        let+ v = Program.invoke ~obj:bits Ops.read in
+        (v, v)
+      | Value.Sym "loc" -> Program.return (local, local)
+      | _ -> Alcotest.fail "rw_impl: bad invocation")
+    ()
+
+let wr o b = Value.pair (Value.sym "wr") (Value.pair (Value.int o) (Value.bool b))
+let rd o = Value.pair (Value.sym "rd") (Value.int o)
+let cp a b = Value.pair (Value.sym "cp") (Value.pair (Value.int a) (Value.int b))
+
+let collect ?faults ?(dedup_threshold = 0) ?bloom_bits_log2 ?mem_budget_mb
+    ~options impl workloads =
+  let acc = ref [] in
+  let stats =
+    Explore.run impl ~workloads ?faults ~options ~par_threshold:0
+      ~dedup_threshold ?bloom_bits_log2 ?mem_budget_mb
+      ~on_leaf:(fun leaf -> acc := value_proj leaf :: !acc)
+      ()
+  in
+  (stats, List.sort Value.compare !acc)
+
+(* --- flat vs boxed engine parity ------------------------------------------- *)
+
+(* The flat encoding carries exactly the information of the boxed interned
+   key (cell ids are unique within an intern state), so the two engines must
+   make identical pruning decisions: every count matches, not just the
+   observation set. *)
+let assert_flat_boxed_parity ?faults ~msg impl workloads =
+  List.iter
+    (fun (sub, flat_opts) ->
+      let boxed_opts = { flat_opts with Explore.flat = false } in
+      let sf, lf = collect ?faults ~options:flat_opts impl workloads in
+      let sb, lb = collect ?faults ~options:boxed_opts impl workloads in
+      let msg = msg ^ "/" ^ sub in
+      Alcotest.(check int) (msg ^ ": nodes") sb.Explore.nodes sf.Explore.nodes;
+      Alcotest.(check int) (msg ^ ": leaves") sb.Explore.leaves
+        sf.Explore.leaves;
+      Alcotest.(check int) (msg ^ ": pruned") sb.Explore.pruned
+        sf.Explore.pruned;
+      Alcotest.(check int)
+        (msg ^ ": sleep_skips")
+        sb.Explore.sleep_skips sf.Explore.sleep_skips;
+      Alcotest.(check int) (msg ^ ": max_events") sb.Explore.max_events
+        sf.Explore.max_events;
+      Alcotest.(check (array int))
+        (msg ^ ": max_accesses")
+        sb.Explore.max_accesses sf.Explore.max_accesses;
+      Alcotest.(check (list value)) (msg ^ ": observations") lb lf)
+    [
+      ("fast", { Explore.fast with symmetry = false });
+      ("fast+symmetry", Explore.fast);
+      ("dedup-only", { Explore.naive with dedup = true; intern = true;
+                       flat = true });
+    ]
+
+let test_parity_fixed () =
+  let impl = rw_impl ~procs:3 ~bits:2 ~coin:false in
+  assert_flat_boxed_parity ~msg:"fixed" impl
+    [| [ wr 0 true; rd 1 ]; [ cp 0 1 ]; [ rd 0; wr 1 false ] |]
+
+let test_parity_faults () =
+  let impl = rw_impl ~procs:2 ~bits:2 ~coin:false in
+  assert_flat_boxed_parity
+    ~faults:
+      {
+        Faults.max_crashes = 1;
+        max_recoveries = 1;
+        max_glitches = 0;
+        degraded = [ (0, Faults.Stale_reads 1) ];
+      }
+    ~msg:"faults" impl
+    [| [ wr 0 true; rd 1 ]; [ cp 0 1; rd 0 ] |]
+
+let gen_workloads =
+  let open QCheck.Gen in
+  let* procs = int_range 2 3 in
+  let* bits = int_range 1 2 in
+  let* coin = if procs = 2 then bool else return false in
+  let op =
+    frequency
+      [
+        (3, map2 (fun o b -> wr o b) (int_range 0 (bits - 1)) bool);
+        (3, map (fun o -> rd o) (int_range 0 (bits - 1)));
+        ( 2,
+          map2
+            (fun a b -> cp a b)
+            (int_range 0 (bits - 1))
+            (int_range 0 (bits - 1)) );
+        (1, return (Value.sym "loc"));
+        ((if coin then 2 else 0), return (Value.sym "flip"));
+      ]
+  in
+  let+ wls = array_size (return procs) (list_size (int_range 0 2) op) in
+  (procs, bits, coin, wls)
+
+let prop_parity =
+  QCheck.Test.make ~count:40
+    ~name:"flat and boxed engines agree exactly on random workloads"
+    (QCheck.make gen_workloads ~print:(fun (procs, bits, coin, wls) ->
+         Fmt.str "procs=%d bits=%d coin=%b workloads=%a" procs bits coin
+           Fmt.(array (list Value.pp))
+           wls))
+    (fun (procs, bits, coin, wls) ->
+      let impl = rw_impl ~procs ~bits ~coin in
+      assert_flat_boxed_parity ~msg:"qcheck" impl wls;
+      true)
+
+(* --- downstream verdict parity --------------------------------------------- *)
+
+let flat_engine = Explore.fast
+let boxed_engine = { Explore.fast with Explore.flat = false }
+
+let test_verdict_parity () =
+  List.iter
+    (fun (name, impl, faults) ->
+      let verify engine =
+        Check.verify ~engine ?faults ~subsets:false (impl ())
+      in
+      match (verify flat_engine, verify boxed_engine) with
+      | Check.Verified a, Check.Verified b ->
+        Alcotest.(check int)
+          (name ^ ": executions")
+          b.Check.executions a.Check.executions
+      | Check.Falsified vf, Check.Falsified _ -> (
+        (* a flat-engine violation must replay: its witness is real *)
+        match vf.Check.witness with
+        | None -> ()
+        | Some w -> (
+          match Witness.replay (impl ()) w with
+          | Ok _ -> ()
+          | Error e ->
+            Alcotest.failf "%s: flat witness does not replay: %s" name e))
+      | vf, vb ->
+        Alcotest.failf "%s: verdicts disagree: flat %a, boxed %a" name
+          Check.pp_verdict vf Check.pp_verdict vb)
+    [
+      ("cas3", (fun () -> Protocols.from_cas ~procs:3 ()), None);
+      ( "cas2+crash",
+        (fun () -> Protocols.from_cas ~procs:2 ()),
+        Some (Faults.crashes 1) );
+      ("broken", Protocols.broken_register_only, None);
+    ]
+
+(* --- Bloom tier soundness --------------------------------------------------- *)
+
+(* With [mem_budget_mb:0] the watchdog trips on its first sample and the
+   flat path runs on the Bloom tier. A false positive can only prune: the
+   leaf set shrinks (or stays equal), a clean sweep is downgraded to
+   [Partial Probabilistic], and a found violation is still a real
+   violation. [bits_log2 = 6] (64 bits) forces a high FP rate. *)
+let test_bloom_only_prunes () =
+  let impl = rw_impl ~procs:3 ~bits:2 ~coin:false in
+  let wls = [| [ wr 0 true; rd 1 ]; [ cp 0 1 ]; [ rd 0; wr 1 false ] |] in
+  let exact, exact_leaves =
+    collect ~options:{ Explore.fast with symmetry = false } impl wls
+  in
+  let bloom, bloom_leaves =
+    collect
+      ~options:{ Explore.fast with symmetry = false }
+      ~mem_budget_mb:0 ~bloom_bits_log2:6 impl wls
+  in
+  (match bloom.Explore.completeness with
+  | Explore.Partial Explore.Probabilistic -> ()
+  | c ->
+    Alcotest.failf "Bloom tier must report Probabilistic, got %a"
+      Explore.pp_completeness c);
+  Alcotest.(check bool) "evicted to tier 2" true (bloom.Explore.evictions >= 1);
+  Alcotest.(check bool) "prune-only: no more nodes" true
+    (bloom.Explore.nodes <= exact.Explore.nodes);
+  Alcotest.(check bool) "prune-only: no more leaves" true
+    (bloom.Explore.leaves <= exact.Explore.leaves);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "Bloom observations ⊆ exact observations" true
+        (List.exists (Value.equal l) exact_leaves))
+    bloom_leaves
+
+let test_bloom_tier_verdicts () =
+  (* a clean protocol on the Bloom tier must never claim Verified *)
+  (match
+     Check.verify ~engine:flat_engine ~mem_budget_mb:0 ~subsets:false
+       (Protocols.from_cas ~procs:3 ())
+   with
+  | Check.Unknown { reason; _ } ->
+    Alcotest.(check string)
+      "downgraded reason" "probabilistic dedup (memory budget)" reason
+  | Check.Verified _ ->
+    Alcotest.fail "Bloom-tier run claimed an exhaustive Verified"
+  | Check.Falsified v ->
+    Alcotest.failf "clean protocol falsified: %a" Check.pp_violation v);
+  (* a broken protocol must stay Falsified — FPs cannot invent a verdict,
+     and at the default filter size they prune essentially nothing *)
+  match
+    Check.verify ~engine:flat_engine ~mem_budget_mb:0 ~subsets:false
+      (Protocols.broken_register_only ())
+  with
+  | Check.Falsified v -> (
+    match v.Check.witness with
+    | None -> ()
+    | Some w -> (
+      match Witness.replay (Protocols.broken_register_only ()) w with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "Bloom-tier witness does not replay: %s" e))
+  | v ->
+    Alcotest.failf "broken protocol not falsified on Bloom tier: %a"
+      Check.pp_verdict v
+
+(* --- open-addressing table vs Hashtbl oracle -------------------------------- *)
+
+let gen_fp_pairs =
+  QCheck.Gen.(
+    let lane =
+      oneof [ int_bound 3; map (fun n -> n land max_int) int ]
+    in
+    list_size (int_range 0 400) (pair lane lane))
+
+let prop_table_oracle =
+  QCheck.Test.make ~count:100
+    ~name:"Fingerprint.Table matches a Hashtbl oracle"
+    (QCheck.make gen_fp_pairs
+       ~print:(fun ps -> Fmt.str "%d pairs" (List.length ps)))
+    (fun pairs ->
+      (* tiny initial capacity: growth is exercised on almost every case *)
+      let t = Fingerprint.Table.create ~capacity_log2:2 () in
+      let oracle = Hashtbl.create 16 in
+      List.for_all
+        (fun (hi, lo) ->
+          (* the table documents the ⟨0,0⟩ → ⟨0,1⟩ remap; mirror it *)
+          let key = if hi = 0 && lo = 0 then (0, 1) else (hi, lo) in
+          let expect = Hashtbl.mem oracle key in
+          let got = Fingerprint.Table.mem_or_add t ~hi ~lo in
+          Hashtbl.replace oracle key ();
+          got = expect && Fingerprint.Table.length t = Hashtbl.length oracle)
+        pairs)
+
+let test_table_iter_complete () =
+  let t = Fingerprint.Table.create ~capacity_log2:2 () in
+  let n = 100 in
+  for i = 1 to n do
+    ignore (Fingerprint.Table.mem_or_add t ~hi:(i * 7919) ~lo:(i * 104729))
+  done;
+  let seen = Hashtbl.create n in
+  Fingerprint.Table.iter (fun ~hi ~lo -> Hashtbl.replace seen (hi, lo) ()) t;
+  Alcotest.(check int) "iter visits every stored fingerprint" n
+    (Hashtbl.length seen)
+
+(* --- Bloom filter: no false negatives --------------------------------------- *)
+
+let test_bloom_no_false_negatives () =
+  let bl = Fingerprint.Bloom.create ~bits_log2:12 () in
+  let rng = Random.State.make [| 0xB10F11 |] in
+  let keys =
+    List.init 300 (fun _ ->
+        (Random.State.full_int rng max_int, Random.State.full_int rng max_int))
+  in
+  List.iter
+    (fun (hi, lo) -> ignore (Fingerprint.Bloom.mem_or_add bl ~hi ~lo))
+    keys;
+  List.iter
+    (fun (hi, lo) ->
+      Alcotest.(check bool) "inserted key reports possibly-seen" true
+        (Fingerprint.Bloom.mem_or_add bl ~hi ~lo))
+    keys
+
+(* --- fingerprint hashing sanity --------------------------------------------- *)
+
+let test_hash_sensitivity () =
+  let h = Fingerprint.hash_array in
+  Alcotest.(check bool) "order-sensitive" true
+    (h [| 1; 2; 3 |] ~len:3 <> h [| 3; 2; 1 |] ~len:3);
+  Alcotest.(check bool) "length-sensitive" true
+    (h [| 1; 2; 3 |] ~len:2 <> h [| 1; 2; 3 |] ~len:3);
+  Alcotest.(check bool) "prefix-stable" true
+    (h [| 1; 2; 99 |] ~len:2 = h [| 1; 2; 0 |] ~len:2);
+  let hi, lo = h [| 5; 6; 7 |] ~len:3 in
+  Alcotest.(check bool) "lanes non-negative" true (hi >= 0 && lo >= 0);
+  Alcotest.(check bool) "lanes independent" true (hi <> lo);
+  Alcotest.(check bool) "string digest deterministic" true
+    (Fingerprint.hash_string "wfc" = Fingerprint.hash_string "wfc");
+  Alcotest.(check bool) "string digest separates" true
+    (Fingerprint.hash_string "wfc-checkpoint/1"
+    <> Fingerprint.hash_string "wfc-checkpoint/2")
+
+let () =
+  Alcotest.run "wfc_flat"
+    [
+      ( "flat/boxed parity",
+        [
+          Alcotest.test_case "fixed workloads" `Quick test_parity_fixed;
+          Alcotest.test_case "under a fault adversary" `Quick
+            test_parity_faults;
+          QCheck_alcotest.to_alcotest prop_parity;
+        ] );
+      ( "verdict parity",
+        [ Alcotest.test_case "Check.verify agrees" `Quick test_verdict_parity ]
+      );
+      ( "bloom tier",
+        [
+          Alcotest.test_case "only prunes, downgrades completeness" `Quick
+            test_bloom_only_prunes;
+          Alcotest.test_case "verdict soundness" `Quick
+            test_bloom_tier_verdicts;
+          Alcotest.test_case "no false negatives" `Quick
+            test_bloom_no_false_negatives;
+        ] );
+      ( "fingerprint structures",
+        [
+          QCheck_alcotest.to_alcotest prop_table_oracle;
+          Alcotest.test_case "iter is complete" `Quick test_table_iter_complete;
+          Alcotest.test_case "hash sensitivity" `Quick test_hash_sensitivity;
+        ] );
+    ]

@@ -73,6 +73,8 @@ let sample_checkpoint () =
       sleep_skips = 1;
       degraded = 2;
       evictions = 1;
+      spilled = 3;
+      probabilistic = true;
     }
   in
   Checkpoint.make
@@ -84,6 +86,7 @@ let sample_checkpoint () =
         domains = 2;
         intern = true;
         symmetry = false;
+        flat = true;
       }
     ~fuel:10_000 ~budget_left:1234 ~faults
     ~workloads:
@@ -171,6 +174,63 @@ let test_checkpoint_mismatch_detected () =
   in
   Alcotest.(check bool) "adversary mismatch reported" true (wrong_faults <> None)
 
+(* The legacy wfc-checkpoint/1 format (MD5 digest, no flat/spilled/
+   probabilistic fields) must still parse, with the new fields at their
+   defaults — and re-serialize as /2. *)
+let test_checkpoint_v1_still_parses () =
+  let ck = sample_checkpoint () in
+  let ck =
+    {
+      ck with
+      Checkpoint.engine = { ck.Checkpoint.engine with Checkpoint.flat = false };
+      counts =
+        { ck.Checkpoint.counts with Checkpoint.spilled = 0;
+          probabilistic = false };
+    }
+  in
+  (* reconstruct the v1 serialization: same body with the pre-/2 engine and
+     counts lines, MD5 digest, /1 header *)
+  let body =
+    match String.split_on_char '\n' (Checkpoint.to_string ck) with
+    | _header :: _digest :: rest ->
+      rest
+      |> List.map (fun l ->
+             if String.length l >= 7 && String.sub l 0 7 = "engine " then
+               "engine dedup=1 por=0 domains=2 intern=1 symmetry=0"
+             else if String.length l >= 7 && String.sub l 0 7 = "counts " then
+               "counts leaves=42 nodes=999 max_events=12 max_op_steps=3 \
+                overflows=0 pruned=7 sleep_skips=1 degraded=2 evictions=1"
+             else l)
+      |> String.concat "\n"
+    | _ -> Alcotest.fail "unexpected checkpoint serialization"
+  in
+  let v1 =
+    "wfc-checkpoint/1\ndigest "
+    ^ Digest.to_hex (Digest.string body)
+    ^ "\n" ^ body
+  in
+  (match Checkpoint.of_string v1 with
+  | Error e -> Alcotest.failf "v1 checkpoint refused: %s" e
+  | Ok ck' ->
+    Alcotest.(check bool) "flat defaults to false" false
+      ck'.Checkpoint.engine.Checkpoint.flat;
+    Alcotest.(check int) "spilled defaults to 0" 0
+      ck'.Checkpoint.counts.Checkpoint.spilled;
+    Alcotest.(check bool) "probabilistic defaults to false" false
+      ck'.Checkpoint.counts.Checkpoint.probabilistic;
+    Alcotest.(check int) "v1 counts parsed" 42
+      ck'.Checkpoint.counts.Checkpoint.leaves;
+    Alcotest.(check bool) "re-serializes as /2" true
+      (String.length (Checkpoint.to_string ck') > 16
+      && String.sub (Checkpoint.to_string ck') 0 16 = "wfc-checkpoint/2"));
+  (* a corrupted v1 body is still refused by its MD5 digest *)
+  let tampered =
+    String.map (fun c -> if c = '9' then '8' else c) v1
+  in
+  match Checkpoint.of_string tampered with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered v1 body accepted"
+
 let test_checkpoint_meta_validation () =
   match
     Checkpoint.make
@@ -182,6 +242,7 @@ let test_checkpoint_meta_validation () =
           domains = 1;
           intern = false;
           symmetry = false;
+          flat = false;
         }
       ~fuel:1 ~faults:Faults.none ~workloads:[| [] |]
       ~counts:(Checkpoint.zero_counts ~n_objs:0)
@@ -441,24 +502,43 @@ let test_mem_watchdog_evicts_and_finishes () =
   (* a small exploration lives entirely in the minor heap, where
      [Gc.quick_stat] sees nothing — retain 2M words (~16 MiB) of ballast so
      the major heap genuinely exceeds the 1 MiB budget and the watchdog must
-     trip on its first sample and evict the dedup tables *)
+     trip on its first sample and shed dedup state *)
   let ballast = Array.init (1 lsl 21) (fun i -> i) in
+  let deduped =
+    Explore.run impl ~workloads:workloads3 ~options:Explore.fast ()
+  in
+  (* flat path: the exact fingerprint table migrates to the Bloom tier; the
+     run finishes but its clean sweep is downgraded to Probabilistic *)
   let stats =
     Explore.run impl ~workloads:workloads3 ~options:Explore.fast
       ~mem_budget_mb:1 ()
   in
-  ignore (Sys.opaque_identity ballast.(0));
   (match completeness_of stats with
-  | Explore.Exhaustive -> ()
-  | Explore.Partial _ -> Alcotest.fail "eviction must not cut the run");
+  | Explore.Partial Explore.Probabilistic -> ()
+  | c ->
+    Alcotest.failf "Bloom tier must report Probabilistic, got %a"
+      Explore.pp_completeness c);
   Alcotest.(check bool) "evicted under pressure" true
     (stats.Explore.evictions >= 1);
-  (* undeduped fallback explores at least as much as the deduped engine *)
-  let deduped =
-    Explore.run impl ~workloads:workloads3 ~options:Explore.fast ()
+  (* Bloom false positives can only prune more, never less — and on a state
+     space this small (2^23-bit filter) there are effectively none *)
+  Alcotest.(check int) "Bloom tier loses no coverage here"
+    deduped.Explore.leaves stats.Explore.leaves;
+  (* boxed path: tables are dropped and the run degrades to undeduped but
+     stays exhaustive *)
+  let boxed =
+    Explore.run impl ~workloads:workloads3
+      ~options:{ Explore.fast with flat = false } ~mem_budget_mb:1 ()
   in
+  ignore (Sys.opaque_identity ballast.(0));
+  (match completeness_of boxed with
+  | Explore.Exhaustive -> ()
+  | Explore.Partial _ -> Alcotest.fail "boxed eviction must not cut the run");
+  Alcotest.(check bool) "boxed path evicted under pressure" true
+    (boxed.Explore.evictions >= 1);
+  (* undeduped fallback explores at least as much as the deduped engine *)
   Alcotest.(check bool) "fallback loses no coverage" true
-    (stats.Explore.leaves >= deduped.Explore.leaves)
+    (boxed.Explore.leaves >= deduped.Explore.leaves)
 
 (* --- Check-level: verdict parity across interruption ----------------------- *)
 
@@ -551,6 +631,8 @@ let () =
             test_checkpoint_digest_rejects_tampering;
           Alcotest.test_case "parser total under mutation" `Quick
             test_checkpoint_of_string_total;
+          Alcotest.test_case "legacy v1 format parses" `Quick
+            test_checkpoint_v1_still_parses;
           Alcotest.test_case "problem mismatch detected" `Quick
             test_checkpoint_mismatch_detected;
           Alcotest.test_case "meta validation" `Quick
