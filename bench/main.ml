@@ -1267,6 +1267,141 @@ let resume_report () =
   List.iter (fun s -> Fmt.pr "GUARD FAILED: %s@." s) !guard_failures;
   !guard_failures = []
 
+(* --- DS: distributed verification fleet -------------------------------------------------------- *)
+
+(* Scaling of `wfc serve` over forked worker pools, dumped as
+   BENCH_distributed.json. The workload is cas n=6 (E10-class state space:
+   728 vectors, ~11k executions) named via Protocols.of_name so workers can
+   rebuild it from the job's meta. Hard guard: every fleet size must reach
+   the same verdict (and vector count) as single-process Check.verify.
+   Speedup guard: >= 1.6x at 4 workers, enforced only when the host has
+   >= 4 cores — on fewer cores the forked workers time-slice one CPU and
+   the numbers measure coordination overhead, not scaling. *)
+
+let distributed_report () =
+  Fmt.pr "==== DS distributed fleet (cas n=6 over forked workers) ====@.";
+  let guard_failures = ref [] in
+  let fail fmt =
+    Fmt.kstr (fun s -> guard_failures := s :: !guard_failures) fmt
+  in
+  let name = "cas" and procs = 6 in
+  let impl =
+    match Protocols.of_name ~procs name with
+    | Ok impl -> impl
+    | Error e -> failwith e
+  in
+  let verdict_str = function
+    | Check.Verified _ -> "verified"
+    | Check.Falsified _ -> "falsified"
+    | Check.Unknown _ -> "unknown"
+  in
+  let wall f =
+    let t0 = Wfc_sim.Monotime.now () in
+    let r = f () in
+    (Wfc_sim.Monotime.now () -. t0, r)
+  in
+  let single_wall, single = wall (fun () -> Check.verify impl) in
+  let single_vectors, single_execs =
+    match single with
+    | Check.Verified r -> (r.Check.vectors, r.Check.executions)
+    | v ->
+      fail "single-process run was %s, expected verified" (verdict_str v);
+      (0, 0)
+  in
+  Fmt.pr "  single process: %.2f s (%d vectors, %d executions)@." single_wall
+    single_vectors single_execs;
+  let fleet_sizes = [ 2; 4; 8 ] in
+  let meta = [ ("protocol", name); ("procs", string_of_int procs) ] in
+  let rows =
+    List.map
+      (fun workers ->
+        let socket =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Fmt.str "wfc-ds-%d-%d.sock" (Unix.getpid ()) workers)
+        in
+        let pids = Wfc_fleet.Local.spawn ~socket workers in
+        (* one shard per input vector: a 100k quantum never cuts cas n=6's
+           per-vector trees, so the 728 independent vectors are the unit of
+           parallelism and splits only happen via work-stealing — splitting
+           below that grain loses per-shard dedup and costs more than it
+           buys *)
+        let config =
+          Wfc_fleet.Coordinator.config ~quantum:100_000 ~local_grace_s:10.
+            socket
+        in
+        let w, (verdict, stats) =
+          wall (fun () -> Wfc_fleet.Coordinator.serve ~meta ~config impl)
+        in
+        Wfc_fleet.Local.shutdown pids;
+        (match verdict with
+        | Check.Verified r when r.Check.vectors = single_vectors -> ()
+        | Check.Verified r ->
+          fail "%d-worker fleet checked %d vectors, single process %d" workers
+            r.Check.vectors single_vectors
+        | v ->
+          fail "%d-worker fleet was %s, single process %s" workers
+            (verdict_str v) (verdict_str single));
+        let speedup = single_wall /. w in
+        Fmt.pr
+          "  %d workers: %.2f s (%.2fx), %d shards, %d splits, %d steals, %d \
+           lease misses@."
+          workers w speedup stats.Wfc_fleet.Coordinator.shards_run
+          stats.Wfc_fleet.Coordinator.splits stats.Wfc_fleet.Coordinator.steals
+          stats.Wfc_fleet.Coordinator.lease_misses;
+        (workers, w, speedup, verdict_str verdict, stats))
+      fleet_sizes
+  in
+  let cores = Domain.recommended_domain_count () in
+  let enforce = cores >= 4 in
+  (match List.find_opt (fun (w, _, _, _, _) -> w = 4) rows with
+  | Some (_, _, speedup, _, _) when enforce ->
+    if speedup < 1.6 then
+      fail "4-worker speedup %.2fx below the 1.6x floor (%d cores)" speedup
+        cores
+  | Some (_, _, speedup, _, _) ->
+    Fmt.pr
+      "  (speedup guard skipped: %d effective core(s) — %.2fx at 4 workers \
+       measures time-slicing, not scaling)@."
+      cores speedup
+  | None -> fail "no 4-worker row");
+  let json =
+    Fmt.str
+      "{\n\
+      \  \"schema\": \"wfc-bench-distributed/1\",\n\
+      \  \"workload\": {\"protocol\": %S, \"procs\": %d, \"vectors\": %d, \
+       \"executions\": %d},\n\
+      \  \"cores\": %d,\n\
+      \  \"single_wall_s\": %.3f,\n\
+      \  \"fleets\": [%s\n  ],\n\
+      \  \"speedup_guard_enforced\": %b,\n\
+      \  \"guards_passed\": %b\n\
+       }\n"
+      name procs single_vectors single_execs cores single_wall
+      (String.concat ","
+         (List.map
+            (fun (workers, w, speedup, verdict, stats) ->
+              Fmt.str
+                "\n\
+                \    {\"workers\": %d, \"wall_s\": %.3f, \"speedup\": %.2f, \
+                 \"verdict\": %S, \"shards\": %d, \"splits\": %d, \"steals\": \
+                 %d, \"lease_misses\": %d}"
+                workers w speedup verdict
+                stats.Wfc_fleet.Coordinator.shards_run
+                stats.Wfc_fleet.Coordinator.splits
+                stats.Wfc_fleet.Coordinator.steals
+                stats.Wfc_fleet.Coordinator.lease_misses)
+            rows))
+      enforce
+      (!guard_failures = [])
+  in
+  let oc = open_out "BENCH_distributed.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_distributed.json@.";
+  List.iter (fun s -> Fmt.pr "GUARD FAILED: %s@." s) !guard_failures;
+  !guard_failures = []
+
 let ex =
   let impl = Protocols.from_cas ~procs:3 () in
   let workloads =
@@ -1349,12 +1484,15 @@ let () =
     exit (if compact_report () then 0 else 1);
   if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "rs" then
     exit (if resume_report () then 0 else 1);
+  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "ds" then
+    exit (if distributed_report () then 0 else 1);
   shape_facts ();
   if not (explore_engine_report ~check:false ()) then exit 1;
   fault_injection_report ();
   if not (linearize_engine_report ()) then exit 1;
   if not (compact_report ()) then exit 1;
   if not (resume_report ()) then exit 1;
+  if not (distributed_report ()) then exit 1;
   Fmt.pr "==== timings (bechamel, OLS per-run estimates) ====@.";
   List.iter
     (fun t ->

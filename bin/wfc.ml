@@ -4,6 +4,10 @@
      zoo        the type catalog with §5.1/§5.2 analyses
      verify     exhaustively check a consensus protocol (with optional
                 fault adversaries, budgets and witness output)
+     serve      the same verification, distributed: coordinate a fleet of
+                workers over a Unix-domain socket
+     worker     join a fleet as a worker process
+     checkpoint inspect a saved checkpoint without resuming it
      explore    §4.2 execution-tree statistics for a protocol
      compile    Theorem 5: eliminate a protocol's registers over a type
      stress     multicore agreement trials
@@ -18,19 +22,12 @@ open Wfc_core
 
 (* --- shared arguments ------------------------------------------------------ *)
 
-let protocol_names =
-  [ "tas"; "faa"; "swap"; "queue"; "cas"; "cas-ids"; "sticky"; "broken" ]
+let protocol_names = Protocols.names
 
-let make_protocol ?(procs = 2) = function
-  | "tas" -> Protocols.from_tas ()
-  | "faa" -> Protocols.from_faa ()
-  | "swap" -> Protocols.from_swap ()
-  | "queue" -> Protocols.from_queue ()
-  | "cas" -> Protocols.from_cas ~procs ()
-  | "cas-ids" -> Protocols.from_cas_ids ~procs ()
-  | "sticky" -> Protocols.from_sticky ~procs ()
-  | "broken" -> Protocols.broken_register_only ()
-  | p -> Fmt.failwith "unknown protocol %s (try: %s)" p (String.concat ", " protocol_names)
+let make_protocol ?procs name =
+  match Protocols.of_name ?procs name with
+  | Ok impl -> impl
+  | Error e -> failwith e
 
 let protocol_arg =
   let doc =
@@ -197,6 +194,115 @@ let faults_of_flags impl ~crashes ~recoveries ~glitches ~degrade =
     degraded;
   }
 
+(* Load-and-sanity-check a checkpoint named by --resume: shared between the
+   single-process verifier and the fleet coordinator, which accept each
+   other's files. *)
+let load_resume ~name ~procs = function
+  | None -> None
+  | Some file -> (
+    match Wfc_sim.Checkpoint.load file with
+    | Error e -> Fmt.failwith "cannot load checkpoint %s: %s" file e
+    | Ok ck ->
+      (match Wfc_sim.Checkpoint.meta_find ck "protocol" with
+      | Some p when not (String.equal p name) ->
+        Fmt.failwith "checkpoint %s was taken for protocol %s, not %s" file p
+          name
+      | _ -> ());
+      (match
+         Option.bind
+           (Wfc_sim.Checkpoint.meta_find ck "procs")
+           int_of_string_opt
+       with
+      | Some k when k <> procs ->
+        Fmt.failwith "checkpoint %s was taken with %d processes, not %d" file
+          k procs
+      | _ -> ());
+      Some ck)
+
+(* Arm SIGINT/SIGTERM as a cooperative cut: the engine (or coordinator)
+   polls the flag, flushes a final checkpoint and reports UNKNOWN
+   (interrupted) → exit 2. *)
+let arm_interrupt () =
+  let flag = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set flag true) in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s handler with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ];
+  flag
+
+(* The one verdict printer: `wfc verify` and `wfc serve` must agree on both
+   the text and the exit code (0 verified / 1 falsified / 2 unknown), so a
+   fleet run is a drop-in replacement in scripts and CI. *)
+let print_verdict ~name ~procs ~crashes ~recoveries ~glitches ~degrade
+    ~witness_file ~checkpoint verdict =
+  let pp_pressure ?(probabilistic = false) () ppf (r : Check.report) =
+    if r.Check.degraded > 0 then
+      Fmt.pf ppf "@.degraded: absorbed %d worker failure/stall event(s)."
+        r.Check.degraded;
+    if r.Check.evictions > 0 then
+      if probabilistic then
+        Fmt.pf ppf
+          "@.memory pressure: migrated %d duplicate-state table(s) to \
+           the probabilistic Bloom tier."
+          r.Check.evictions
+      else
+        Fmt.pf ppf
+          "@.memory pressure: evicted %d duplicate-state table(s); parts \
+           of the search ran undeduped."
+          r.Check.evictions
+  in
+  match verdict with
+  | Check.Verified r ->
+    Fmt.pr
+      "OK: agreement, validity and wait-freedom hold over %d executions \
+       (%d input vectors, longest run %d events, max %d accesses per \
+       op).%a@."
+      r.Check.executions r.Check.vectors r.Check.max_events
+      r.Check.max_op_steps (pp_pressure ()) r;
+    0
+  | Check.Falsified v ->
+    Fmt.pr "VIOLATION: %a@." Check.pp_violation v;
+    (match (witness_file, v.Check.witness) with
+    | Some file, Some w ->
+      let w =
+        {
+          w with
+          Wfc_sim.Witness.meta =
+            [ ("protocol", name); ("procs", string_of_int procs) ];
+        }
+      in
+      let oc = open_out file in
+      output_string oc (Wfc_sim.Witness.to_string w);
+      close_out oc;
+      Fmt.pr "witness stored to %s (replay with: wfc replay %s)@." file file
+    | Some _, None -> Fmt.pr "no witness to store for this violation@."
+    | None, _ -> ());
+    1
+  | Check.Unknown { partial; reason } ->
+    (* a probabilistic-dedup Unknown finished its search: there is no
+       checkpoint left to resume and resuming would not sharpen the
+       verdict — more memory would *)
+    let probabilistic = reason = "probabilistic dedup (memory budget)" in
+    Fmt.pr
+      "UNKNOWN (%s): not falsified within %d vector(s), %d execution(s)%s%a@."
+      reason partial.Check.vectors partial.Check.executions
+      (if probabilistic then
+         " — raise --mem-budget to keep exact dedup for a full verdict."
+       else
+         match checkpoint with
+         | Some f ->
+           let flag k v = if v = 0 then "" else Fmt.str " --%s %d" k v in
+           Fmt.str " — resume with: wfc verify %s -n %d%s%s%s%s --resume %s"
+             name procs (flag "crashes" crashes)
+             (flag "recoveries" recoveries) (flag "glitches" glitches)
+             (match degrade with Some d -> " --degrade " ^ d | None -> "")
+             f
+         | None -> " — raise --budget/--deadline for a verdict.")
+      (pp_pressure ~probabilistic ())
+      partial;
+    2
+
 let verify_cmd =
   let run name procs crashes recoveries glitches degrade budget deadline_s
       witness_file no_intern no_symmetry ckpt_file ckpt_interval resume_file
@@ -214,121 +320,24 @@ let verify_cmd =
         symmetry = not (no_symmetry || no_intern);
       }
     in
-    let resume =
-      match resume_file with
-      | None -> None
-      | Some file -> (
-        match Wfc_sim.Checkpoint.load file with
-        | Error e -> Fmt.failwith "cannot load checkpoint %s: %s" file e
-        | Ok ck ->
-          (match Wfc_sim.Checkpoint.meta_find ck "protocol" with
-          | Some p when not (String.equal p name) ->
-            Fmt.failwith
-              "checkpoint %s was taken for protocol %s, not %s" file p name
-          | _ -> ());
-          (match
-             Option.bind
-               (Wfc_sim.Checkpoint.meta_find ck "procs")
-               int_of_string_opt
-           with
-          | Some k when k <> procs ->
-            Fmt.failwith
-              "checkpoint %s was taken with %d processes, not %d" file k
-              procs
-          | _ -> ());
-          Some ck)
-    in
+    let resume = load_resume ~name ~procs resume_file in
     let checkpoint =
       match (ckpt_file, resume_file) with
       | Some f, _ | None, Some f -> Some (f, ckpt_interval)
       | None, None -> None
     in
-    (* With a checkpoint sink armed, Ctrl-C / TERM become a graceful cut:
-       the engine polls the flag, flushes a final checkpoint and the
-       verdict comes back UNKNOWN (interrupted) → exit 2. *)
     let interrupt =
-      match checkpoint with
-      | None -> None
-      | Some _ ->
-        let flag = Atomic.make false in
-        let handler = Sys.Signal_handle (fun _ -> Atomic.set flag true) in
-        List.iter
-          (fun s ->
-            try Sys.set_signal s handler with
-            | Invalid_argument _ | Sys_error _ -> ())
-          [ Sys.sigint; Sys.sigterm ];
-        Some flag
+      match checkpoint with None -> None | Some _ -> Some (arm_interrupt ())
     in
     let meta = [ ("protocol", name); ("procs", string_of_int procs) ] in
-    let pp_pressure ?(probabilistic = false) () ppf (r : Check.report) =
-      if r.Check.degraded > 0 then
-        Fmt.pf ppf "@.degraded: absorbed %d worker failure/stall event(s)."
-          r.Check.degraded;
-      if r.Check.evictions > 0 then
-        if probabilistic then
-          Fmt.pf ppf
-            "@.memory pressure: migrated %d duplicate-state table(s) to \
-             the probabilistic Bloom tier."
-            r.Check.evictions
-        else
-          Fmt.pf ppf
-            "@.memory pressure: evicted %d duplicate-state table(s); parts \
-             of the search ran undeduped."
-            r.Check.evictions
-    in
-    match
+    let verdict =
       Check.verify ~faults ?budget ?deadline_s ~engine ?checkpoint ?resume
         ?mem_budget_mb ?interrupt ~meta impl
-    with
-    | Check.Verified r ->
-      Fmt.pr
-        "OK: agreement, validity and wait-freedom hold over %d executions \
-         (%d input vectors, longest run %d events, max %d accesses per \
-         op).%a@."
-        r.Check.executions r.Check.vectors r.Check.max_events
-        r.Check.max_op_steps (pp_pressure ()) r;
-      0
-    | Check.Falsified v ->
-      Fmt.pr "VIOLATION: %a@." Check.pp_violation v;
-      (match (witness_file, v.Check.witness) with
-      | Some file, Some w ->
-        let w =
-          {
-            w with
-            Wfc_sim.Witness.meta =
-              [ ("protocol", name); ("procs", string_of_int procs) ];
-          }
-        in
-        let oc = open_out file in
-        output_string oc (Wfc_sim.Witness.to_string w);
-        close_out oc;
-        Fmt.pr "witness stored to %s (replay with: wfc replay %s)@." file file
-      | Some _, None -> Fmt.pr "no witness to store for this violation@."
-      | None, _ -> ());
-      1
-    | Check.Unknown { partial; reason } ->
-      (* a probabilistic-dedup Unknown finished its search: there is no
-         checkpoint left to resume and resuming would not sharpen the
-         verdict — more memory would *)
-      let probabilistic = reason = "probabilistic dedup (memory budget)" in
-      Fmt.pr
-        "UNKNOWN (%s): not falsified within %d vector(s), %d execution(s)%s%a@."
-        reason partial.Check.vectors partial.Check.executions
-        (if probabilistic then
-           " — raise --mem-budget to keep exact dedup for a full verdict."
-         else
-           match checkpoint with
-           | Some (f, _) ->
-             let flag k v = if v = 0 then "" else Fmt.str " --%s %d" k v in
-             Fmt.str " — resume with: wfc verify %s -n %d%s%s%s%s --resume %s"
-               name procs (flag "crashes" crashes)
-               (flag "recoveries" recoveries) (flag "glitches" glitches)
-               (match degrade with Some d -> " --degrade " ^ d | None -> "")
-               f
-           | None -> " — raise --budget/--deadline for a verdict.")
-        (pp_pressure ~probabilistic ())
-        partial;
-      2
+    in
+    print_verdict ~name ~procs ~crashes ~recoveries ~glitches ~degrade
+      ~witness_file
+      ~checkpoint:(Option.map fst checkpoint)
+      verdict
   in
   Cmd.v
     (Cmd.info "verify"
@@ -342,6 +351,252 @@ let verify_cmd =
       $ degrade_arg $ budget_arg $ deadline_arg $ witness_out_arg
       $ no_intern_arg $ no_symmetry_arg $ checkpoint_arg
       $ checkpoint_interval_arg $ resume_arg $ mem_budget_arg)
+
+(* --- serve / worker: the distributed fleet ---------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path the fleet rendezvouses on." in
+  Arg.(
+    value
+    & opt string
+        (Filename.concat (Filename.get_temp_dir_name ()) "wfc-fleet.sock")
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let chaos_arg =
+  let doc =
+    "Fault-injection plan for (forked) workers: comma-separated kill:N, \
+     stall:N, garbage:N, delay:F, or seed:S:W for a replayable randomized \
+     plan. Test harness — production fleets run without it."
+  in
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
+
+let parse_chaos = function
+  | None -> Wfc_fleet.Chaos.none
+  | Some spec -> (
+    match Wfc_fleet.Chaos.of_spec spec with
+    | Ok p -> p
+    | Error e -> failwith e)
+
+let verbose_arg =
+  let doc = "Log fleet events (joins, leases, losses, steals) to stderr." in
+  Arg.(value & flag & info [ "verbose" ] ~doc)
+
+let serve_cmd =
+  let workers_arg =
+    let doc =
+      "Fork $(docv) local worker processes (0: rely entirely on external \
+       $(b,wfc worker) processes joining the socket; the coordinator still \
+       finishes alone if nobody ever comes)."
+    in
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let lease_arg =
+    let doc =
+      "Lease duration in seconds: a worker that misses heartbeats for this \
+       long is declared lost and its shard is requeued (once; then run \
+       locally)."
+    in
+    Arg.(value & opt float 10. & info [ "lease" ] ~docv:"SECONDS" ~doc)
+  in
+  let quantum_arg =
+    let doc =
+      "Node budget per lease — the work-stealing grain: a cut shard's \
+       remaining frontier is split across idle workers."
+    in
+    Arg.(value & opt int 20_000 & info [ "quantum" ] ~docv:"NODES" ~doc)
+  in
+  let chaos_seed_arg =
+    let doc =
+      "Give forked worker $(i,i) the replayable randomized plan \
+       seed:$(docv):$(i,i) (overrides --chaos)."
+    in
+    Arg.(value & opt (some int) None & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+  in
+  let local_grace_arg =
+    let doc =
+      "With no connected workers after $(docv) seconds, the coordinator \
+       starts draining shards itself (it never deadlocks waiting for a \
+       fleet that never comes)."
+    in
+    Arg.(value & opt float 1. & info [ "local-grace" ] ~docv:"SECONDS" ~doc)
+  in
+  let run name procs crashes recoveries glitches degrade budget deadline_s
+      witness_file ckpt_file resume_file socket workers lease_s quantum
+      local_grace_s chaos_spec chaos_seed verbose =
+    let impl = make_protocol ~procs name in
+    let faults =
+      faults_of_flags impl ~crashes ~recoveries ~glitches ~degrade
+    in
+    if not (Wfc_sim.Faults.is_none faults) then
+      Fmt.pr "adversary: %a@." Wfc_sim.Faults.pp faults;
+    let resume = load_resume ~name ~procs resume_file in
+    let checkpoint =
+      match (ckpt_file, resume_file) with
+      | Some f, _ | None, Some f -> Some f
+      | None, None -> None
+    in
+    let chaos =
+      match chaos_seed with
+      | Some seed -> fun i -> Wfc_fleet.Chaos.seeded ~seed ~worker:i
+      | None ->
+        let p = parse_chaos chaos_spec in
+        fun _ -> p
+    in
+    (* Fork the local pool before binding the socket (children retry with
+       jittered backoff, so the ordering race is harmless) and before any
+       domain is spawned. *)
+    let pids =
+      if workers > 0 then Wfc_fleet.Local.spawn ~chaos ~socket workers
+      else []
+    in
+    let log =
+      if verbose then fun m -> Fmt.epr "[serve] %s@." m else fun _ -> ()
+    in
+    let config =
+      Wfc_fleet.Coordinator.config ~lease_s ~quantum ~local_grace_s
+        ?checkpoint ~log socket
+    in
+    let meta = [ ("protocol", name); ("procs", string_of_int procs) ] in
+    let interrupt = arm_interrupt () in
+    let verdict, fstats =
+      Wfc_fleet.Coordinator.serve ~faults ?budget ?deadline_s ?resume
+        ~interrupt ~meta ~config impl
+    in
+    Wfc_fleet.Local.shutdown pids;
+    Fmt.pr
+      "fleet: %d worker(s) seen, %d shard(s) run (%d locally, %d splits, %d \
+       steals), %d lease miss(es) absorbed.@."
+      fstats.Wfc_fleet.Coordinator.workers_seen
+      fstats.Wfc_fleet.Coordinator.shards_run
+      fstats.Wfc_fleet.Coordinator.local_shards
+      fstats.Wfc_fleet.Coordinator.splits fstats.Wfc_fleet.Coordinator.steals
+      fstats.Wfc_fleet.Coordinator.lease_misses;
+    print_verdict ~name ~procs ~crashes ~recoveries ~glitches ~degrade
+      ~witness_file ~checkpoint verdict
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Verify a consensus protocol on a fleet of worker processes: same \
+          search, same verdicts and exit codes as $(b,wfc verify), \
+          tolerating worker crashes, stalls and partitions")
+    Term.(
+      const (fun n p c r g d b dl w cf rf sk wk ls q lg ch cs v ->
+          Stdlib.exit (run n p c r g d b dl w cf rf sk wk ls q lg ch cs v))
+      $ protocol_arg $ procs_arg $ crashes_arg $ recoveries_arg $ glitches_arg
+      $ degrade_arg $ budget_arg $ deadline_arg $ witness_out_arg
+      $ checkpoint_arg $ resume_arg $ socket_arg $ workers_arg $ lease_arg
+      $ quantum_arg $ local_grace_arg $ chaos_arg $ chaos_seed_arg
+      $ verbose_arg)
+
+let worker_cmd =
+  let name_arg =
+    let doc = "Worker name reported to the coordinator." in
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
+  in
+  let seed_arg =
+    let doc = "Reconnect-jitter seed." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let attempts_arg =
+    let doc = "Give up after $(docv) consecutive failed connection attempts." in
+    Arg.(value & opt int 60 & info [ "connect-attempts" ] ~docv:"K" ~doc)
+  in
+  let run socket name chaos_spec seed attempts verbose =
+    let chaos = parse_chaos chaos_spec in
+    let log =
+      if verbose then fun m -> Fmt.epr "[worker] %s@." m else fun _ -> ()
+    in
+    let cfg =
+      Wfc_fleet.Worker.config ?name ~chaos ~seed ~connect_attempts:attempts
+        ~log socket
+    in
+    match Wfc_fleet.Worker.run cfg with
+    | Ok () -> 0
+    | Error e ->
+      Fmt.epr "worker: %s@." e;
+      3
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Join a $(b,wfc serve) fleet: lease shards, explore them, heartbeat, \
+          reconnect with jittered backoff when the coordinator vanishes")
+    Term.(
+      const (fun s n c sd a v -> Stdlib.exit (run s n c sd a v))
+      $ socket_arg $ name_arg $ chaos_arg $ seed_arg $ attempts_arg
+      $ verbose_arg)
+
+(* --- checkpoint info ---------------------------------------------------------- *)
+
+let checkpoint_cmd =
+  let file_arg =
+    let doc = "Checkpoint file written by wfc verify/serve." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let info_run file =
+    let first_line =
+      let ic = open_in_bin file in
+      let l = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      l
+    in
+    match Wfc_sim.Checkpoint.load file with
+    | Error e ->
+      Fmt.pr "cannot load %s: %s@." file e;
+      1
+    | Ok ck ->
+      let c = ck.Wfc_sim.Checkpoint.counts in
+      let e = ck.Wfc_sim.Checkpoint.engine in
+      Fmt.pr "%s@." file;
+      Fmt.pr "  format        %s@."
+        (match String.index_opt first_line ' ' with
+        | Some i -> String.sub first_line 0 i
+        | None -> first_line);
+      (match Wfc_sim.Checkpoint.meta_find ck "protocol" with
+      | Some p -> Fmt.pr "  protocol      %s@." p
+      | None -> ());
+      Fmt.pr "  processes     %d@."
+        (Array.length ck.Wfc_sim.Checkpoint.workloads);
+      Fmt.pr "  engine        dedup=%b por=%b domains=%d intern=%b \
+              symmetry=%b flat=%b@."
+        e.Wfc_sim.Checkpoint.dedup e.Wfc_sim.Checkpoint.por
+        e.Wfc_sim.Checkpoint.domains e.Wfc_sim.Checkpoint.intern
+        e.Wfc_sim.Checkpoint.symmetry e.Wfc_sim.Checkpoint.flat;
+      Fmt.pr "  fuel          %d@." ck.Wfc_sim.Checkpoint.fuel;
+      (match ck.Wfc_sim.Checkpoint.budget_left with
+      | Some b -> Fmt.pr "  budget left   %d nodes@." b
+      | None -> ());
+      if not (Wfc_sim.Faults.is_none ck.Wfc_sim.Checkpoint.faults) then
+        Fmt.pr "  adversary     %a@." Wfc_sim.Faults.pp
+          ck.Wfc_sim.Checkpoint.faults;
+      Fmt.pr "  frontier      %d pending subtree prefix(es)@."
+        (List.length ck.Wfc_sim.Checkpoint.frontier);
+      Fmt.pr "  counts        %d leaves, %d nodes, %d overflows, %d pruned, \
+              %d degraded, %d evictions%s@."
+        c.Wfc_sim.Checkpoint.leaves c.Wfc_sim.Checkpoint.nodes
+        c.Wfc_sim.Checkpoint.overflows c.Wfc_sim.Checkpoint.pruned
+        c.Wfc_sim.Checkpoint.degraded c.Wfc_sim.Checkpoint.evictions
+        (if c.Wfc_sim.Checkpoint.probabilistic then " (probabilistic dedup)"
+         else "");
+      List.iter
+        (fun (k, v) ->
+          if String.length k >= 6 && String.sub k 0 6 = "check." then
+            Fmt.pr "  %-13s %s@." (String.sub k 6 (String.length k - 6)) v)
+        ck.Wfc_sim.Checkpoint.meta;
+      0
+  in
+  let info_cmd =
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:
+           "Print a checkpoint's protocol, engine configuration, frontier \
+            size and accumulated statistics without resuming it")
+      Term.(const (fun f -> Stdlib.exit (info_run f)) $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "checkpoint" ~doc:"Inspect saved verification checkpoints")
+    [ info_cmd ]
 
 (* --- explore ------------------------------------------------------------------ *)
 
@@ -678,6 +933,11 @@ let replay_cmd =
     Term.(const (fun f -> Stdlib.exit (run f)) $ file_arg)
 
 let () =
+  (* Fleet sockets everywhere: a peer disappearing mid-write must surface
+     as EPIPE/ECONNRESET (mapped to the lease-loss/reconnect paths), never
+     as a process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let doc =
     "Reproduction of 'On the Use of Registers in Achieving Wait-Free \
      Consensus' (Bazzi, Neiger, Peterson; PODC 1994)"
@@ -686,6 +946,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "wfc" ~doc)
           [
-            zoo_cmd; verify_cmd; explore_cmd; compile_cmd; valence_cmd;
-            trace_cmd; stress_cmd; replay_cmd;
+            zoo_cmd; verify_cmd; serve_cmd; worker_cmd; checkpoint_cmd;
+            explore_cmd; compile_cmd; valence_cmd; trace_cmd; stress_cmd;
+            replay_cmd;
           ]))

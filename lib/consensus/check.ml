@@ -147,6 +147,48 @@ let shrink_violation impl (v : violation) =
 (* Local control-flow exception: the global budget/deadline ran out. *)
 exception Exhausted of string
 
+(* --- the (subset, input-vector) job enumeration -------------------------------
+
+   Exposed so the distributed fleet ({!Wfc_fleet}) schedules {e exactly} the
+   jobs this verifier would run — same positions, same participant subsets,
+   same workload construction — and its stitched verdict means the same
+   thing as a single-process one. *)
+
+type vector = {
+  pos : int;
+  participants : int list;
+  inputs : (int * Value.t) list;
+  workloads : Value.t list array;
+}
+
+let vectors ?(subsets = true) ?(repeat = true)
+    ?(domain = [ Value.falsity; Value.truth ]) (impl : Implementation.t) =
+  if List.length domain < 2 then
+    invalid_arg "Check.vectors: domain needs at least two values";
+  let other_than v = List.find (fun d -> not (Value.equal d v)) domain in
+  let n = impl.Implementation.procs in
+  let participant_sets =
+    if subsets then subsets_of n else [ List.init n Fun.id ]
+  in
+  let pos = ref 0 in
+  List.concat_map
+    (fun participants ->
+      List.map
+        (fun inputs ->
+          incr pos;
+          let workloads =
+            Array.init n (fun p ->
+                match List.assoc_opt p inputs with
+                | None -> []
+                | Some v ->
+                  let first = Ops.propose v in
+                  if repeat then [ first; Ops.propose (other_than v) ]
+                  else [ first ])
+          in
+          { pos = !pos; participants; inputs; workloads })
+        (vectors_over ~domain participants))
+    participant_sets
+
 let verify_values ~domain ?(subsets = true) ?(repeat = true)
     ?(max_crashes = 0) ?faults ?fuel ?budget ?deadline_s ?(shrink = true)
     ?(engine = Wfc_sim.Explore.fast) ?par_threshold ?checkpoint ?resume
@@ -163,13 +205,7 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
       }
     | None -> Wfc_sim.Faults.crashes max_crashes
   in
-  let other_than v =
-    List.find (fun d -> not (Value.equal d v)) domain
-  in
-  let n = impl.Implementation.procs in
-  let participant_sets =
-    if subsets then subsets_of n else [ List.init n Fun.id ]
-  in
+  let all_vectors = vectors ~subsets ~repeat ~domain impl in
   let deadline =
     Option.map (fun s -> Wfc_sim.Monotime.now () +. s) deadline_s
   in
@@ -216,7 +252,7 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
       Some (geti "check.vector", ck)
   in
   let resume_pending = ref resume_at in
-  let pos = ref 0 in
+  let last_pos = ref 0 in
   let report () =
     {
       vectors = !vectors;
@@ -234,14 +270,13 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
   in
   try
     List.iter
-      (fun participants ->
-        List.iter
-          (fun inputs ->
-            incr pos;
+      (fun { pos; participants; inputs; workloads } ->
+        last_pos := pos;
+        begin
             let skip, this_resume =
               match !resume_pending with
-              | Some (v0, _) when !pos < v0 -> (true, None)
-              | Some (v0, ck) when !pos = v0 ->
+              | Some (v0, _) when pos < v0 -> (true, None)
+              | Some (v0, ck) when pos = v0 ->
                 resume_pending := None;
                 (false, Some ck)
               | _ -> (false, None)
@@ -251,22 +286,13 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
               (match this_resume with
               | None -> incr vectors
               | Some _ -> ());
-              let workloads =
-                Array.init n (fun p ->
-                    match List.assoc_opt p inputs with
-                    | None -> []
-                    | Some v ->
-                      let first = Ops.propose v in
-                      if repeat then [ first; Ops.propose (other_than v) ]
-                      else [ first ])
-              in
               (* Snapshot the accumulators {e excluding} this vector: a
                  checkpoint taken mid-vector restores exactly this state and
                  re-adds the vector's own contribution from its counts. *)
               let vec_meta =
                 meta
                 @ [
-                    ("check.vector", string_of_int !pos);
+                    ("check.vector", string_of_int pos);
                     ("check.vectors", string_of_int !vectors);
                     ("check.executions", string_of_int !executions);
                     ("check.max_events", string_of_int !max_events);
@@ -407,16 +433,16 @@ let verify_values ~domain ?(subsets = true) ?(repeat = true)
                            (Wfc_sim.Witness.make ~workloads ~faults)
                            stats.Wfc_sim.Explore.overflow_trace;
                      })
-            end)
-          (vectors_over ~domain participants))
-      participant_sets;
+            end
+        end)
+      all_vectors;
     (match !resume_pending with
     | Some (v0, _) ->
       invalid_arg
         (Fmt.str
            "Check: checkpoint points at vector %d but only %d exist — was it \
             taken with different subsets/repeat/domain settings?"
-           v0 !pos)
+           v0 !last_pos)
     | None -> ());
     remove_checkpoint ();
     if !probabilistic then

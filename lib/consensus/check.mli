@@ -174,5 +174,49 @@ val result_exn : verdict -> (report, violation) result
     @raise Failure on {!Unknown} — callers that set no budget/deadline never
     see it. *)
 
+(** {2 The job enumeration and leaf predicate}
+
+    The building blocks {!verify} is made of, exposed so the distributed
+    fleet ({!Wfc_fleet}) runs {e exactly} the same jobs with {e exactly} the
+    same per-execution predicate — fleet verdicts and single-process
+    verdicts are then statements about the same search. *)
+
+type vector = {
+  pos : int;
+      (** 1-based position in the deterministic subset × input-vector
+          enumeration — the value checkpoint meta stores as [check.vector] *)
+  participants : int list;
+  inputs : (int * Wfc_spec.Value.t) list;
+  workloads : Wfc_spec.Value.t list array;
+}
+
+val vectors :
+  ?subsets:bool ->
+  ?repeat:bool ->
+  ?domain:Wfc_spec.Value.t list ->
+  Implementation.t ->
+  vector list
+(** Every (participation subset, input vector) job {!verify} would run, in
+    order. Defaults mirror {!verify}: all non-empty subsets, repeated
+    proposals, the binary domain. *)
+
+val check_leaf :
+  inputs:(int * Wfc_spec.Value.t) list ->
+  Wfc_sim.Exec.leaf ->
+  (unit, string) result
+(** The agreement + validity predicate applied to one complete execution
+    (wait-freedom is checked separately, from [stats.overflows]). *)
+
+val inputs_of_workloads :
+  Wfc_spec.Value.t list array -> (int * Wfc_spec.Value.t) list
+(** Recover ⟨participant, proposal⟩ pairs from (possibly shrunk) workloads:
+    participants are the processes with a non-empty workload, their input
+    the argument of their first proposal. *)
+
+val shrink_violation : Implementation.t -> violation -> violation
+(** Delta-debug a violation's witness ({!Wfc_sim.Witness.shrink}) and
+    re-derive participants/inputs/reason/ops from the shrunk replay — the
+    minimization {!verify} applies before reporting {!Falsified}. *)
+
 val pp_violation : Format.formatter -> violation -> unit
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -185,3 +185,25 @@ let from_cas_ids ~procs () =
     (Implementation.make
        ~target:(Consensus_type.binary ~ports:procs)
        ~implements:Consensus_type.bot ~procs ~objects ~program ())
+
+(* --- lookup by name ----------------------------------------------------------
+
+   The single place that maps protocol names to builders: the CLI, the
+   fleet workers (which rebuild the implementation from a job's meta
+   section) and witness replay must all agree on this table, or a shard
+   leased to a worker would silently verify a different protocol. *)
+
+let names =
+  [ "tas"; "faa"; "swap"; "queue"; "cas"; "cas-ids"; "sticky"; "broken" ]
+
+let of_name ?(procs = 2) = function
+  | "tas" -> Ok (from_tas ())
+  | "faa" -> Ok (from_faa ())
+  | "swap" -> Ok (from_swap ())
+  | "queue" -> Ok (from_queue ())
+  | "cas" -> Ok (from_cas ~procs ())
+  | "cas-ids" -> Ok (from_cas_ids ~procs ())
+  | "sticky" -> Ok (from_sticky ~procs ())
+  | "broken" -> Ok (broken_register_only ())
+  | p ->
+    Error (Fmt.str "unknown protocol %s (try: %s)" p (String.concat ", " names))

@@ -59,3 +59,12 @@ val with_decision_cache : Implementation.t -> Implementation.t
     builders above apply this already; exposed for user-supplied protocols
     (the Theorem 5 compiler relies on the single-access-phase property it
     provides). *)
+
+val names : string list
+(** Every protocol {!of_name} accepts, in display order. *)
+
+val of_name : ?procs:int -> string -> (Implementation.t, string) result
+(** Build a protocol by its CLI name ([procs] defaults to 2 and only
+    matters for cas/cas-ids/sticky). The one name table shared by the CLI,
+    witness replay and the fleet workers, so a serialized job always
+    rebuilds the implementation it was created from. *)

@@ -1,0 +1,27 @@
+type t = {
+  base_s : float;
+  factor : float;
+  cap_s : float;
+  st : Random.State.t;
+  mutable attempt : int;
+}
+
+let create ?(base_s = 0.05) ?(factor = 2.) ?(cap_s = 5.) ~seed () =
+  {
+    base_s;
+    factor;
+    cap_s;
+    st = Random.State.make [| 0xb0ff; seed |];
+    attempt = 0;
+  }
+
+let next t =
+  let ceiling = min t.cap_s (t.base_s *. (t.factor ** float t.attempt)) in
+  t.attempt <- t.attempt + 1;
+  (* Full jitter (AWS-style): uniform in (0, ceiling]. Workers that lost
+     the same coordinator at the same instant must not reconnect in
+     lockstep. *)
+  t.base_s +. Random.State.float t.st (max 1e-6 (ceiling -. t.base_s))
+
+let reset t = t.attempt <- 0
+let attempt t = t.attempt

@@ -1,0 +1,20 @@
+(** Jittered exponential backoff for worker reconnection.
+
+    Full jitter: each delay is uniform in (base, min(cap, base·factorⁿ)],
+    so a fleet of workers orphaned by the same coordinator restart does not
+    reconnect in thundering-herd lockstep. Deterministic per seed. *)
+
+type t
+
+val create :
+  ?base_s:float -> ?factor:float -> ?cap_s:float -> seed:int -> unit -> t
+(** Defaults: base 50 ms, factor 2, cap 5 s. *)
+
+val next : t -> float
+(** The next delay, advancing the attempt counter. *)
+
+val reset : t -> unit
+(** Call after a successful connection: the next failure starts cheap. *)
+
+val attempt : t -> int
+(** Attempts since the last {!reset}. *)

@@ -1,0 +1,80 @@
+type plan = {
+  kill_after : int option;
+  stall_after : int option;
+  garbage_after : int option;
+  delay_result_s : float option;
+}
+
+let none =
+  {
+    kill_after = None;
+    stall_after = None;
+    garbage_after = None;
+    delay_result_s = None;
+  }
+
+let is_none p = p = none
+
+let seeded ~seed ~worker =
+  let st = Random.State.make [| 0x5eed; seed; worker |] in
+  let threshold () = 50 + Random.State.int st 2000 in
+  (* Exactly one fault per plan keeps replayed runs interpretable; which
+     fault (or none) depends only on ⟨seed, worker⟩. *)
+  match Random.State.int st 5 with
+  | 0 -> { none with kill_after = Some (threshold ()) }
+  | 1 -> { none with stall_after = Some (threshold ()) }
+  | 2 -> { none with garbage_after = Some (threshold ()) }
+  | 3 -> { none with delay_result_s = Some (0.1 +. Random.State.float st 2.) }
+  | _ -> none
+
+let to_spec p =
+  if is_none p then "none"
+  else
+    String.concat ","
+      (List.concat
+         [
+           (match p.kill_after with
+           | Some n -> [ Fmt.str "kill:%d" n ]
+           | None -> []);
+           (match p.stall_after with
+           | Some n -> [ Fmt.str "stall:%d" n ]
+           | None -> []);
+           (match p.garbage_after with
+           | Some n -> [ Fmt.str "garbage:%d" n ]
+           | None -> []);
+           (match p.delay_result_s with
+           | Some s -> [ Fmt.str "delay:%g" s ]
+           | None -> []);
+         ])
+
+let of_spec s =
+  let ( let* ) = Result.bind in
+  let entry acc e =
+    let* acc = acc in
+    match String.split_on_char ':' e with
+    | [ "none" ] -> Ok acc
+    | [ "kill"; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok { acc with kill_after = Some n }
+      | None -> Error (Fmt.str "chaos: bad kill threshold %S" n))
+    | [ "stall"; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok { acc with stall_after = Some n }
+      | None -> Error (Fmt.str "chaos: bad stall threshold %S" n))
+    | [ "garbage"; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok { acc with garbage_after = Some n }
+      | None -> Error (Fmt.str "chaos: bad garbage threshold %S" n))
+    | [ "delay"; f ] -> (
+      match float_of_string_opt f with
+      | Some f -> Ok { acc with delay_result_s = Some f }
+      | None -> Error (Fmt.str "chaos: bad delay %S" f))
+    | [ "seed"; seed; worker ] -> (
+      match (int_of_string_opt seed, int_of_string_opt worker) with
+      | Some seed, Some worker -> Ok (seeded ~seed ~worker)
+      | _ -> Error (Fmt.str "chaos: bad seed spec %S" e))
+    | _ -> Error (Fmt.str "chaos: unknown entry %S" e)
+  in
+  List.fold_left entry (Ok none) (String.split_on_char ',' s)
+
+let pp ppf p = Fmt.string ppf (to_spec p)

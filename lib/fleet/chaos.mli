@@ -1,0 +1,38 @@
+(** Seeded fault-injection plans for fleet workers.
+
+    A plan tells one worker how to misbehave, deterministically, so chaos
+    runs are replayable: the integration tests derive every worker's plan
+    from ⟨seed, worker index⟩ and assert that the fleet's verdict still
+    matches single-process {!Wfc_consensus.Check.verify} — crashes, stalls,
+    wire garbage and delayed acks are availability events, never
+    correctness events. *)
+
+type plan = {
+  kill_after : int option;
+      (** [Unix._exit] mid-shard after visiting this many leaves — a hard
+          crash with the lease held *)
+  stall_after : int option;
+      (** stop heartbeating and exploring after this many leaves — a wedged
+          process that holds its lease until it expires *)
+  garbage_after : int option;
+      (** after this many leaves, write raw garbage bytes to the socket
+          instead of a heartbeat — the coordinator must drop the
+          connection, not crash *)
+  delay_result_s : float option;
+      (** sleep this long before sending each [Result] — exercises the
+          stale-result path when the lease has already been re-issued *)
+}
+
+val none : plan
+val is_none : plan -> bool
+
+val seeded : seed:int -> worker:int -> plan
+(** Deterministic plan for one worker: at most one fault, chosen and
+    parameterized by ⟨seed, worker⟩ alone. *)
+
+val of_spec : string -> (plan, string) result
+(** Parse a CLI spec: comma-separated [kill:N], [stall:N], [garbage:N],
+    [delay:F]; [seed:S:W] expands to {!seeded}; ["none"] is {!none}. *)
+
+val to_spec : plan -> string
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,605 @@
+open Wfc_program
+open Wfc_sim
+module Check = Wfc_consensus.Check
+
+type config = {
+  socket : string;
+  lease_s : float;
+  quantum : int;
+  local_grace_s : float;
+  checkpoint : string option;
+  log : string -> unit;
+}
+
+let config ?(lease_s = 10.) ?(quantum = 20_000) ?(local_grace_s = 1.)
+    ?checkpoint ?(log = ignore) socket =
+  { socket; lease_s; quantum; local_grace_s; checkpoint; log }
+
+type fleet_stats = {
+  workers_seen : int;
+  lease_misses : int;
+  steals : int;
+  splits : int;
+  shards_run : int;
+  local_shards : int;
+}
+
+(* ---------- internal state ---------- *)
+
+type shard = {
+  sid : int;
+  vec : int;  (* 1-based position in the Check.vectors enumeration *)
+  job : Checkpoint.t;
+  mutable requeues : int;
+}
+
+type running = { shard : shard; mutable expires : float }
+
+type conn = {
+  fd : Unix.file_descr;
+  frames : Codec.Frames.t;
+  mutable hello : bool;
+  mutable running : running option;
+  mutable stolen : bool;
+  mutable alive : bool;
+}
+
+type vstate = {
+  vector : Check.vector;
+  mutable outstanding : int;  (* shards of this vector not yet drained *)
+  mutable counts : Checkpoint.counts;
+}
+
+exception Found_v of Check.violation
+exception Cut of string
+
+let retry_eintr f =
+  let rec go () =
+    try f () with Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
+    ?deadline_s ?(shrink = true) ?(engine = Explore.fast) ?resume ?interrupt
+    ?(meta = []) ~config:cfg (impl : Implementation.t) =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let faults =
+    match faults with
+    | Some f ->
+      { f with Faults.max_crashes = max f.Faults.max_crashes max_crashes }
+    | None -> Faults.crashes max_crashes
+  in
+  let fuel = Option.value fuel ~default:Explore.default_fuel in
+  let eng = Explore.engine_of_options engine in
+  let n_objs = Array.length impl.Implementation.objects in
+  let vecs =
+    Array.of_list (Check.vectors ?subsets ?repeat ?domain impl)
+  in
+  let vstates =
+    Array.map
+      (fun vector ->
+        { vector; outstanding = 1; counts = Checkpoint.zero_counts ~n_objs })
+      vecs
+  in
+  let complete i = vstates.(i).outstanding = 0 in
+  (* Resume a prior run (fleet or single-process — same file format): the
+     meta accumulators cover the vectors before the checkpointed one, the
+     checkpoint's counts are that vector's own partial progress, and its
+     frontier seeds that vector's root shard. Vectors after it re-run. *)
+  let ( base_vectors,
+        base_executions,
+        base_max_events,
+        base_max_op_steps,
+        base_degraded,
+        base_evictions,
+        base_probabilistic,
+        resume_at ) =
+    match resume with
+    | None -> (0, 0, 0, 0, 0, 0, false, None)
+    | Some ck ->
+      let geti k =
+        match Checkpoint.meta_find ck k with
+        | Some s -> (
+          match int_of_string_opt s with
+          | Some i -> i
+          | None -> invalid_arg (Fmt.str "Fleet: bad %s in checkpoint meta" k))
+        | None ->
+          invalid_arg
+            (Fmt.str
+               "Fleet: checkpoint has no %s entry (not a verification \
+                checkpoint)"
+               k)
+      in
+      let v0 = geti "check.vector" in
+      if v0 < 1 || v0 > Array.length vecs then
+        invalid_arg
+          (Fmt.str
+             "Fleet: checkpoint points at vector %d but only %d exist — was \
+              it taken with different subsets/repeat/domain settings?"
+             v0 (Array.length vecs));
+      (match
+         Checkpoint.describe_mismatch ck ~engine:eng ~fuel ~faults
+           ~workloads:vecs.(v0 - 1).Check.workloads
+       with
+      | Some why -> invalid_arg (Fmt.str "Fleet: cannot resume: %s" why)
+      | None -> ());
+      let prob =
+        match Checkpoint.meta_find ck "check.probabilistic" with
+        | Some "1" -> true
+        | _ -> false
+      in
+      ( geti "check.vectors" - v0,
+        geti "check.executions",
+        geti "check.max_events",
+        geti "check.max_op_steps",
+        geti "check.degraded",
+        geti "check.evictions",
+        prob,
+        Some (v0, ck) )
+  in
+  let workers_seen = ref 0 in
+  let lease_misses = ref 0 in
+  let steals = ref 0 in
+  let splits = ref 0 in
+  let shards_run = ref 0 in
+  let local_shards = ref 0 in
+  let fleet_stats () =
+    {
+      workers_seen = !workers_seen;
+      lease_misses = !lease_misses;
+      steals = !steals;
+      splits = !splits;
+      shards_run = !shards_run;
+      local_shards = !local_shards;
+    }
+  in
+  let budget_left = ref budget in
+  let deadline = Option.map (fun s -> Monotime.now () +. s) deadline_s in
+  let sid = ref 0 in
+  let next_sid () =
+    incr sid;
+    !sid
+  in
+  let queue : shard Queue.t = Queue.create () in
+  (* Every job a worker sees is a plain verification checkpoint: problem
+     description + frontier + zeroed counts (the coordinator's ledger is
+     the single place results are folded, exactly once). *)
+  let make_shard ~vec ~frontier =
+    let job =
+      Checkpoint.make
+        ~meta:(meta @ [ ("check.vector", string_of_int vec) ])
+        ~engine:eng ~fuel ~faults
+        ~workloads:vecs.(vec - 1).Check.workloads
+        ~counts:(Checkpoint.zero_counts ~n_objs) ~frontier ()
+    in
+    { sid = next_sid (); vec; job; requeues = 0 }
+  in
+  Array.iter
+    (fun (v : Check.vector) ->
+      let pos = v.Check.pos in
+      match resume_at with
+      | Some (v0, _) when pos < v0 ->
+        (* already verified by the checkpointed run; its results live in the
+           base accumulators *)
+        vstates.(pos - 1).outstanding <- 0
+      | Some (v0, ck) when pos = v0 -> (
+        vstates.(pos - 1).counts <- ck.Checkpoint.counts;
+        match ck.Checkpoint.frontier with
+        | [] -> vstates.(pos - 1).outstanding <- 0
+        | frontier -> Queue.push (make_shard ~vec:pos ~frontier) queue)
+      | _ -> Queue.push (make_shard ~vec:pos ~frontier:[ [] ]) queue)
+    vecs;
+  (* ---------- socket plumbing ---------- *)
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ | Sys_error _ -> ());
+  Unix.bind listener (Unix.ADDR_UNIX cfg.socket);
+  Unix.listen listener 64;
+  let conns = ref [] in
+  let live () = List.filter (fun c -> c.alive) !conns in
+  let idle_ready () =
+    List.filter (fun c -> c.alive && c.hello && c.running = None) (live ())
+  in
+  let requeue_shard why (s : shard) =
+    incr lease_misses;
+    s.requeues <- s.requeues + 1;
+    cfg.log
+      (Fmt.str "shard %d (vector %d) lost (%s), requeue #%d" s.sid s.vec why
+         s.requeues);
+    Queue.push s queue
+  in
+  let drop ?(requeue = true) why c =
+    if c.alive then begin
+      c.alive <- false;
+      close_noerr c.fd;
+      match c.running with
+      | Some r when requeue ->
+        c.running <- None;
+        requeue_shard why r.shard
+      | _ -> c.running <- None
+    end
+  in
+  let cleanup ~reason () =
+    List.iter
+      (fun c ->
+        (try Codec.write c.fd (Codec.Shutdown { reason })
+         with Unix.Unix_error _ -> ());
+        close_noerr c.fd;
+        c.alive <- false)
+      (live ());
+    close_noerr listener;
+    (try Unix.unlink cfg.socket with Unix.Unix_error _ | Sys_error _ -> ())
+  in
+  let remove_checkpoint () =
+    match cfg.checkpoint with
+    | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+    | None -> ()
+  in
+  (* ---------- verdict assembly ---------- *)
+  let fold_counts upto_exclusive =
+    let acc = ref (Checkpoint.zero_counts ~n_objs) in
+    Array.iteri
+      (fun i vs ->
+        if i < upto_exclusive then acc := Checkpoint.add_counts !acc vs.counts)
+      vstates;
+    !acc
+  in
+  let report () =
+    (* mirror of Check.report: lease misses are degradation events the run
+       absorbed, surfaced exactly like the in-process pool's *)
+    let done_n = Array.fold_left (fun n vs -> if vs.outstanding = 0 then n + 1 else n) 0 vstates in
+    let progressing =
+      Array.exists (fun vs -> vs.outstanding > 0 && vs.counts.Checkpoint.leaves > 0) vstates
+    in
+    let acc = fold_counts (Array.length vstates) in
+    {
+      Check.vectors =
+        (base_vectors + done_n + if progressing then 1 else 0);
+      executions = base_executions + acc.Checkpoint.leaves;
+      max_events = max base_max_events acc.Checkpoint.max_events;
+      max_op_steps = max base_max_op_steps acc.Checkpoint.max_op_steps;
+      degraded = base_degraded + acc.Checkpoint.degraded + !lease_misses;
+      evictions = base_evictions + acc.Checkpoint.evictions;
+    }
+  in
+  (* A cut between results leaves a single-process-compatible checkpoint:
+     cut at the first incomplete vector v — accumulators cover the complete
+     vectors before it, counts carry v's folded partial progress, frontier
+     is the union of v's outstanding shard prefixes. Vectors after v
+     (complete or not) are re-run on resume, which is sound: their results
+     are not in the accumulators. *)
+  let flush_checkpoint () =
+    match cfg.checkpoint with
+    | None -> ()
+    | Some path -> (
+      let first_incomplete = ref None in
+      Array.iteri
+        (fun i _ ->
+          if !first_incomplete = None && not (complete i) then
+            first_incomplete := Some i)
+        vstates;
+      match !first_incomplete with
+      | None -> ()
+      | Some i ->
+        let pos = i + 1 in
+        let acc = fold_counts i in
+        let vec_meta =
+          meta
+          @ [
+              ("check.vector", string_of_int pos);
+              ("check.vectors", string_of_int (base_vectors + i + 1));
+              ( "check.executions",
+                string_of_int (base_executions + acc.Checkpoint.leaves) );
+              ( "check.max_events",
+                string_of_int
+                  (max base_max_events acc.Checkpoint.max_events) );
+              ( "check.max_op_steps",
+                string_of_int
+                  (max base_max_op_steps acc.Checkpoint.max_op_steps) );
+              ( "check.degraded",
+                string_of_int
+                  (base_degraded + acc.Checkpoint.degraded + !lease_misses)
+              );
+              ( "check.evictions",
+                string_of_int (base_evictions + acc.Checkpoint.evictions) );
+              ( "check.probabilistic",
+                if base_probabilistic || acc.Checkpoint.probabilistic then "1"
+                else "0" );
+            ]
+        in
+        let frontier = ref [] in
+        Queue.iter
+          (fun s ->
+            if s.vec = pos then
+              frontier := List.rev_append s.job.Checkpoint.frontier !frontier)
+          queue;
+        List.iter
+          (fun c ->
+            match c.running with
+            | Some r when r.shard.vec = pos ->
+              frontier :=
+                List.rev_append r.shard.job.Checkpoint.frontier !frontier
+            | _ -> ())
+          (live ());
+        let ck =
+          Checkpoint.make ~meta:vec_meta ~engine:eng ~fuel
+            ?budget_left:!budget_left ~faults
+            ~workloads:vecs.(i).Check.workloads ~counts:vstates.(i).counts
+            ~frontier:!frontier ()
+        in
+        Checkpoint.save ck ~path;
+        cfg.log
+          (Fmt.str "flushed checkpoint at vector %d (%d pending prefixes) to %s"
+             pos (List.length !frontier) path))
+  in
+  (* ---------- result handling ---------- *)
+  let validate_violation ~reason ~(witness : Witness.t) =
+    match Witness.replay impl witness with
+    | Error e -> Error (Fmt.str "witness does not replay: %s" e)
+    | Ok leaf -> (
+      let inputs =
+        Check.inputs_of_workloads witness.Witness.workloads
+      in
+      match Check.check_leaf ~inputs leaf with
+      | Error confirmed ->
+        Ok
+          {
+            Check.participants = List.map fst inputs;
+            inputs;
+            reason = confirmed;
+            ops = leaf.Exec.ops;
+            witness = Some witness;
+          }
+      | Ok () ->
+        (* Not a bad leaf — a wait-freedom claim is still honest when the
+           replayed path is fuel-long. *)
+        if leaf.Exec.events >= fuel then
+          Ok
+            {
+              Check.participants = List.map fst inputs;
+              inputs;
+              reason;
+              ops = [];
+              witness = Some witness;
+            }
+        else
+          Error
+            (Fmt.str
+               "witness replays to a passing %d-event execution (fuel %d)"
+               leaf.Exec.events fuel))
+  in
+  let rec settle (s : shard) (outcome : Codec.outcome) =
+    incr shards_run;
+    match outcome with
+    | Codec.Done ck ->
+      if ck.Checkpoint.counts.Checkpoint.overflows > 0 then
+        (* exec_shard reports overflows as Violation; a Done carrying them
+           breaks the contract — distrust the result, redo the work *)
+        requeue_shard "overflowing Done result" s
+      else begin
+        let vs = vstates.(s.vec - 1) in
+        vs.counts <- Checkpoint.add_counts vs.counts ck.Checkpoint.counts;
+        budget_left :=
+          Option.map
+            (fun b -> max 0 (b - ck.Checkpoint.counts.Checkpoint.nodes))
+            !budget_left;
+        match ck.Checkpoint.frontier with
+        | [] -> vs.outstanding <- vs.outstanding - 1
+        | frontier ->
+          (* spread the remainder over the idle capacity *)
+          let k =
+            max 1 (min (List.length frontier) (1 + List.length (idle_ready ())))
+          in
+          let parts = Checkpoint.split ck ~into:k in
+          if List.length parts > 1 then incr splits;
+          vs.outstanding <- vs.outstanding + List.length parts - 1;
+          List.iter
+            (fun job ->
+              Queue.push { sid = next_sid (); vec = s.vec; job; requeues = 0 }
+                queue)
+            parts
+      end
+    | Codec.Violation { reason; witness } -> (
+      match validate_violation ~reason ~witness with
+      | Ok v -> raise (Found_v v)
+      | Error why ->
+        cfg.log (Fmt.str "shard %d: rejected violation claim: %s" s.sid why);
+        requeue_shard "unvalidated violation claim" s)
+    | Codec.Refused why ->
+      cfg.log (Fmt.str "shard %d refused: %s" s.sid why);
+      requeue_shard "refused" s
+  and run_local (s : shard) =
+    incr local_shards;
+    cfg.log (Fmt.str "running shard %d (vector %d) locally" s.sid s.vec);
+    let outcome =
+      Worker.exec_shard impl ~job:s.job ~quantum:cfg.quantum ?interrupt ()
+    in
+    settle s outcome
+  in
+  (* ---------- the select loop ---------- *)
+  let handle_msg c msg =
+    match msg with
+    | Codec.Hello { pid; name } ->
+      if not c.hello then begin
+        c.hello <- true;
+        incr workers_seen;
+        cfg.log (Fmt.str "worker %s (pid %d) joined" name pid)
+      end
+    | Codec.Heartbeat { shard; nodes = _ }
+    | Codec.Progress { shard; nodes = _; leaves = _ } -> (
+      match c.running with
+      | Some r when r.shard.sid = shard ->
+        r.expires <- Monotime.now () +. cfg.lease_s
+      | _ -> ())
+    | Codec.Result { shard; outcome } -> (
+      match c.running with
+      | Some r when r.shard.sid = shard ->
+        c.running <- None;
+        c.stolen <- false;
+        settle r.shard outcome
+      | _ ->
+        (* a delayed ack for a lease we already expired: the shard was
+           requeued, this result would double-count — drop it *)
+        cfg.log (Fmt.str "discarding stale result for shard %d" shard))
+    | Codec.Lease _ | Codec.Steal _ | Codec.Shutdown _ ->
+      drop "protocol violation" c
+  in
+  let pump c =
+    match retry_eintr (fun () -> Codec.Frames.read_from c.frames c.fd) with
+    | 0 -> drop "closed" c
+    | exception Unix.Unix_error _ -> drop "read error" c
+    | _ ->
+      let rec go () =
+        if c.alive then
+          match Codec.Frames.pop c.frames with
+          | Ok None -> ()
+          | Ok (Some msg) ->
+            handle_msg c msg;
+            go ()
+          | Error e -> drop (Fmt.str "garbage on the wire: %s" e) c
+      in
+      go ()
+  in
+  let dispatch () =
+    List.iter
+      (fun c ->
+        if not (Queue.is_empty queue) then begin
+          let s = Queue.pop queue in
+          if s.requeues > 1 then
+            (* lost twice already: stop trusting the fleet with it *)
+            run_local s
+          else
+            match
+              Codec.write c.fd
+                (Codec.Lease
+                   {
+                     shard = s.sid;
+                     lease_s = cfg.lease_s;
+                     quantum = cfg.quantum;
+                     job = s.job;
+                   })
+            with
+            | () ->
+              c.running <-
+                Some { shard = s; expires = Monotime.now () +. cfg.lease_s };
+              c.stolen <- false
+            | exception Unix.Unix_error _ ->
+              (* never actually leased: no penalty, next worker gets it *)
+              Queue.push s queue;
+              drop ~requeue:false "write error" c
+        end)
+      (idle_ready ())
+  in
+  let steal_if_starved () =
+    match idle_ready () with
+    | [] -> ()
+    | _ :: _ when Queue.is_empty queue -> (
+      let victim =
+        List.find_opt
+          (fun c -> c.alive && c.running <> None && not c.stolen)
+          (live ())
+      in
+      match victim with
+      | Some c -> (
+        match c.running with
+        | Some r -> (
+          match Codec.write c.fd (Codec.Steal { shard = r.shard.sid }) with
+          | () ->
+            c.stolen <- true;
+            incr steals;
+            cfg.log (Fmt.str "stealing shard %d back" r.shard.sid)
+          | exception Unix.Unix_error _ -> drop "write error" c)
+        | None -> ())
+      | None -> ())
+    | _ -> ()
+  in
+  let started = Monotime.now () in
+  let result =
+    try
+      while Array.exists (fun vs -> vs.outstanding > 0) vstates do
+        (match interrupt with
+        | Some flag when Atomic.get flag -> raise (Cut "interrupted")
+        | _ -> ());
+        (match deadline with
+        | Some t when Monotime.now () > t -> raise (Cut "deadline exceeded")
+        | _ -> ());
+        (match !budget_left with
+        | Some b when b <= 0 -> raise (Cut "node budget exhausted")
+        | _ -> ());
+        (* expired leases: crash, stall or partition — requeue *)
+        let now = Monotime.now () in
+        List.iter
+          (fun c ->
+            match c.running with
+            | Some r when now > r.expires -> drop "lease expired" c
+            | _ -> ())
+          (live ());
+        dispatch ();
+        steal_if_starved ();
+        let no_workers = List.for_all (fun c -> not c.hello) (live ()) in
+        let fds = listener :: List.map (fun c -> c.fd) (live ()) in
+        let timeout =
+          if
+            no_workers
+            && (not (Queue.is_empty queue))
+            && now -. started >= cfg.local_grace_s
+          then 0.
+          else 0.05
+        in
+        let readable, _, _ =
+          retry_eintr (fun () -> Unix.select fds [] [] timeout)
+        in
+        List.iter
+          (fun fd ->
+            if fd = listener then begin
+              let cfd, _ = retry_eintr (fun () -> Unix.accept listener) in
+              conns :=
+                {
+                  fd = cfd;
+                  frames = Codec.Frames.create ();
+                  hello = false;
+                  running = None;
+                  stolen = false;
+                  alive = true;
+                }
+                :: !conns
+            end
+            else
+              match List.find_opt (fun c -> c.alive && c.fd = fd) !conns with
+              | Some c -> pump c
+              | None -> ())
+          readable;
+        conns := live ();
+        (* nobody to delegate to: make progress ourselves, one quantum at a
+           time, so late-joining workers still find work *)
+        if
+          List.for_all (fun c -> not c.hello) (live ())
+          && (not (Queue.is_empty queue))
+          && Monotime.now () -. started >= cfg.local_grace_s
+        then run_local (Queue.pop queue)
+      done;
+      let acc = fold_counts (Array.length vstates) in
+      remove_checkpoint ();
+      cleanup ~reason:"run complete" ();
+      if base_probabilistic || acc.Checkpoint.probabilistic then
+        Check.Unknown
+          {
+            partial = report ();
+            reason = "probabilistic dedup (memory budget)";
+          }
+      else Check.Verified (report ())
+    with
+    | Found_v v ->
+      remove_checkpoint ();
+      cleanup ~reason:"violation found" ();
+      Check.Falsified (if shrink then Check.shrink_violation impl v else v)
+    | Cut reason ->
+      flush_checkpoint ();
+      cleanup ~reason ();
+      Check.Unknown { partial = report (); reason }
+    | e ->
+      cleanup ~reason:"coordinator error" ();
+      raise e
+  in
+  (result, fleet_stats ())

@@ -1,0 +1,94 @@
+(** The fleet coordinator: split a verification run into leased shards,
+    survive worker churn, and produce the same three-valued verdict as
+    single-process {!Wfc_consensus.Check.verify}.
+
+    The unit of distribution is a {!Wfc_sim.Checkpoint.t}: every (subset ×
+    input-vector) job of the {!Wfc_consensus.Check.vectors} enumeration
+    starts as a root shard (frontier [[[]]] — the whole execution tree) and
+    a shard cut at its node quantum comes back as a checkpoint whose
+    frontier the coordinator {!Wfc_sim.Checkpoint.split}s across idle
+    workers. Work-stealing falls out: when the queue is dry and a worker
+    idles, the coordinator [Steal]s the slowest lease, splitting the
+    returned remainder.
+
+    {b Fault tolerance.} Shards are held under leases renewed by
+    heartbeats. A missed lease — worker crash, stall, partition, or wire
+    garbage — requeues the shard {e exactly once}; a shard lost twice runs
+    locally on the coordinator (same {!Worker.exec_shard} code path), so
+    the run completes even if every worker dies. Every loss is surfaced in
+    the verdict's [report.degraded]. Worker-reported violations are
+    validated by witness replay before the run is declared [Falsified] — a
+    lying or corrupted worker is an availability problem, never a
+    soundness problem.
+
+    {b Degradation to a single process.} On interrupt/deadline/budget cuts
+    the fleet flushes one {!Wfc_sim.Checkpoint} in exactly the format
+    {!Wfc_consensus.Check.verify} writes — cut at the first incomplete
+    vector, accumulators covering the complete vectors before it, frontier
+    the union of that vector's outstanding shard prefixes (later vectors
+    are re-run on resume, which is sound) — so [wfc verify --resume] picks
+    up a fleet run and vice versa. *)
+
+open Wfc_program
+open Wfc_sim
+
+type config = {
+  socket : string;  (** Unix-domain socket path to listen on *)
+  lease_s : float;  (** lease duration, renewed by each heartbeat *)
+  quantum : int;  (** node budget per lease — the work-stealing grain *)
+  local_grace_s : float;
+      (** with no connected workers after this long, the coordinator starts
+          draining shards itself *)
+  checkpoint : string option;  (** flush target for graceful cuts *)
+  log : string -> unit;
+}
+
+val config :
+  ?lease_s:float ->
+  ?quantum:int ->
+  ?local_grace_s:float ->
+  ?checkpoint:string ->
+  ?log:(string -> unit) ->
+  string ->
+  config
+(** [config socket]. Defaults: 10 s leases, 20k-node quantum, 1 s local
+    grace, no checkpoint, silent. *)
+
+type fleet_stats = {
+  workers_seen : int;
+  lease_misses : int;
+      (** shards that had to be requeued (or re-run locally): worker
+          crashes, stalls, garbage, delayed acks — folded into the
+          verdict's [report.degraded] *)
+  steals : int;
+  splits : int;  (** cut shards whose frontier was split across workers *)
+  shards_run : int;
+  local_shards : int;  (** shards the coordinator drained itself *)
+}
+
+val serve :
+  ?subsets:bool ->
+  ?repeat:bool ->
+  ?domain:Wfc_spec.Value.t list ->
+  ?max_crashes:int ->
+  ?faults:Faults.t ->
+  ?fuel:int ->
+  ?budget:int ->
+  ?deadline_s:float ->
+  ?shrink:bool ->
+  ?engine:Explore.options ->
+  ?resume:Checkpoint.t ->
+  ?interrupt:bool Atomic.t ->
+  ?meta:(string * string) list ->
+  config:config ->
+  Implementation.t ->
+  Wfc_consensus.Check.verdict * fleet_stats
+(** Run the verification to a verdict, delegating to whatever workers
+    connect. Parameters mirror {!Wfc_consensus.Check.verify} (same
+    defaults, same verdict semantics, same checkpoint compatibility);
+    [meta] must include the [protocol] (and [procs]) entries workers use to
+    rebuild the implementation ({!Worker.impl_of_job}). [engine] is the
+    per-worker engine configuration ([domains] inside a worker composes
+    with the fleet fan-out; the default is {!Explore.fast}, sequential).
+    Never raises on worker misbehaviour; socket setup errors ([Unix_error])
+    do propagate. *)

@@ -1,0 +1,29 @@
+let spawn ?(chaos = fun _ -> Chaos.none) ?(seed = 0) ~socket n =
+  List.init n (fun i ->
+      match Unix.fork () with
+      | 0 ->
+        (* Forked before the parent does anything multicore: the child is a
+           plain single-threaded worker. Never return into the parent's
+           code (test harness atexit, buffered output…). *)
+        let code =
+          match
+            Worker.run
+              (Worker.config
+                 ~name:(Fmt.str "local-%d" i)
+                 ~chaos:(chaos i) ~seed:(seed + i) socket)
+          with
+          | Ok () -> 0
+          | Error _ -> 3
+          | exception _ -> 4
+        in
+        Unix._exit code
+      | pid -> pid)
+
+let kill pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let shutdown pids =
+  List.iter kill pids;
+  List.iter
+    (fun pid ->
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    pids

@@ -1,0 +1,282 @@
+open Wfc_sim
+
+type config = {
+  socket : string;
+  name : string;
+  chaos : Chaos.plan;
+  seed : int;
+  connect_attempts : int;
+  hb_interval_s : float;
+  log : string -> unit;
+}
+
+let config ?(name = Fmt.str "worker-%d" (Unix.getpid ())) ?(chaos = Chaos.none)
+    ?(seed = 0) ?(connect_attempts = 60) ?(hb_interval_s = 0.5)
+    ?(log = ignore) socket =
+  { socket; name; chaos; seed; connect_attempts; hb_interval_s; log }
+
+(* ---------- shard execution ---------- *)
+
+let counts_of_stats ~probabilistic (s : Explore.stats) =
+  {
+    Checkpoint.leaves = s.Explore.leaves;
+    nodes = s.Explore.nodes;
+    max_events = s.Explore.max_events;
+    max_op_steps = s.Explore.max_op_steps;
+    max_accesses = s.Explore.max_accesses;
+    overflows = s.Explore.overflows;
+    pruned = s.Explore.pruned;
+    sleep_skips = s.Explore.sleep_skips;
+    degraded = s.Explore.degraded;
+    evictions = s.Explore.evictions;
+    spilled = s.Explore.spilled;
+    probabilistic;
+  }
+
+(* Local control flow: a leaf failed agreement/validity. *)
+exception Bad of string * Witness.t
+
+let exec_shard impl ~(job : Checkpoint.t) ?quantum ?interrupt
+    ?(on_leaf = fun ~leaves:_ -> ()) () =
+  let workloads = job.Checkpoint.workloads in
+  let faults = job.Checkpoint.faults in
+  let inputs = Wfc_consensus.Check.inputs_of_workloads workloads in
+  let tmp = Filename.temp_file "wfc-shard" ".ck" in
+  let remove_tmp () = try Sys.remove tmp with Sys_error _ -> () in
+  Fun.protect ~finally:remove_tmp @@ fun () ->
+  let leaves = ref 0 in
+  match
+    Explore.run impl ~workloads ~fuel:job.Checkpoint.fuel ~faults
+      ?budget:quantum
+      ~options:(Explore.options_of_engine job.Checkpoint.engine)
+      ~on_leaf_trace:(fun trace leaf ->
+        incr leaves;
+        (match Wfc_consensus.Check.check_leaf ~inputs leaf with
+        | Ok () -> ()
+        | Error reason ->
+          raise (Bad (reason, Witness.make ~workloads ~faults trace)));
+        on_leaf ~leaves:!leaves)
+      ~checkpoint:(tmp, 1e9) ~checkpoint_meta:job.Checkpoint.meta
+      ~resume_from:job ?interrupt ()
+  with
+  | exception Bad (reason, witness) -> Codec.Violation { reason; witness }
+  | exception Invalid_argument msg -> Codec.Refused msg
+  | stats ->
+    if stats.Explore.overflows > 0 then
+      match stats.Explore.overflow_trace with
+      | Some trace ->
+        Codec.Violation
+          {
+            reason =
+              Fmt.str "%d path(s) exhausted fuel: not wait-free"
+                stats.Explore.overflows;
+            witness = Witness.make ~workloads ~faults trace;
+          }
+      | None -> Codec.Refused "fuel overflow without a replayable trace"
+    else (
+      match stats.Explore.completeness with
+      | Explore.Exhaustive ->
+        Codec.Done
+          {
+            job with
+            Checkpoint.counts = counts_of_stats ~probabilistic:false stats;
+            frontier = [];
+            budget_left = None;
+          }
+      | Explore.Partial Explore.Probabilistic ->
+        Codec.Done
+          {
+            job with
+            Checkpoint.counts = counts_of_stats ~probabilistic:true stats;
+            frontier = [];
+            budget_left = None;
+          }
+      | Explore.Partial
+          ( Explore.Budget_exhausted | Explore.Deadline_exceeded
+          | Explore.Interrupted ) -> (
+        (* The engine flushed the remainder to the checkpoint sink on its
+           way out; that file is the Result payload. *)
+        match Checkpoint.load tmp with
+        | Ok ck -> Codec.Done ck
+        | Error e -> Codec.Refused (Fmt.str "cut shard lost its flush: %s" e))
+      | Explore.Partial Explore.Stopped ->
+        (* on_leaf_trace above never raises Exec.Stop *)
+        assert false)
+
+let impl_of_job (job : Checkpoint.t) =
+  match Checkpoint.meta_find job "protocol" with
+  | None -> Error "job carries no protocol meta entry"
+  | Some name ->
+    let procs =
+      match Checkpoint.meta_find job "procs" with
+      | Some s -> int_of_string_opt s
+      | None -> Some (Array.length job.Checkpoint.workloads)
+    in
+    (match procs with
+    | None -> Error "job carries a malformed procs meta entry"
+    | Some procs -> Wfc_consensus.Protocols.of_name ~procs name)
+
+(* ---------- the socket loop ---------- *)
+
+exception Reconnect of string
+exception Quit
+
+let retry_eintr f =
+  let rec go () =
+    try f () with Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let wire_error = function
+  | Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.EBADF
+  | Unix.ENOTCONN | Unix.ESHUTDOWN ->
+    true
+  | _ -> false
+
+let garbage_bytes = Bytes.of_string "\xff\xff\xff\xffGARBAGE-NOT-A-FRAME"
+
+(* Drain whatever complete messages are buffered, dispatching through
+   [handle]. Framing violations and EOF poison the connection. *)
+let rec drain frames handle =
+  match Codec.Frames.pop frames with
+  | Ok None -> ()
+  | Ok (Some msg) ->
+    handle msg;
+    drain frames handle
+  | Error e -> raise (Reconnect e)
+
+let read_and_drain fd frames handle =
+  let n =
+    try retry_eintr (fun () -> Codec.Frames.read_from frames fd)
+    with Unix.Unix_error (e, _, _) when wire_error e ->
+      raise (Reconnect (Unix.error_message e))
+  in
+  if n = 0 then raise (Reconnect "coordinator closed the connection");
+  drain frames handle
+
+let send fd msg =
+  try Codec.write fd msg
+  with Unix.Unix_error (e, _, _) when wire_error e ->
+    raise (Reconnect (Unix.error_message e))
+
+let run_lease cfg fd frames ~shard ~quantum ~job =
+  cfg.log (Fmt.str "lease %d: frontier=%d quantum=%d" shard
+             (List.length job.Checkpoint.frontier) quantum);
+  match impl_of_job job with
+  | Error e -> send fd (Codec.Result { shard; outcome = Codec.Refused e })
+  | Ok impl ->
+    let interrupt = Atomic.make false in
+    let quit = ref false in
+    let garbage_sent = ref false in
+    let last_hb = ref (Monotime.now ()) in
+    let on_leaf ~leaves =
+      (match cfg.chaos.Chaos.kill_after with
+      | Some k when leaves >= k ->
+        cfg.log (Fmt.str "chaos: dying at %d leaves" leaves);
+        Unix._exit 17
+      | _ -> ());
+      (match cfg.chaos.Chaos.stall_after with
+      | Some k when leaves >= k ->
+        (* A wedged process: hold the lease, send nothing, never return.
+           The coordinator's lease expiry is the only way out. *)
+        cfg.log (Fmt.str "chaos: stalling at %d leaves" leaves);
+        Unix.sleepf 3600.;
+        Unix._exit 0
+      | _ -> ());
+      if leaves land 63 = 0 then begin
+        let now = Monotime.now () in
+        if now -. !last_hb >= cfg.hb_interval_s then begin
+          (match cfg.chaos.Chaos.garbage_after with
+          | Some k when leaves >= k && not !garbage_sent ->
+            garbage_sent := true;
+            cfg.log "chaos: writing garbage";
+            (try
+               Codec.write_all fd garbage_bytes 0 (Bytes.length garbage_bytes)
+             with Unix.Unix_error (e, _, _) when wire_error e ->
+               raise (Reconnect (Unix.error_message e)))
+          | _ -> send fd (Codec.Heartbeat { shard; nodes = leaves }));
+          last_hb := now
+        end;
+        (* Non-blocking poll for Steal/Shutdown while the shard runs. *)
+        match retry_eintr (fun () -> Unix.select [ fd ] [] [] 0.) with
+        | [], _, _ -> ()
+        | _ ->
+          read_and_drain fd frames (function
+            | Codec.Steal { shard = s } when s = shard ->
+              Atomic.set interrupt true
+            | Codec.Shutdown _ ->
+              quit := true;
+              Atomic.set interrupt true
+            | _ -> ())
+      end
+    in
+    let outcome = exec_shard impl ~job ~quantum:(max 1 quantum) ~interrupt ~on_leaf () in
+    Option.iter
+      (fun s ->
+        cfg.log (Fmt.str "chaos: delaying result by %gs" s);
+        Unix.sleepf s)
+      cfg.chaos.Chaos.delay_result_s;
+    send fd (Codec.Result { shard; outcome });
+    if !quit then raise Quit
+
+let serve cfg fd =
+  send fd (Codec.Hello { pid = Unix.getpid (); name = cfg.name });
+  let frames = Codec.Frames.create () in
+  let handle = function
+    | Codec.Lease { shard; quantum; job; lease_s = _ } ->
+      run_lease cfg fd frames ~shard ~quantum ~job
+    | Codec.Shutdown { reason } ->
+      cfg.log (Fmt.str "shutdown: %s" reason);
+      raise Quit
+    | _ -> ()
+  in
+  let rec loop () =
+    (match retry_eintr (fun () -> Unix.select [ fd ] [] [] cfg.hb_interval_s) with
+    | [], _, _ -> send fd (Codec.Heartbeat { shard = -1; nodes = 0 })
+    | _ -> read_and_drain fd frames handle);
+    loop ()
+  in
+  loop ()
+
+let run cfg =
+  (match Sys.os_type with
+  | "Unix" -> (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+  | _ -> ());
+  let bo = Backoff.create ~seed:cfg.seed () in
+  let rec connect () =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match retry_eintr (fun () -> Unix.connect sock (Unix.ADDR_UNIX cfg.socket)) with
+    | () ->
+      cfg.log (Fmt.str "connected to %s" cfg.socket);
+      Backoff.reset bo;
+      sock
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      if Backoff.attempt bo >= cfg.connect_attempts then
+        failwith
+          (Fmt.str "could not reach coordinator at %s after %d attempts: %s"
+             cfg.socket cfg.connect_attempts (Unix.error_message e))
+      else begin
+        Unix.sleepf (Backoff.next bo);
+        connect ()
+      end
+  in
+  let rec session () =
+    let sock = connect () in
+    let close () = try Unix.close sock with Unix.Unix_error _ -> () in
+    match serve cfg sock with
+    | () -> close ()
+    | exception Quit -> close ()
+    | exception Reconnect reason ->
+      cfg.log (Fmt.str "connection lost (%s), backing off" reason);
+      close ();
+      Unix.sleepf (Backoff.next bo);
+      session ()
+    | exception Unix.Unix_error (e, _, _) when wire_error e ->
+      close ();
+      Unix.sleepf (Backoff.next bo);
+      session ()
+  in
+  match session () with
+  | () -> Ok ()
+  | exception Failure msg -> Error msg

@@ -1,0 +1,60 @@
+(** A fleet worker: connect, lease shards, explore, heartbeat, return
+    results — and survive the coordinator vanishing.
+
+    The worker is single-threaded. While a shard runs, the socket is polled
+    non-blockingly from inside the exploration's leaf callback, so [Steal]
+    and [Shutdown] interrupt the search cooperatively (the engine's
+    [?interrupt] flag) and heartbeats flow without a second thread. A lost
+    connection abandons the running shard — the coordinator's lease expiry
+    requeues it — and reconnects under jittered exponential backoff
+    ({!Backoff}). *)
+
+open Wfc_program
+open Wfc_sim
+
+type config = {
+  socket : string;  (** Unix-domain socket path of the coordinator *)
+  name : string;
+  chaos : Chaos.plan;  (** fault-injection plan ({!Chaos.none} in production) *)
+  seed : int;  (** backoff jitter seed *)
+  connect_attempts : int;
+      (** give up (with [Error]) after this many failed connects in a row *)
+  hb_interval_s : float;
+  log : string -> unit;
+}
+
+val config :
+  ?name:string ->
+  ?chaos:Chaos.plan ->
+  ?seed:int ->
+  ?connect_attempts:int ->
+  ?hb_interval_s:float ->
+  ?log:(string -> unit) ->
+  string ->
+  config
+(** [config socket]. Defaults: name ["worker-<pid>"], no chaos, 60 connect
+    attempts, 500 ms heartbeats, silent. *)
+
+val exec_shard :
+  Implementation.t ->
+  job:Checkpoint.t ->
+  ?quantum:int ->
+  ?interrupt:bool Atomic.t ->
+  ?on_leaf:(leaves:int -> unit) ->
+  unit ->
+  Codec.outcome
+(** Run one shard to its verdict: resume the job checkpoint, apply
+    {!Wfc_consensus.Check.check_leaf} at every leaf, cut at [quantum] nodes
+    (or when [interrupt] is set) and return the flushed remainder. This is
+    {e the} shard semantics — the remote worker and the coordinator's local
+    fallback both call it, so degraded execution cannot diverge from
+    distributed execution. [on_leaf] is the caller's polling hook (sockets,
+    chaos); exceptions it raises propagate. *)
+
+val impl_of_job : Checkpoint.t -> (Implementation.t, string) result
+(** Rebuild the implementation a job verifies from its meta entries
+    ([protocol], [procs]) via {!Wfc_consensus.Protocols.of_name}. *)
+
+val run : config -> (unit, string) result
+(** Serve until the coordinator says [Shutdown] (or closes for good):
+    [Error] only when the coordinator could never be reached at all. *)

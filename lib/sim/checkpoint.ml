@@ -55,6 +55,28 @@ type t = {
   frontier : Faults.trace list;
 }
 
+let add_counts a b =
+  let max_accesses =
+    let n = max (Array.length a.max_accesses) (Array.length b.max_accesses) in
+    Array.init n (fun i ->
+        let get c = if i < Array.length c.max_accesses then c.max_accesses.(i) else 0 in
+        max (get a) (get b))
+  in
+  {
+    leaves = a.leaves + b.leaves;
+    nodes = a.nodes + b.nodes;
+    max_events = max a.max_events b.max_events;
+    max_op_steps = max a.max_op_steps b.max_op_steps;
+    max_accesses;
+    overflows = a.overflows + b.overflows;
+    pruned = a.pruned + b.pruned;
+    sleep_skips = a.sleep_skips + b.sleep_skips;
+    degraded = a.degraded + b.degraded;
+    evictions = a.evictions + b.evictions;
+    spilled = a.spilled + b.spilled;
+    probabilistic = a.probabilistic || b.probabilistic;
+  }
+
 let make ?(meta = []) ~engine ~fuel ?budget_left ~faults ~workloads ~counts
     ~frontier () =
   List.iter
@@ -376,15 +398,33 @@ let of_string s =
 
 (* --- file I/O ---------------------------------------------------------------- *)
 
+(* Durability is best-effort (an unsyncable filesystem must not make
+   checkpointing raise), but the order is load-bearing: data is synced
+   {e before} the rename, and the directory after it, so a host crash can
+   never leave a renamed-but-truncated checkpoint at the final name. *)
+let fsync_noerr fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> fsync_noerr fd)
+
 let save t ~path =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string t));
+    (fun () ->
+      output_string oc (to_string t);
+      flush oc;
+      fsync_noerr (Unix.descr_of_out_channel oc));
   (* rename within a directory is atomic: a reader (or a resume after a
      crash mid-save) sees either the old checkpoint or the new one. *)
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  fsync_dir path
 
 let load path =
   match open_in_bin path with
@@ -417,6 +457,33 @@ let describe_mismatch t ~engine ~fuel ~faults ~workloads =
   else if not (workloads_equal t.workloads workloads) then
     Some "workloads differ from the checkpointed run"
   else None
+
+(* --- frontier sharding -------------------------------------------------------
+
+   A checkpoint's frontier is a bag of independent pending subtrees: any
+   partition of the prefixes is a valid partition of the remaining work.
+   Shards carry zeroed counts — the parent's accumulated counts belong to
+   whichever ledger stitches the shard results back together, and must not
+   be multiplied by the fan-out. *)
+
+let split t ~into =
+  if into < 1 then invalid_arg "Checkpoint.split: into must be >= 1";
+  match t.frontier with
+  | [] -> []
+  | frontier ->
+    let k = min into (List.length frontier) in
+    let buckets = Array.make k [] in
+    List.iteri
+      (fun i trace -> buckets.(i mod k) <- trace :: buckets.(i mod k))
+      frontier;
+    Array.to_list buckets
+    |> List.map (fun traces ->
+           {
+             t with
+             counts =
+               zero_counts ~n_objs:(Array.length t.counts.max_accesses);
+             frontier = List.rev traces;
+           })
 
 let meta_find t k = List.assoc_opt k t.meta
 

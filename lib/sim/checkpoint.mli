@@ -53,6 +53,12 @@ type counts = {
 
 val zero_counts : n_objs:int -> counts
 
+val add_counts : counts -> counts -> counts
+(** Pointwise merge of two segments' ledgers: sums for the additive
+    counters, max for the high-water marks, or for [probabilistic];
+    [max_accesses] is padded to the longer array. Used by the fleet
+    coordinator to stitch shard results. *)
+
 type t = {
   meta : (string * string) list;
       (** caller context, excluded from validation: protocol name, vector
@@ -90,8 +96,18 @@ val of_string : string -> (t, string) result
     the digest by re-serializing the parsed checkpoint. *)
 
 val save : t -> path:string -> unit
-(** Atomic: writes [path ^ ".tmp"] then renames, so a crash mid-save leaves
-    the previous checkpoint intact. *)
+(** Atomic {e and} durable: writes [path ^ ".tmp"], fsyncs it, renames, and
+    fsyncs the directory — a crash mid-save leaves the previous checkpoint
+    intact, and a host crash right after [save] returns cannot surface a
+    renamed-but-truncated file. Sync failures (e.g. filesystems without
+    fsync) are swallowed; only write/rename errors raise. *)
+
+val split : t -> into:int -> t list
+(** Partition the frontier round-robin into at most [into] shards (fewer
+    when there are fewer prefixes; [[]] on an empty frontier). Each shard
+    copies the problem description and meta but carries {e zeroed} counts:
+    the parent's accumulated counts belong to the caller's ledger exactly
+    once. Raises [Invalid_argument] when [into < 1]. *)
 
 val load : string -> (t, string) result
 

@@ -961,6 +961,16 @@ let engine_of_options (o : options) =
     flat = o.flat;
   }
 
+let options_of_engine (e : Checkpoint.engine) =
+  {
+    dedup = e.Checkpoint.dedup;
+    por = e.Checkpoint.por;
+    domains = e.Checkpoint.domains;
+    intern = e.Checkpoint.intern;
+    symmetry = e.Checkpoint.symmetry;
+    flat = e.Checkpoint.flat;
+  }
+
 (* The ⟨proc, target-level invocation⟩ of every live pending operation:
    invoked, not yet returned, process neither crashed nor stuck. Only these
    attempts can still complete as-is (a recovery restarts the operation with

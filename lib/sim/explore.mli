@@ -101,6 +101,15 @@ val parallel : ?domains:int -> unit -> options
 (** [fast] plus a domain pool (default:
     [Domain.recommended_domain_count () - 1], at least 2). *)
 
+val engine_of_options : options -> Checkpoint.engine
+(** The plain-data mirror stored in checkpoints — the conversion {!run}
+    itself applies when validating [?resume_from] and writing checkpoint
+    files. Exposed so out-of-process schedulers (the fleet) build jobs that
+    resume cleanly. *)
+
+val options_of_engine : Checkpoint.engine -> options
+(** Inverse of {!engine_of_options} (the records mirror field for field). *)
+
 (** Process-symmetry classes: which processes are interchangeable.
 
     Soundness: exploration always proceeds on real configurations — traces,

@@ -1,0 +1,641 @@
+(* Fleet tests — the wfc-fleet/1 wire codec (round-trip and totality under
+   byte fuzz), checkpoint split/merge and torn-write rejection, chaos plan
+   specs, reconnect backoff, and chaos-parity integration: a forked worker
+   pool driven through kill/stall/garbage/delayed-ack faults must produce
+   the same verdict as single-process Check.verify. *)
+
+open Wfc_spec
+module Checkpoint = Wfc_sim.Checkpoint
+module Faults = Wfc_sim.Faults
+module Witness = Wfc_sim.Witness
+module Codec = Wfc_fleet.Codec
+module Chaos = Wfc_fleet.Chaos
+module Backoff = Wfc_fleet.Backoff
+module Coordinator = Wfc_fleet.Coordinator
+module Local = Wfc_fleet.Local
+module Check = Wfc_consensus.Check
+module Protocols = Wfc_consensus.Protocols
+
+(* --- shared fixtures ------------------------------------------------------- *)
+
+let engine =
+  {
+    Checkpoint.dedup = true;
+    por = true;
+    domains = 1;
+    intern = true;
+    symmetry = false;
+    flat = false;
+  }
+
+let sample_faults =
+  {
+    Faults.max_crashes = 1;
+    max_recoveries = 0;
+    max_glitches = 1;
+    degraded = [ (0, Faults.Stale_reads 2) ];
+  }
+
+let sample_trace =
+  [
+    { Faults.proc = 0; kind = Faults.Step 1 };
+    { Faults.proc = 1; kind = Faults.Crash };
+    { Faults.proc = 0; kind = Faults.Glitch 0 };
+  ]
+
+let workloads2 = [| [ Value.truth ]; [ Value.falsity ] |]
+
+let mk_counts n =
+  {
+    Checkpoint.leaves = n;
+    nodes = 10 * n;
+    max_events = 4 + n;
+    max_op_steps = 2;
+    max_accesses = [| n; 2 * n |];
+    overflows = 0;
+    pruned = n / 2;
+    sleep_skips = 0;
+    degraded = 0;
+    evictions = 0;
+    spilled = 0;
+    probabilistic = false;
+  }
+
+let mk_ck ?(meta = [ ("protocol", "sticky"); ("procs", "2") ]) ?(frontier = [])
+    ?counts () =
+  let counts =
+    match counts with Some c -> c | None -> Checkpoint.zero_counts ~n_objs:2
+  in
+  Checkpoint.make ~meta ~engine ~fuel:64 ~budget_left:123 ~faults:sample_faults
+    ~workloads:workloads2 ~counts ~frontier ()
+
+let sample_witness = Witness.make ~workloads:workloads2 ~faults:sample_faults sample_trace
+
+let sample_msgs =
+  [
+    Codec.Hello { pid = 4242; name = "worker-a" };
+    Codec.Hello { pid = 1; name = "name with\nnewline" };
+    Codec.Lease
+      { shard = 7; lease_s = 2.5; quantum = 5000; job = mk_ck () };
+    Codec.Lease
+      {
+        shard = 0;
+        lease_s = 0.25;
+        quantum = 1;
+        job = mk_ck ~frontier:[ sample_trace; [] ] ();
+      };
+    Codec.Heartbeat { shard = -1; nodes = 0 };
+    Codec.Heartbeat { shard = 3; nodes = 99_999 };
+    Codec.Progress { shard = 12; nodes = 1000; leaves = 37 };
+    Codec.Result { shard = 5; outcome = Codec.Done (mk_ck ~counts:(mk_counts 6) ()) };
+    Codec.Result
+      {
+        shard = 6;
+        outcome = Codec.Violation { reason = "agreement broken"; witness = sample_witness };
+      };
+    Codec.Result { shard = 8; outcome = Codec.Refused "unknown protocol zork" };
+    Codec.Steal { shard = 2 };
+    Codec.Shutdown { reason = "run complete" };
+    Codec.Shutdown { reason = "multi\nline\nreason" };
+  ]
+
+(* --- codec round-trips ----------------------------------------------------- *)
+
+(* Messages embed checkpoints and witnesses, which have no structural
+   equality; the codec's own canonical text is the comparison key (encode
+   flattens newlines, so encode ∘ decode ∘ encode is the identity on
+   encoded text). *)
+let check_roundtrip m =
+  let s = Codec.encode m in
+  match Codec.decode s with
+  | Error e -> Alcotest.failf "decode (%a) failed: %s" Codec.pp_msg m e
+  | Ok m' -> Alcotest.(check string) "re-encode" s (Codec.encode m')
+
+let test_codec_roundtrip_each () = List.iter check_roundtrip sample_msgs
+
+let test_codec_newline_flattening () =
+  match Codec.decode (Codec.encode (Codec.Hello { pid = 9; name = "a\nb" })) with
+  | Ok (Codec.Hello { name; _ }) ->
+    Alcotest.(check string) "flattened" "a b" name
+  | Ok m -> Alcotest.failf "wrong message: %a" Codec.pp_msg m
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_codec_rejects () =
+  let bad =
+    [
+      "";
+      "wfc-fleet/9 hello";
+      "wfc-fleet/1 nonsense";
+      "wfc-fleet/1 hello";
+      (* missing fields *)
+      "wfc-fleet/1 lease\nshard 1\nlease 1.0\nquantum 5";
+      (* no job blob *)
+      "wfc-fleet/1 result\nshard 1\noutcome done\n--\ngarbage blob";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Codec.decode s with
+      | Ok m -> Alcotest.failf "accepted %S as %a" s Codec.pp_msg m
+      | Error _ -> ())
+    bad
+
+let arb_msg =
+  let open QCheck in
+  let gen =
+    let open Gen in
+    let name = string_size ~gen:printable (int_range 0 16) in
+    let ck =
+      oneofl
+        [
+          mk_ck ();
+          mk_ck ~frontier:[ sample_trace ] ();
+          mk_ck ~counts:(mk_counts 3) ~meta:[ ("k", "v"); ("protocol", "tas") ] ();
+        ]
+    in
+    let outcome =
+      oneof
+        [
+          map (fun c -> Codec.Done c) ck;
+          map
+            (fun r -> Codec.Violation { reason = r; witness = sample_witness })
+            name;
+          map (fun r -> Codec.Refused r) name;
+        ]
+    in
+    oneof
+      [
+        map2 (fun pid name -> Codec.Hello { pid; name }) small_nat name;
+        map3
+          (fun shard quantum job ->
+            Codec.Lease { shard; lease_s = 1.5; quantum; job })
+          small_nat small_nat ck;
+        map2 (fun shard nodes -> Codec.Heartbeat { shard; nodes }) small_nat small_nat;
+        map3
+          (fun shard nodes leaves -> Codec.Progress { shard; nodes; leaves })
+          small_nat small_nat small_nat;
+        map2 (fun shard outcome -> Codec.Result { shard; outcome }) small_nat outcome;
+        map (fun shard -> Codec.Steal { shard }) small_nat;
+        map (fun reason -> Codec.Shutdown { reason }) name;
+      ]
+  in
+  QCheck.make ~print:(Fmt.str "%a" Codec.pp_msg) gen
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"codec round-trips every message" arb_msg
+    (fun m ->
+      let s = Codec.encode m in
+      match Codec.decode s with
+      | Ok m' -> String.equal s (Codec.encode m')
+      | Error _ -> false)
+
+let prop_decode_total =
+  QCheck.Test.make ~count:500 ~name:"decode is total on arbitrary bytes"
+    QCheck.(string_gen_of_size Gen.(int_range 0 300) Gen.char)
+    (fun s ->
+      match Codec.decode s with Ok _ -> true | Error _ -> true)
+
+(* --- frame reassembly ------------------------------------------------------ *)
+
+let feed_string frames s =
+  Codec.Frames.feed frames (Bytes.of_string s) (String.length s)
+
+let test_frames_chunked () =
+  let frames = Codec.Frames.create () in
+  let wire =
+    String.concat "" (List.map (fun m -> Bytes.to_string (Codec.frame m)) sample_msgs)
+  in
+  (* one byte at a time: reassembly must not depend on read boundaries *)
+  let popped = ref [] in
+  String.iter
+    (fun c ->
+      feed_string frames (String.make 1 c);
+      match Codec.Frames.pop frames with
+      | Ok (Some m) -> popped := m :: !popped
+      | Ok None -> ()
+      | Error e -> Alcotest.failf "pop failed mid-stream: %s" e)
+    wire;
+  let popped = List.rev !popped in
+  Alcotest.(check int) "all messages" (List.length sample_msgs) (List.length popped);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "in order" (Codec.encode a) (Codec.encode b))
+    sample_msgs popped
+
+let test_frames_truncated () =
+  let frames = Codec.Frames.create () in
+  let whole = Bytes.to_string (Codec.frame (Codec.Steal { shard = 4 })) in
+  feed_string frames (String.sub whole 0 (String.length whole - 1));
+  (match Codec.Frames.pop frames with
+  | Ok None -> ()
+  | Ok (Some m) -> Alcotest.failf "popped from truncated frame: %a" Codec.pp_msg m
+  | Error e -> Alcotest.failf "truncated frame is an error: %s" e);
+  (* a truncated frame stays pending, it never becomes a message or error *)
+  (match Codec.Frames.pop frames with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "second pop disagrees");
+  (* completing the frame releases it *)
+  feed_string frames (String.sub whole (String.length whole - 1) 1);
+  match Codec.Frames.pop frames with
+  | Ok (Some (Codec.Steal { shard = 4 })) -> ()
+  | _ -> Alcotest.fail "completed frame did not pop"
+
+let test_frames_oversized_length () =
+  let frames = Codec.Frames.create () in
+  (* 0xffffffff length prefix: must be rejected before any allocation *)
+  feed_string frames "\xff\xff\xff\xffGARBAGE";
+  match Codec.Frames.pop frames with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a garbage length prefix"
+
+let prop_frames_fuzz_total =
+  QCheck.Test.make ~count:300 ~name:"Frames.pop is total on fuzzed bytes"
+    QCheck.(string_gen_of_size Gen.(int_range 0 200) Gen.char)
+    (fun s ->
+      let frames = Codec.Frames.create () in
+      feed_string frames s;
+      (* drain until quiescent; bounded (each pop consumes a frame) *)
+      let rec drain n =
+        if n > String.length s + 1 then true
+        else
+          match Codec.Frames.pop frames with
+          | Ok (Some _) -> drain (n + 1)
+          | Ok None -> true
+          | Error _ -> true
+      in
+      drain 0)
+
+(* --- checkpoint split / merge --------------------------------------------- *)
+
+let trace_key (t : Faults.trace) =
+  Fmt.str "%a" (Fmt.list ~sep:Fmt.comma Faults.pp_decision) t
+
+let test_split_partitions_frontier () =
+  let frontier =
+    [
+      sample_trace;
+      [];
+      [ { Faults.proc = 1; kind = Faults.Step 0 } ];
+      [ { Faults.proc = 0; kind = Faults.Wedge } ];
+      [ { Faults.proc = 2; kind = Faults.Step 2 } ];
+    ]
+  in
+  let ck = mk_ck ~frontier ~counts:(mk_counts 5) () in
+  let shards = Checkpoint.split ck ~into:3 in
+  Alcotest.(check int) "three shards" 3 (List.length shards);
+  let union =
+    List.concat_map (fun s -> List.map trace_key s.Checkpoint.frontier) shards
+  in
+  Alcotest.(check (list string))
+    "frontier partitioned"
+    (List.sort compare (List.map trace_key frontier))
+    (List.sort compare union);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "counts zeroed" 0 s.Checkpoint.counts.Checkpoint.leaves;
+      Alcotest.(check int) "nodes zeroed" 0 s.Checkpoint.counts.Checkpoint.nodes;
+      Alcotest.(check bool)
+        "meta preserved" true
+        (Checkpoint.meta_find s "protocol" = Some "sticky"))
+    shards;
+  (* more shards than prefixes: capped at the frontier size *)
+  Alcotest.(check int) "capped" 5 (List.length (Checkpoint.split ck ~into:10));
+  Alcotest.(check int) "empty frontier" 0
+    (List.length (Checkpoint.split (mk_ck ()) ~into:4));
+  Alcotest.check_raises "into < 1"
+    (Invalid_argument "Checkpoint.split: into must be >= 1") (fun () ->
+      ignore (Checkpoint.split ck ~into:0))
+
+let test_add_counts () =
+  let a = mk_counts 4 in
+  let b =
+    {
+      (mk_counts 10) with
+      Checkpoint.max_accesses = [| 1; 50; 7 |];
+      probabilistic = true;
+      degraded = 2;
+    }
+  in
+  let c = Checkpoint.add_counts a b in
+  Alcotest.(check int) "leaves sum" 14 c.Checkpoint.leaves;
+  Alcotest.(check int) "nodes sum" 140 c.Checkpoint.nodes;
+  Alcotest.(check int) "max_events max" 14 c.Checkpoint.max_events;
+  Alcotest.(check int) "degraded sum" 2 c.Checkpoint.degraded;
+  Alcotest.(check bool) "probabilistic or" true c.Checkpoint.probabilistic;
+  Alcotest.(check (array int))
+    "max_accesses pointwise max, padded" [| 4; 50; 7 |]
+    c.Checkpoint.max_accesses
+
+(* --- durable save + tamper rejection --------------------------------------- *)
+
+let test_save_tamper_rejected () =
+  let path = Filename.temp_file "wfc_fleet_tamper" ".ck" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let ck = mk_ck ~frontier:[ sample_trace ] ~counts:(mk_counts 9) () in
+  Checkpoint.save ck ~path;
+  Alcotest.(check bool)
+    "no .tmp left behind" false
+    (Sys.file_exists (path ^ ".tmp"));
+  (match Checkpoint.load path with
+  | Ok ck' ->
+    Alcotest.(check string) "round-trips" (Checkpoint.to_string ck)
+      (Checkpoint.to_string ck')
+  | Error e -> Alcotest.failf "clean load failed: %s" e);
+  let body = In_channel.with_open_bin path In_channel.input_all in
+  (* flip one byte mid-file: the digest must reject it *)
+  let torn = Bytes.of_string body in
+  let i = Bytes.length torn / 2 in
+  Bytes.set torn i (if Bytes.get torn i = 'x' then 'y' else 'x');
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc torn);
+  (match Checkpoint.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a bit-flipped checkpoint");
+  (* truncate to half: a torn write must also be rejected *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub body 0 (String.length body / 2)));
+  match Checkpoint.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a truncated checkpoint"
+
+(* --- chaos plans ----------------------------------------------------------- *)
+
+let test_chaos_spec_roundtrip () =
+  let specs = [ "none"; "kill:3"; "stall:5"; "garbage:2"; "delay:0.5"; "kill:7,delay:1.5" ] in
+  List.iter
+    (fun s ->
+      match Chaos.of_spec s with
+      | Error e -> Alcotest.failf "of_spec %S: %s" s e
+      | Ok p -> (
+        match Chaos.of_spec (Chaos.to_spec p) with
+        | Ok p' ->
+          Alcotest.(check string)
+            (Fmt.str "round-trip %S" s) (Chaos.to_spec p) (Chaos.to_spec p')
+        | Error e -> Alcotest.failf "re-parse of %S: %s" (Chaos.to_spec p) e))
+    specs;
+  Alcotest.(check bool) "none is none" true
+    (match Chaos.of_spec "none" with Ok p -> Chaos.is_none p | Error _ -> false);
+  List.iter
+    (fun s ->
+      match Chaos.of_spec s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bogus spec %S" s)
+    [ "bogus"; "kill:x"; "kill"; "delay:abc"; "seed:1" ]
+
+let test_chaos_seeded_deterministic () =
+  for worker = 0 to 7 do
+    let a = Chaos.seeded ~seed:42 ~worker in
+    let b = Chaos.seeded ~seed:42 ~worker in
+    Alcotest.(check string)
+      (Fmt.str "worker %d replayable" worker)
+      (Chaos.to_spec a) (Chaos.to_spec b);
+    match Chaos.of_spec (Fmt.str "seed:42:%d" worker) with
+    | Ok c ->
+      Alcotest.(check string)
+        (Fmt.str "seed spec expands, worker %d" worker)
+        (Chaos.to_spec a) (Chaos.to_spec c)
+    | Error e -> Alcotest.failf "seed spec: %s" e
+  done
+
+(* --- backoff ---------------------------------------------------------------- *)
+
+let test_backoff () =
+  let delays seed n =
+    let b = Backoff.create ~seed () in
+    List.init n (fun _ -> Backoff.next b)
+  in
+  let d = delays 3 12 in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "positive" true (x > 0.);
+      Alcotest.(check bool) "capped at 5s" true (x <= 5.))
+    d;
+  Alcotest.(check (list (float 0.)))
+    "deterministic per seed" d (delays 3 12);
+  let b = Backoff.create ~seed:1 () in
+  ignore (Backoff.next b);
+  ignore (Backoff.next b);
+  Alcotest.(check int) "attempts counted" 2 (Backoff.attempt b);
+  Backoff.reset b;
+  Alcotest.(check int) "reset" 0 (Backoff.attempt b)
+
+(* --- fleet integration: chaos parity with Check.verify ---------------------- *)
+
+let sock_counter = ref 0
+
+let fresh_socket () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Fmt.str "wfc-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+
+let impl_of name procs =
+  match Protocols.of_name ~procs name with
+  | Ok impl -> impl
+  | Error e -> Alcotest.failf "protocol %s: %s" name e
+
+(* Run [name] under the fleet: [workers] forked real processes (chaos plan
+   per worker index), small quantum so shards split and chaos triggers. *)
+let serve_fleet ?(workers = 2) ?(chaos = fun _ -> Chaos.none) ?budget
+    ?checkpoint ?resume ~name ~procs () =
+  let socket = fresh_socket () in
+  let impl = impl_of name procs in
+  let pids = if workers > 0 then Local.spawn ~chaos ~socket workers else [] in
+  let config =
+    Coordinator.config ~lease_s:1.5 ~quantum:60
+      ~local_grace_s:(if workers = 0 then 0.01 else 5.)
+      ?checkpoint socket
+  in
+  let meta = [ ("protocol", name); ("procs", string_of_int procs) ] in
+  Fun.protect ~finally:(fun () -> Local.shutdown pids) @@ fun () ->
+  Coordinator.serve ?budget ?resume ~meta ~config impl
+
+let report_of = function
+  | Check.Verified r -> r
+  | Check.Falsified v -> Alcotest.failf "unexpectedly falsified: %s" v.Check.reason
+  | Check.Unknown { reason; _ } -> Alcotest.failf "unexpectedly unknown: %s" reason
+
+let test_parity_clean () =
+  let verdict, stats = serve_fleet ~name:"sticky" ~procs:3 () in
+  let fleet = report_of verdict in
+  let single = report_of (Check.verify (impl_of "sticky" 3)) in
+  Alcotest.(check int) "same vectors" single.Check.vectors fleet.Check.vectors;
+  Alcotest.(check int) "same longest run" single.Check.max_events fleet.Check.max_events;
+  (* split shards re-visit states their siblings deduped, so the fleet may
+     count more executions — never fewer *)
+  Alcotest.(check bool)
+    "executions cover the single-process count" true
+    (fleet.Check.executions >= single.Check.executions);
+  Alcotest.(check bool) "used the fleet" true (stats.Coordinator.workers_seen >= 1)
+
+let test_parity_chaos_mix () =
+  (* worker 0 crashes mid-lease, worker 1 writes wire garbage, worker 2
+     delays its results past lease expiry: all availability events *)
+  let chaos = function
+    | 0 -> { Chaos.none with Chaos.kill_after = Some 3 }
+    | 1 -> { Chaos.none with Chaos.garbage_after = Some 2 }
+    | _ -> { Chaos.none with Chaos.delay_result_s = Some 2.0 }
+  in
+  let verdict, stats = serve_fleet ~workers:3 ~chaos ~name:"sticky" ~procs:3 () in
+  let fleet = report_of verdict in
+  let single = report_of (Check.verify (impl_of "sticky" 3)) in
+  Alcotest.(check int) "same vectors" single.Check.vectors fleet.Check.vectors;
+  Alcotest.(check bool)
+    "chaos produced lease misses" true
+    (stats.Coordinator.lease_misses >= 1);
+  Alcotest.(check bool)
+    "misses surfaced as degradation" true
+    (fleet.Check.degraded >= stats.Coordinator.lease_misses)
+
+let test_requeue_then_local_fallback () =
+  (* the only worker dies on its first shard and never comes back: the
+     shard is requeued once, lost again (nobody left to run it), and the
+     coordinator drains everything itself — the run still completes *)
+  let chaos _ = { Chaos.none with Chaos.kill_after = Some 2 } in
+  let verdict, stats = serve_fleet ~workers:1 ~chaos ~name:"sticky" ~procs:3 () in
+  let fleet = report_of verdict in
+  let single = report_of (Check.verify (impl_of "sticky" 3)) in
+  Alcotest.(check int) "same vectors" single.Check.vectors fleet.Check.vectors;
+  Alcotest.(check bool) "lease lost" true (stats.Coordinator.lease_misses >= 1);
+  Alcotest.(check bool)
+    "coordinator drained locally" true
+    (stats.Coordinator.local_shards >= 1);
+  Alcotest.(check bool)
+    "losses surfaced" true
+    (fleet.Check.degraded >= stats.Coordinator.lease_misses)
+
+let test_parity_falsified () =
+  let verdict, _ = serve_fleet ~name:"broken" ~procs:2 () in
+  (match Check.verify (impl_of "broken" 2) with
+  | Check.Falsified _ -> ()
+  | _ -> Alcotest.fail "single-process missed the broken protocol");
+  match verdict with
+  | Check.Falsified v ->
+    Alcotest.(check bool) "reason attributed" true (String.length v.Check.reason > 0);
+    (match v.Check.witness with
+    | None -> Alcotest.fail "no witness"
+    | Some w -> (
+      (* the coordinator only trusts replay-validated violations; the
+         shrunk witness must still replay to a bad leaf *)
+      match Witness.replay (impl_of "broken" 2) w with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "witness does not replay: %s" e))
+  | Check.Verified _ -> Alcotest.fail "fleet verified a broken protocol"
+  | Check.Unknown { reason; _ } -> Alcotest.failf "fleet punted: %s" reason
+
+let test_fleet_cut_resumes_in_single_process () =
+  (* budget-cut fleet run flushes a wfc-checkpoint/2 file that plain
+     Check.verify resumes to the exact full report — the fleet and the
+     single process are interchangeable mid-run *)
+  let ckfile = Filename.temp_file "wfc_fleet_cut" ".ck" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove ckfile with Sys_error _ -> ())
+  @@ fun () ->
+  let verdict, _ =
+    serve_fleet ~workers:0 ~budget:100 ~checkpoint:ckfile ~name:"sticky"
+      ~procs:3 ()
+  in
+  (match verdict with
+  | Check.Unknown _ -> ()
+  | Check.Verified _ ->
+    Alcotest.fail "budget 100 did not cut (test needs a smaller budget)"
+  | Check.Falsified v -> Alcotest.failf "falsified: %s" v.Check.reason);
+  let ck =
+    match Checkpoint.load ckfile with
+    | Ok ck -> ck
+    | Error e -> Alcotest.failf "flushed checkpoint unreadable: %s" e
+  in
+  let resumed = report_of (Check.verify ~resume:ck (impl_of "sticky" 3)) in
+  let direct = report_of (Check.verify (impl_of "sticky" 3)) in
+  Alcotest.(check int) "vectors stitched" direct.Check.vectors resumed.Check.vectors;
+  Alcotest.(check int)
+    "executions stitched" direct.Check.executions resumed.Check.executions;
+  Alcotest.(check int)
+    "longest run stitched" direct.Check.max_events resumed.Check.max_events
+
+let test_single_process_cut_resumes_in_fleet () =
+  let ckfile = Filename.temp_file "wfc_single_cut" ".ck" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove ckfile with Sys_error _ -> ())
+  @@ fun () ->
+  let meta = [ ("protocol", "sticky"); ("procs", "3") ] in
+  (match
+     Check.verify ~budget:100 ~checkpoint:(ckfile, 1e9) ~meta
+       (impl_of "sticky" 3)
+   with
+  | Check.Unknown _ -> ()
+  | _ -> Alcotest.fail "budget 100 did not cut");
+  let ck =
+    match Checkpoint.load ckfile with
+    | Ok ck -> ck
+    | Error e -> Alcotest.failf "checkpoint unreadable: %s" e
+  in
+  let verdict, _ =
+    serve_fleet ~workers:2 ~resume:ck ~name:"sticky" ~procs:3 ()
+  in
+  let resumed = report_of verdict in
+  let direct = report_of (Check.verify (impl_of "sticky" 3)) in
+  Alcotest.(check int) "vectors stitched" direct.Check.vectors resumed.Check.vectors;
+  Alcotest.(check bool)
+    "executions cover the direct count" true
+    (resumed.Check.executions >= direct.Check.executions)
+
+(* --------------------------------------------------------------------------- *)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "fleet"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "round-trip, every message kind" `Quick
+            test_codec_roundtrip_each;
+          Alcotest.test_case "newline flattening" `Quick
+            test_codec_newline_flattening;
+          Alcotest.test_case "malformed payloads rejected" `Quick
+            test_codec_rejects;
+          qt prop_codec_roundtrip;
+          qt prop_decode_total;
+        ] );
+      ( "frames",
+        [
+          Alcotest.test_case "reassembly from 1-byte chunks" `Quick
+            test_frames_chunked;
+          Alcotest.test_case "truncated frame stays pending" `Quick
+            test_frames_truncated;
+          Alcotest.test_case "oversized length prefix rejected" `Quick
+            test_frames_oversized_length;
+          qt prop_frames_fuzz_total;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "split partitions the frontier" `Quick
+            test_split_partitions_frontier;
+          Alcotest.test_case "add_counts merges ledgers" `Quick test_add_counts;
+          Alcotest.test_case "tampered checkpoint rejected" `Quick
+            test_save_tamper_rejected;
+        ] );
+      ( "chaos-plans",
+        [
+          Alcotest.test_case "spec round-trip" `Quick test_chaos_spec_roundtrip;
+          Alcotest.test_case "seeded plans replayable" `Quick
+            test_chaos_seeded_deterministic;
+        ] );
+      ("backoff", [ Alcotest.test_case "jittered, capped, seeded" `Quick test_backoff ]);
+      ( "fleet",
+        [
+          Alcotest.test_case "verdict parity, healthy fleet" `Slow
+            test_parity_clean;
+          Alcotest.test_case "verdict parity under kill/garbage/delay chaos"
+            `Slow test_parity_chaos_mix;
+          Alcotest.test_case "requeue once, then local fallback" `Slow
+            test_requeue_then_local_fallback;
+          Alcotest.test_case "broken protocol falsified with replayable witness"
+            `Slow test_parity_falsified;
+          Alcotest.test_case "fleet cut resumes in a single process" `Slow
+            test_fleet_cut_resumes_in_single_process;
+          Alcotest.test_case "single-process cut resumes in the fleet" `Slow
+            test_single_process_cut_resumes_in_fleet;
+        ] );
+    ]
