@@ -499,6 +499,16 @@ let baseline_e10_fast_nps path =
     close_in ic;
     !result
 
+(* Host facts recorded in every BENCH_*.json header: the visible core count
+   and the (possibly empty) list of guards skipped because of it, so a
+   committed baseline is honest about the hardware it was produced on. *)
+let host_cores () = Domain.recommended_domain_count ()
+
+let host_header ~skipped =
+  Fmt.str "  \"cores\": %d,\n  \"skipped\": [%s],"
+    (host_cores ())
+    (String.concat ", " (List.map (fun s -> Fmt.str "%S" s) skipped))
+
 (* Warm repeat-averaged runs per ⟨workload, engine⟩, printed as a table and
    dumped as machine-readable JSON (BENCH_explore.json, schema /2 with
    [nodes_per_sec] per row) so the throughput trajectory of the engine is
@@ -583,10 +593,12 @@ let explore_engine_report ~check () =
       Fmt.str
         "{\n\
         \  \"schema\": \"wfc-bench-explore/2\",\n\
+         %s\n\
         \  \"workloads\": [\n\
          %s\n\
         \  ]\n\
          }\n"
+        (host_header ~skipped:[])
         (String.concat ",\n" json_workloads)
     in
     let oc = open_out "BENCH_explore.json" in
@@ -672,7 +684,8 @@ let fault_injection_report () =
   in
   let json =
     Fmt.str
-      "{\n  \"schema\": \"wfc-bench-faults/1\",\n  \"workloads\": [\n%s\n  ]\n}\n"
+      "{\n  \"schema\": \"wfc-bench-faults/1\",\n%s\n  \"workloads\": [\n%s\n  ]\n}\n"
+      (host_header ~skipped:[])
       (String.concat ",\n" json_workloads)
   in
   let oc = open_out "BENCH_faults.json" in
@@ -852,10 +865,12 @@ let linearize_engine_report () =
     Fmt.str
       "{\n\
       \  \"schema\": \"wfc-bench-linearize/1\",\n\
+       %s\n\
       \  \"workloads\": [\n\
        %s\n\
       \  ]\n\
        }\n"
+      (host_header ~skipped:[])
       (String.concat ",\n" json_workloads)
   in
   let oc = open_out "BENCH_linearize.json" in
@@ -1096,6 +1111,7 @@ let compact_report () =
     Fmt.str
       "{\n\
       \  \"schema\": \"wfc-bench-compact/1\",\n\
+       %s\n\
       \  \"workloads\": [\n\
        %s\n\
       \  ],\n\
@@ -1105,6 +1121,7 @@ let compact_report () =
       \  \"collision_probe\": {\"pairs\": %d, \"legacy_colliding\": %d, \
        \"current_colliding\": %d}\n\
        }\n"
+      (host_header ~skipped:[])
       (String.concat ",\n" json_workloads)
       (String.concat ",\n" json_verdicts)
       probe_pairs probe_legacy probe_new
@@ -1247,6 +1264,7 @@ let resume_report () =
     Fmt.str
       "{\n\
       \  \"schema\": \"wfc-bench-resume/1\",\n\
+       %s\n\
       \  \"parity\": {\"protocol\": \"cas3\", \"budget\": 500, \"segments\": \
        %d, \"one_shot_executions\": %d, \"resumed_executions\": %d, \
        \"one_shot_verdict\": %S, \"resumed_verdict\": %S},\n\
@@ -1255,6 +1273,7 @@ let resume_report () =
        \"armed_nodes\": %d, \"overhead_frac\": %.4f},\n\
       \  \"guards_passed\": %b\n\
        }\n"
+      (host_header ~skipped:[])
       segments ref_execs res_execs (verdict_str reference)
       (verdict_str resumed) plain_w armed_w plain_s.Explore.nodes
       armed_s.Explore.nodes overhead
@@ -1369,15 +1388,25 @@ let distributed_report () =
     Fmt.str
       "{\n\
       \  \"schema\": \"wfc-bench-distributed/1\",\n\
+       %s\n\
       \  \"workload\": {\"protocol\": %S, \"procs\": %d, \"vectors\": %d, \
        \"executions\": %d},\n\
-      \  \"cores\": %d,\n\
       \  \"single_wall_s\": %.3f,\n\
       \  \"fleets\": [%s\n  ],\n\
       \  \"speedup_guard_enforced\": %b,\n\
       \  \"guards_passed\": %b\n\
        }\n"
-      name procs single_vectors single_execs cores single_wall
+      (host_header
+         ~skipped:
+           (if enforce then []
+            else
+              [
+                Fmt.str
+                  "4-worker speedup guard: %d effective core(s) measures \
+                   time-slicing, not scaling"
+                  cores;
+              ]))
+      name procs single_vectors single_execs single_wall
       (String.concat ","
          (List.map
             (fun (workers, w, speedup, verdict, stats) ->
@@ -1399,6 +1428,297 @@ let distributed_report () =
   output_string oc json;
   close_out oc;
   Fmt.pr "wrote BENCH_distributed.json@.";
+  List.iter (fun s -> Fmt.pr "GUARD FAILED: %s@." s) !guard_failures;
+  !guard_failures = []
+
+(* --- SV: hardware serving throughput (lib/serve) ------------------------------
+
+   Drives the paper's constructions as services over real Atomic.t/Domain
+   primitives, dumped as BENCH_serve.json. Each row is one Driver.run — a
+   ⟨construction, cell backend, workload mix⟩ triple — reporting sustained
+   ops/sec and HDR-bucketed latency percentiles, with every k-th session
+   spot-checked by the linearizability engine against the construction's
+   target spec. Three guard families:
+
+   - verdicts: every row must serve with zero failures and every sampled
+     window linearizable; mutex and CAS backends must agree per scenario
+     (the verdict-parity assert the CI smoke step relies on);
+   - ticks: Runtime.run (which stamps every op) is timed under the global
+     fetch-and-add scheme vs the sharded epoch scheme. The "sharded beats
+     global" guard needs real parallelism to mean anything — the global
+     counter only serializes when domains actually contend — so below 4
+     cores it is recorded as skipped, not silently passed;
+   - regression (--check): the register-chain/cas/equal row's ops/sec is
+     compared against the committed baseline, enforced only when the host
+     has >= 3 cores AND matches the baseline's recorded core count (an
+     ops/sec comparison across different hardware is noise). *)
+
+let baseline_serve_row path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let cores = ref None and nps = ref None in
+    (try
+       while true do
+         let l = input_line ic in
+         (match float_field l "cores" with
+         | Some c when !cores = None -> cores := Some (int_of_float c)
+         | _ -> ());
+         if
+           contains l {|"construction": "register-chain"|}
+           && contains l {|"backend": "cas"|}
+           && contains l {|"mix": "equal"|}
+         then
+           match float_field l "ops_per_sec" with
+           | Some v -> nps := Some v
+           | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match (!cores, !nps) with Some c, Some v -> Some (c, v) | _ -> None
+
+let serve_report ?(check = false) ?(smoke = false) () =
+  let module Driver = Wfc_serve.Driver in
+  let module Workload = Wfc_serve.Workload in
+  let module H = Wfc_serve.Histogram in
+  let cores = host_cores () in
+  let guard_failures = ref [] in
+  let fail fmt =
+    Fmt.kstr (fun s -> guard_failures := !guard_failures @ [ s ]) fmt
+  in
+  let skipped = ref [] in
+  let skip fmt = Fmt.kstr (fun s -> skipped := !skipped @ [ s ]) fmt in
+  Fmt.pr "==== SV: hardware serving, %s (%d core(s) visible) ====@."
+    (if smoke then "smoke" else if check then "regression check" else "full")
+    cores;
+  let domains = 2 in
+  let sessions = if smoke then 6 else 48 in
+  let check_every = if smoke then 3 else 8 in
+  let scenarios =
+    if smoke then
+      [
+        Workload.register_chain ~domains ~ops_per_proc:8;
+        Workload.one_use_array ~domains;
+        Workload.universal_faa ~domains ~ops_per_proc:3;
+      ]
+    else Workload.all ~domains
+  in
+  let backends =
+    [ (Wfc_multicore.Cells.Mutex_cells, "mutex"); (Wfc_multicore.Cells.Atomic_cas, "cas") ]
+  in
+  let verdicts = Hashtbl.create 16 in
+  let json_rows =
+    List.concat_map
+      (fun (w : Workload.t) ->
+        List.concat_map
+          (fun (backend, bname) ->
+            List.map
+              (fun (mix, workloads) ->
+                let o =
+                  Driver.run ~backend ~sessions ~check_every
+                    ~check:(w.Workload.check_spec, w.Workload.check_init)
+                    ?port_of:w.Workload.port_of w.Workload.impl ~workloads ()
+                in
+                let p50 = H.percentile o.Driver.hist 0.50
+                and p99 = H.percentile o.Driver.hist 0.99
+                and p999 = H.percentile o.Driver.hist 0.999 in
+                let verdict =
+                  match o.Driver.failure with
+                  | None
+                    when o.Driver.windows_checked > 0
+                         && o.Driver.windows_ok = o.Driver.windows_checked ->
+                    "OK"
+                  | None -> "NO-WINDOWS"
+                  | Some m -> Fmt.str "FAIL: %s" m
+                in
+                if verdict <> "OK" then
+                  fail "%s/%s/%s served un-OK: %s" w.Workload.name bname mix
+                    verdict;
+                Hashtbl.replace verdicts (w.Workload.name, mix, bname) verdict;
+                Fmt.pr
+                  "  %-14s %-6s %-6s %9.0f ops/s  p50 %6d ns  p99 %7d ns  \
+                   p999 %8d ns  windows %d/%d %s@."
+                  w.Workload.name bname mix o.Driver.ops_per_sec p50 p99 p999
+                  o.Driver.windows_ok o.Driver.windows_checked verdict;
+                Fmt.str
+                  {|    {"construction": %S, "backend": %S, "mix": %S, "domains": %d, "sessions": %d, "total_ops": %d, "wall_s": %.6f, "ops_per_sec": %.0f, "mean_ns": %.0f, "p50_ns": %d, "p99_ns": %d, "p999_ns": %d, "windows_checked": %d, "windows_ok": %d, "verdict": %S}|}
+                  w.Workload.name bname mix o.Driver.domains o.Driver.sessions
+                  o.Driver.total_ops o.Driver.wall_s o.Driver.ops_per_sec
+                  (H.mean_ns o.Driver.hist)
+                  p50 p99 p999 o.Driver.windows_checked o.Driver.windows_ok
+                  verdict)
+              [ ("equal", w.Workload.equal); ("skewed", w.Workload.skewed) ])
+          backends)
+      scenarios
+  in
+  (* verdict parity: the lock-free CAS backend must be as linearizable as
+     the mutex one on every scenario — a CAS-retry-loop bug shows up here
+     as asymmetric verdicts before it shows up as a throughput anomaly *)
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun mix ->
+          let v b = Hashtbl.find_opt verdicts (w.Workload.name, mix, b) in
+          if v "mutex" <> v "cas" then
+            fail "verdict parity broken on %s/%s: mutex %s, cas %s"
+              w.Workload.name mix
+              (Option.value (v "mutex") ~default:"-")
+              (Option.value (v "cas") ~default:"-"))
+        [ "equal"; "skewed" ])
+    scenarios;
+  (* tick schemes, timed where stamping actually happens: Runtime.run
+     stamps every operation, so the global counter is two contended
+     fetch-and-adds per op there; Driver's hot path never stamps *)
+  let tick_impl () =
+    Wfc_registers.Multi_writer.atomic_mrmw ~writers:domains ~extra_readers:0
+      ~init:(Value.int 0) ()
+  in
+  let tick_ops = if smoke then 200 else 2000 in
+  let tick_workloads =
+    Array.init domains (fun p ->
+        List.init tick_ops (fun i ->
+            if (i + p) mod 2 = 0 then Ops.write (Value.int i) else Ops.read))
+  in
+  let tick_nps scheme =
+    let best = ref 0.0 in
+    for seed = 0 to 2 do
+      let o =
+        Wfc_multicore.Runtime.run ~seed ~backend:Wfc_multicore.Cells.Atomic_cas
+          ~tick:scheme (tick_impl ()) ~workloads:tick_workloads ()
+      in
+      let nps =
+        if o.Wfc_multicore.Runtime.wall_s > 0.0 then
+          float_of_int (domains * tick_ops) /. o.Wfc_multicore.Runtime.wall_s
+        else 0.0
+      in
+      if nps > !best then best := nps
+    done;
+    !best
+  in
+  let global_nps = tick_nps Wfc_multicore.Tick.Global in
+  let sharded_nps = tick_nps (Wfc_multicore.Tick.sharded ()) in
+  let tick_ratio = if global_nps > 0.0 then sharded_nps /. global_nps else 1.0 in
+  let tick_enforced = cores >= 4 in
+  Fmt.pr
+    "  tick stamping (Runtime.run, %d ops x %d domains): global %9.0f \
+     ops/s, sharded %9.0f ops/s (x%.2f)@."
+    tick_ops domains global_nps sharded_nps tick_ratio;
+  if tick_enforced then begin
+    if tick_ratio < 1.0 then
+      fail
+        "sharded tick (%.0f ops/s) does not beat the global counter (%.0f \
+         ops/s) on %d cores"
+        sharded_nps global_nps cores
+  end
+  else
+    skip
+      "sharded-vs-global tick guard: %d core(s) - the global counter only \
+       serializes under real parallelism"
+      cores;
+  (* contention sweep: register-chain scaling across domain counts (the
+     shape of the curve is the datum; no guard — on few cores it measures
+     the scheduler, recorded as such above) *)
+  let sweep_domains =
+    List.filter (fun d -> d <= 4 || d <= cores) (if smoke then [ 1; 2 ] else [ 1; 2; 4 ])
+  in
+  let json_sweep =
+    List.map
+      (fun d ->
+        let w =
+          Workload.register_chain ~domains:d
+            ~ops_per_proc:(if smoke then 8 else 32)
+        in
+        let o =
+          Driver.run ~backend:Wfc_multicore.Cells.Atomic_cas ~sessions
+            ~check_every
+            ~check:(w.Workload.check_spec, w.Workload.check_init)
+            w.Workload.impl ~workloads:w.Workload.equal ()
+        in
+        (match o.Driver.failure with
+        | None -> ()
+        | Some m -> fail "scaling sweep at %d domains failed: %s" d m);
+        Fmt.pr "  scaling: %d domain(s) %9.0f ops/s (p99 %d ns)@." d
+          o.Driver.ops_per_sec
+          (H.percentile o.Driver.hist 0.99);
+        Fmt.str
+          {|    {"domains": %d, "ops_per_sec": %.0f, "p99_ns": %d, "windows_checked": %d, "windows_ok": %d}|}
+          d o.Driver.ops_per_sec
+          (H.percentile o.Driver.hist 0.99)
+          o.Driver.windows_checked o.Driver.windows_ok)
+      sweep_domains
+  in
+  if check then begin
+    (match baseline_serve_row "BENCH_serve.json" with
+    | None ->
+      Fmt.pr
+        "  (no register-chain/cas/equal baseline in BENCH_serve.json — \
+         skipping the throughput ratio check)@."
+    | Some (base_cores, base_nps) ->
+      let current =
+        List.find_map
+          (fun l ->
+            if
+              contains l {|"construction": "register-chain"|}
+              && contains l {|"backend": "cas"|}
+              && contains l {|"mix": "equal"|}
+            then float_field l "ops_per_sec"
+            else None)
+          json_rows
+      in
+      match current with
+      | None -> fail "sv --check produced no register-chain/cas/equal row"
+      | Some now ->
+        let ratio = now /. base_nps in
+        Fmt.pr
+          "  register-chain/cas/equal vs committed baseline: %.0f / %.0f \
+           ops/s (x%.2f)@."
+          now base_nps ratio;
+        if cores < 3 then
+          skip
+            "sv throughput gate: %d core(s) - serving throughput on a \
+             time-sliced host is scheduler noise"
+            cores
+        else if base_cores <> cores then
+          skip
+            "sv throughput gate: baseline recorded on %d core(s), host has \
+             %d - cross-hardware ops/sec is not comparable"
+            base_cores cores
+        else if ratio < 0.5 then
+          fail "serving throughput regressed >50%%: %.0f ops/s vs baseline %.0f"
+            now base_nps);
+    List.iter (fun s -> Fmt.pr "  (skipped: %s)@." s) !skipped
+  end
+  else if not smoke then begin
+    let json =
+      Fmt.str
+        "{\n\
+        \  \"schema\": \"wfc-bench-serve/1\",\n\
+         %s\n\
+        \  \"domains\": %d,\n\
+        \  \"sessions\": %d,\n\
+        \  \"rows\": [\n\
+         %s\n\
+        \  ],\n\
+        \  \"tick\": {\"ops_per_proc\": %d, \"global_ops_per_sec\": %.0f, \
+         \"sharded_ops_per_sec\": %.0f, \"ratio\": %.3f, \"guard_enforced\": \
+         %b},\n\
+        \  \"scaling\": [\n\
+         %s\n\
+        \  ],\n\
+        \  \"guards_passed\": %b\n\
+         }\n"
+        (host_header ~skipped:!skipped)
+        domains sessions
+        (String.concat ",\n" json_rows)
+        tick_ops global_nps sharded_nps tick_ratio tick_enforced
+        (String.concat ",\n" json_sweep)
+        (!guard_failures = [])
+    in
+    let oc = open_out "BENCH_serve.json" in
+    output_string oc json;
+    close_out oc;
+    Fmt.pr "wrote BENCH_serve.json@."
+  end;
   List.iter (fun s -> Fmt.pr "GUARD FAILED: %s@." s) !guard_failures;
   !guard_failures = []
 
@@ -1463,29 +1783,50 @@ let checker =
              ignore (Wfc_linearize.Linearizability.check ~spec (history 14))));
     ]
 
+let usage () =
+  Fmt.epr
+    "usage: main.exe [GROUP [FLAG]]@.\n\
+     groups (no group runs the full suite):@.\
+    \  fi             fault injection (BENCH_faults.json)@.\
+    \  lz             linearizability engines (BENCH_linearize.json)@.\
+    \  ex [--check]   exploration engines (BENCH_explore.json; --check \
+     compares the committed baseline instead of rewriting it)@.\
+    \  cx             state-space compaction (BENCH_compact.json)@.\
+    \  rs             checkpoint/resume resilience (BENCH_resume.json)@.\
+    \  ds             distributed verification fleet \
+     (BENCH_distributed.json)@.\
+    \  sv [--check|--smoke]  hardware serving throughput \
+     (BENCH_serve.json; --smoke runs tiny op counts and writes nothing)@."
+
 let () =
-  (* `bench/main.exe fi` runs only the fault-injection group; `lz` only the
-     linearizability-engine group (the CI steps) *)
-  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "fi" then begin
-    fault_injection_report ();
-    exit 0
-  end;
-  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "lz" then
-    exit (if linearize_engine_report () then 0 else 1);
-  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "ex" then begin
-    (* `ex` regenerates BENCH_explore.json; `ex --check` compares against the
-       committed baseline instead of rewriting it (the CI regression step) *)
-    let check =
-      Array.length Sys.argv > 2 && String.equal Sys.argv.(2) "--check"
-    in
-    exit (if explore_engine_report ~check () then 0 else 1)
-  end;
-  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "cx" then
-    exit (if compact_report () then 0 else 1);
-  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "rs" then
-    exit (if resume_report () then 0 else 1);
-  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "ds" then
-    exit (if distributed_report () then 0 else 1);
+  (* `bench/main.exe GROUP` runs one report (the CI steps); an unrecognized
+     group is a usage error, exit 2, so a workflow typo can never
+     silently run the multi-minute full suite instead *)
+  (if Array.length Sys.argv > 1 then
+     let flag name =
+       Array.length Sys.argv > 2 && String.equal Sys.argv.(2) name
+     in
+     match Sys.argv.(1) with
+     | "fi" ->
+       fault_injection_report ();
+       exit 0
+     | "lz" -> exit (if linearize_engine_report () then 0 else 1)
+     | "ex" ->
+       (* `ex` regenerates BENCH_explore.json; `ex --check` compares against
+          the committed baseline instead of rewriting it *)
+       exit (if explore_engine_report ~check:(flag "--check") () then 0 else 1)
+     | "cx" -> exit (if compact_report () then 0 else 1)
+     | "rs" -> exit (if resume_report () then 0 else 1)
+     | "ds" -> exit (if distributed_report () then 0 else 1)
+     | "sv" ->
+       exit
+         (if serve_report ~check:(flag "--check") ~smoke:(flag "--smoke") ()
+          then 0
+          else 1)
+     | g ->
+       Fmt.epr "main.exe: unknown group %S@." g;
+       usage ();
+       exit 2);
   shape_facts ();
   if not (explore_engine_report ~check:false ()) then exit 1;
   fault_injection_report ();
@@ -1493,6 +1834,7 @@ let () =
   if not (compact_report ()) then exit 1;
   if not (resume_report ()) then exit 1;
   if not (distributed_report ()) then exit 1;
+  if not (serve_report ()) then exit 1;
   Fmt.pr "==== timings (bechamel, OLS per-run estimates) ====@.";
   List.iter
     (fun t ->

@@ -1,0 +1,91 @@
+open Wfc_spec
+open Wfc_program
+
+type backend = Mutex_cells | Atomic_cas
+
+type cell =
+  | Locked of { mutex : Mutex.t; mutable state : Value.t }
+  | Cas of Value.t Atomic.t
+
+type t = { backend : backend; cells : cell array }
+
+let make_cell backend init =
+  match backend with
+  | Mutex_cells -> Locked { mutex = Mutex.create (); state = init }
+  | Atomic_cas -> Cas (Pad.atomic init)
+
+let make backend objects =
+  {
+    backend;
+    cells = Array.map (fun (_, init) -> make_cell backend init) objects;
+  }
+
+let backend t = t.backend
+
+(* Only sound at quiescence (no domain mid-invocation): plain writes into
+   the mutable state / Atomic.set, no fences beyond the atomics' own. The
+   serving driver calls this at session barriers. *)
+let reset t objects =
+  if Array.length objects <> Array.length t.cells then
+    invalid_arg "Cells.reset: object count mismatch";
+  Array.iteri
+    (fun i cell ->
+      let _, init = objects.(i) in
+      match cell with
+      | Locked c -> c.state <- init
+      | Cas c -> Atomic.set c init)
+    t.cells
+
+let states t =
+  Array.map
+    (function Locked c -> c.state | Cas c -> Atomic.get c)
+    t.cells
+
+let pick rng ~proc ~obj ~inv alts =
+  match alts with
+  | [] ->
+    raise
+      (Type_spec.Bad_step
+         (Fmt.str "proc %d: %a disabled on object %d" proc Value.pp inv obj))
+  | [ alt ] -> alt
+  | alts -> List.nth alts (Random.State.int rng (List.length alts))
+
+let access t (impl : Implementation.t) ~rng ~proc ~obj ~inv =
+  let spec, _ = impl.Implementation.objects.(obj) in
+  let port = impl.Implementation.port_map ~proc ~obj in
+  match t.cells.(obj) with
+  | Locked cell ->
+    Mutex.lock cell.mutex;
+    let result =
+      match
+        pick rng ~proc ~obj ~inv (Type_spec.alternatives spec cell.state ~port ~inv)
+      with
+      | q', r ->
+        cell.state <- q';
+        Ok r
+      | exception e -> Error e
+    in
+    Mutex.unlock cell.mutex;
+    (match result with Ok r -> r | Error e -> raise e)
+  | Cas cell ->
+    (* lock-free: read, compute δ, CAS the successor in, retry on
+       interference (compare_and_set compares the physical snapshot we just
+       read, so no ABA on immutable values) *)
+    let rec attempt () =
+      let cur = Atomic.get cell in
+      let q', r =
+        pick rng ~proc ~obj ~inv (Type_spec.alternatives spec cur ~port ~inv)
+      in
+      if Atomic.compare_and_set cell cur q' then r else attempt ()
+    in
+    attempt ()
+
+let exec_op t (impl : Implementation.t) ~rng ~proc ~local ~inv =
+  let rec interpret ~steps p =
+    match p with
+    | Program.Return (resp, local') -> (resp, local', steps)
+    | Program.Invoke { obj; inv; k } ->
+      let resp = access t impl ~rng ~proc ~obj ~inv in
+      interpret ~steps:(steps + 1) (k resp)
+  in
+  interpret ~steps:0 (impl.Implementation.program ~proc ~inv local)

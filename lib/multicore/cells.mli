@@ -1,0 +1,66 @@
+(** Shared base-object cells for true-parallel execution.
+
+    The cell representation and program interpreter common to
+    {!Wfc_multicore.Runtime} (the stress oracle, which records every
+    operation) and {!Wfc_serve.Driver} (the throughput harness, which
+    records almost nothing): each base object of an
+    {!Wfc_program.Implementation} becomes either a mutex-guarded cell —
+    one invocation, one critical section, the atomicity granularity the
+    paper's model postulates — or a cache-line-padded [Atomic.t] driven by
+    a compare-and-set retry loop (lock-free per invocation, see
+    {!Wfc_multicore.Runtime.backend} for the wait-freedom caveat).
+
+    [Atomic_cas] cells are allocated through {!Pad} so that neighbouring
+    cells of one implementation do not share a cache line — without the
+    padding, a CAS on any cell invalidates the line under every domain
+    spinning on its neighbours, and the "per-object" contention sweeps
+    would partly measure false sharing instead. *)
+
+open Wfc_spec
+open Wfc_program
+
+type backend = Mutex_cells | Atomic_cas
+
+type t
+
+val make : backend -> (Type_spec.t * Value.t) array -> t
+(** One cell per base object, initialized to the given states;
+    [Atomic_cas] cells are cache-line padded. *)
+
+val backend : t -> backend
+
+val reset : t -> (Type_spec.t * Value.t) array -> unit
+(** Reinstall the given initial states. Only sound at {e quiescence} — no
+    domain may be mid-invocation. The serving driver calls this at session
+    barriers to restart bounded constructions (one-use bits are spent, the
+    universal construction's log fills) and to give every linearizability
+    spot-check window a known abstract initial state.
+    @raise Invalid_argument on an object-count mismatch. *)
+
+val states : t -> Value.t array
+(** Snapshot of all cell states (only meaningful at quiescence). *)
+
+val access :
+  t ->
+  Implementation.t ->
+  rng:Random.State.t ->
+  proc:int ->
+  obj:int ->
+  inv:Value.t ->
+  Value.t
+(** One atomic base invocation by [proc] on [obj]: critical section or CAS
+    retry loop depending on the backend; nondeterministic alternatives
+    resolve through [rng].
+    @raise Wfc_spec.Type_spec.Bad_step when the invocation is disabled. *)
+
+val exec_op :
+  t ->
+  Implementation.t ->
+  rng:Random.State.t ->
+  proc:int ->
+  local:Value.t ->
+  inv:Value.t ->
+  Value.t * Value.t * int
+(** Run one high-level operation to completion: interpret
+    [impl.program ~proc ~inv local], performing every base access through
+    {!access}. Returns ⟨response, new local state, base accesses⟩. *)

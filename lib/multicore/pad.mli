@@ -1,0 +1,5 @@
+(** Cache-line padding for contended atomics (best-effort, see the .ml). *)
+
+val atomic : 'a -> 'a Atomic.t
+(** [Atomic.make] followed by a filler allocation, so the next allocation
+    lands on a different cache line than this atomic's box. *)

@@ -8,81 +8,26 @@ type outcome = {
   final_objects : Value.t array;
 }
 
-type backend = Mutex_cells | Atomic_cas
+type backend = Cells.backend = Mutex_cells | Atomic_cas
 
-type cell =
-  | Locked of { mutex : Mutex.t; mutable state : Value.t }
-  | Cas of Value.t Atomic.t
-
-let make_cell backend init =
-  match backend with
-  | Mutex_cells -> Locked { mutex = Mutex.create (); state = init }
-  | Atomic_cas -> Cas (Atomic.make init)
-
-let run ?(seed = 0) ?(backend = Mutex_cells) (impl : Implementation.t)
-    ~workloads () =
+let run ?(seed = 0) ?(backend = Mutex_cells) ?(tick = Tick.Global)
+    (impl : Implementation.t) ~workloads () =
   let procs = impl.Implementation.procs in
   if Array.length workloads <> procs then
     invalid_arg "Runtime.run: workloads length must equal impl.procs";
-  let cells =
-    Array.map (fun (_, init) -> make_cell backend init) impl.Implementation.objects
-  in
-  let tick = Atomic.make 0 in
-  let now () = Atomic.fetch_and_add tick 1 in
+  let cells = Cells.make backend impl.Implementation.objects in
+  let ticks = Tick.make tick in
   let worker proc =
     let rng = Random.State.make [| seed; proc |] in
-    let rec interpret ~steps p =
-      match p with
-      | Program.Return v -> (v, steps)
-      | Program.Invoke { obj; inv; k } ->
-        let spec, _ = impl.Implementation.objects.(obj) in
-        let port = impl.Implementation.port_map ~proc ~obj in
-        let pick alts =
-          match alts with
-          | [] ->
-            raise
-              (Type_spec.Bad_step
-                 (Fmt.str "proc %d: %a disabled on object %d" proc Value.pp
-                    inv obj))
-          | [ alt ] -> alt
-          | alts -> List.nth alts (Random.State.int rng (List.length alts))
-        in
-        let resp =
-          match cells.(obj) with
-          | Locked cell ->
-            Mutex.lock cell.mutex;
-            let result =
-              match
-                pick (Type_spec.alternatives spec cell.state ~port ~inv)
-              with
-              | q', r ->
-                cell.state <- q';
-                Ok r
-              | exception e -> Error e
-            in
-            Mutex.unlock cell.mutex;
-            (match result with Ok r -> r | Error e -> raise e)
-          | Cas cell ->
-            (* lock-free: read, compute δ, CAS the successor in, retry on
-               interference (compare_and_set compares the physical snapshot
-               we just read, so no ABA on immutable values) *)
-            let rec attempt () =
-              let cur = Atomic.get cell in
-              let q', r = pick (Type_spec.alternatives spec cur ~port ~inv) in
-              if Atomic.compare_and_set cell cur q' then r else attempt ()
-            in
-            attempt ()
-        in
-        interpret ~steps:(steps + 1) (k resp)
-    in
+    let handle = Tick.handle ticks in
     let rec ops_loop local op_index acc = function
       | [] -> List.rev acc
       | inv :: rest ->
-        let start_step = now () in
-        let (resp, local'), steps =
-          interpret ~steps:0 (impl.Implementation.program ~proc ~inv local)
+        let start_step = Tick.stamp handle in
+        let resp, local', steps =
+          Cells.exec_op cells impl ~rng ~proc ~local ~inv
         in
-        let end_step = now () in
+        let end_step = Tick.stamp handle in
         let op =
           {
             Wfc_sim.Exec.proc;
@@ -117,13 +62,10 @@ let run ?(seed = 0) ?(backend = Mutex_cells) (impl : Implementation.t)
   {
     ops = List.concat (Array.to_list per_proc);
     wall_s;
-    final_objects =
-      Array.map
-        (function Locked c -> c.state | Cas c -> Atomic.get c)
-        cells;
+    final_objects = Cells.states cells;
   }
 
-let consensus_trials ?(seed = 0) ?backend ~make ~trials () =
+let consensus_trials ?(seed = 0) ?backend ?tick ~make ~trials () =
   let rec go t =
     if t = trials then Ok trials
     else
@@ -135,7 +77,7 @@ let consensus_trials ?(seed = 0) ?backend ~make ~trials () =
       let workloads =
         Array.map (fun b -> [ Ops.propose (Value.bool b) ]) inputs
       in
-      let outcome = run ~seed:(seed + t) ?backend impl ~workloads () in
+      let outcome = run ~seed:(seed + t) ?backend ?tick impl ~workloads () in
       let resps =
         List.map (fun (o : Wfc_sim.Exec.op) -> o.resp) outcome.ops
       in
@@ -154,12 +96,13 @@ let consensus_trials ?(seed = 0) ?backend ~make ~trials () =
   in
   go 0
 
-let linearizable_trials ?(seed = 0) ?backend ~make ~workloads ~trials () =
+let linearizable_trials ?(seed = 0) ?backend ?tick ~make ~workloads ~trials ()
+    =
   let rec go t =
     if t = trials then Ok trials
     else
       let impl = make () in
-      let outcome = run ~seed:(seed + t) ?backend impl ~workloads () in
+      let outcome = run ~seed:(seed + t) ?backend ?tick impl ~workloads () in
       match
         Wfc_linearize.Linearizability.check
           ~spec:impl.Implementation.target

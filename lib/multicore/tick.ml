@@ -1,0 +1,36 @@
+type scheme = Global | Sharded of { epoch_every : int }
+
+let sharded ?(epoch_every = 64) () =
+  if epoch_every < 1 then invalid_arg "Tick.sharded: epoch_every must be >= 1";
+  Sharded { epoch_every }
+
+(* [epoch_every = 0] encodes the global scheme: every stamp is a
+   fetch-and-add on [counter]. Otherwise [counter] is the epoch, read on
+   every stamp and bumped only every [epoch_every] stamps per domain. *)
+type t = { counter : int Atomic.t; epoch_every : int }
+
+type handle = { shared : t; mutable until_bump : int }
+
+let make = function
+  | Global -> { counter = Pad.atomic 0; epoch_every = 0 }
+  | Sharded { epoch_every } ->
+    if epoch_every < 1 then
+      invalid_arg "Tick.make: epoch_every must be >= 1";
+    { counter = Pad.atomic 0; epoch_every }
+
+let handle shared = { shared; until_bump = shared.epoch_every }
+
+let stamp h =
+  let t = h.shared in
+  if t.epoch_every = 0 then Atomic.fetch_and_add t.counter 1
+  else begin
+    let v = Atomic.get t.counter in
+    h.until_bump <- h.until_bump - 1;
+    if h.until_bump <= 0 then begin
+      h.until_bump <- t.epoch_every;
+      Atomic.incr t.counter
+    end;
+    v
+  end
+
+let current t = Atomic.get t.counter

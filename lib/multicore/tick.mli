@@ -1,0 +1,62 @@
+(** Operation timestamping schemes for the true-parallel runtime.
+
+    {!Wfc_multicore.Runtime.run} stamps every high-level operation before
+    its first base access and after its last, so real histories can be fed
+    to the linearizability checkers. The original scheme — one global
+    [Atomic.fetch_and_add] per stamp — makes the tick counter's cache line
+    the single hottest location in the whole run: every domain writes it
+    twice per operation, serializing backends that are otherwise
+    contention-free. The {e sharded} scheme removes that serialization
+    point while keeping the stamps {e sound} for linearizability checking.
+
+    {b Sharded scheme.} One shared {e epoch} counter, cache-line padded.
+    Every stamp is a plain [Atomic.get] of the epoch — a read of a
+    mostly-read-shared line, which the coherence protocol replicates into
+    every core's cache instead of bouncing it. Each domain additionally
+    {e bumps} the epoch (one [fetch_and_add]) every [epoch_every] of its
+    own stamps, amortizing the contended write [epoch_every]-fold.
+
+    {b Soundness.} Stamps are reads of a single monotonically increasing
+    location, so if stamp [a] happens before stamp [b] in real time then
+    [value a <= value b] — the stamps can {e coarsen} the real-time order
+    (distinct moments may share an epoch) but never {e invert} it. For the
+    checker, ops that share an epoch merely appear concurrent, and judging
+    truly ordered ops as concurrent only {e enlarges} the set of admissible
+    linearizations: the sharded scheme can never manufacture a false
+    violation. What it trades away is discrimination — a real violation
+    whose evidence is exactly a real-time ordering between two same-epoch
+    ops is no longer detectable from the stamps. [epoch_every] is that
+    dial: 1 is the global scheme's precision at the global scheme's cost,
+    64 (the {!sharded} default) makes stamping all but free.
+
+    (Contrast with per-domain {e block} allocation — each domain grabbing a
+    range of ticks at a time — which is {e unsound}: a domain draining an
+    old low block stamps later real-time events with smaller values than
+    another domain's earlier events, inverting order and manufacturing
+    false violations. That scheme is deliberately not offered.) *)
+
+type scheme =
+  | Global  (** one [fetch_and_add] per stamp — maximally precise stamps *)
+  | Sharded of { epoch_every : int }
+      (** epoch reads, one contended bump every [epoch_every] stamps per
+          domain; must be [>= 1] (1 degenerates to per-stamp bumping) *)
+
+val sharded : ?epoch_every:int -> unit -> scheme
+(** [Sharded { epoch_every }]; default 64.
+    @raise Invalid_argument when [epoch_every < 1]. *)
+
+type t
+(** Shared timestamping state for one run. *)
+
+type handle
+(** A domain-local stamping handle — not thread-safe; make one per domain. *)
+
+val make : scheme -> t
+val handle : t -> handle
+
+val stamp : handle -> int
+(** The next timestamp: nondecreasing across all handles of one [t] in real
+    time; strictly increasing per stamp under [Global]. *)
+
+val current : t -> int
+(** Current counter value (tests and diagnostics). *)

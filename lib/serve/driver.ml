@@ -1,0 +1,220 @@
+open Wfc_spec
+open Wfc_program
+module Cells = Wfc_multicore.Cells
+module Pad = Wfc_multicore.Pad
+module Monotime = Wfc_sim.Monotime
+
+type outcome = {
+  domains : int;
+  backend : Cells.backend;
+  sessions : int;
+  total_ops : int;
+  wall_s : float;
+  ops_per_sec : float;
+  hist : Histogram.t;
+  windows_checked : int;
+  windows_ok : int;
+  failure : string option;
+}
+
+(* Sense-reversing barrier with an abort escape: the last arriver resets
+   the count and flips the sense; everyone else spins on the sense with
+   [cpu_relax], degrading to short sleeps so oversubscribed hosts (more
+   domains than cores) don't burn whole scheduler quanta spinning. A set
+   [abort] flag releases every waiter immediately — a domain that died
+   mid-session can never complete the count. *)
+type barrier = {
+  parties : int;
+  count : int Atomic.t;
+  sense : bool Atomic.t;
+  abort : bool Atomic.t;
+}
+
+let barrier ~parties ~abort =
+  { parties; count = Pad.atomic 0; sense = Pad.atomic false; abort }
+
+let await b local_sense =
+  if Atomic.fetch_and_add b.count 1 = b.parties - 1 then begin
+    Atomic.set b.count 0;
+    Atomic.set b.sense local_sense
+  end
+  else begin
+    let spins = ref 0 in
+    while
+      Atomic.get b.sense <> local_sense && not (Atomic.get b.abort)
+    do
+      incr spins;
+      if !spins land 0xfff = 0 then Unix.sleepf 50e-6 else Domain.cpu_relax ()
+    done
+  end
+
+(* Preallocated per-op recording slot: window recording writes five mutable
+   fields (pointer/int stores, no allocation); the [Exec.op] records are
+   built once per window, off the hot path. *)
+type slot = {
+  mutable s_inv : Value.t;
+  mutable s_resp : Value.t;
+  mutable s_start : int;
+  mutable s_end : int;
+  mutable s_steps : int;
+}
+
+let run ?(backend = Cells.Atomic_cas) ?(sessions = 64) ?(check_every = 8)
+    ?(seed = 0) ?check ?port_of (impl : Implementation.t) ~workloads () =
+  let procs = impl.Implementation.procs in
+  if Array.length workloads <> procs then
+    invalid_arg "Driver.run: workloads length must equal impl.procs";
+  if sessions < 1 then invalid_arg "Driver.run: sessions must be >= 1";
+  if check_every < 0 then invalid_arg "Driver.run: check_every must be >= 0";
+  let inv_arrs = Array.map Array.of_list workloads in
+  let cells = Cells.make backend impl.Implementation.objects in
+  let abort = Pad.atomic false in
+  let bar = barrier ~parties:procs ~abort in
+  (* window ticks are exact (one fetch-and-add per stamp): precision is
+     paid only on sampled sessions, which is the whole point of sampling *)
+  let wtick = Pad.atomic 0 in
+  let hists = Array.init procs (fun _ -> Histogram.make ()) in
+  let slot_arrs =
+    Array.map
+      (Array.map (fun inv ->
+           { s_inv = inv; s_resp = Value.unit; s_start = 0; s_end = 0; s_steps = 0 }))
+      inv_arrs
+  in
+  let recorded session = check_every > 0 && session mod check_every = 0 in
+  (* leader-only state, written between the boundary barriers and read
+     after the join (Domain.join synchronizes) *)
+  let windows_checked = ref 0 and windows_ok = ref 0 in
+  let first_failure = ref None in
+  let collect_window () =
+    let ops = ref [] in
+    for p = procs - 1 downto 0 do
+      let slots = slot_arrs.(p) in
+      for i = Array.length slots - 1 downto 0 do
+        let sl = slots.(i) in
+        ops :=
+          {
+            Wfc_sim.Exec.proc = p;
+            op_index = i;
+            inv = sl.s_inv;
+            resp = sl.s_resp;
+            start_step = sl.s_start;
+            end_step = sl.s_end;
+            steps = sl.s_steps;
+          }
+          :: !ops
+      done
+    done;
+    !ops
+  in
+  let spec, init =
+    match check with Some (s, i) -> (Some s, Some i) | None -> (None, None)
+  in
+  let leader_boundary session =
+    if not (Atomic.get abort) then begin
+      if recorded session then begin
+        incr windows_checked;
+        match Spotcheck.check_window ?spec ?init ?port_of impl (collect_window ()) with
+        | Ok () -> incr windows_ok
+        | Error m ->
+          if !first_failure = None then
+            first_failure :=
+              Some (Fmt.str "window at session %d: %s" session m)
+      end;
+      (* every session restarts the construction from its initial states:
+         bounded constructions (one-use bits, the universal log) have spent
+         their budget, and the next sampled window needs a known abstract
+         initial state *)
+      Cells.reset cells impl.Implementation.objects;
+      Atomic.set wtick 0
+    end
+  in
+  let worker proc =
+    let rng = Random.State.make [| seed; proc |] in
+    let hist = hists.(proc) in
+    let invs = inv_arrs.(proc) in
+    let slots = slot_arrs.(proc) in
+    let n = Array.length invs in
+    let sense = ref false in
+    let ops_done = ref 0 in
+    for session = 0 to sessions - 1 do
+      if not (Atomic.get abort) then begin
+        let local = ref (impl.Implementation.local_init proc) in
+        if recorded session then
+          for i = 0 to n - 1 do
+            let inv = invs.(i) in
+            let st = Atomic.fetch_and_add wtick 1 in
+            let t0 = Monotime.now_ns () in
+            let resp, local', steps =
+              Cells.exec_op cells impl ~rng ~proc ~local:!local ~inv
+            in
+            let t1 = Monotime.now_ns () in
+            let en = Atomic.fetch_and_add wtick 1 in
+            local := local';
+            Histogram.record hist (t1 - t0);
+            incr ops_done;
+            let sl = slots.(i) in
+            sl.s_inv <- inv;
+            sl.s_resp <- resp;
+            sl.s_start <- st;
+            sl.s_end <- en;
+            sl.s_steps <- steps
+          done
+        else
+          (* the hot path: no ticks, no op records — two clock reads and a
+             histogram slot per operation *)
+          for i = 0 to n - 1 do
+            let t0 = Monotime.now_ns () in
+            let _resp, local', _steps =
+              Cells.exec_op cells impl ~rng ~proc ~local:!local ~inv:invs.(i)
+            in
+            let t1 = Monotime.now_ns () in
+            local := local';
+            Histogram.record hist (t1 - t0);
+            incr ops_done
+          done
+      end;
+      sense := not !sense;
+      await bar !sense;
+      if proc = 0 then leader_boundary session;
+      sense := not !sense;
+      await bar !sense
+    done;
+    !ops_done
+  in
+  let t0 = Monotime.now () in
+  let doms =
+    Array.init procs (fun proc ->
+        Domain.spawn (fun () ->
+            match worker proc with
+            | n -> Ok n
+            | exception e ->
+              Atomic.set abort true;
+              Error (Printexc.to_string e)))
+  in
+  let results = Array.map Domain.join doms in
+  let wall_s = Monotime.now () -. t0 in
+  let total_ops =
+    Array.fold_left
+      (fun acc -> function Ok n -> acc + n | Error _ -> acc)
+      0 results
+  in
+  let worker_error =
+    Array.fold_left
+      (fun acc -> function
+        | Ok _ -> acc
+        | Error m -> if acc = None then Some ("worker: " ^ m) else acc)
+      None results
+  in
+  let failure = match worker_error with Some _ as e -> e | None -> !first_failure in
+  {
+    domains = procs;
+    backend;
+    sessions;
+    total_ops;
+    wall_s;
+    ops_per_sec = (if wall_s > 0.0 then float_of_int total_ops /. wall_s else 0.0);
+    hist = Histogram.merged (Array.to_list hists);
+    windows_checked = !windows_checked;
+    windows_ok = !windows_ok;
+    failure;
+  }

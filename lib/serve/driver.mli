@@ -1,0 +1,68 @@
+(** The serving throughput harness: sessioned, continuously spot-checked.
+
+    {!Wfc_multicore.Runtime.run} is the stress {e oracle}: it stamps and
+    records every operation, which is exactly wrong for measuring how fast
+    the paper's constructions serve traffic — the recording dominates the
+    serving. This driver executes the same {!Wfc_program.Implementation}
+    values over the same {!Wfc_multicore.Cells} backends, but structures
+    the run as {e sessions}:
+
+    - each session, every domain (one per process) runs its workload
+      against the shared cells; the hot path per operation is two monotonic
+      clock reads ({!Wfc_sim.Monotime.now_ns}, unboxed) and one
+      allocation-free {!Histogram.record} — no tick stamping, no op list;
+    - sessions are separated by a sense-reversing barrier, at which the
+      leader {!Wfc_multicore.Cells.reset}s the objects: bounded
+      constructions (one-use bit arrays, the universal construction's
+      consensus log) get a fresh budget, so "serving" is a stream of
+      bounded client batches rather than one unboundable run;
+    - every [check_every]-th session is a {e spot-check window}: operations
+      are additionally stamped with exact window ticks (a fetch-and-add
+      each side, paid only on sampled sessions) and recorded into
+      preallocated slots; at the session's barrier the leader feeds the
+      window to {!Spotcheck.check_window} — the incremental linearizability
+      checker over real hardware histories, with a known abstract initial
+      state because the window began at a reset.
+
+    A domain that raises (e.g. a workload overrunning a one-use budget)
+    sets an abort flag that releases every barrier; the outcome then
+    carries the error instead of throughput worth trusting. *)
+
+open Wfc_spec
+open Wfc_program
+
+type outcome = {
+  domains : int;
+  backend : Wfc_multicore.Cells.backend;
+  sessions : int;
+  total_ops : int;  (** completed high-level operations, all domains *)
+  wall_s : float;  (** spawn-to-join, barriers and checks included *)
+  ops_per_sec : float;
+  hist : Histogram.t;  (** per-op latency, merged across domains *)
+  windows_checked : int;
+  windows_ok : int;
+  failure : string option;
+      (** [None] iff no worker raised and every checked window was
+          linearizable; the first failure otherwise *)
+}
+
+val run :
+  ?backend:Wfc_multicore.Cells.backend ->
+  ?sessions:int ->
+  ?check_every:int ->
+  ?seed:int ->
+  ?check:Type_spec.t * Value.t ->
+  ?port_of:(int -> int) ->
+  Implementation.t ->
+  workloads:Value.t list array ->
+  unit ->
+  outcome
+(** Serve [sessions] sessions of the per-process workloads ([workloads]
+    length must equal [impl.procs]; one domain per process). [backend]
+    defaults to [Atomic_cas] (this is the serving fast path); [check_every]
+    (default 8, 0 to disable) samples every k-th session — starting with
+    session 0 — as a spot-check window; [check]/[port_of] override the
+    spec, abstract initial state and proc→port map the windows are checked
+    against (defaults: the implementation's target and [implements],
+    identity ports — see {!Spotcheck.check_window}).
+    @raise Invalid_argument on length/parameter violations. *)

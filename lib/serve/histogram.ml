@@ -1,0 +1,103 @@
+(* HDR-style log-linear latency histogram. See the .mli for the layout. *)
+
+let sub_bits = 5
+let sub = 1 lsl sub_bits (* 32 sub-buckets per power of two: <=3.2% error *)
+(* OCaml ints are 63-bit, so a non-negative value's msb is at most 61 and
+   the largest reachable index is (61 - sub_bits + 1) * sub + (sub - 1);
+   sizing past that would make [value_of_index] overflow on the dead tail *)
+let buckets = (63 - sub_bits) * sub
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  mutable sum : int;
+}
+
+let make () =
+  { counts = Array.make buckets 0; total = 0; min_v = max_int; max_v = 0; sum = 0 }
+
+let clear t =
+  Array.fill t.counts 0 buckets 0;
+  t.total <- 0;
+  t.min_v <- max_int;
+  t.max_v <- 0;
+  t.sum <- 0
+
+(* Highest set bit of v > 0 — branchy binary search, no allocation. *)
+let msb v =
+  let r = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then begin r := !r + 32; v := !v lsr 32 end;
+  if !v lsr 16 <> 0 then begin r := !r + 16; v := !v lsr 16 end;
+  if !v lsr 8 <> 0 then begin r := !r + 8; v := !v lsr 8 end;
+  if !v lsr 4 <> 0 then begin r := !r + 4; v := !v lsr 4 end;
+  if !v lsr 2 <> 0 then begin r := !r + 2; v := !v lsr 2 end;
+  if !v lsr 1 <> 0 then r := !r + 1;
+  !r
+
+let index_of v =
+  if v < sub then v
+  else
+    let m = msb v in
+    (* values with msb = m live in sub-buckets of width 2^(m - sub_bits);
+       the formula is continuous with the exact range at m = sub_bits *)
+    (((m - sub_bits) + 1) * sub) + ((v lsr (m - sub_bits)) - sub)
+
+(* Smallest value mapping to bucket [i] — the inverse used for reporting;
+   [index_of (value_of_index i) = i] for every bucket. *)
+let value_of_index i =
+  if i < 2 * sub then i
+  else
+    let g = (i / sub) - 1 in
+    (sub + (i mod sub)) lsl g
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let i = index_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.total
+let min_ns t = if t.total = 0 then 0 else t.min_v
+let max_ns t = t.max_v
+let mean_ns t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+
+let merge_into ~into src =
+  for i = 0 to buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done;
+  into.total <- into.total + src.total;
+  into.sum <- into.sum + src.sum;
+  if src.total > 0 then begin
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v
+  end
+
+let merged hs =
+  let t = make () in
+  List.iter (fun h -> merge_into ~into:t h) hs;
+  t
+
+let percentile t q =
+  if t.total = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.total)) in
+      if r < 1 then 1 else if r > t.total then t.total else r
+    in
+    let i = ref 0 and cum = ref 0 in
+    while !cum < rank do
+      cum := !cum + t.counts.(!i);
+      incr i
+    done;
+    (* report the bucket's lower bound, clamped into the observed range so
+       a single-sample histogram reports the sample's bucket, not beyond
+       the recorded maximum *)
+    let v = value_of_index (!i - 1) in
+    if v > t.max_v then t.max_v else if v < min_ns t then min_ns t else v
+  end

@@ -1,0 +1,52 @@
+(** HDR-style log-linear latency histograms.
+
+    Fixed-size integer-bucket histograms for nanosecond latencies, built
+    for the serving hot path:
+
+    - {b allocation-free recording}: {!record} touches one array slot and
+      four mutable ints — no boxing, no resizing, safe to call millions of
+      times per second inside a domain's serving loop;
+    - {b log-linear buckets}: values below 32 get exact buckets; above
+      that, each power of two splits into 32 sub-buckets, so every bucket's
+      width is at most 1/32 (≈3.2%) of its lower bound — HdrHistogram's
+      layout with 5 sub-bucket bits, 1856 buckets covering the whole
+      non-negative (63-bit) [int] range;
+    - {b mergeability}: histograms are plain count arrays, so per-domain
+      histograms recorded without any synchronization merge exactly
+      ({!merge_into} is bucket-wise addition) — the cross-domain percentile
+      is computed once, after the run, not coordinated during it.
+
+    One histogram is single-domain state; record into one per domain and
+    {!merged} them after joining. *)
+
+type t
+
+val make : unit -> t
+val clear : t -> unit
+
+val record : t -> int -> unit
+(** Record one latency in nanoseconds (negatives clamp to 0 — a tolerated
+    rarity under {!Wfc_sim.Monotime.now_ns}'s fallback clock). *)
+
+val count : t -> int
+val min_ns : t -> int  (** 0 when empty *)
+
+val max_ns : t -> int
+val mean_ns : t -> float  (** exact (from the running sum), not bucketed *)
+
+val merge_into : into:t -> t -> unit
+val merged : t list -> t
+
+val percentile : t -> float -> int
+(** [percentile t q] for [q] in [[0, 1]] (clamped): the smallest recorded
+    bucket's lower-bound value whose cumulative count reaches rank
+    [ceil (q * count)], clamped into [[min_ns, max_ns]]. Monotone in [q];
+    within 3.2% below the true order statistic. 0 when empty. p50 is
+    [percentile t 0.50], p999 [percentile t 0.999]. *)
+
+(**/**)
+
+(* Bucket math, exposed for the property tests. *)
+val buckets : int
+val index_of : int -> int
+val value_of_index : int -> int

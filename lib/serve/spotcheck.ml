@@ -1,0 +1,82 @@
+open Wfc_program
+module Exec = Wfc_sim.Exec
+module Engine = Wfc_linearize.Engine
+
+let tick_sane ops =
+  let exception Bad of string in
+  try
+    List.iter
+      (fun (o : Exec.op) ->
+        if o.Exec.end_step < o.Exec.start_step then
+          raise
+            (Bad
+               (Fmt.str "proc %d op %d: end tick %d < start tick %d"
+                  o.Exec.proc o.Exec.op_index o.Exec.end_step o.Exec.start_step)))
+      ops;
+    (* program order per process: a domain's (k+1)-th op starts no earlier
+       than its k-th ended — ticks may tie (sharded epochs) but never
+       invert, which is exactly the Tick soundness contract *)
+    let by_proc = Hashtbl.create 16 in
+    List.iter
+      (fun (o : Exec.op) ->
+        let prev = Option.value (Hashtbl.find_opt by_proc o.Exec.proc) ~default:[] in
+        Hashtbl.replace by_proc o.Exec.proc (o :: prev))
+      ops;
+    Hashtbl.iter
+      (fun proc os ->
+        let os =
+          List.sort (fun (a : Exec.op) b -> compare a.Exec.op_index b.Exec.op_index) os
+        in
+        ignore
+          (List.fold_left
+             (fun prev (o : Exec.op) ->
+               (match prev with
+               | Some (p : Exec.op) ->
+                 if o.Exec.op_index = p.Exec.op_index then
+                   raise
+                     (Bad (Fmt.str "proc %d: duplicate op_index %d" proc
+                             o.Exec.op_index));
+                 if o.Exec.start_step < p.Exec.end_step then
+                   raise
+                     (Bad
+                        (Fmt.str
+                           "proc %d: op %d starts at tick %d before op %d \
+                            ended at %d (inverted stamps)"
+                           proc o.Exec.op_index o.Exec.start_step
+                           p.Exec.op_index p.Exec.end_step))
+               | None -> ());
+               Some o)
+             None os))
+      by_proc;
+    (* the completion replay must be sorted by completion tick — the event
+       stream the incremental checker consumes *)
+    ignore
+      (List.fold_left
+         (fun last ((o : Exec.op), pending) ->
+           if o.Exec.end_step < last then
+             raise (Bad "completion_events not sorted by end tick");
+           List.iter
+             (fun (_, (p : Exec.op)) ->
+               if p.Exec.start_step > o.Exec.end_step then
+                 raise
+                   (Bad
+                      (Fmt.str
+                         "op of proc %d pending at a completion it starts \
+                          after (tick %d > %d)"
+                         p.Exec.proc p.Exec.start_step o.Exec.end_step)))
+             pending;
+           o.Exec.end_step)
+         min_int
+         (Exec.completion_events ops));
+    Ok ()
+  with Bad m -> Error m
+
+let check_window ?spec ?init ?port_of (impl : Implementation.t) ops =
+  match tick_sane ops with
+  | Error m -> Error (Fmt.str "tick sanity: %s" m)
+  | Ok () -> (
+    let spec = Option.value spec ~default:impl.Implementation.target in
+    let init = Option.value init ~default:impl.Implementation.implements in
+    match Engine.check_history ~spec ~init ?port_of ops with
+    | Engine.Linearizable _ -> Ok ()
+    | Engine.Not_linearizable why -> Error why)

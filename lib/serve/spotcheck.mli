@@ -1,0 +1,37 @@
+(** Sampling linearizability spot-checks over served histories.
+
+    Serving at hardware speed cannot afford a linearizability check per
+    operation; it can afford one per {e window}. {!Wfc_serve.Driver} records
+    complete sessions of operations (every domain, every op, exact tick
+    stamps) at a configurable sampling rate and hands each window here:
+
+    - {!tick_sane} replays the window's completions via
+      {!Wfc_sim.Exec.completion_events} and checks the timestamp invariants
+      that make the window checkable at all — end ≥ start per op, no
+      program-order inversion per process (ties are legal: sharded epochs
+      coarsen, but may never invert), completions sorted by completion
+      tick, every pending op invoked no later than the completion it
+      overlaps;
+    - {!check_window} then feeds the window to
+      {!Wfc_linearize.Engine.check_history}, the incremental frontier
+      checker — the very checker the model-checking side uses, closing the
+      loop between simulated and hardware histories. *)
+
+open Wfc_spec
+open Wfc_program
+
+val tick_sane : Wfc_sim.Exec.op list -> (unit, string) result
+
+val check_window :
+  ?spec:Type_spec.t ->
+  ?init:Value.t ->
+  ?port_of:(int -> int) ->
+  Implementation.t ->
+  Wfc_sim.Exec.op list ->
+  (unit, string) result
+(** Tick sanity, then [Engine.check_history]. [spec]/[init] default to the
+    implementation's target and abstract initial state — windows must start
+    from a freshly {!Wfc_multicore.Cells.reset} state for that default to be
+    sound. [port_of] maps a process id to the port it plays in [spec]
+    (needed by product scenarios whose component spec has fewer ports than
+    the run has processes). *)

@@ -1,0 +1,149 @@
+open Wfc_spec
+open Wfc_zoo
+open Wfc_program
+
+type t = {
+  name : string;
+  impl : Implementation.t;
+  equal : Value.t list array;
+  skewed : Value.t list array;
+  check_spec : Type_spec.t;
+  check_init : Value.t;
+  port_of : (int -> int) option;
+}
+
+let register_chain ~domains ~ops_per_proc =
+  if domains < 1 then invalid_arg "register_chain: domains must be >= 1";
+  if ops_per_proc < 1 then invalid_arg "register_chain: ops_per_proc must be >= 1";
+  let impl =
+    Wfc_registers.Multi_writer.atomic_mrmw ~writers:domains ~extra_readers:0
+      ~init:(Value.int 0) ()
+  in
+  let equal =
+    Array.init domains (fun p ->
+        List.init ops_per_proc (fun i ->
+            if (i + p) mod 2 = 0 then Ops.write (Value.int ((p * 1000) + i))
+            else Ops.read))
+  in
+  (* skew: process 0 is a write-heavy publisher, everyone else is a
+     read-mostly subscriber (one refresh write in eight) *)
+  let skewed =
+    Array.init domains (fun p ->
+        List.init ops_per_proc (fun i ->
+            if p = 0 then Ops.write (Value.int i)
+            else if i mod 8 = 7 then Ops.write (Value.int ((p * 1000) + i))
+            else Ops.read))
+  in
+  {
+    name = "register-chain";
+    impl;
+    equal;
+    skewed;
+    check_spec = impl.Implementation.target;
+    check_init = impl.Implementation.implements;
+    port_of = None;
+  }
+
+let one_use_reads = 8
+let one_use_writes = 7
+
+let one_use_array ~domains =
+  if domains < 2 || domains mod 2 <> 0 then
+    invalid_arg "one_use_array: domains must be even and >= 2";
+  let pairs = domains / 2 in
+  let sub =
+    Wfc_core.Bounded_bit.from_one_use ~reads:one_use_reads
+      ~writes:one_use_writes ~init:false ()
+  in
+  let per = Array.length sub.Implementation.objects in
+  let impl =
+    Implementation.make
+      ~target:
+        (Wfc_linearize.Engine.indexed pairs (Register.bit ~ports:domains))
+      ~implements:
+        (Value.List (List.init pairs (fun _ -> sub.Implementation.implements)))
+      ~procs:domains
+      ~objects:
+        (List.init (pairs * per) (fun i -> sub.Implementation.objects.(i mod per)))
+      ~port_map:(fun ~proc ~obj ->
+        sub.Implementation.port_map ~proc:(proc mod 2) ~obj:(obj mod per))
+      ~local_init:(fun proc -> sub.Implementation.local_init (proc mod 2))
+      ~program:(fun ~proc ~inv local ->
+        let k, inner = Ops.at_target inv in
+        Program.rename_objects
+          (fun o -> (k * per) + o)
+          (sub.Implementation.program ~proc:(proc mod 2) ~inv:inner local))
+      ()
+  in
+  (* per pair k: process 2k is the writer (the bounded bit's role 0),
+     process 2k+1 the reader (role 1); each session spends exactly the
+     construction's budget of one-use bits before the barrier reset *)
+  let equal =
+    Array.init domains (fun p ->
+        let k = p / 2 in
+        if p mod 2 = 0 then
+          List.init one_use_writes (fun i ->
+              Ops.at k (Ops.write (Value.bool (i mod 2 = 0))))
+        else List.init one_use_reads (fun _ -> Ops.at k Ops.read))
+  in
+  (* read-heavy skew: the budget is hard (writes beyond it raise), so skew
+     here means under-using the write budget, not exceeding it *)
+  let skewed =
+    Array.init domains (fun p ->
+        let k = p / 2 in
+        if p mod 2 = 0 then
+          List.init 3 (fun i -> Ops.at k (Ops.write (Value.bool (i mod 2 = 0))))
+        else List.init one_use_reads (fun _ -> Ops.at k Ops.read))
+  in
+  {
+    name = "one-use-array";
+    impl;
+    equal;
+    skewed;
+    check_spec = Register.bit ~ports:domains;
+    check_init = Value.falsity;
+    port_of = None;
+  }
+
+let universal_faa ~domains ~ops_per_proc =
+  if domains < 1 then invalid_arg "universal_faa: domains must be >= 1";
+  if ops_per_proc < 1 then invalid_arg "universal_faa: ops_per_proc must be >= 1";
+  let target = Rmw.fetch_add_mod ~ports:domains ~modulus:64 in
+  (* heavy skew below doubles process 0's share; size the log for the
+     larger of the two workload totals plus the classical helping slack *)
+  let max_total = domains * ops_per_proc + ops_per_proc in
+  let impl =
+    Wfc_consensus.Universal.construct ~target ~procs:domains
+      ~cells:((2 * max_total) + domains)
+      ()
+  in
+  let equal =
+    Array.init domains (fun p ->
+        List.init ops_per_proc (fun i -> Ops.fetch_add (1 + ((p + i) mod 3))))
+  in
+  let skewed =
+    Array.init domains (fun p ->
+        if p = 0 then List.init (2 * ops_per_proc) (fun i -> Ops.fetch_add (1 + (i mod 3)))
+        else if p mod 2 = 1 then
+          List.init ops_per_proc (fun i -> Ops.fetch_add (1 + (i mod 3)))
+        else List.init (ops_per_proc / 2) (fun i -> Ops.fetch_add (1 + (i mod 3))))
+  in
+  {
+    name = "universal-faa";
+    impl;
+    equal;
+    skewed;
+    check_spec = impl.Implementation.target;
+    check_init = impl.Implementation.implements;
+    port_of = None;
+  }
+
+let session_ops workloads =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 workloads
+
+let all ~domains =
+  let reg = register_chain ~domains ~ops_per_proc:32 in
+  let uni = universal_faa ~domains ~ops_per_proc:6 in
+  if domains >= 2 && domains mod 2 = 0 then
+    [ reg; one_use_array ~domains; uni ]
+  else [ reg; uni ]

@@ -1,0 +1,51 @@
+(** Serving scenarios: the paper's constructions as benchmarkable services.
+
+    Each scenario packages an implementation with per-process session
+    workloads (an {e equal} mix and a {e skewed} one, for the contention
+    sweeps) and the spec/initial-state/port-map triple its spot-check
+    windows are verified against:
+
+    - {b register-chain}: the C6 atomic MRMW register
+      ({!Wfc_registers.Multi_writer.atomic_mrmw}) with every domain a
+      writer-reader; skew turns process 0 into a write-heavy publisher and
+      the rest into read-mostly subscribers;
+    - {b one-use-array}: [domains/2] independent §4.3 bounded bits
+      ({!Wfc_core.Bounded_bit.from_one_use}, 8 reads × 7 writes), each
+      served by a writer/reader domain pair; the product is addressed with
+      {!Wfc_zoo.Ops.at}, so the compositional checker verifies each bit
+      against one {!Wfc_zoo.Register.bit} component instead of the product
+      space. Every session spends exactly one budget of one-use bits —
+      the barrier reset is what makes a one-use construction servable at
+      all;
+    - {b universal-faa}: Herlihy's universal construction
+      ({!Wfc_consensus.Universal.construct}) over fetch-and-add, the
+      "consensus is universal" payload, with the log sized for a session. *)
+
+open Wfc_spec
+open Wfc_program
+
+type t = {
+  name : string;
+  impl : Implementation.t;
+  equal : Value.t list array;  (** same mix on every process *)
+  skewed : Value.t list array;  (** process 0 heavy / read-mostly others *)
+  check_spec : Type_spec.t;  (** component spec for spot-check windows *)
+  check_init : Value.t;
+  port_of : (int -> int) option;
+}
+
+val register_chain : domains:int -> ops_per_proc:int -> t
+(** @raise Invalid_argument when [domains < 1] or [ops_per_proc < 1]. *)
+
+val one_use_array : domains:int -> t
+(** @raise Invalid_argument unless [domains] is even and [>= 2]. *)
+
+val universal_faa : domains:int -> ops_per_proc:int -> t
+(** @raise Invalid_argument when [domains < 1] or [ops_per_proc < 1]. *)
+
+val session_ops : Value.t list array -> int
+(** Total operations one session of this workload completes. *)
+
+val all : domains:int -> t list
+(** The three scenarios at bench-default sizes (two when [domains] is odd
+    or 1, since the one-use array needs writer/reader pairs). *)

@@ -14,3 +14,5 @@ let now () =
     else clamp ()
   in
   clamp ()
+
+external now_ns : unit -> int = "wfc_monotime_now_ns" [@@noalloc]

@@ -11,3 +11,12 @@
 val now : unit -> float
 (** Seconds from an arbitrary fixed origin; nondecreasing process-wide.
     Only differences are meaningful. *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary fixed origin as a plain [int] — no boxing,
+    no allocation, no cross-domain clamp (CLOCK_MONOTONIC never steps
+    backwards; the CLOCK_REALTIME fallback on exotic platforms may, so only
+    use this for latency measurement where a rare negative delta is
+    tolerable — the serving histograms clamp it). Built for per-operation
+    stamping on the serving hot path, where {!now}'s float boxing and
+    global clamp CAS would dominate the measured cost. *)
