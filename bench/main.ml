@@ -423,11 +423,15 @@ let engine_variants () =
    accumulated wall clock (or 200 runs). [wall_s] reports the best single
    run — the steady-state cost, free of cold-start table allocation — and
    [nodes_per_sec] the aggregate throughput, which is the engine's figure
-   of merit now that single runs on these trees sit in the microseconds. *)
+   of merit now that single runs on these trees sit in the microseconds.
+   [minor_words_per_node] is the minor-heap allocation of the timed runs
+   divided by the nodes they visited — the hot path's allocation footprint
+   (the few boxed floats of the timing harness itself are in the noise). *)
 let timed_explore f =
   ignore (f ());
   let total = ref 0.0 and runs = ref 0 and best = ref infinity in
   let last = ref None in
+  let g0 = Gc.minor_words () in
   while !total < 0.02 && !runs < 200 do
     let t0 = Wfc_sim.Monotime.now () in
     let s = f () in
@@ -437,12 +441,18 @@ let timed_explore f =
     if w < !best then best := w;
     last := Some s
   done;
+  let g1 = Gc.minor_words () in
   let s = Option.get !last in
   let nps =
     if !total > 0.0 then float_of_int (!runs * s.Explore.nodes) /. !total
     else 0.0
   in
-  (s, !best, nps)
+  let mwpn =
+    if !runs > 0 && s.Explore.nodes > 0 then
+      (g1 -. g0) /. float_of_int (!runs * s.Explore.nodes)
+    else 0.0
+  in
+  (s, !best, nps, mwpn)
 
 (* Substring / field scraping over our own line-oriented JSON (one engine
    row per line), so the regression check needs no JSON dependency. *)
@@ -473,9 +483,10 @@ let float_field line key =
     done;
     float_of_string_opt (String.sub line start (!stop - start))
 
-(* The committed baseline's E10-universal-faa fast-engine throughput (None
-   when the file is missing or predates schema /2). *)
-let baseline_e10_fast_nps path =
+(* A numeric [key] off the committed baseline's E10-universal-faa
+   fast-engine row (None when the file is missing or predates the schema
+   that introduced the field). *)
+let baseline_e10_fast key path =
   match open_in path with
   | exception Sys_error _ -> None
   | ic ->
@@ -491,7 +502,7 @@ let baseline_e10_fast_nps path =
            && not (contains l {|"fast-par"|})
            && not (contains l {|"fast-boxed"|})
          then
-           match float_field l "nodes_per_sec" with
+           match float_field l key with
            | Some v -> result := Some v
            | None -> ()
        done
@@ -510,19 +521,22 @@ let host_header ~skipped =
     (String.concat ", " (List.map (fun s -> Fmt.str "%S" s) skipped))
 
 (* Warm repeat-averaged runs per ⟨workload, engine⟩, printed as a table and
-   dumped as machine-readable JSON (BENCH_explore.json, schema /2 with
-   [nodes_per_sec] per row) so the throughput trajectory of the engine is
-   tracked across PRs. Guards: the fast engine may never lose to naive on
-   wall time (25% + 100 µs tolerance), and in [--check] mode the
-   E10-universal-faa fast throughput may not drop more than 30% below the
-   committed baseline. [--check] does not rewrite the baseline file. *)
+   dumped as machine-readable JSON (BENCH_explore.json, schema /3 with
+   [nodes_per_sec] and [minor_words_per_node] per row) so the throughput
+   and allocation trajectories of the engine are tracked across PRs.
+   Guards: the fast engine may never lose to naive on wall time (25% +
+   100 µs tolerance); in [--check] mode the E10-universal-faa fast
+   throughput may not drop more than 30% below the committed baseline and
+   its allocation may not grow more than 50% above it (both checks skip
+   gracefully when the baseline predates the field). [--check] does not
+   rewrite the baseline file. *)
 let explore_engine_report ~check () =
   Fmt.pr "==== EX exploration engine (warm repeat-averaged runs) ====@.";
   let guard_failures = ref [] in
   let fail fmt =
     Fmt.kstr (fun s -> guard_failures := s :: !guard_failures) fmt
   in
-  let e10_fast_nps = ref 0.0 in
+  let e10_fast_nps = ref 0.0 and e10_fast_mwpn = ref 0.0 in
   let json_workloads =
     List.map
       (fun (name, impl, workloads) ->
@@ -531,7 +545,7 @@ let explore_engine_report ~check () =
         let rows =
           List.map
             (fun (ename, options) ->
-              let s, wall, nps =
+              let s, wall, nps, mwpn =
                 timed_explore (fun () ->
                     Explore.run impl ~workloads ~options ())
               in
@@ -543,8 +557,10 @@ let explore_engine_report ~check () =
                 if wall > (!naive_wall *. 1.25) +. 0.0001 then
                   fail "%s: fast wall %.1f us > naive %.1f us" name
                     (wall *. 1e6) (!naive_wall *. 1e6);
-                if String.equal name "E10-universal-faa" then
-                  e10_fast_nps := nps
+                if String.equal name "E10-universal-faa" then begin
+                  e10_fast_nps := nps;
+                  e10_fast_mwpn := mwpn
+                end
               end;
               let node_speedup =
                 if s.Explore.nodes = 0 then 1.0
@@ -555,15 +571,15 @@ let explore_engine_report ~check () =
               in
               Fmt.pr
                 "  %-10s %9d nodes %8d leaves %8d pruned %8d sleeps %9.3f ms \
-                 %12.0f nodes/s (nodes x%.1f, time x%.1f)@."
+                 %12.0f nodes/s %7.1f mw/node (nodes x%.1f, time x%.1f)@."
                 ename s.Explore.nodes s.Explore.leaves s.Explore.pruned
-                s.Explore.sleep_skips (wall *. 1e3) nps node_speedup
+                s.Explore.sleep_skips (wall *. 1e3) nps mwpn node_speedup
                 wall_speedup;
               Fmt.str
-                {|        {"engine": %S, "domains": %d, "nodes": %d, "leaves": %d, "pruned": %d, "sleep_skips": %d, "max_events": %d, "wall_s": %.6f, "nodes_per_sec": %.0f}|}
+                {|        {"engine": %S, "domains": %d, "nodes": %d, "leaves": %d, "pruned": %d, "sleep_skips": %d, "max_events": %d, "wall_s": %.6f, "nodes_per_sec": %.0f, "minor_words_per_node": %.1f}|}
                 ename s.Explore.domains_used s.Explore.nodes s.Explore.leaves
                 s.Explore.pruned s.Explore.sleep_skips s.Explore.max_events
-                wall nps)
+                wall nps mwpn)
             (engine_variants ())
         in
         Fmt.str "    {\"name\": %S, \"engines\": [\n%s\n    ]}" name
@@ -571,7 +587,7 @@ let explore_engine_report ~check () =
       (explore_workloads ())
   in
   if check then begin
-    match baseline_e10_fast_nps "BENCH_explore.json" with
+    (match baseline_e10_fast "nodes_per_sec" "BENCH_explore.json" with
     | Some base ->
       let ratio = !e10_fast_nps /. base in
       Fmt.pr
@@ -586,13 +602,31 @@ let explore_engine_report ~check () =
     | None ->
       Fmt.pr
         "  (no schema-/2 baseline in BENCH_explore.json — skipping the \
-         throughput ratio check)@."
+         throughput ratio check)@.");
+    match baseline_e10_fast "minor_words_per_node" "BENCH_explore.json" with
+    | Some base when base > 0.0 ->
+      Fmt.pr
+        "  E10 fast allocation vs committed baseline: %.1f / %.1f \
+         minor words/node@."
+        !e10_fast_mwpn base;
+      (* 50% headroom plus two absolute words: allocation per node is
+         deterministic modulo GC bookkeeping, so this only trips on a real
+         hot-path regression *)
+      if !e10_fast_mwpn > (base *. 1.5) +. 2.0 then
+        fail
+          "E10-universal-faa fast allocation regressed >50%%: %.1f minor \
+           words/node vs baseline %.1f"
+          !e10_fast_mwpn base
+    | _ ->
+      Fmt.pr
+        "  (no minor_words_per_node in the committed baseline — skipping \
+         the allocation check)@."
   end
   else begin
     let json =
       Fmt.str
         "{\n\
-        \  \"schema\": \"wfc-bench-explore/2\",\n\
+        \  \"schema\": \"wfc-bench-explore/3\",\n\
          %s\n\
         \  \"workloads\": [\n\
          %s\n\
@@ -1005,6 +1039,7 @@ let compact_report () =
         let rows =
           List.map
             (fun (ename, options) ->
+              let g0 = Gc.minor_words () in
               let t0 = Unix.gettimeofday () in
               (* dedup_threshold 0: these trees are the object of study, so
                  pruning is active from the root in every config *)
@@ -1012,6 +1047,11 @@ let compact_report () =
                 Explore.run impl ~workloads ~options ~dedup_threshold:0 ()
               in
               let wall = Unix.gettimeofday () -. t0 in
+              let mwpn =
+                if s.Explore.nodes > 0 then
+                  (Gc.minor_words () -. g0) /. float_of_int s.Explore.nodes
+                else 0.0
+              in
               if String.equal ename "fast" then base_nodes := s.Explore.nodes;
               if String.equal ename "fast+intern" then
                 intern_nodes := s.Explore.nodes;
@@ -1024,15 +1064,15 @@ let compact_report () =
               in
               Fmt.pr
                 "  %-22s %9d nodes %8d leaves %8d pruned %9.3f ms %12.0f \
-                 nodes/s (nodes x%.2f vs fast)@."
+                 nodes/s %7.1f mw/node (nodes x%.2f vs fast)@."
                 ename s.Explore.nodes s.Explore.leaves s.Explore.pruned
-                (wall *. 1e3) nodes_per_s cut;
+                (wall *. 1e3) nodes_per_s mwpn cut;
               ( (ename, s, cut),
                 Fmt.str
-                  {|        {"engine": %S, "nodes": %d, "leaves": %d, "pruned": %d, "sleep_skips": %d, "max_events": %d, "wall_s": %.6f, "nodes_per_s": %.0f, "node_cut_vs_fast": %.3f}|}
+                  {|        {"engine": %S, "nodes": %d, "leaves": %d, "pruned": %d, "sleep_skips": %d, "max_events": %d, "wall_s": %.6f, "nodes_per_s": %.0f, "minor_words_per_node": %.1f, "node_cut_vs_fast": %.3f}|}
                   ename s.Explore.nodes s.Explore.leaves s.Explore.pruned
                   s.Explore.sleep_skips s.Explore.max_events wall nodes_per_s
-                  cut ))
+                  mwpn cut ))
             (cx_engines ())
         in
         List.iter
@@ -1110,7 +1150,7 @@ let compact_report () =
   let json =
     Fmt.str
       "{\n\
-      \  \"schema\": \"wfc-bench-compact/1\",\n\
+      \  \"schema\": \"wfc-bench-compact/2\",\n\
        %s\n\
       \  \"workloads\": [\n\
        %s\n\

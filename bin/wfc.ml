@@ -116,6 +116,15 @@ let no_intern_arg =
   in
   Arg.(value & flag & info [ "no-intern" ] ~doc)
 
+let no_compile_arg =
+  let doc =
+    "Disable the compiled step kernel (interned transition tables driving \
+     an in-place configuration) and run the boxed interpreter instead. \
+     Escape hatch for debugging the engine; verdicts, counts and traces \
+     are identical either way, compilation is only faster."
+  in
+  Arg.(value & flag & info [ "no-compile" ] ~doc)
+
 let no_symmetry_arg =
   let doc =
     "Disable process-symmetry reduction (merging schedules that differ only \
@@ -305,8 +314,8 @@ let print_verdict ~name ~procs ~crashes ~recoveries ~glitches ~degrade
 
 let verify_cmd =
   let run name procs crashes recoveries glitches degrade budget deadline_s
-      witness_file no_intern no_symmetry ckpt_file ckpt_interval resume_file
-      mem_budget_mb =
+      witness_file no_intern no_symmetry no_compile ckpt_file ckpt_interval
+      resume_file mem_budget_mb =
     let impl = make_protocol ~procs name in
     let faults =
       faults_of_flags impl ~crashes ~recoveries ~glitches ~degrade
@@ -318,6 +327,7 @@ let verify_cmd =
         Wfc_sim.Explore.fast with
         intern = not no_intern;
         symmetry = not (no_symmetry || no_intern);
+        compile = not no_compile;
       }
     in
     let resume = load_resume ~name ~procs resume_file in
@@ -345,11 +355,11 @@ let verify_cmd =
          "Exhaustively check a consensus protocol, optionally under a fault \
           adversary and/or an exploration budget")
     Term.(
-      const (fun n p c r g d b dl w ni ns cf ci rf mb ->
-          Stdlib.exit (run n p c r g d b dl w ni ns cf ci rf mb))
+      const (fun n p c r g d b dl w ni ns nc cf ci rf mb ->
+          Stdlib.exit (run n p c r g d b dl w ni ns nc cf ci rf mb))
       $ protocol_arg $ procs_arg $ crashes_arg $ recoveries_arg $ glitches_arg
       $ degrade_arg $ budget_arg $ deadline_arg $ witness_out_arg
-      $ no_intern_arg $ no_symmetry_arg $ checkpoint_arg
+      $ no_intern_arg $ no_symmetry_arg $ no_compile_arg $ checkpoint_arg
       $ checkpoint_interval_arg $ resume_arg $ mem_budget_arg)
 
 (* --- serve / worker: the distributed fleet ---------------------------------- *)

@@ -86,9 +86,9 @@ let spy impl =
           let rec go p =
             match p with
             | Program.Return _ -> p
-            | Program.Invoke { obj; inv = i; k } ->
+            | Program.Invoke { obj; inv = i; k; _ } ->
               record ~proc ~obj ~inv:i;
-              Program.Invoke { obj; inv = i; k = (fun r -> go (k r)) }
+              Program.Invoke { obj; inv = i; k = (fun r -> go (k r)); memo = [] }
           in
           go (impl.Implementation.program ~proc ~inv local));
     }

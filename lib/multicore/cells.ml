@@ -84,7 +84,7 @@ let exec_op t (impl : Implementation.t) ~rng ~proc ~local ~inv =
   let rec interpret ~steps p =
     match p with
     | Program.Return (resp, local') -> (resp, local', steps)
-    | Program.Invoke { obj; inv; k } ->
+    | Program.Invoke { obj; inv; k; _ } ->
       let resp = access t impl ~rng ~proc ~obj ~inv in
       interpret ~steps:(steps + 1) (k resp)
   in

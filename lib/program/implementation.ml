@@ -119,21 +119,24 @@ let substitute ~obj ?(proc_map = Fun.id) ~replacement impl =
       match p with
       | Program.Return (resp, outer_local') ->
         Program.Return (resp, Value.pair outer_local' sub_local)
-      | Program.Invoke { obj = o; inv = i; k } ->
+      | Program.Invoke { obj = o; inv = i; k; _ } ->
         if o = obj then
           let rec run_sub sp =
             match sp with
             | Program.Return (r, sub_local') -> go sub_local' (k r)
-            | Program.Invoke { obj = so; inv = si; k = sk } ->
+            | Program.Invoke { obj = so; inv = si; k = sk; _ } ->
               Program.Invoke
                 {
                   obj = renumber so;
                   inv = si;
                   k = (fun r -> run_sub (sk r));
+                  memo = [];
                 }
           in
           run_sub (replacement.program ~proc:(proc_map proc) ~inv:i sub_local)
-        else Program.Invoke { obj = o; inv = i; k = (fun r -> go sub_local (k r)) }
+        else
+          Program.Invoke
+            { obj = o; inv = i; k = (fun r -> go sub_local (k r)); memo = [] }
     in
     go sub_local0 (impl.program ~proc ~inv outer_local0)
   in

@@ -283,7 +283,7 @@ let step_alternatives impl cfg p =
           ~glitches_left:cfg.glitches_left ~inv0 ~op_index ~started
           ~steps:steps_done ~todo node;
       ]
-    | Program.Invoke { obj; inv; k } ->
+    | Program.Invoke { obj; inv; k; _ } ->
       let spec, _ = impl.Implementation.objects.(obj) in
       let port = impl.Implementation.port_map ~proc:p ~obj in
       let alts = Type_spec.alternatives spec cfg.objs.(obj) ~port ~inv in
@@ -296,8 +296,19 @@ let step_alternatives impl cfg p =
                 cfg.objs.(obj)));
       List.map
         (fun (q', resp) ->
-          let objs = Array.copy cfg.objs in
-          objs.(obj) <- q';
+          (* pure reads leave the state unchanged: share the parent's array
+             instead of copying just to write back the same value. The test
+             is physical on purpose — well-behaved specs return the argument
+             state itself for reads, and a structural walk over a large
+             state would cost more than the copy it saves. *)
+          let objs =
+            if q' == cfg.objs.(obj) then cfg.objs
+            else begin
+              let objs = Array.copy cfg.objs in
+              objs.(obj) <- q';
+              objs
+            end
+          in
           let acc = Array.copy cfg.acc in
           acc.(obj) <- acc.(obj) + 1;
           let hist = push_hist cfg obj q' in
@@ -318,7 +329,7 @@ let glitch_alternatives impl cfg p =
     | Some (inv0, op_index, started, steps_done, todo, node) -> (
       match node with
       | Program.Return _ -> []
-      | Program.Invoke { obj; inv; k } -> (
+      | Program.Invoke { obj; inv; k; _ } -> (
         match Faults.degradation_of cfg.faults obj with
         | None -> []
         | Some d ->

@@ -8,6 +8,7 @@ type options = {
   intern : bool;
   symmetry : bool;
   flat : bool;
+  compile : bool;
 }
 
 let naive =
@@ -18,6 +19,7 @@ let naive =
     intern = false;
     symmetry = false;
     flat = false;
+    compile = false;
   }
 
 let fast =
@@ -28,6 +30,7 @@ let fast =
     intern = true;
     symmetry = true;
     flat = true;
+    compile = true;
   }
 
 let parallel ?domains () =
@@ -347,8 +350,20 @@ let invoke_children cfg p ~inv0 ~op_index ~started ~steps_done ~resps_rev
     ~todo ~obj k alts =
   List.map
     (fun (q', resp) ->
-      let objs = Array.copy cfg.objs in
-      objs.(obj) <- q';
+      (* pure reads leave the state unchanged: share the parent's array
+         instead of copying just to write back the same value (the
+         incremental fingerprint diff then sees no change either). The test
+         is physical on purpose — well-behaved specs return the argument
+         state itself for reads, and a structural walk over a large state
+         would cost more than the copy it saves. *)
+      let objs =
+        if q' == cfg.objs.(obj) then cfg.objs
+        else begin
+          let objs = Array.copy cfg.objs in
+          objs.(obj) <- q';
+          objs
+        end
+      in
       let acc = Array.copy cfg.acc in
       acc.(obj) <- acc.(obj) + 1;
       let hist = push_hist cfg obj q' in
@@ -368,7 +383,7 @@ let step_alternatives impl cfg p =
           ~glitches_left:cfg.glitches_left ~inv0 ~op_index ~started
           ~steps:steps_done ~resps_rev ~todo node;
       ]
-    | Program.Invoke { obj; inv; k } ->
+    | Program.Invoke { obj; inv; k; _ } ->
       let spec, _ = impl.Implementation.objects.(obj) in
       let port = impl.Implementation.port_map ~proc:p ~obj in
       let alts = Type_spec.alternatives spec cfg.objs.(obj) ~port ~inv in
@@ -384,7 +399,7 @@ let glitch_alternatives impl cfg p =
     | Some (inv0, op_index, started, steps_done, resps_rev, todo, node) -> (
       match node with
       | Program.Return _ -> []
-      | Program.Invoke { obj; inv; k } -> (
+      | Program.Invoke { obj; inv; k; _ } -> (
         match Faults.degradation_of cfg.faults obj with
         | None -> []
         | Some d ->
@@ -797,7 +812,7 @@ let children_of_pstep impl cfg p ps =
         ~started:ps.started ~steps:ps.steps_done ~resps_rev:ps.resps_rev
         ~todo:ps.todo ps.node;
     ]
-  | Program.Invoke { obj; inv; k } ->
+  | Program.Invoke { obj; inv; k; _ } ->
     if ps.alts = [] then bad_step impl cfg p obj inv;
     invoke_children cfg p ~inv0:ps.inv0 ~op_index:ps.op_index
       ~started:ps.started ~steps_done:ps.steps_done ~resps_rev:ps.resps_rev
@@ -961,6 +976,9 @@ let engine_of_options (o : options) =
     flat = o.flat;
   }
 
+(* [compile] is not serialized: the compiled kernel changes how the tree is
+   walked, never which tree is walked, so resuming a checkpoint under either
+   setting is sound. Resumed runs default it on. *)
 let options_of_engine (e : Checkpoint.engine) =
   {
     dedup = e.Checkpoint.dedup;
@@ -969,6 +987,7 @@ let options_of_engine (e : Checkpoint.engine) =
     intern = e.Checkpoint.intern;
     symmetry = e.Checkpoint.symmetry;
     flat = e.Checkpoint.flat;
+    compile = true;
   }
 
 (* The ⟨proc, target-level invocation⟩ of every live pending operation:
@@ -1037,9 +1056,9 @@ type flat_ctx = {
   mutable bloom : Fingerprint.Bloom.t option;  (* probabilistic tier *)
 }
 
-let flat_create ~n_objs ~n_procs ~tier2 ~bloom_bits_log2 =
+let flat_create ?ist ~n_objs ~n_procs ~tier2 ~bloom_bits_log2 () =
   {
-    ist = I.create ();
+    ist = (match ist with Some s -> s | None -> I.create ());
     buf = Array.make ((3 * n_objs) + (5 * n_procs) + 5) 0;
     tmp = Array.make 5 0;
     table = (if tier2 then None else Some (Fingerprint.Table.create ()));
@@ -1073,26 +1092,31 @@ let sort_records buf tmp ~base ~lo ~hi =
     Array.blit tmp 0 buf (base + (5 * (!j + 1))) 5
   done
 
-(* Fill the scratch buffer from the incremental cell cache and hash it.
-   Zero allocation. *)
-let encode_flat fx fpc cfg ~sleep ~classes ~tracker_id =
+(* Fill the scratch buffer from a set of cell/scalar components and hash it.
+   Zero allocation. Shared verbatim by the boxed flat path (components come
+   from an [fpc] cache over persistent configurations) and the compiled
+   kernel (components are the engine's own mutable arrays): both feed the
+   same per-ist cell ids, so they key identically. *)
+let encode_flat_parts fx ~obj_cells ~hist_cells ~proc_cells ~ops_cells ~acc
+    ~crashed ~stuck ~events ~crashes_left ~recoveries_left ~glitches_left
+    ~sleep ~classes ~tracker_id =
   let buf = fx.buf in
-  let n_objs = Array.length fpc.obj_cells in
-  let nprocs = Array.length cfg.procs in
+  let n_objs = Array.length obj_cells in
+  let nprocs = Array.length proc_cells in
   let j = ref 0 in
   for o = 0 to n_objs - 1 do
-    buf.(!j) <- I.id fpc.obj_cells.(o);
-    buf.(!j + 1) <- I.id fpc.hist_cells.(o);
-    buf.(!j + 2) <- cfg.acc.(o);
+    buf.(!j) <- I.id obj_cells.(o);
+    buf.(!j + 1) <- I.id hist_cells.(o);
+    buf.(!j + 2) <- acc.(o);
     j := !j + 3
   done;
   let base = !j in
   let put slot p =
     let k = base + (5 * slot) in
-    buf.(k) <- I.id fpc.proc_cells.(p);
-    buf.(k + 1) <- I.id fpc.ops_cells.(p);
-    buf.(k + 2) <- Bool.to_int cfg.crashed.(p);
-    buf.(k + 3) <- Bool.to_int cfg.stuck.(p);
+    buf.(k) <- I.id proc_cells.(p);
+    buf.(k + 1) <- I.id ops_cells.(p);
+    buf.(k + 2) <- Bool.to_int crashed.(p);
+    buf.(k + 3) <- Bool.to_int stuck.(p);
     buf.(k + 4) <- (sleep lsr p) land 1
   in
   (match classes with
@@ -1120,12 +1144,19 @@ let encode_flat fx fpc cfg ~sleep ~classes ~tracker_id =
       end
     done);
   j := base + (5 * nprocs);
-  buf.(!j) <- cfg.events;
-  buf.(!j + 1) <- cfg.crashes_left;
-  buf.(!j + 2) <- cfg.recoveries_left;
-  buf.(!j + 3) <- cfg.glitches_left;
+  buf.(!j) <- events;
+  buf.(!j + 1) <- crashes_left;
+  buf.(!j + 2) <- recoveries_left;
+  buf.(!j + 3) <- glitches_left;
   buf.(!j + 4) <- tracker_id;
   Fingerprint.hash_array buf ~len:(!j + 5)
+
+let encode_flat fx fpc cfg ~sleep ~classes ~tracker_id =
+  encode_flat_parts fx ~obj_cells:fpc.obj_cells ~hist_cells:fpc.hist_cells
+    ~proc_cells:fpc.proc_cells ~ops_cells:fpc.ops_cells ~acc:cfg.acc
+    ~crashed:cfg.crashed ~stuck:cfg.stuck ~events:cfg.events
+    ~crashes_left:cfg.crashes_left ~recoveries_left:cfg.recoveries_left
+    ~glitches_left:cfg.glitches_left ~sleep ~classes ~tracker_id
 
 type dtables =
   | T_value of unit VH.t
@@ -1165,7 +1196,7 @@ let probe_dedup dd ~t ~nodes cfg sleep st fpcur =
               (flat_create
                  ~n_objs:(Array.length cfg.objs)
                  ~n_procs:(Array.length cfg.procs) ~tier2:dd.tier2
-                 ~bloom_bits_log2:dd.bloom_bits_log2)
+                 ~bloom_bits_log2:dd.bloom_bits_log2 ())
           else if dd.use_intern then T_intern (I.create (), I.H.create 256)
           else T_value (VH.create 256)
         in
@@ -1513,6 +1544,694 @@ let default_par_threshold = 4096
    a table can never win; well over, a single pruned subtree pays for it. *)
 let default_dedup_threshold = 64
 
+(* --- the compiled kernel -----------------------------------------------------
+
+   A second sequential DFS over the *same* tree, specialised for the
+   configurations the flat engine already covers: one domain, intern + flat
+   on, no fault adversary, no checkpointing. Three things change relative to
+   [visit], none of them which tree is walked:
+
+   - Transitions come from [Step_table] rows — per (interned state, port,
+     invocation) lists compiled by running the interpreted spec once — so the
+     hot path never re-applies spec closures, and every successor state and
+     response it hands out is the canonical representative of a per-domain
+     intern state that persists across runs. Program continuations advance
+     through [Program.step]'s per-node memo keyed on those (physically
+     stable) canonical responses, so a program closure also runs at most once
+     per (node, response).
+
+   - There is one mutable configuration instead of a persistent copy-on-write
+     fan-out. Each edge saves the handful of slots it is about to clobber in
+     locals of the recursive step function, mutates in place, recurses, and
+     restores — the OCaml call stack is the undo journal, so an edge
+     allocates no configuration at all.
+
+   - Duplicate-state fingerprints reuse [encode_flat_parts] over the
+     engine's own cell arrays. Below the activation threshold no cell is
+     ever built (mirroring the boxed path's lazy [fpc]); at activation the
+     cells are rebuilt from scratch and maintained incrementally from there
+     on. A frame that entered before activation has no cell saves, so when
+     it backtracks it marks the cache invalid and the next probe rebuilds —
+     a bounded number of O(state) rebuilds, paid only around the activation
+     frontier.
+
+   Everything observable is replicated exactly: visit order, counter
+   bookkeeping, sleep-set and dedup decisions, limiter/memcheck cadence,
+   tracker events, leaf snapshots, and the error messages of disabled
+   steps. *)
+
+(* Per-depth classification scratch as parallel arrays, pooled so the hot
+   path never allocates a classification: [ck] is 0 for a program that
+   returns without any base access, 1 for a base access continuing a pending
+   operation, 2 for a base access starting a fresh one. *)
+type cls = {
+  ck : int array;
+  cnode : (Value.t * Value.t) Program.t array;
+  crow : Step_table.row array;
+  cobj : int array;
+}
+
+let dummy_node : (Value.t * Value.t) Program.t =
+  Program.Return (Value.unit, Value.unit)
+
+let dummy_row : Step_table.row =
+  {
+    Step_table.alts = [];
+    cells = [||];
+    packed = [||];
+    n_alts = 0;
+    det = false;
+    pure_read = false;
+  }
+
+let fresh_cls n_procs =
+  {
+    ck = Array.make n_procs 0;
+    cnode = Array.make n_procs dummy_node;
+    crow = Array.make n_procs dummy_row;
+    cobj = Array.make n_procs 0;
+  }
+
+(* Per-domain, per-implementation persistent compilation state: the intern
+   state, the transition tables keyed on it, the port map, and the program
+   memos all survive across runs — a verify invocation that explores many
+   workloads of one implementation compiles each row and program node once.
+   Keyed on physical identity of the implementation record; a tiny LRU keeps
+   unrelated implementations (e.g. property-test streams) from pinning each
+   other's tables. *)
+(* The kernel's entire mutable configuration as parallel arrays, pooled
+   across runs (sizes are fixed per implementation): a run borrows the pool,
+   re-initializes the few slots the root defines, and returns it on normal
+   completion. Reentrancy (a leaf callback starting another exploration of
+   the same implementation) and abandoned runs (an exception unwinding past
+   the borrow) simply find the pool empty and allocate fresh. *)
+type mut_state = {
+  ms_objs : Value.t array;
+  ms_obj_cells : I.cell array;
+  ms_acc : int array;
+  ms_todo : Value.t list array;
+  ms_next_op : int array;
+  ms_local : Value.t array;
+  ms_haspend : bool array;
+  ms_inv0 : Value.t array;
+  ms_opidx : int array;
+  ms_started : int array;
+  ms_steps : int array;
+  ms_resps : Value.t list array;
+  ms_node : (Value.t * Value.t) Program.t array;
+  ms_proc_cells : I.cell array;
+  ms_ops_cells : I.cell array;
+  ms_hist_cells : I.cell array;
+  ms_no_flags : bool array;
+  mutable ms_cls : cls array;
+      (* per-depth classification scratch; entries are only ever read for
+         processes classified at the current node, so stale slots from a
+         previous node at the same depth are never observed *)
+}
+
+type compiled_ctx = {
+  cc_impl : Implementation.t;
+  cc_ist : I.state;
+  cc_tables : Step_table.t array;  (* per base object, sharing [cc_ist] *)
+  cc_ports : int array array;  (* [p].(obj): cached port_map, min_int = unset *)
+  cc_topmemo : (Value.t * Value.t * (Value.t * Value.t) Program.t) list array;
+      (* per proc: (inv, local at invocation) → program top node. Programs
+         are deterministic functions of exactly that triple — the same
+         contract the fingerprint already leans on — so memoizing is
+         invisible. *)
+  cc_rootvals : Value.t array;  (* snd impl.objects — the usual root states *)
+  cc_rootcells : I.cell array;
+  cc_decisions : Faults.decision array array;
+      (* [p].(i), i < 8: preallocated step-decision records so trace conses
+         don't allocate a fresh record and [Step] block per edge *)
+  mutable cc_pool : mut_state option;
+}
+
+let compiled_cache : compiled_ctx list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let compiled_ctx_of impl =
+  let cache = Domain.DLS.get compiled_cache in
+  match List.find_opt (fun cc -> cc.cc_impl == impl) !cache with
+  | Some cc -> cc
+  | None ->
+    let ist = I.create () in
+    let n_procs = impl.Implementation.procs in
+    let n_objs = Array.length impl.Implementation.objects in
+    let rootvals = Array.map snd impl.Implementation.objects in
+    let cc =
+      {
+        cc_impl = impl;
+        cc_ist = ist;
+        cc_tables =
+          Array.map
+            (fun (spec, _) -> Step_table.create ~ist spec)
+            impl.Implementation.objects;
+        cc_ports = Array.init n_procs (fun _ -> Array.make n_objs min_int);
+        cc_topmemo = Array.make n_procs [];
+        cc_rootvals = rootvals;
+        cc_rootcells = Array.map (I.intern ist) rootvals;
+        cc_decisions =
+          Array.init n_procs (fun p ->
+              Array.init 8 (fun i -> { Faults.proc = p; kind = Faults.Step i }));
+        cc_pool = None;
+      }
+    in
+    cache := cc :: List.filteri (fun i _ -> i < 3) !cache;
+    cc
+
+let fresh_mut_state ~n_objs ~n_procs ~unit_cell ~empty_hist =
+  {
+    ms_objs = Array.make n_objs Value.unit;
+    ms_obj_cells = Array.make n_objs unit_cell;
+    ms_acc = Array.make n_objs 0;
+    ms_todo = Array.make n_procs [];
+    ms_next_op = Array.make n_procs 0;
+    ms_local = Array.make n_procs Value.unit;
+    ms_haspend = Array.make n_procs false;
+    ms_inv0 = Array.make n_procs Value.unit;
+    ms_opidx = Array.make n_procs 0;
+    ms_started = Array.make n_procs 0;
+    ms_steps = Array.make n_procs 0;
+    ms_resps = Array.make n_procs [];
+    ms_node = Array.make n_procs (Program.Return (Value.unit, Value.unit));
+    ms_proc_cells = Array.make n_procs unit_cell;
+    ms_ops_cells = Array.make n_procs unit_cell;
+    ms_hist_cells = Array.make n_objs empty_hist;
+    ms_no_flags = Array.make n_procs false;
+    ms_cls = [||];
+  }
+
+(* Lazy: [port_map] is only contractually total on the (proc, obj) pairs the
+   programs actually reach, so it is consulted exactly where the boxed path
+   would have consulted it. *)
+let port_of cc p obj =
+  let v = cc.cc_ports.(p).(obj) in
+  if v <> min_int then v
+  else begin
+    let v = cc.cc_impl.Implementation.port_map ~proc:p ~obj in
+    cc.cc_ports.(p).(obj) <- v;
+    v
+  end
+
+let top_node cc p ~inv ~local =
+  let rec find = function
+    | [] ->
+      let n = cc.cc_impl.Implementation.program ~proc:p ~inv local in
+      cc.cc_topmemo.(p) <- (inv, local, n) :: cc.cc_topmemo.(p);
+      n
+    | (i, l, n) :: rest ->
+      if
+        (i == inv || Value.equal i inv) && (l == local || Value.equal l local)
+      then n
+      else find rest
+  in
+  find cc.cc_topmemo.(p)
+
+(* Every index the kernel's hot frames use is established by a loop bound
+   ([0 .. n_procs-1]), by the pool-growth check in [nexts_at], or by the
+   bounds-checked [cc_tables.(obj)] load in [classify] (which validates a
+   program node's object index before any unchecked use), so the kernel
+   reads and writes arrays unchecked. *)
+let run_compiled impl ~(opts : options) ~fuel ~(dd : dedup_ctx option) ~lim ~t
+    ~user_tracker ~want_leaf c ~emit_leaf ~memcheck root =
+  let cc = compiled_ctx_of impl in
+  let ist = cc.cc_ist in
+  let n_objs = Array.length root.objs in
+  let n_procs = Array.length root.procs in
+  let unit_cell = I.unit ist in
+  let empty_hist = fp_hist_cell ist [] in
+  (* The single mutable configuration, as parallel arrays borrowed from the
+     per-implementation pool (the root never has a pending operation, so the
+     p_* pending slots may keep stale dummies). *)
+  let ms =
+    match cc.cc_pool with
+    | Some ms ->
+      cc.cc_pool <- None;
+      ms
+    | None -> fresh_mut_state ~n_objs ~n_procs ~unit_cell ~empty_hist
+  in
+  let objs = ms.ms_objs
+  and obj_cells = ms.ms_obj_cells
+  and acc = ms.ms_acc
+  and todo = ms.ms_todo
+  and next_op = ms.ms_next_op
+  and local = ms.ms_local
+  and haspend = ms.ms_haspend
+  and p_inv0 = ms.ms_inv0
+  and p_opidx = ms.ms_opidx
+  and p_started = ms.ms_started
+  and p_steps = ms.ms_steps
+  and p_resps = ms.ms_resps
+  and p_node = ms.ms_node in
+  for o = 0 to n_objs - 1 do
+    let q0 = root.objs.(o) in
+    let qc =
+      if q0 == cc.cc_rootvals.(o) then cc.cc_rootcells.(o) else I.intern ist q0
+    in
+    obj_cells.(o) <- qc;
+    objs.(o) <- I.value qc;
+    acc.(o) <- 0
+  done;
+  for p = 0 to n_procs - 1 do
+    let pr = root.procs.(p) in
+    todo.(p) <- pr.todo;
+    next_op.(p) <- pr.next_op;
+    local.(p) <- pr.local;
+    haspend.(p) <- false
+  done;
+  let events = ref 0 in
+  let ops_rev = ref [] in
+  (* Fingerprint cells over the mutable state. [obj_cells] is maintained
+     unconditionally — successor cells come for free out of the transition
+     rows and double as the table keys. The per-proc cells only exist once
+     the dedup tables activate ([cells_valid]); a frame decides at entry
+     whether it maintains them ([track] below) and a non-tracking backtrack
+     invalidates the cache for the next probe to rebuild. *)
+  let hist_cells = ms.ms_hist_cells in
+  let proc_cells = ms.ms_proc_cells in
+  let ops_cells = ms.ms_ops_cells in
+  let no_flags = ms.ms_no_flags in
+  let cells_valid = ref false in
+  let cls_at depth =
+    let pool = ms.ms_cls in
+    if depth < Array.length pool then (Array.unsafe_get pool (depth))
+    else begin
+      let len = Array.length pool in
+      let pool' =
+        Array.init
+          (max (depth + 1) (max 8 (2 * len)))
+          (fun i -> if i < len then pool.(i) else fresh_cls n_procs)
+      in
+      ms.ms_cls <- pool';
+      pool'.(depth)
+    end
+  in
+  let dec p i =
+    if i < 8 then Array.unsafe_get (Array.unsafe_get cc.cc_decisions p) i
+    else { Faults.proc = p; kind = Faults.Step i }
+  in
+  let mut_proc_cell p =
+    I.list ist
+      [
+        I.list ist (List.map (I.intern ist) todo.(p));
+        I.int ist next_op.(p);
+        (if haspend.(p) then
+           I.list ist
+             (I.intern ist p_inv0.(p)
+             :: I.int ist p_opidx.(p)
+             :: List.map (I.intern ist) p_resps.(p))
+         else unit_cell);
+        I.intern ist local.(p);
+      ]
+  in
+  let rebuild_cells () =
+    for p = 0 to n_procs - 1 do
+      proc_cells.(p) <- mut_proc_cell p;
+      ops_cells.(p) <- unit_cell
+    done;
+    List.iter
+      (fun (o : Exec.op) ->
+        ops_cells.(o.proc) <- I.pair ist (fp_op_cell ist o) ops_cells.(o.proc))
+      (List.rev !ops_rev);
+    cells_valid := true
+  in
+  (* One integer compare per node stands in for the full dedup-activation
+     test: [probe] is only entered once [c.nodes] reaches the floor, and the
+     floor tracks activation state (threshold while the tables are pending,
+     0 once they exist, max_int when dedup is off or evicted). *)
+  let probe_floor =
+    ref
+      (match dd with
+      | None -> max_int
+      | Some dd ->
+        if dd.evicted then max_int
+        else if Option.is_some dd.tables then 0
+        else dd.threshold)
+  in
+  let probe sleep st =
+    match dd with
+    | None -> false
+    | Some dd ->
+      if dd.evicted then begin
+        probe_floor := max_int;
+        false
+      end
+      else begin
+        probe_floor := 0;
+        let fx =
+          match dd.tables with
+          | Some (T_flat fx) -> fx
+          | Some (T_value _ | T_intern _) -> assert false
+          | None ->
+            let fx =
+              flat_create ~ist ~n_objs ~n_procs ~tier2:dd.tier2
+                ~bloom_bits_log2:dd.bloom_bits_log2 ()
+            in
+            dd.tables <- Some (T_flat fx);
+            fx
+        in
+        if not !cells_valid then rebuild_cells ();
+        let tracker_id =
+          match t.fingerprint with
+          | Some fp -> I.id (I.intern ist (fp st))
+          | None -> -1
+        in
+        let hi, lo =
+          encode_flat_parts fx ~obj_cells ~hist_cells ~proc_cells ~ops_cells
+            ~acc ~crashed:no_flags ~stuck:no_flags ~events:!events
+            ~crashes_left:0 ~recoveries_left:0 ~glitches_left:0 ~sleep
+            ~classes:dd.classes ~tracker_id
+        in
+        match (fx.table, fx.bloom) with
+        | Some tbl, _ -> Fingerprint.Table.mem_or_add tbl ~hi ~lo
+        | None, Some bl -> Fingerprint.Bloom.mem_or_add bl ~hi ~lo
+        | None, None -> false
+      end
+  in
+  let live_pending_mut () =
+    let out = ref [] in
+    for p = n_procs - 1 downto 0 do
+      if haspend.(p) then out := (p, p_inv0.(p)) :: !out
+    done;
+    !out
+  in
+  let classify_into cl p =
+    let fresh = not (Array.unsafe_get haspend (p)) in
+    let node =
+      if fresh then
+        match (Array.unsafe_get todo (p)) with
+        | [] -> assert false
+        | inv :: _ -> top_node cc p ~inv ~local:(Array.unsafe_get local (p))
+      else (Array.unsafe_get p_node (p))
+    in
+    match node with
+    | Program.Return _ ->
+      Array.unsafe_set cl.ck p 0;
+      Array.unsafe_set cl.cnode p node
+    | Program.Invoke { obj; inv; _ } ->
+      (* bounds-checked on purpose: validates [obj] for the whole frame *)
+      let row =
+        Step_table.row_cells cc.cc_tables.(obj) (Array.unsafe_get obj_cells (obj))
+          ~port:(port_of cc p obj) ~inv
+      in
+      Array.unsafe_set cl.ck p (if fresh then 2 else 1);
+      Array.unsafe_set cl.cnode p node;
+      Array.unsafe_set cl.crow p row;
+      Array.unsafe_set cl.cobj p obj
+  in
+  let independent_m cl p q =
+    Array.unsafe_get cl.ck p > 0
+    && Array.unsafe_get cl.ck q > 0
+    &&
+    let rp = Array.unsafe_get cl.crow p and rq = Array.unsafe_get cl.crow q in
+    rp.Step_table.det && rq.Step_table.det
+    && (Array.unsafe_get cl.cobj p <> Array.unsafe_get cl.cobj q
+       || (rp.Step_table.pure_read && rq.Step_table.pure_read))
+  in
+  (* [cl_par]/[dirty]: the parent frame's classifications and a bitmask of
+     processes whose classification may have changed across the parent's
+     step. A step by [p] invalidates [p] itself plus (for a base access on
+     [obj]) every process whose classified access targets [obj] — all other
+     classifications depend only on untouched per-process state and
+     untouched objects, so the POR prepass copies them instead of
+     re-resolving rows. Root and non-POR frames pass [-1] (all dirty). *)
+  let rec go cl_par dirty sleep trace_rev st =
+    memcheck ();
+    let mask = ref 0 in
+    for p = n_procs - 1 downto 0 do
+      if
+        (Array.unsafe_get haspend (p))
+        || (match (Array.unsafe_get todo (p)) with [] -> false | _ :: _ -> true)
+      then mask := !mask lor (1 lsl p)
+    done;
+    let mask = !mask in
+    if lim.active then check_limits lim;
+    if mask = 0 then begin
+      c.leaves <- c.leaves + 1;
+      if !events > c.max_events then c.max_events <- !events;
+      List.iter
+        (fun (o : Exec.op) ->
+          if o.steps > c.max_op_steps then c.max_op_steps <- o.steps)
+        !ops_rev;
+      Array.iteri
+        (fun i a -> if a > c.max_accesses.(i) then c.max_accesses.(i) <- a)
+        acc;
+      if want_leaf then
+        emit_leaf trace_rev
+          {
+            Exec.objects = Array.copy objs;
+            locals = Array.copy local;
+            ops = List.rev !ops_rev;
+            events = !events;
+            accesses = Array.copy acc;
+          }
+          st
+    end
+    else if !events >= fuel then begin
+      c.overflows <- c.overflows + 1;
+      if c.overflow_trace = None then
+        c.overflow_trace <- Some (List.rev trace_rev)
+    end
+    else if c.nodes >= !probe_floor && probe sleep st then
+      c.pruned <- c.pruned + 1
+    else begin
+      (* Under POR every runnable process is classified up front (the
+         independence relation needs all of them); without POR each process
+         is classified right before expansion, preserving the boxed path's
+         evaluation order for any exception a spec may raise. *)
+      let cl = cls_at !events in
+      if opts.por then
+        for p = 0 to n_procs - 1 do
+          if mask land (1 lsl p) <> 0 then
+            if dirty land (1 lsl p) <> 0 then classify_into cl p
+            else begin
+              Array.unsafe_set cl.ck p (Array.unsafe_get cl_par.ck p);
+              Array.unsafe_set cl.cnode p (Array.unsafe_get cl_par.cnode p);
+              Array.unsafe_set cl.crow p (Array.unsafe_get cl_par.crow p);
+              Array.unsafe_set cl.cobj p (Array.unsafe_get cl_par.cobj p)
+            end
+        done;
+      let explored = ref 0 in
+      for p = 0 to n_procs - 1 do
+        if mask land (1 lsl p) <> 0 then begin
+          if sleep land (1 lsl p) <> 0 then
+            c.sleep_skips <- c.sleep_skips + 1
+          else begin
+            let child_sleep =
+              if not opts.por then 0
+              else begin
+                let earlier = sleep lor !explored in
+                let s = ref 0 in
+                for q = 0 to n_procs - 1 do
+                  if
+                    q <> p
+                    && mask land (1 lsl q) <> 0
+                    && earlier land (1 lsl q) <> 0
+                    && independent_m cl p q
+                  then s := !s lor (1 lsl q)
+                done;
+                !s
+              end
+            in
+            if not opts.por then classify_into cl p;
+            (match Array.unsafe_get cl.ck p with
+            | 0 ->
+              ret_child p cl
+                (if opts.por then 1 lsl p else -1)
+                (Array.unsafe_get cl.cnode p)
+                child_sleep trace_rev st
+            | k ->
+              let node = Array.unsafe_get cl.cnode p in
+              let row = Array.unsafe_get cl.crow p in
+              let obj = Array.unsafe_get cl.cobj p in
+              let fresh = k = 2 in
+              let child_dirty =
+                if not opts.por then -1
+                else begin
+                  let d = ref (1 lsl p) in
+                  for q = 0 to n_procs - 1 do
+                    if
+                      mask land (1 lsl q) <> 0
+                      && Array.unsafe_get cl.ck q > 0
+                      && Array.unsafe_get cl.cobj q = obj
+                    then d := !d lor (1 lsl q)
+                  done;
+                  !d
+                end
+              in
+              let n_alts = row.Step_table.n_alts in
+              if n_alts = 0 then begin
+                match node with
+                | Program.Invoke { inv; _ } ->
+                  let spec, _ = impl.Implementation.objects.(obj) in
+                  raise
+                    (Type_spec.Bad_step
+                       (Fmt.str
+                          "proc %d: invocation %a disabled on object %d (%s) \
+                           in state %a"
+                          p Value.pp inv obj spec.Type_spec.name Value.pp
+                          objs.(obj)))
+                | Program.Return _ -> assert false
+              end;
+              let cells = row.Step_table.cells in
+              for j = 0 to n_alts - 1 do
+                let qc = (Array.unsafe_get cells (2 * j)) in
+                acc_child p cl child_dirty node fresh obj qc (I.value qc)
+                  (I.value (Array.unsafe_get cells ((2 * j) + 1)))
+                  j child_sleep trace_rev st
+              done);
+            explored := !explored lor (1 lsl p)
+          end
+        end
+      done
+    end
+  (* A fresh operation whose program returns without touching a base object:
+     one completion child, no object mutation. *)
+  and ret_child p cl child_dirty node child_sleep trace_rev st =
+    match node with
+    | Program.Invoke _ -> assert false
+    | Program.Return (resp, local') ->
+      c.nodes <- c.nodes + 1;
+      let tr = dec p 0 :: trace_rev in
+      let s_todo = (Array.unsafe_get todo (p)) in
+      let s_nextop = (Array.unsafe_get next_op (p)) and s_local = (Array.unsafe_get local (p)) in
+      let s_ops = !ops_rev in
+      let s_opsc = (Array.unsafe_get ops_cells (p)) and s_pc = (Array.unsafe_get proc_cells (p)) in
+      let track = !cells_valid in
+      let inv0, todo' =
+        match s_todo with inv :: tl -> (inv, tl) | [] -> assert false
+      in
+      let op =
+        {
+          Exec.proc = p;
+          op_index = s_nextop;
+          inv = inv0;
+          resp;
+          start_step = !events;
+          end_step = !events;
+          steps = 0;
+        }
+      in
+      ops_rev := op :: s_ops;
+      Array.unsafe_set todo (p) (todo');
+      Array.unsafe_set next_op (p) (s_nextop + 1);
+      Array.unsafe_set local (p) (local');
+      if track then begin
+        ops_cells.(p) <- I.pair ist (fp_op_cell ist op) s_opsc;
+        proc_cells.(p) <- mut_proc_cell p
+      end;
+      incr events;
+      let st' =
+        if user_tracker then
+          t.event st ~trace_rev:tr
+            (Op_completed { op; pending = live_pending_mut () })
+        else st
+      in
+      go cl child_dirty child_sleep tr st';
+      decr events;
+      ops_rev := s_ops;
+      Array.unsafe_set todo (p) (s_todo);
+      Array.unsafe_set next_op (p) (s_nextop);
+      Array.unsafe_set local (p) (s_local);
+      if track then begin
+        Array.unsafe_set ops_cells (p) (s_opsc);
+        Array.unsafe_set proc_cells (p) (s_pc)
+      end
+      else cells_valid := false
+  (* One base access: apply the row's alternative [j] in place, advance the
+     program through the response memo, recurse, restore. *)
+  and acc_child p cl child_dirty node fresh obj qc q' resp j child_sleep
+      trace_rev st =
+    c.nodes <- c.nodes + 1;
+    let tr = dec p j :: trace_rev in
+    let s_q = (Array.unsafe_get objs (obj)) and s_qc = (Array.unsafe_get obj_cells (obj)) in
+    let s_todo = (Array.unsafe_get todo (p)) in
+    let s_nextop = (Array.unsafe_get next_op (p)) and s_local = (Array.unsafe_get local (p)) in
+    let s_haspend = (Array.unsafe_get haspend (p)) and s_inv0 = (Array.unsafe_get p_inv0 (p)) in
+    let s_opidx = (Array.unsafe_get p_opidx (p)) and s_started = (Array.unsafe_get p_started (p)) in
+    let s_steps = (Array.unsafe_get p_steps (p)) and s_resps = (Array.unsafe_get p_resps (p)) in
+    let s_node = (Array.unsafe_get p_node (p)) in
+    let s_ops = !ops_rev in
+    let s_opsc = (Array.unsafe_get ops_cells (p)) and s_pc = (Array.unsafe_get proc_cells (p)) in
+    let track = !cells_valid in
+    let inv0, op_index, started, steps_done, resps_rev =
+      if fresh then
+        ((match s_todo with inv :: _ -> inv | [] -> assert false),
+         s_nextop, !events, 0, [])
+      else (s_inv0, s_opidx, s_started, s_steps, s_resps)
+    in
+    Array.unsafe_set objs (obj) (q');
+    Array.unsafe_set obj_cells (obj) (qc);
+    Array.unsafe_set acc (obj) ((Array.unsafe_get acc (obj)) + 1);
+    if fresh then
+      Array.unsafe_set todo (p) ((match s_todo with _ :: tl -> tl | [] -> assert false));
+    let next = Program.step node resp in
+    let completed =
+      match next with
+      | Program.Return (res, local') ->
+        let op =
+          {
+            Exec.proc = p;
+            op_index;
+            inv = inv0;
+            resp = res;
+            start_step = started;
+            end_step = !events;
+            steps = steps_done + 1;
+          }
+        in
+        ops_rev := op :: s_ops;
+        Array.unsafe_set haspend (p) (false);
+        Array.unsafe_set next_op (p) (op_index + 1);
+        Array.unsafe_set local (p) (local');
+        if track then
+          Array.unsafe_set ops_cells (p) (I.pair ist (fp_op_cell ist op) s_opsc);
+        Some op
+      | Program.Invoke _ ->
+        Array.unsafe_set haspend (p) (true);
+        Array.unsafe_set p_inv0 (p) (inv0);
+        Array.unsafe_set p_opidx (p) (op_index);
+        Array.unsafe_set p_started (p) (started);
+        Array.unsafe_set p_steps (p) (steps_done + 1);
+        Array.unsafe_set p_resps (p) (resp :: resps_rev);
+        Array.unsafe_set p_node (p) (next);
+        None
+    in
+    if track then Array.unsafe_set proc_cells p (mut_proc_cell p);
+    incr events;
+    let st' =
+      match completed with
+      | Some op when user_tracker ->
+        t.event st ~trace_rev:tr
+          (Op_completed { op; pending = live_pending_mut () })
+      | _ -> st
+    in
+    go cl child_dirty child_sleep tr st';
+    decr events;
+    Array.unsafe_set objs (obj) (s_q);
+    Array.unsafe_set obj_cells (obj) (s_qc);
+    Array.unsafe_set acc (obj) ((Array.unsafe_get acc (obj)) - 1);
+    Array.unsafe_set todo (p) (s_todo);
+    Array.unsafe_set next_op (p) (s_nextop);
+    Array.unsafe_set local (p) (s_local);
+    Array.unsafe_set haspend (p) (s_haspend);
+    Array.unsafe_set p_inv0 (p) (s_inv0);
+    Array.unsafe_set p_opidx (p) (s_opidx);
+    Array.unsafe_set p_started (p) (s_started);
+    Array.unsafe_set p_steps (p) (s_steps);
+    Array.unsafe_set p_resps (p) (s_resps);
+    Array.unsafe_set p_node (p) (s_node);
+    ops_rev := s_ops;
+    if track then begin
+      Array.unsafe_set ops_cells (p) (s_opsc);
+      Array.unsafe_set proc_cells (p) (s_pc)
+    end
+    else cells_valid := false
+  in
+  go (cls_at 0) (-1) 0 [] t.root;
+  cc.cc_pool <- Some ms
+
 (* Worker-failure taxonomy for the supervised pool: [User_error] tags an
    exception escaping a user leaf callback (it must surface on the caller —
    that is how checkers report violations), [Abandoned] is raised by a worker
@@ -1522,13 +2241,18 @@ let default_dedup_threshold = 64
 exception User_error of exn
 exception Abandoned
 
+(* Physically recognizable defaults: when the caller supplied no leaf
+   consumer (and no tracker), the compiled kernel can skip materializing
+   leaf records entirely. *)
+let no_on_leaf (_ : Exec.leaf) = ()
+let no_on_leaf_trace (_ : Faults.trace) (_ : Exec.leaf) = ()
+
 let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
     ?budget ?deadline_s ?(options = naive)
     ?(par_threshold = default_par_threshold)
     ?(dedup_threshold = default_dedup_threshold)
     ?(bloom_bits_log2 = Fingerprint.Bloom.default_bits_log2) ?tracker
-    ?(on_leaf = fun (_ : Exec.leaf) -> ())
-    ?(on_leaf_trace = fun (_ : Faults.trace) (_ : Exec.leaf) -> ())
+    ?(on_leaf = no_on_leaf) ?(on_leaf_trace = no_on_leaf_trace)
     ?checkpoint ?(checkpoint_meta = []) ?resume_from ?interrupt ?mem_budget_mb
     ?stall_timeout_s ?chaos () =
   let user_tracker = Option.is_some tracker in
@@ -1619,15 +2343,35 @@ let run impl ~workloads ?(fuel = default_fuel) ?(max_crashes = 0) ?faults
   if n_domains = 1 && not ckpt_armed then begin
     let c = fresh_counters n_objs in
     let dd = mk_dd () in
-    let rec go cfg sleep trace_rev st fpcur =
-      memcheck ~domain_id:0 c dd;
-      visit impl opts ~fuel ~dd ~lim ~t c emit_leaf ~recurse:go cfg sleep
-        trace_rev st fpcur
-    in
-    (try go root 0 [] t.root None with
-    | Exec.Stop -> trip lim Stopped
-    | Cut -> ());
-    stats_of c ~domains_used:1 ~lim
+    if opts.compile && opts.flat && Faults.is_none faults then begin
+      (* The compiled kernel walks the same tree with the same counters and
+         dedup decisions; it is engaged only where that parity holds by
+         construction — see the kernel's header comment. *)
+      let want_leaf =
+        user_tracker || on_leaf != no_on_leaf
+        || on_leaf_trace != no_on_leaf_trace
+      in
+      (try
+         run_compiled impl ~opts ~fuel ~dd ~lim ~t ~user_tracker ~want_leaf c
+           ~emit_leaf
+           ~memcheck:(fun () -> memcheck ~domain_id:0 c dd)
+           root
+       with
+      | Exec.Stop -> trip lim Stopped
+      | Cut -> ());
+      stats_of c ~domains_used:1 ~lim
+    end
+    else begin
+      let rec go cfg sleep trace_rev st fpcur =
+        memcheck ~domain_id:0 c dd;
+        visit impl opts ~fuel ~dd ~lim ~t c emit_leaf ~recurse:go cfg sleep
+          trace_rev st fpcur
+      in
+      (try go root 0 [] t.root None with
+      | Exec.Stop -> trip lim Stopped
+      | Cut -> ());
+      stats_of c ~domains_used:1 ~lim
+    end
   end
   else begin
     (* Frontier mode — the multicore fan-out, and any checkpointed or

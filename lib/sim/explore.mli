@@ -87,6 +87,22 @@ type options = {
           unique within an intern state), up to a ≈2^-64 hash-compaction
           collision risk at 10^9 states. Effective only when [dedup] and
           [intern] are both on. *)
+  compile : bool;
+      (** compiled step kernel: run the sequential flat DFS on a single
+          mutable configuration with an undo log (apply the step in place,
+          recurse, revert on backtrack — no per-edge [Array.copy] fan-out),
+          answer base-object invocations from lazily compiled
+          {!Wfc_spec.Step_table} transition tables instead of applying the
+          spec's transition closure, and memoize program continuations per
+          ⟨node, response⟩ via {!Wfc_program.Program.step} so re-exploring a
+          prefix never re-runs the free monad. Purely a representation
+          change: node visit order, counters, leaf observations, pruning
+          decisions and verdicts are bit-identical to the boxed path (the
+          parity suite in [test/test_flat.ml] asserts this). Engaged only
+          where that parity is already guaranteed: sequential ([domains =
+          1]), [flat] (hence [intern]) on, no fault adversary, no
+          checkpointing — in every other configuration the engine silently
+          falls back to the boxed path. *)
 }
 
 val naive : options
@@ -94,8 +110,8 @@ val naive : options
     statistics) of {!Exec.explore}. *)
 
 val fast : options
-(** [dedup] + [por] + [intern] + [symmetry] + [flat], sequential. The right
-    choice for timing-insensitive verdicts. *)
+(** [dedup] + [por] + [intern] + [symmetry] + [flat] + [compile],
+    sequential. The right choice for timing-insensitive verdicts. *)
 
 val parallel : ?domains:int -> unit -> options
 (** [fast] plus a domain pool (default:
@@ -108,7 +124,9 @@ val engine_of_options : options -> Checkpoint.engine
     resume cleanly. *)
 
 val options_of_engine : Checkpoint.engine -> options
-(** Inverse of {!engine_of_options} (the records mirror field for field). *)
+(** Inverse of {!engine_of_options} on the serialized fields. [compile] is
+    not stored — it changes how the tree is walked, never which tree — so
+    resumed runs default it on. *)
 
 (** Process-symmetry classes: which processes are interchangeable.
 

@@ -42,7 +42,7 @@ let pp ppf w =
    state space the trace was found in. *)
 let search_options =
   { Explore.dedup = true; por = false; domains = 1; intern = true;
-    symmetry = false; flat = true }
+    symmetry = false; flat = true; compile = true }
 
 let find_bad impl ~bad ~budget ~faults workloads =
   let found = ref None in

@@ -1,0 +1,72 @@
+(** Compiled transition tables over hash-consed states.
+
+    The interpreted step ([Type_spec.alternatives]) applies the spec's
+    transition closure on every visit. A [Step_table.t] pays that cost once
+    per distinct (state, port, invocation) triple: the first visit runs the
+    closure, interns the resulting successor/response pairs into the table's
+    {!Value.Intern.state}, and caches the row; every later visit is one
+    array load on the dense state-cell id plus a physical scan over the few
+    invocations live on that (port, state). Because rows hand out the canonical
+    interned representatives, downstream physical-equality tests (duplicate
+    detection, pure-read classification, {!Program.step} memo hits) coincide
+    with structural equality.
+
+    Soundness rests on [Type_spec.transition] being a pure function of
+    (state, port, invocation) — the contract every spec in the library
+    already obeys (nondeterminism is expressed as multiple alternatives, not
+    as impurity). The declared [oblivious] flag is {e not} used to share rows
+    across ports: tables are lazy, so honesty costs only what is visited,
+    and a spec that lies about obliviousness cannot corrupt results.
+
+    Tables inherit the intern state's threading discipline: one table per
+    domain, never shared. *)
+
+module I = Value.Intern
+
+type row = {
+  alts : (Value.t * Value.t) list;
+      (** the alternatives exactly as the interpreted step would return
+          them (same order), but canonical — maximally shared within the
+          table's intern state *)
+  cells : I.cell array;
+      (** the same row interleaved as interned cells
+          [|q'0; r0; q'1; r1; …|] — [Array.length cells = 2 × length alts] *)
+  packed : int array;  (** the same row as interned-cell ids *)
+  n_alts : int;  (** [List.length alts], precomputed for the hot path *)
+  det : bool;  (** exactly one alternative *)
+  pure_read : bool;
+      (** deterministic and the successor is (structurally, hence here
+          physically) the argument state *)
+}
+
+type t
+
+val create : ?ist:I.state -> Type_spec.t -> t
+(** A fresh table with no compiled rows. Pass [ist] to share an intern state
+    with the caller (e.g. the exploration engine's per-domain state) so the
+    canonical representatives are canonical for the caller too; otherwise a
+    private state is created. *)
+
+val intern_state : t -> I.state
+(** The intern state rows are canonicalized into. *)
+
+val row_cells : t -> I.cell -> port:int -> inv:Value.t -> row
+(** [row_cells t qc ~port ~inv] is the compiled row for state [qc] under
+    invocation [inv] on [port] — [qc] must belong to [intern_state t].
+    Rows are keyed on the {e physical} identity of [inv]: callers should
+    hand in a stable representative (a memoized program node's invocation,
+    or the canonical interned value) so repeat lookups hit; a structurally
+    equal but physically fresh [inv] merely compiles a duplicate row.
+    Raises [Type_spec.Bad_step] on an out-of-range port (same message as
+    the interpreted path); a [Bad_step] raised by the spec's transition
+    itself propagates uncached. *)
+
+val alternatives : t -> Value.t -> port:int -> inv:Value.t -> (Value.t * Value.t) list
+(** Drop-in for [Type_spec.alternatives spec]: interns the arguments and
+    returns the cached row's alternatives. Agrees with the interpreted step
+    up to [Value.equal] on every pair, in the same order (the compiled-vs-
+    interpreted qcheck in [test/test_flat.ml] asserts this across the whole
+    zoo). *)
+
+val compiled_rows : t -> int
+(** Number of rows compiled so far (cache misses); observability only. *)

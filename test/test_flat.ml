@@ -180,6 +180,118 @@ let prop_parity =
       assert_flat_boxed_parity ~msg:"qcheck" impl wls;
       true)
 
+(* --- compiled step tables vs the interpreted spec --------------------------- *)
+
+(* [Step_table.alternatives] must agree with [Type_spec.alternatives] on
+   every (state, port, invocation) of every zoo type — same pairs, same
+   order — on both the compiling first lookup and the cached second one.
+   Disabled invocations (discipline-typed specs) agree on the empty list;
+   out-of-range ports raise [Bad_step] on both sides. Nondeterministic
+   specs are in the sweep: rows cache the whole alternative list. *)
+
+let states_of (spec : Type_spec.t) =
+  match spec.Type_spec.states with
+  | Some qs -> qs
+  | None ->
+    Value.Set.elements (Type_spec.reachable spec ~from:spec.Type_spec.initial)
+
+let check_alts_equal ~msg interp compiled =
+  Alcotest.(check int) (msg ^ ": arity") (List.length interp)
+    (List.length compiled);
+  List.iter2
+    (fun (q1, r1) (q2, r2) ->
+      Alcotest.check value (msg ^ ": successor") q1 q2;
+      Alcotest.check value (msg ^ ": response") r1 r2)
+    interp compiled
+
+let test_step_table_agrees_with_zoo () =
+  List.iter
+    (fun (e : Wfc_zoo.Catalog.entry) ->
+      let spec = e.Wfc_zoo.Catalog.spec in
+      let tbl = Step_table.create spec in
+      let name = spec.Type_spec.name in
+      List.iter
+        (fun q ->
+          for port = 0 to spec.Type_spec.ports - 1 do
+            List.iter
+              (fun inv ->
+                let msg = Fmt.str "%s q=%a p%d %a" name Value.pp q port
+                    Value.pp inv
+                in
+                let interp = Type_spec.alternatives spec q ~port ~inv in
+                check_alts_equal ~msg interp
+                  (Step_table.alternatives tbl q ~port ~inv);
+                (* second lookup hits the cached row *)
+                check_alts_equal ~msg:(msg ^ " (cached)") interp
+                  (Step_table.alternatives tbl q ~port ~inv))
+              spec.Type_spec.invocations
+          done)
+        (states_of spec);
+      List.iter
+        (fun port ->
+          match
+            Step_table.alternatives tbl spec.Type_spec.initial ~port
+              ~inv:(List.hd spec.Type_spec.invocations)
+          with
+          | exception Type_spec.Bad_step _ -> ()
+          | _ -> Alcotest.failf "%s: port %d accepted" name port)
+        [ -1; spec.Type_spec.ports ])
+    (Wfc_zoo.Catalog.all ~ports:2)
+
+(* --- compiled kernel vs interpreted engine ---------------------------------- *)
+
+(* The compiled kernel (step tables + in-place configuration) must be
+   observationally identical to the interpreted engine it replaces: every
+   count, every observation, with and without POR/dedup. *)
+let assert_compiled_interp_parity ~msg impl workloads =
+  List.iter
+    (fun (sub, opts) ->
+      let sc, lc = collect ~options:opts impl workloads in
+      let si, li =
+        collect ~options:{ opts with Explore.compile = false } impl workloads
+      in
+      let msg = msg ^ "/" ^ sub in
+      Alcotest.(check int) (msg ^ ": nodes") si.Explore.nodes sc.Explore.nodes;
+      Alcotest.(check int) (msg ^ ": leaves") si.Explore.leaves
+        sc.Explore.leaves;
+      Alcotest.(check int) (msg ^ ": pruned") si.Explore.pruned
+        sc.Explore.pruned;
+      Alcotest.(check int)
+        (msg ^ ": sleep_skips")
+        si.Explore.sleep_skips sc.Explore.sleep_skips;
+      Alcotest.(check int) (msg ^ ": max_events") si.Explore.max_events
+        sc.Explore.max_events;
+      Alcotest.(check (array int))
+        (msg ^ ": max_accesses")
+        si.Explore.max_accesses sc.Explore.max_accesses;
+      Alcotest.(check (list value)) (msg ^ ": observations") li lc)
+    [
+      ("fast", { Explore.fast with symmetry = false });
+      ("fast+symmetry", Explore.fast);
+      ( "por-only",
+        { Explore.naive with por = true; intern = true; flat = true;
+          compile = true } );
+      ( "plain",
+        { Explore.naive with intern = true; flat = true; compile = true } );
+    ]
+
+let test_compile_parity_fixed () =
+  let impl = rw_impl ~procs:3 ~bits:2 ~coin:false in
+  assert_compiled_interp_parity ~msg:"fixed" impl
+    [| [ wr 0 true; rd 1 ]; [ cp 0 1 ]; [ rd 0; wr 1 false ] |]
+
+let prop_compile_parity =
+  QCheck.Test.make ~count:40
+    ~name:"compiled and interpreted engines agree exactly on random workloads"
+    (QCheck.make gen_workloads ~print:(fun (procs, bits, coin, wls) ->
+         Fmt.str "procs=%d bits=%d coin=%b workloads=%a" procs bits coin
+           Fmt.(array (list Value.pp))
+           wls))
+    (fun (procs, bits, coin, wls) ->
+      let impl = rw_impl ~procs ~bits ~coin in
+      assert_compiled_interp_parity ~msg:"qcheck" impl wls;
+      true)
+
 (* --- downstream verdict parity --------------------------------------------- *)
 
 let flat_engine = Explore.fast
@@ -214,6 +326,25 @@ let test_verdict_parity () =
         (fun () -> Protocols.from_cas ~procs:2 ()),
         Some (Faults.crashes 1) );
       ("broken", Protocols.broken_register_only, None);
+    ]
+
+let test_verdict_parity_no_compile () =
+  List.iter
+    (fun (name, impl, expected) ->
+      let verdict engine =
+        match Check.verify ~engine ~subsets:false (impl ()) with
+        | Check.Verified _ -> "verified"
+        | Check.Falsified _ -> "falsified"
+        | Check.Unknown _ -> "unknown"
+      in
+      let on = verdict Explore.fast in
+      let off = verdict { Explore.fast with Explore.compile = false } in
+      Alcotest.(check string) (name ^ ": compile on") expected on;
+      Alcotest.(check string) (name ^ ": compile off") expected off)
+    [
+      ("cas3", (fun () -> Protocols.from_cas ~procs:3 ()), "verified");
+      ("sticky3", (fun () -> Protocols.from_sticky ~procs:3 ()), "verified");
+      ("broken", Protocols.broken_register_only, "falsified");
     ]
 
 (* --- Bloom tier soundness --------------------------------------------------- *)
@@ -366,9 +497,20 @@ let () =
             test_parity_faults;
           QCheck_alcotest.to_alcotest prop_parity;
         ] );
+      ( "compiled step tables",
+        [
+          Alcotest.test_case "agree with Type_spec across the zoo" `Quick
+            test_step_table_agrees_with_zoo;
+          Alcotest.test_case "compiled kernel parity (fixed)" `Quick
+            test_compile_parity_fixed;
+          QCheck_alcotest.to_alcotest prop_compile_parity;
+        ] );
       ( "verdict parity",
-        [ Alcotest.test_case "Check.verify agrees" `Quick test_verdict_parity ]
-      );
+        [
+          Alcotest.test_case "Check.verify agrees" `Quick test_verdict_parity;
+          Alcotest.test_case "Check.verify agrees with compile off" `Quick
+            test_verdict_parity_no_compile;
+        ] );
       ( "bloom tier",
         [
           Alcotest.test_case "only prunes, downgrades completeness" `Quick

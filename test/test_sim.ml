@@ -20,7 +20,7 @@ let test_program_bind () =
   let rec feed p answers =
     match (p, answers) with
     | Program.Return v, [] -> v
-    | Program.Invoke { obj; inv; k }, a :: rest ->
+    | Program.Invoke { obj; inv; k; _ }, a :: rest ->
       Alcotest.check value "reads" Ops.read inv;
       Alcotest.(check bool) "obj in range" true (obj = 0 || obj = 1);
       feed (k a) rest
