@@ -1328,11 +1328,13 @@ let resume_report () =
 
 (* --- DS: distributed verification fleet -------------------------------------------------------- *)
 
-(* Scaling of `wfc serve` over forked worker pools, dumped as
+(* Scaling of `wfc serve` over forked worker pools, on both transports
+   (unix-domain baseline + tcp loopback), dumped as
    BENCH_distributed.json. The workload is cas n=6 (E10-class state space:
    728 vectors, ~11k executions) named via Protocols.of_name so workers can
-   rebuild it from the job's meta. Hard guard: every fleet size must reach
-   the same verdict (and vector count) as single-process Check.verify.
+   rebuild it from the job's meta. Hard guard: every fleet row — including
+   every tcp row — must reach the same verdict (and vector count) as
+   single-process Check.verify.
    Speedup guard: >= 1.6x at 4 workers, enforced only when the host has
    >= 4 cores — on fewer cores the forked workers time-slice one CPU and
    the numbers measure coordination overhead, not scaling. *)
@@ -1369,56 +1371,64 @@ let distributed_report () =
   in
   Fmt.pr "  single process: %.2f s (%d vectors, %d executions)@." single_wall
     single_vectors single_execs;
-  let fleet_sizes = [ 2; 4; 8 ] in
   let meta = [ ("protocol", name); ("procs", string_of_int procs) ] in
+  (* the same run over both transports: unix-domain is the scaling
+     baseline; tcp loopback prices the real wire (framing, NODELAY,
+     kernel TCP) and guards verdict parity over the network path *)
+  let run_fleet ~transport workers =
+    let addr =
+      match transport with
+      | "unix" ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Fmt.str "wfc-ds-%d-%d.sock" (Unix.getpid ()) workers)
+      | _ -> Fmt.str "tcp:127.0.0.1:%d" (42800 + (Unix.getpid () mod 1000) + workers)
+    in
+    let pids = Wfc_fleet.Local.spawn ~addr workers in
+    (* one shard per input vector: a 100k quantum never cuts cas n=6's
+       per-vector trees, so the 728 independent vectors are the unit of
+       parallelism and splits only happen via work-stealing — splitting
+       below that grain loses per-shard dedup and costs more than it
+       buys *)
+    let config =
+      Wfc_fleet.Coordinator.config ~quantum:100_000 ~local_grace_s:10. addr
+    in
+    let w, (verdict, stats) =
+      wall (fun () -> Wfc_fleet.Coordinator.serve ~meta ~config impl)
+    in
+    Wfc_fleet.Local.shutdown pids;
+    (match verdict with
+    | Check.Verified r when r.Check.vectors = single_vectors -> ()
+    | Check.Verified r ->
+      fail "%d-worker %s fleet checked %d vectors, single process %d" workers
+        transport r.Check.vectors single_vectors
+    | v ->
+      fail "%d-worker %s fleet was %s, single process %s" workers transport
+        (verdict_str v) (verdict_str single));
+    let speedup = single_wall /. w in
+    Fmt.pr
+      "  %d workers (%s): %.2f s (%.2fx), %d shards, %d splits, %d steals, \
+       %d lease misses, %d reattaches@."
+      workers transport w speedup stats.Wfc_fleet.Coordinator.shards_run
+      stats.Wfc_fleet.Coordinator.splits stats.Wfc_fleet.Coordinator.steals
+      stats.Wfc_fleet.Coordinator.lease_misses
+      stats.Wfc_fleet.Coordinator.reattaches;
+    (transport, workers, w, speedup, verdict_str verdict, stats)
+  in
   let rows =
-    List.map
-      (fun workers ->
-        let socket =
-          Filename.concat
-            (Filename.get_temp_dir_name ())
-            (Fmt.str "wfc-ds-%d-%d.sock" (Unix.getpid ()) workers)
-        in
-        let pids = Wfc_fleet.Local.spawn ~socket workers in
-        (* one shard per input vector: a 100k quantum never cuts cas n=6's
-           per-vector trees, so the 728 independent vectors are the unit of
-           parallelism and splits only happen via work-stealing — splitting
-           below that grain loses per-shard dedup and costs more than it
-           buys *)
-        let config =
-          Wfc_fleet.Coordinator.config ~quantum:100_000 ~local_grace_s:10.
-            socket
-        in
-        let w, (verdict, stats) =
-          wall (fun () -> Wfc_fleet.Coordinator.serve ~meta ~config impl)
-        in
-        Wfc_fleet.Local.shutdown pids;
-        (match verdict with
-        | Check.Verified r when r.Check.vectors = single_vectors -> ()
-        | Check.Verified r ->
-          fail "%d-worker fleet checked %d vectors, single process %d" workers
-            r.Check.vectors single_vectors
-        | v ->
-          fail "%d-worker fleet was %s, single process %s" workers
-            (verdict_str v) (verdict_str single));
-        let speedup = single_wall /. w in
-        Fmt.pr
-          "  %d workers: %.2f s (%.2fx), %d shards, %d splits, %d steals, %d \
-           lease misses@."
-          workers w speedup stats.Wfc_fleet.Coordinator.shards_run
-          stats.Wfc_fleet.Coordinator.splits stats.Wfc_fleet.Coordinator.steals
-          stats.Wfc_fleet.Coordinator.lease_misses;
-        (workers, w, speedup, verdict_str verdict, stats))
-      fleet_sizes
+    List.map (run_fleet ~transport:"unix") [ 2; 4; 8 ]
+    @ List.map (run_fleet ~transport:"tcp") [ 2; 4 ]
   in
   let cores = Domain.recommended_domain_count () in
   let enforce = cores >= 4 in
-  (match List.find_opt (fun (w, _, _, _, _) -> w = 4) rows with
-  | Some (_, _, speedup, _, _) when enforce ->
+  (match
+     List.find_opt (fun (t, w, _, _, _, _) -> t = "unix" && w = 4) rows
+   with
+  | Some (_, _, _, speedup, _, _) when enforce ->
     if speedup < 1.6 then
       fail "4-worker speedup %.2fx below the 1.6x floor (%d cores)" speedup
         cores
-  | Some (_, _, speedup, _, _) ->
+  | Some (_, _, _, speedup, _, _) ->
     Fmt.pr
       "  (speedup guard skipped: %d effective core(s) — %.2fx at 4 workers \
        measures time-slicing, not scaling)@."
@@ -1427,7 +1437,7 @@ let distributed_report () =
   let json =
     Fmt.str
       "{\n\
-      \  \"schema\": \"wfc-bench-distributed/1\",\n\
+      \  \"schema\": \"wfc-bench-distributed/2\",\n\
        %s\n\
       \  \"workload\": {\"protocol\": %S, \"procs\": %d, \"vectors\": %d, \
        \"executions\": %d},\n\
@@ -1449,17 +1459,19 @@ let distributed_report () =
       name procs single_vectors single_execs single_wall
       (String.concat ","
          (List.map
-            (fun (workers, w, speedup, verdict, stats) ->
+            (fun (transport, workers, w, speedup, verdict, stats) ->
               Fmt.str
                 "\n\
-                \    {\"workers\": %d, \"wall_s\": %.3f, \"speedup\": %.2f, \
-                 \"verdict\": %S, \"shards\": %d, \"splits\": %d, \"steals\": \
-                 %d, \"lease_misses\": %d}"
-                workers w speedup verdict
+                \    {\"transport\": %S, \"workers\": %d, \"wall_s\": %.3f, \
+                 \"speedup\": %.2f, \"verdict\": %S, \"shards\": %d, \
+                 \"splits\": %d, \"steals\": %d, \"lease_misses\": %d, \
+                 \"reattaches\": %d}"
+                transport workers w speedup verdict
                 stats.Wfc_fleet.Coordinator.shards_run
                 stats.Wfc_fleet.Coordinator.splits
                 stats.Wfc_fleet.Coordinator.steals
-                stats.Wfc_fleet.Coordinator.lease_misses)
+                stats.Wfc_fleet.Coordinator.lease_misses
+                stats.Wfc_fleet.Coordinator.reattaches)
             rows))
       enforce
       (!guard_failures = [])

@@ -364,13 +364,19 @@ let verify_cmd =
 
 (* --- serve / worker: the distributed fleet ---------------------------------- *)
 
-let socket_arg =
-  let doc = "Unix-domain socket path the fleet rendezvouses on." in
+(* One address grammar for the whole fleet (Transport.parse): a bare PATH
+   or unix:PATH is a Unix-domain socket, tcp:HOST:PORT crosses machines.
+   --socket is the historical spelling, kept as an alias. *)
+let fleet_addr_arg alias =
+  let doc =
+    "Fleet rendezvous address: $(i,PATH) or unix:$(i,PATH) for a \
+     Unix-domain socket, tcp:$(i,HOST):$(i,PORT) for TCP."
+  in
   Arg.(
     value
     & opt string
         (Filename.concat (Filename.get_temp_dir_name ()) "wfc-fleet.sock")
-    & info [ "socket" ] ~docv:"PATH" ~doc)
+    & info [ "socket"; alias ] ~docv:"ADDR" ~doc)
 
 let chaos_arg =
   let doc =
@@ -456,7 +462,7 @@ let serve_cmd =
        jittered backoff, so the ordering race is harmless) and before any
        domain is spawned. *)
     let pids =
-      if workers > 0 then Wfc_fleet.Local.spawn ~chaos ~socket workers
+      if workers > 0 then Wfc_fleet.Local.spawn ~chaos ~addr:socket workers
       else []
     in
     let log =
@@ -475,12 +481,13 @@ let serve_cmd =
     Wfc_fleet.Local.shutdown pids;
     Fmt.pr
       "fleet: %d worker(s) seen, %d shard(s) run (%d locally, %d splits, %d \
-       steals), %d lease miss(es) absorbed.@."
+       steals), %d lease miss(es) absorbed, %d re-attach(es).@."
       fstats.Wfc_fleet.Coordinator.workers_seen
       fstats.Wfc_fleet.Coordinator.shards_run
       fstats.Wfc_fleet.Coordinator.local_shards
       fstats.Wfc_fleet.Coordinator.splits fstats.Wfc_fleet.Coordinator.steals
-      fstats.Wfc_fleet.Coordinator.lease_misses;
+      fstats.Wfc_fleet.Coordinator.lease_misses
+      fstats.Wfc_fleet.Coordinator.reattaches;
     print_verdict ~name ~procs ~crashes ~recoveries ~glitches ~degrade
       ~witness_file ~checkpoint verdict
   in
@@ -495,8 +502,8 @@ let serve_cmd =
           Stdlib.exit (run n p c r g d b dl w cf rf sk wk ls q lg ch cs v))
       $ protocol_arg $ procs_arg $ crashes_arg $ recoveries_arg $ glitches_arg
       $ degrade_arg $ budget_arg $ deadline_arg $ witness_out_arg
-      $ checkpoint_arg $ resume_arg $ socket_arg $ workers_arg $ lease_arg
-      $ quantum_arg $ local_grace_arg $ chaos_arg $ chaos_seed_arg
+      $ checkpoint_arg $ resume_arg $ fleet_addr_arg "listen" $ workers_arg
+      $ lease_arg $ quantum_arg $ local_grace_arg $ chaos_arg $ chaos_seed_arg
       $ verbose_arg)
 
 let worker_cmd =
@@ -512,14 +519,30 @@ let worker_cmd =
     let doc = "Give up after $(docv) consecutive failed connection attempts." in
     Arg.(value & opt int 60 & info [ "connect-attempts" ] ~docv:"K" ~doc)
   in
-  let run socket name chaos_spec seed attempts verbose =
+  let token_arg =
+    let doc =
+      "Session token sent in Hello (default: fresh). A worker that loses \
+       its connection reconnects with the same token and re-attaches to \
+       its live lease instead of forfeiting the shard."
+    in
+    Arg.(value & opt (some string) None & info [ "token" ] ~docv:"TOKEN" ~doc)
+  in
+  let persist_arg =
+    let doc =
+      "Standing-fleet mode: when a coordinator says shutdown, wait for the \
+       next one instead of exiting (how a $(b,wfc queue) worker pool \
+       outlives individual jobs)."
+    in
+    Arg.(value & flag & info [ "persist" ] ~doc)
+  in
+  let run socket name token chaos_spec seed attempts persist verbose =
     let chaos = parse_chaos chaos_spec in
     let log =
       if verbose then fun m -> Fmt.epr "[worker] %s@." m else fun _ -> ()
     in
     let cfg =
-      Wfc_fleet.Worker.config ?name ~chaos ~seed ~connect_attempts:attempts
-        ~log socket
+      Wfc_fleet.Worker.config ?name ?token ~chaos ~seed
+        ~connect_attempts:attempts ~persist ~log socket
     in
     match Wfc_fleet.Worker.run cfg with
     | Ok () -> 0
@@ -533,9 +556,240 @@ let worker_cmd =
          "Join a $(b,wfc serve) fleet: lease shards, explore them, heartbeat, \
           reconnect with jittered backoff when the coordinator vanishes")
     Term.(
-      const (fun s n c sd a v -> Stdlib.exit (run s n c sd a v))
-      $ socket_arg $ name_arg $ chaos_arg $ seed_arg $ attempts_arg
-      $ verbose_arg)
+      const (fun s n t c sd a p v -> Stdlib.exit (run s n t c sd a p v))
+      $ fleet_addr_arg "connect" $ name_arg $ token_arg $ chaos_arg
+      $ seed_arg $ attempts_arg $ persist_arg $ verbose_arg)
+
+(* --- netchaos: the wire-level fault proxy ---------------------------------- *)
+
+let netchaos_cmd =
+  let listen_arg =
+    let doc = "Address to accept fleet clients on ($(i,PATH), unix:, tcp:)." in
+    Arg.(
+      required & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let upstream_arg =
+    let doc = "Real coordinator address to forward to." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "upstream" ] ~docv:"ADDR" ~doc)
+  in
+  let plan_arg =
+    let doc =
+      "Fault plan: comma-separated latency:LO-HI, partition:N:S, reset:N, \
+       fragment, corrupt:N, jitter:J, or seed:S:K for a replayable \
+       randomized plan."
+    in
+    Arg.(value & opt string "none" & info [ "plan" ] ~docv:"SPEC" ~doc)
+  in
+  let run listen upstream plan_spec verbose =
+    let parse what s =
+      match Wfc_fleet.Transport.parse s with
+      | Ok a -> a
+      | Error e -> Fmt.failwith "bad %s address: %s" what e
+    in
+    let listen = parse "listen" listen in
+    let upstream = parse "upstream" upstream in
+    let plan =
+      match Wfc_fleet.Netchaos.of_spec plan_spec with
+      | Ok p -> p
+      | Error e -> failwith e
+    in
+    let log =
+      if verbose then fun m -> Fmt.epr "[netchaos] %s@." m else fun _ -> ()
+    in
+    Fmt.pr "netchaos: %a -> %a plan %a@." Wfc_fleet.Transport.pp listen
+      Wfc_fleet.Transport.pp upstream Wfc_fleet.Netchaos.pp plan;
+    let stop = arm_interrupt () in
+    Wfc_fleet.Netchaos.run ~log ~stop ~listen ~upstream plan;
+    0
+  in
+  Cmd.v
+    (Cmd.info "netchaos"
+       ~doc:
+         "Interpose a seeded, replayable network-fault proxy (latency, \
+          partitions, resets, fragmentation, corruption) between fleet \
+          workers and their coordinator")
+    Term.(
+      const (fun l u p v -> Stdlib.exit (run l u p v))
+      $ listen_arg $ upstream_arg $ plan_arg $ verbose_arg)
+
+(* --- queue: the standing job queue ------------------------------------------ *)
+
+let queue_cmd =
+  let journal_arg =
+    let doc =
+      "Append-only fsync'd journal: progress survives any crash, and \
+       re-running with the same journal resumes instead of repeating."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let state_dir_arg =
+    let doc = "Directory for per-job resume checkpoints." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let protocols_arg =
+    let doc =
+      "Protocols to queue, comma-separated $(i,NAME) or $(i,NAME):$(i,PROCS) \
+       (default procs 2)."
+    in
+    Arg.(
+      value
+      & opt string "tas,faa,swap,queue,cas,sticky"
+      & info [ "protocols" ] ~docv:"LIST" ~doc)
+  in
+  let crashes_list_arg =
+    let doc = "Adversary column of the matrix: comma-separated crash budgets." in
+    Arg.(value & opt string "0,1" & info [ "crashes" ] ~docv:"LIST" ~doc)
+  in
+  let max_retries_arg =
+    let doc = "Attempts per job before it is quarantined." in
+    Arg.(value & opt int 3 & info [ "max-retries" ] ~docv:"K" ~doc)
+  in
+  let workers_arg =
+    let doc =
+      "Fork $(docv) persistent local workers for the whole matrix (0: \
+       external $(b,wfc worker --persist) processes, or coordinator-local \
+       execution)."
+    in
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let budget_arg =
+    let doc = "Per-job node budget; a cut job records UNKNOWN." in
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"NODES" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-job wall-clock bound in seconds." in
+    Arg.(
+      value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let lease_arg =
+    let doc = "Lease duration in seconds (as in $(b,wfc serve))." in
+    Arg.(value & opt float 10. & info [ "lease" ] ~docv:"SECONDS" ~doc)
+  in
+  let quantum_arg =
+    let doc = "Node budget per lease (as in $(b,wfc serve))." in
+    Arg.(value & opt int 20_000 & info [ "quantum" ] ~docv:"NODES" ~doc)
+  in
+  let parse_matrix ~protocols ~crashes =
+    let protocols =
+      List.map
+        (fun entry ->
+          match String.index_opt entry ':' with
+          | None -> (entry, 2)
+          | Some i -> (
+            let name = String.sub entry 0 i in
+            let procs =
+              String.sub entry (i + 1) (String.length entry - i - 1)
+            in
+            match int_of_string_opt procs with
+            | Some p when p >= 2 -> (name, p)
+            | _ -> Fmt.failwith "bad protocol entry %S (want NAME[:PROCS])" entry))
+        (String.split_on_char ',' protocols)
+    in
+    List.iter
+      (fun (name, procs) -> ignore (make_protocol ~procs name))
+      protocols;
+    let crashes =
+      List.map
+        (fun c ->
+          match int_of_string_opt c with
+          | Some c when c >= 0 -> c
+          | _ -> Fmt.failwith "bad crash budget %S" c)
+        (String.split_on_char ',' crashes)
+    in
+    Wfc_fleet.Jobqueue.matrix ~protocols ~crashes
+  in
+  let run journal state_dir protocols crashes max_retries socket workers
+      budget deadline_s lease_s quantum verbose =
+    let jobs = parse_matrix ~protocols ~crashes in
+    let log =
+      if verbose then fun m -> Fmt.epr "[queue] %s@." m else fun _ -> ()
+    in
+    (* One persistent pool for the whole matrix: workers survive the
+       per-job coordinator shutdowns and re-attach to the next job. *)
+    let pids =
+      if workers > 0 then Wfc_fleet.Local.spawn ~persist:true ~addr:socket workers
+      else []
+    in
+    let interrupt = arm_interrupt () in
+    let exec (j : Wfc_fleet.Jobqueue.job) ~checkpoint ~resume =
+      match Protocols.of_name ~procs:j.Wfc_fleet.Jobqueue.procs j.protocol with
+      | Error e -> Error e
+      | Ok impl -> (
+        let config =
+          Wfc_fleet.Coordinator.config ~lease_s ~quantum ~checkpoint ~log
+            socket
+        in
+        let meta =
+          [ ("protocol", j.protocol); ("procs", string_of_int j.procs) ]
+        in
+        match
+          Wfc_fleet.Coordinator.serve ~max_crashes:j.crashes ?budget
+            ?deadline_s ?resume ~interrupt ~meta ~config impl
+        with
+        | Check.Verified _, _ -> Ok Wfc_fleet.Jobqueue.Verified
+        | Check.Falsified _, _ -> Ok Wfc_fleet.Jobqueue.Falsified
+        | Check.Unknown { reason = "interrupted"; _ }, _ ->
+          (* not a job verdict: leave it in-flight for the next run *)
+          Error "interrupted"
+        | Check.Unknown { reason; _ }, _ ->
+          Ok (Wfc_fleet.Jobqueue.Unknown reason)
+        | exception e -> Error (Printexc.to_string e))
+    in
+    let result =
+      Wfc_fleet.Jobqueue.run ~journal ~state_dir ~max_retries ~interrupt ~log
+        ~exec jobs
+    in
+    Wfc_fleet.Local.shutdown pids;
+    match result with
+    | Error e ->
+      Fmt.epr "queue: %s@." e;
+      3
+    | Ok r ->
+      List.iter
+        (fun (e : Wfc_fleet.Jobqueue.entry) ->
+          Fmt.pr "%-16s %a@." e.Wfc_fleet.Jobqueue.job.Wfc_fleet.Jobqueue.id
+            Wfc_fleet.Jobqueue.pp_status e.Wfc_fleet.Jobqueue.status)
+        r.Wfc_fleet.Jobqueue.entries;
+      let pending =
+        List.length r.Wfc_fleet.Jobqueue.entries
+        - r.Wfc_fleet.Jobqueue.completed - r.Wfc_fleet.Jobqueue.quarantined
+      in
+      let falsified =
+        List.exists
+          (fun (e : Wfc_fleet.Jobqueue.entry) ->
+            e.Wfc_fleet.Jobqueue.status
+            = Wfc_fleet.Jobqueue.Done Wfc_fleet.Jobqueue.Falsified)
+          r.Wfc_fleet.Jobqueue.entries
+      in
+      Fmt.pr
+        "queue: %d job(s) done, %d quarantined, %d pending, %d retried \
+         attempt(s).@."
+        r.Wfc_fleet.Jobqueue.completed r.Wfc_fleet.Jobqueue.quarantined
+        pending r.Wfc_fleet.Jobqueue.retried;
+      if pending > 0 || r.Wfc_fleet.Jobqueue.quarantined > 0 then 2
+      else if falsified then 1
+      else 0
+  in
+  Cmd.v
+    (Cmd.info "queue"
+       ~doc:
+         "Drain a protocol × adversary verification matrix through the \
+          fleet with per-job retries, quarantine and a crash-safe journal: \
+          kill it at any point and re-run the same command to resume with \
+          no job lost or verdict duplicated")
+    Term.(
+      const (fun j sd p c mr sk w b dl ls q v ->
+          Stdlib.exit (run j sd p c mr sk w b dl ls q v))
+      $ journal_arg $ state_dir_arg $ protocols_arg $ crashes_list_arg
+      $ max_retries_arg $ fleet_addr_arg "listen" $ workers_arg $ budget_arg
+      $ deadline_arg $ lease_arg $ quantum_arg $ verbose_arg)
 
 (* --- checkpoint info ---------------------------------------------------------- *)
 
@@ -956,7 +1210,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "wfc" ~doc)
           [
-            zoo_cmd; verify_cmd; serve_cmd; worker_cmd; checkpoint_cmd;
-            explore_cmd; compile_cmd; valence_cmd; trace_cmd; stress_cmd;
-            replay_cmd;
+            zoo_cmd; verify_cmd; serve_cmd; worker_cmd; netchaos_cmd;
+            queue_cmd; checkpoint_cmd; explore_cmd; compile_cmd; valence_cmd;
+            trace_cmd; stress_cmd; replay_cmd;
           ]))

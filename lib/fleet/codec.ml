@@ -1,6 +1,6 @@
 open Wfc_sim
 
-let protocol = "wfc-fleet/1"
+let protocol = "wfc-fleet/2"
 
 (* A garbage length prefix must not make the reader allocate gigabytes:
    anything claiming to be larger than this is a framing violation and the
@@ -14,7 +14,7 @@ type outcome =
   | Refused of string
 
 type msg =
-  | Hello of { pid : int; name : string }
+  | Hello of { pid : int; name : string; token : string }
   | Lease of { shard : int; lease_s : float; quantum : int; job : Checkpoint.t }
   | Heartbeat of { shard : int; nodes : int }
   | Progress of { shard : int; nodes : int; leaves : int }
@@ -37,10 +37,11 @@ let encode msg =
     Buffer.add_string b s
   in
   (match msg with
-  | Hello { pid; name } ->
+  | Hello { pid; name; token } ->
     line "%s hello" protocol;
     line "pid %d" pid;
-    line "name %s" (clean name)
+    line "name %s" (clean name);
+    line "token %s" (clean token)
   | Lease { shard; lease_s; quantum; job } ->
     line "%s lease" protocol;
     line "shard %d" shard;
@@ -160,7 +161,8 @@ let decode payload =
     | "hello" ->
       let* pid = int_field kvs "pid" in
       let* name = field kvs "name" in
-      Ok (Hello { pid; name })
+      let* token = field kvs "token" in
+      Ok (Hello { pid; name; token })
     | "lease" ->
       let* shard = int_field kvs "shard" in
       let* lease_s = float_field kvs "lease_s" in
@@ -209,17 +211,15 @@ let frame msg =
   Bytes.blit_string payload 0 b 4 n;
   b
 
-let rec write_all fd b off len =
-  if len > 0 then begin
-    let n = try Unix.write fd b off len with
-      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd b (off + n) (len - n)
-  end
+(* All fleet fds are nonblocking (Transport hands them out that way), so a
+   full socket buffer surfaces as EAGAIN and the poll loop below bounds the
+   wait: a wedged peer costs [deadline_s], never an indefinite hang. *)
+let write_all ?deadline_s fd b off len =
+  Transport.write_all ?deadline_s fd b off len
 
-let write fd msg =
+let write ?deadline_s fd msg =
   let b = frame msg in
-  write_all fd b 0 (Bytes.length b)
+  write_all ?deadline_s fd b 0 (Bytes.length b)
 
 module Frames = struct
   type t = { mutable buf : Bytes.t; mutable len : int }
@@ -242,9 +242,14 @@ module Frames = struct
 
   let read_from t fd =
     let chunk = Bytes.create 65536 in
-    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-    if n > 0 then feed t chunk n;
-    n
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | n ->
+      if n > 0 then feed t chunk n;
+      n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* nonblocking fd with nothing buffered (spurious select wakeup):
+         not EOF, not an error *)
+      -1
 
   let pop t =
     if t.len < 4 then Ok None
@@ -265,7 +270,8 @@ module Frames = struct
 end
 
 let pp_msg ppf = function
-  | Hello { pid; name } -> Fmt.pf ppf "hello pid=%d name=%s" pid name
+  | Hello { pid; name; token } ->
+    Fmt.pf ppf "hello pid=%d name=%s token=%s" pid name token
   | Lease { shard; lease_s; quantum; job } ->
     Fmt.pf ppf "lease shard=%d lease_s=%g quantum=%d frontier=%d" shard
       lease_s quantum

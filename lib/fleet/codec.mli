@@ -1,9 +1,9 @@
-(** The [wfc-fleet/1] wire protocol.
+(** The [wfc-fleet/2] wire protocol.
 
     Coordinator and workers exchange length-prefixed frames over a Unix
-    domain socket: a 4-byte big-endian payload length followed by a
-    line-oriented text payload whose first line is
-    ["wfc-fleet/1 <type>"], then [key value] lines, then — for messages
+    domain or TCP socket ({!Transport}): a 4-byte big-endian payload length
+    followed by a line-oriented text payload whose first line is
+    ["wfc-fleet/2 <type>"], then [key value] lines, then — for messages
     carrying a job or a counterexample — a ["--"] separator line and a blob
     in an existing self-validating codec ({!Wfc_sim.Checkpoint} for jobs
     and results, {!Wfc_sim.Witness} for violations). Everything a shard
@@ -17,7 +17,8 @@
 open Wfc_sim
 
 val protocol : string
-(** ["wfc-fleet/1"] *)
+(** ["wfc-fleet/2"] — v2 added the session [token] to [Hello] so a
+    reconnecting worker can re-attach to its live lease. *)
 
 val max_frame : int
 (** Frames claiming a larger payload are rejected before allocation: a
@@ -38,7 +39,12 @@ type outcome =
           execution *)
 
 type msg =
-  | Hello of { pid : int; name : string }  (** worker registration *)
+  | Hello of { pid : int; name : string; token : string }
+      (** worker registration. [token] identifies the worker {e session}
+          across TCP connections: a worker that loses its connection
+          mid-lease reconnects, says Hello with the same token, and the
+          coordinator re-attaches the new connection to the still-live
+          lease instead of requeueing the shard. *)
   | Lease of { shard : int; lease_s : float; quantum : int; job : Checkpoint.t }
       (** coordinator → worker: run [job] for at most [quantum] nodes,
           heartbeating; the lease expires [lease_s] after the last
@@ -62,14 +68,17 @@ val decode : string -> (msg, string) result
 val frame : msg -> bytes
 (** Length prefix + payload, ready for the wire. *)
 
-val write : Unix.file_descr -> msg -> unit
-(** Write a whole frame, looping over partial writes. Raises [Unix_error]
-    ([EPIPE], [ECONNRESET]…) like the underlying syscall — callers map that
-    to their lease-loss/reconnect path. *)
+val write : ?deadline_s:float -> Unix.file_descr -> msg -> unit
+(** Write a whole frame, polling over partial writes on the nonblocking
+    fd. Raises [Unix_error] ([EPIPE], [ECONNRESET]…) like the underlying
+    syscall, or {!Transport.Timeout} once [deadline_s] is spent against a
+    full socket buffer — callers map both to their lease-loss/reconnect
+    path, so one wedged peer can never pin the writer. *)
 
-val write_all : Unix.file_descr -> bytes -> int -> int -> unit
-(** Raw looped write (no framing) — the chaos harness uses it to put
-    garbage on the wire. *)
+val write_all :
+  ?deadline_s:float -> Unix.file_descr -> bytes -> int -> int -> unit
+(** Raw deadline-bounded write (no framing) — the chaos harness uses it to
+    put garbage on the wire. *)
 
 (** Incremental frame reassembly for one connection: feed raw bytes in
     whatever chunks [read] produces, pop complete messages out. *)
@@ -82,8 +91,9 @@ module Frames : sig
   (** Append the first [n] bytes of the chunk. *)
 
   val read_from : t -> Unix.file_descr -> int
-  (** One [Unix.read] into the buffer; returns the byte count ([0] = EOF).
-      Raises [Unix_error] like the syscall. *)
+  (** One [Unix.read] into the buffer; returns the byte count ([0] = EOF,
+      [-1] = nothing buffered on the nonblocking fd — a spurious wakeup,
+      not EOF). Raises [Unix_error] like the syscall. *)
 
   val pop : t -> (msg option, string) result
   (** [Ok None] — no complete frame buffered yet (e.g. a truncated frame

@@ -3,21 +3,43 @@ open Wfc_sim
 module Check = Wfc_consensus.Check
 
 type config = {
-  socket : string;
+  addr : Transport.addr;
   lease_s : float;
   quantum : int;
   local_grace_s : float;
+  hello_grace_s : float;
+  max_conns : int;
+  io_deadline_s : float;
   checkpoint : string option;
+  checkpoint_interval_s : float;
   log : string -> unit;
 }
 
 let config ?(lease_s = 10.) ?(quantum = 20_000) ?(local_grace_s = 1.)
-    ?checkpoint ?(log = ignore) socket =
-  { socket; lease_s; quantum; local_grace_s; checkpoint; log }
+    ?(hello_grace_s = 5.) ?(max_conns = 64) ?(io_deadline_s = 5.) ?checkpoint
+    ?(checkpoint_interval_s = 2.) ?(log = ignore) addr =
+  let addr =
+    match Transport.parse addr with
+    | Ok a -> a
+    | Error e -> invalid_arg (Fmt.str "Fleet: %s" e)
+  in
+  {
+    addr;
+    lease_s;
+    quantum;
+    local_grace_s;
+    hello_grace_s;
+    max_conns;
+    io_deadline_s;
+    checkpoint;
+    checkpoint_interval_s;
+    log;
+  }
 
 type fleet_stats = {
   workers_seen : int;
   lease_misses : int;
+  reattaches : int;
   steals : int;
   splits : int;
   shards_run : int;
@@ -38,7 +60,9 @@ type running = { shard : shard; mutable expires : float }
 type conn = {
   fd : Unix.file_descr;
   frames : Codec.Frames.t;
+  opened : float;
   mutable hello : bool;
+  mutable token : string;
   mutable running : running option;
   mutable stolen : bool;
   mutable alive : bool;
@@ -141,6 +165,7 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
   in
   let workers_seen = ref 0 in
   let lease_misses = ref 0 in
+  let reattaches = ref 0 in
   let steals = ref 0 in
   let splits = ref 0 in
   let shards_run = ref 0 in
@@ -149,6 +174,7 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
     {
       workers_seen = !workers_seen;
       lease_misses = !lease_misses;
+      reattaches = !reattaches;
       steals = !steals;
       splits = !splits;
       shards_run = !shards_run;
@@ -192,11 +218,12 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
       | _ -> Queue.push (make_shard ~vec:pos ~frontier:[ [] ]) queue)
     vecs;
   (* ---------- socket plumbing ---------- *)
-  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink cfg.socket with Unix.Unix_error _ | Sys_error _ -> ());
-  Unix.bind listener (Unix.ADDR_UNIX cfg.socket);
-  Unix.listen listener 64;
+  let listener = Transport.listen ~backlog:64 cfg.addr in
   let conns = ref [] in
+  (* Leases whose connection dropped but whose worker session may come
+     back: keyed by Hello token, still expiring on the same heartbeat
+     clock. A re-attach adopts the lease; expiry requeues it. *)
+  let orphans : (string * running) list ref = ref [] in
   let live () = List.filter (fun c -> c.alive) !conns in
   let idle_ready () =
     List.filter (fun c -> c.alive && c.hello && c.running = None) (live ())
@@ -209,27 +236,37 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
          s.requeues);
     Queue.push s queue
   in
-  let drop ?(requeue = true) why c =
+  (* [orphan]: a connection-level loss (peer closed, read/write error or
+     timeout, wire garbage) parks the lease for the token to reclaim —
+     transient blips must not cost the shard. Protocol violations and
+     expiries still requeue immediately. *)
+  let drop ?(requeue = true) ?(orphan = false) why c =
     if c.alive then begin
       c.alive <- false;
       close_noerr c.fd;
       match c.running with
-      | Some r when requeue ->
+      | Some r ->
         c.running <- None;
-        requeue_shard why r.shard
-      | _ -> c.running <- None
+        if orphan && c.token <> "" then begin
+          cfg.log
+            (Fmt.str "shard %d parked (%s), waiting for token %s to re-attach"
+               r.shard.sid why c.token);
+          orphans := (c.token, r) :: !orphans
+        end
+        else if requeue then requeue_shard why r.shard
+      | None -> ()
     end
   in
   let cleanup ~reason () =
     List.iter
       (fun c ->
-        (try Codec.write c.fd (Codec.Shutdown { reason })
-         with Unix.Unix_error _ -> ());
+        (try Codec.write ~deadline_s:1.0 c.fd (Codec.Shutdown { reason })
+         with Unix.Unix_error _ | Transport.Timeout _ -> ());
         close_noerr c.fd;
         c.alive <- false)
       (live ());
     close_noerr listener;
-    (try Unix.unlink cfg.socket with Unix.Unix_error _ | Sys_error _ -> ())
+    Transport.unlink_noerr cfg.addr
   in
   let remove_checkpoint () =
     match cfg.checkpoint with
@@ -247,7 +284,8 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
   in
   let report () =
     (* mirror of Check.report: lease misses are degradation events the run
-       absorbed, surfaced exactly like the in-process pool's *)
+       absorbed, surfaced exactly like the in-process pool's (re-attaches
+       are non-events and stay out of [degraded]) *)
     let done_n = Array.fold_left (fun n vs -> if vs.outstanding = 0 then n + 1 else n) 0 vstates in
     let progressing =
       Array.exists (fun vs -> vs.outstanding > 0 && vs.counts.Checkpoint.leaves > 0) vstates
@@ -322,6 +360,12 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
                 List.rev_append r.shard.job.Checkpoint.frontier !frontier
             | _ -> ())
           (live ());
+        List.iter
+          (fun (_, (r : running)) ->
+            if r.shard.vec = pos then
+              frontier :=
+                List.rev_append r.shard.job.Checkpoint.frontier !frontier)
+          !orphans;
         let ck =
           Checkpoint.make ~meta:vec_meta ~engine:eng ~fuel
             ?budget_left:!budget_left ~faults
@@ -420,11 +464,36 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
   (* ---------- the select loop ---------- *)
   let handle_msg c msg =
     match msg with
-    | Codec.Hello { pid; name } ->
+    | Codec.Hello { pid; name; token } ->
       if not c.hello then begin
         c.hello <- true;
+        c.token <- token;
         incr workers_seen;
-        cfg.log (Fmt.str "worker %s (pid %d) joined" name pid)
+        (* A half-open older connection with the same token is superseded:
+           the worker session has moved on. Park its lease (if any) so the
+           adoption below finds it. *)
+        List.iter
+          (fun c' ->
+            if c' != c && c'.alive && c'.token = token then begin
+              (match c'.running with
+              | Some r ->
+                c'.running <- None;
+                orphans := (token, r) :: !orphans
+              | None -> ());
+              drop ~requeue:false "superseded by reconnect" c'
+            end)
+          (live ());
+        match List.assoc_opt token !orphans with
+        | Some r ->
+          orphans := List.remove_assoc token !orphans;
+          r.expires <- Monotime.now () +. cfg.lease_s;
+          c.running <- Some r;
+          c.stolen <- false;
+          incr reattaches;
+          cfg.log
+            (Fmt.str "worker %s (pid %d) re-attached to shard %d" name pid
+               r.shard.sid)
+        | None -> cfg.log (Fmt.str "worker %s (pid %d) joined" name pid)
       end
     | Codec.Heartbeat { shard; nodes = _ }
     | Codec.Progress { shard; nodes = _; leaves = _ } -> (
@@ -447,8 +516,8 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
   in
   let pump c =
     match retry_eintr (fun () -> Codec.Frames.read_from c.frames c.fd) with
-    | 0 -> drop "closed" c
-    | exception Unix.Unix_error _ -> drop "read error" c
+    | 0 -> drop ~orphan:true "closed" c
+    | exception Unix.Unix_error _ -> drop ~orphan:true "read error" c
     | _ ->
       let rec go () =
         if c.alive then
@@ -457,7 +526,8 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
           | Ok (Some msg) ->
             handle_msg c msg;
             go ()
-          | Error e -> drop (Fmt.str "garbage on the wire: %s" e) c
+          | Error e ->
+            drop ~orphan:true (Fmt.str "garbage on the wire: %s" e) c
       in
       go ()
   in
@@ -471,7 +541,7 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
             run_local s
           else
             match
-              Codec.write c.fd
+              Codec.write ~deadline_s:cfg.io_deadline_s c.fd
                 (Codec.Lease
                    {
                      shard = s.sid;
@@ -484,7 +554,7 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
               c.running <-
                 Some { shard = s; expires = Monotime.now () +. cfg.lease_s };
               c.stolen <- false
-            | exception Unix.Unix_error _ ->
+            | exception (Unix.Unix_error _ | Transport.Timeout _) ->
               (* never actually leased: no penalty, next worker gets it *)
               Queue.push s queue;
               drop ~requeue:false "write error" c
@@ -504,17 +574,50 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
       | Some c -> (
         match c.running with
         | Some r -> (
-          match Codec.write c.fd (Codec.Steal { shard = r.shard.sid }) with
+          match
+            Codec.write ~deadline_s:cfg.io_deadline_s c.fd
+              (Codec.Steal { shard = r.shard.sid })
+          with
           | () ->
             c.stolen <- true;
             incr steals;
             cfg.log (Fmt.str "stealing shard %d back" r.shard.sid)
-          | exception Unix.Unix_error _ -> drop "write error" c)
+          | exception (Unix.Unix_error _ | Transport.Timeout _) ->
+            drop ~orphan:true "write error" c)
         | None -> ())
       | None -> ())
     | _ -> ()
   in
+  let accept_all () =
+    let rec go () =
+      match Transport.accept listener with
+      | None -> ()
+      | Some cfd ->
+        if List.length (live ()) >= cfg.max_conns then begin
+          (* cap reached: shed load at the door rather than let a connect
+             storm grow the select set without bound *)
+          cfg.log "connection refused: at max-conns";
+          close_noerr cfd
+        end
+        else
+          conns :=
+            {
+              fd = cfd;
+              frames = Codec.Frames.create ();
+              opened = Monotime.now ();
+              hello = false;
+              token = "";
+              running = None;
+              stolen = false;
+              alive = true;
+            }
+            :: !conns;
+        go ()
+    in
+    go ()
+  in
   let started = Monotime.now () in
+  let last_flush = ref started in
   let result =
     try
       while Array.exists (fun vs -> vs.outstanding > 0) vstates do
@@ -527,14 +630,35 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
         (match !budget_left with
         | Some b when b <= 0 -> raise (Cut "node budget exhausted")
         | _ -> ());
-        (* expired leases: crash, stall or partition — requeue *)
+        (* expired leases: crash, stall or partition — requeue; and drop
+           clients that never said Hello within the grace period, so a
+           half-open connection can't sit in the select set forever *)
         let now = Monotime.now () in
         List.iter
           (fun c ->
             match c.running with
             | Some r when now > r.expires -> drop "lease expired" c
-            | _ -> ())
+            | _ ->
+              if (not c.hello) && now -. c.opened > cfg.hello_grace_s then
+                drop ~requeue:false "no hello within grace" c)
           (live ());
+        orphans :=
+          List.filter
+            (fun (_, (r : running)) ->
+              if now > r.expires then begin
+                requeue_shard "orphan lease expired" r.shard;
+                false
+              end
+              else true)
+            !orphans;
+        (* periodic flush: a SIGKILL'd coordinator restarts from a recent
+           cut instead of the beginning (the journal of `wfc queue` points
+           its retry at this file) *)
+        (match cfg.checkpoint with
+        | Some _ when now -. !last_flush >= cfg.checkpoint_interval_s ->
+          flush_checkpoint ();
+          last_flush := now
+        | _ -> ());
         dispatch ();
         steal_if_starved ();
         let no_workers = List.for_all (fun c -> not c.hello) (live ()) in
@@ -552,19 +676,7 @@ let serve ?subsets ?repeat ?domain ?(max_crashes = 0) ?faults ?fuel ?budget
         in
         List.iter
           (fun fd ->
-            if fd = listener then begin
-              let cfd, _ = retry_eintr (fun () -> Unix.accept listener) in
-              conns :=
-                {
-                  fd = cfd;
-                  frames = Codec.Frames.create ();
-                  hello = false;
-                  running = None;
-                  stolen = false;
-                  alive = true;
-                }
-                :: !conns
-            end
+            if fd = listener then accept_all ()
             else
               match List.find_opt (fun c -> c.alive && c.fd = fd) !conns with
               | Some c -> pump c

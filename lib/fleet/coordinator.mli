@@ -12,14 +12,26 @@
     returned remainder.
 
     {b Fault tolerance.} Shards are held under leases renewed by
-    heartbeats. A missed lease — worker crash, stall, partition, or wire
-    garbage — requeues the shard {e exactly once}; a shard lost twice runs
+    heartbeats. A {e connection-level} loss — peer closed, read/write
+    error or deadline, wire garbage — parks the lease under the worker's
+    Hello token: the session is probably still alive behind a network
+    blip, and when it reconnects (same token) it re-attaches to the lease
+    and the shard continues uninterrupted (counted in
+    [stats.reattaches], {e not} in [degraded]). Only a lease that
+    actually expires — worker crash, stall, partition outlasting the
+    lease — requeues the shard, {e exactly once}; a shard lost twice runs
     locally on the coordinator (same {!Worker.exec_shard} code path), so
-    the run completes even if every worker dies. Every loss is surfaced in
-    the verdict's [report.degraded]. Worker-reported violations are
-    validated by witness replay before the run is declared [Falsified] — a
-    lying or corrupted worker is an availability problem, never a
-    soundness problem.
+    the run completes even if every worker dies. Every expiry is
+    surfaced in the verdict's [report.degraded]. Worker-reported
+    violations are validated by witness replay before the run is declared
+    [Falsified] — a lying or corrupted worker is an availability problem,
+    never a soundness problem.
+
+    {b Hostile clients.} All socket I/O goes through {!Transport}: every
+    fd is nonblocking and every write carries a deadline, so a wedged
+    peer with a full receive buffer costs [io_deadline_s], never a hang.
+    Connections that don't complete [Hello] within [hello_grace_s] are
+    dropped, and at most [max_conns] connections are held at once.
 
     {b Degradation to a single process.} On interrupt/deadline/budget cuts
     the fleet flushes one {!Wfc_sim.Checkpoint} in exactly the format
@@ -27,19 +39,30 @@
     vector, accumulators covering the complete vectors before it, frontier
     the union of that vector's outstanding shard prefixes (later vectors
     are re-run on resume, which is sound) — so [wfc verify --resume] picks
-    up a fleet run and vice versa. *)
+    up a fleet run and vice versa. With a [checkpoint] path configured the
+    same file is also flushed every [checkpoint_interval_s] while the run
+    progresses, so even a SIGKILL'd coordinator resumes from a recent cut
+    (the crash-safety `wfc queue` builds on). *)
 
 open Wfc_program
 open Wfc_sim
 
 type config = {
-  socket : string;  (** Unix-domain socket path to listen on *)
+  addr : Transport.addr;  (** where to listen ([unix:PATH] or [tcp:HOST:PORT]) *)
   lease_s : float;  (** lease duration, renewed by each heartbeat *)
   quantum : int;  (** node budget per lease — the work-stealing grain *)
   local_grace_s : float;
       (** with no connected workers after this long, the coordinator starts
           draining shards itself *)
-  checkpoint : string option;  (** flush target for graceful cuts *)
+  hello_grace_s : float;
+      (** connections that haven't completed [Hello] within this window are
+          dropped *)
+  max_conns : int;  (** concurrent-connection cap; excess is shed at accept *)
+  io_deadline_s : float;
+      (** per-write deadline on every coordinator socket write *)
+  checkpoint : string option;  (** flush target for cuts and periodic saves *)
+  checkpoint_interval_s : float;
+      (** how often to flush [checkpoint] while running *)
   log : string -> unit;
 }
 
@@ -47,19 +70,30 @@ val config :
   ?lease_s:float ->
   ?quantum:int ->
   ?local_grace_s:float ->
+  ?hello_grace_s:float ->
+  ?max_conns:int ->
+  ?io_deadline_s:float ->
   ?checkpoint:string ->
+  ?checkpoint_interval_s:float ->
   ?log:(string -> unit) ->
   string ->
   config
-(** [config socket]. Defaults: 10 s leases, 20k-node quantum, 1 s local
-    grace, no checkpoint, silent. *)
+(** [config addr], where [addr] is parsed by {!Transport.parse} (a bare
+    string is a Unix-domain socket path, backward compatible). Defaults:
+    10 s leases, 20k-node quantum, 1 s local grace, 5 s hello grace, 64
+    connections, 5 s write deadline, no checkpoint, 2 s flush interval,
+    silent. Raises [Invalid_argument] on a malformed address. *)
 
 type fleet_stats = {
   workers_seen : int;
   lease_misses : int;
       (** shards that had to be requeued (or re-run locally): worker
-          crashes, stalls, garbage, delayed acks — folded into the
+          crashes, stalls, expired orphans, delayed acks — folded into the
           verdict's [report.degraded] *)
+  reattaches : int;
+      (** leases that survived a dropped connection because the worker
+          reconnected with its session token before expiry — non-events,
+          deliberately {e not} counted in [degraded] *)
   steals : int;
   splits : int;  (** cut shards whose frontier was split across workers *)
   shards_run : int;

@@ -1,0 +1,283 @@
+type job = { id : string; protocol : string; procs : int; crashes : int }
+type verdict = Verified | Falsified | Unknown of string
+
+type status =
+  | Pending of int
+  | Done of verdict
+  | Quarantined of string
+
+type entry = { job : job; status : status }
+
+type report = {
+  entries : entry list;
+  completed : int;
+  quarantined : int;
+  retried : int;
+}
+
+let protocol_header = "wfc-queue/1"
+
+(* One line per word: ids and protocol names carry no whitespace, free
+   text (reasons) goes last on its line and swallows the rest. *)
+let clean s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let matrix ~protocols ~crashes =
+  List.concat_map
+    (fun (protocol, procs) ->
+      List.map
+        (fun c ->
+          {
+            id = Fmt.str "%s%d.c%d" protocol procs c;
+            protocol;
+            procs;
+            crashes = c;
+          })
+        crashes)
+    protocols
+
+let verdict_to_line = function
+  | Verified -> "verified"
+  | Falsified -> "falsified"
+  | Unknown reason -> "unknown " ^ clean reason
+
+let verdict_of_words = function
+  | [ "verified" ] -> Ok Verified
+  | [ "falsified" ] -> Ok Falsified
+  | "unknown" :: rest -> Ok (Unknown (String.concat " " rest))
+  | w -> Error (Fmt.str "bad verdict %S" (String.concat " " w))
+
+let pp_verdict ppf = function
+  | Verified -> Fmt.string ppf "verified"
+  | Falsified -> Fmt.string ppf "falsified"
+  | Unknown r -> Fmt.pf ppf "unknown (%s)" r
+
+let pp_status ppf = function
+  | Pending 0 -> Fmt.string ppf "pending"
+  | Pending n -> Fmt.pf ppf "pending (%d failed attempt(s))" n
+  | Done v -> pp_verdict ppf v
+  | Quarantined why -> Fmt.pf ppf "quarantined: %s" why
+
+(* ---------- journal replay ---------- *)
+
+(* Fold the journal into per-job state. [start] lines carry no state we
+   keep (a start without a matching verdict just means the crash happened
+   mid-job: the job is still Pending and will re-run from its
+   checkpoint); [fail] lines count attempts. *)
+let replay_lines lines =
+  let order = ref [] in
+  let tbl : (string, entry) Hashtbl.t = Hashtbl.create 16 in
+  let update id f =
+    match Hashtbl.find_opt tbl id with
+    | None -> Error (Fmt.str "record for unknown job %S" id)
+    | Some e ->
+      Hashtbl.replace tbl id { e with status = f e.status };
+      Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let step acc line =
+    let* () = acc in
+    match String.split_on_char ' ' line with
+    | [ "job"; id; protocol; procs; crashes ] -> (
+      match (int_of_string_opt procs, int_of_string_opt crashes) with
+      | Some procs, Some crashes ->
+        if not (Hashtbl.mem tbl id) then begin
+          order := id :: !order;
+          Hashtbl.replace tbl id
+            { job = { id; protocol; procs; crashes }; status = Pending 0 }
+        end;
+        Ok ()
+      | _ -> Error (Fmt.str "bad job record %S" line))
+    | "start" :: id :: _ ->
+      let* () = update id (fun s -> s) in
+      Ok ()
+    | "ok" :: id :: rest ->
+      let* v = verdict_of_words rest in
+      update id (fun _ -> Done v)
+    | "fail" :: id :: _attempt :: _rest ->
+      update id (function
+        | Pending n -> Pending (n + 1)
+        | s -> s)
+    | "quarantine" :: id :: rest ->
+      update id (fun _ -> Quarantined (String.concat " " rest))
+    | _ -> Error (Fmt.str "unrecognized record %S" line)
+  in
+  let* () = List.fold_left step (Ok ()) lines in
+  Ok (List.rev_map (fun id -> Hashtbl.find tbl id) !order)
+
+let read_journal path =
+  match open_in_bin path with
+  | exception Sys_error _ -> Ok None
+  | ic ->
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    (* A crash mid-append leaves one unterminated last line: drop it (the
+       action it would have recorded was not taken durably). *)
+    let raw =
+      match String.rindex_opt raw '\n' with
+      | Some i -> String.sub raw 0 i
+      | None -> ""
+    in
+    if raw = "" then Ok None
+    else (
+      match String.split_on_char '\n' raw with
+      | header :: lines when header = protocol_header -> Ok (Some lines)
+      | header :: _ ->
+        Error (Fmt.str "journal %s: bad header %S" path header)
+      | [] -> Ok None)
+
+let load path =
+  let ( let* ) = Result.bind in
+  let* lines = read_journal path in
+  match lines with
+  | None -> Ok []
+  | Some lines -> (
+    match replay_lines lines with
+    | Ok entries -> Ok entries
+    | Error e -> Error (Fmt.str "journal %s: corrupt: %s" path e))
+
+(* ---------- appending ---------- *)
+
+(* Same durability discipline as Checkpoint.save, adapted to a log: the
+   record and then its file are fsync'd before the caller acts on it, and
+   the directory is fsync'd once at journal creation so the file's very
+   existence survives a host crash. *)
+let fsync_noerr fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> fsync_noerr fd)
+
+type sink = { oc : out_channel }
+
+let open_sink path =
+  let existed = Sys.file_exists path in
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  if not existed then begin
+    output_string oc (protocol_header ^ "\n");
+    flush oc;
+    fsync_noerr (Unix.descr_of_out_channel oc);
+    fsync_dir path
+  end;
+  { oc }
+
+let append sink line =
+  output_string sink.oc line;
+  output_char sink.oc '\n';
+  flush sink.oc;
+  fsync_noerr (Unix.descr_of_out_channel sink.oc)
+
+(* ---------- the drain loop ---------- *)
+
+let report_of entries =
+  let completed =
+    List.length
+      (List.filter (fun e -> match e.status with Done _ -> true | _ -> false)
+         entries)
+  in
+  let quarantined =
+    List.length
+      (List.filter
+         (fun e -> match e.status with Quarantined _ -> true | _ -> false)
+         entries)
+  in
+  { entries; completed; quarantined; retried = 0 }
+
+let run ~journal ~state_dir ?(max_retries = 3) ?interrupt ?(log = ignore)
+    ~exec jobs =
+  let ( let* ) = Result.bind in
+  let* prior = load journal in
+  (* The journal is the authority for jobs it has seen (a restarted queue
+     must not re-interpret history); new matrix entries are appended. *)
+  let known = List.map (fun e -> e.job.id) prior in
+  let fresh =
+    List.filter (fun (j : job) -> not (List.mem j.id known)) jobs
+  in
+  (match Sys.is_directory state_dir with
+  | true -> ()
+  | false | (exception Sys_error _) -> Unix.mkdir state_dir 0o755);
+  let sink = open_sink journal in
+  List.iter
+    (fun (j : job) ->
+      append sink
+        (Fmt.str "job %s %s %d %d" j.id j.protocol j.procs j.crashes))
+    fresh;
+  let entries =
+    ref (prior @ List.map (fun job -> { job; status = Pending 0 }) fresh)
+  in
+  if prior <> [] then
+    log
+      (Fmt.str "journal %s: resuming %d job(s), %d already done" journal
+         (List.length prior)
+         (report_of prior).completed);
+  let set_status id status =
+    entries :=
+      List.map
+        (fun e -> if e.job.id = id then { e with status } else e)
+        !entries
+  in
+  let interrupted () =
+    match interrupt with Some f -> Atomic.get f | None -> false
+  in
+  let retried =
+    ref
+      (List.fold_left
+         (fun n e -> match e.status with Pending k -> n + k | _ -> n)
+         0 prior)
+  in
+  let rec drive e =
+    match e.status with
+    | Done _ | Quarantined _ -> ()
+    | Pending _ when interrupted () -> ()
+    | Pending failed ->
+      let j = e.job in
+      let attempt = failed + 1 in
+      let checkpoint = Filename.concat state_dir (j.id ^ ".ck") in
+      let resume =
+        if Sys.file_exists checkpoint then (
+          match Wfc_sim.Checkpoint.load checkpoint with
+          | Ok ck ->
+            log (Fmt.str "job %s: resuming from %s" j.id checkpoint);
+            Some ck
+          | Error why ->
+            (* an unreadable flush is re-derivable state, not progress:
+               start the job over *)
+            log (Fmt.str "job %s: ignoring bad checkpoint (%s)" j.id why);
+            None)
+        else None
+      in
+      append sink (Fmt.str "start %s %d" j.id attempt);
+      log (Fmt.str "job %s: attempt %d" j.id attempt);
+      (match exec j ~checkpoint ~resume with
+      | Ok v ->
+        append sink (Fmt.str "ok %s %s" j.id (verdict_to_line v));
+        (try Sys.remove checkpoint with Sys_error _ -> ());
+        set_status j.id (Done v);
+        log (Fmt.str "job %s: %s" j.id (verdict_to_line v))
+      | Error why ->
+        let why = clean why in
+        incr retried;
+        append sink (Fmt.str "fail %s %d %s" j.id attempt why);
+        if attempt >= max_retries then begin
+          append sink (Fmt.str "quarantine %s %s" j.id why);
+          set_status j.id (Quarantined why);
+          log (Fmt.str "job %s: quarantined after %d attempt(s): %s" j.id
+                 attempt why)
+        end
+        else begin
+          set_status j.id (Pending attempt);
+          log (Fmt.str "job %s: attempt %d failed (%s), retrying" j.id
+                 attempt why);
+          drive { e with status = Pending attempt }
+        end)
+  in
+  List.iter drive !entries;
+  close_out_noerr sink.oc;
+  Ok { (report_of !entries) with retried = !retried }

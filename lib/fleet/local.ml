@@ -1,4 +1,4 @@
-let spawn ?(chaos = fun _ -> Chaos.none) ?(seed = 0) ~socket n =
+let spawn ?(chaos = fun _ -> Chaos.none) ?(seed = 0) ?(persist = false) ~addr n =
   List.init n (fun i ->
       match Unix.fork () with
       | 0 ->
@@ -10,7 +10,7 @@ let spawn ?(chaos = fun _ -> Chaos.none) ?(seed = 0) ~socket n =
             Worker.run
               (Worker.config
                  ~name:(Fmt.str "local-%d" i)
-                 ~chaos:(chaos i) ~seed:(seed + i) socket)
+                 ~chaos:(chaos i) ~seed:(seed + i) ~persist addr)
           with
           | Ok () -> 0
           | Error _ -> 3

@@ -7,11 +7,18 @@
     connect with {!Backoff} retries, so the ordering race is harmless. *)
 
 val spawn :
-  ?chaos:(int -> Chaos.plan) -> ?seed:int -> socket:string -> int -> int list
-(** [spawn ~socket n] forks [n] workers connecting to [socket] and returns
-    their pids. [chaos i] is worker [i]'s fault plan (default none);
-    [seed + i] seeds its reconnect jitter. Children never return: they
-    [Unix._exit] when done. *)
+  ?chaos:(int -> Chaos.plan) ->
+  ?seed:int ->
+  ?persist:bool ->
+  addr:string ->
+  int ->
+  int list
+(** [spawn ~addr n] forks [n] workers connecting to [addr] (any spelling
+    {!Transport.parse} accepts: a socket path, [unix:PATH], or
+    [tcp:HOST:PORT]) and returns their pids. [chaos i] is worker [i]'s
+    fault plan (default none); [seed + i] seeds its reconnect jitter;
+    [persist] makes the pool outlive individual runs ({!Worker.config}).
+    Children never return: they [Unix._exit] when done. *)
 
 val kill : int -> unit
 (** [SIGKILL], errors ignored — also the chaos harness's mid-run murder

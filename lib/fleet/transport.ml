@@ -1,0 +1,158 @@
+open Wfc_sim
+
+exception Timeout of string
+
+type addr =
+  | Unix_path of string
+  | Tcp of { host : string; port : int }
+
+let parse s =
+  match String.index_opt s ':' with
+  | None -> Ok (Unix_path s)
+  | Some i -> (
+    match String.sub s 0 i with
+    | "unix" -> Ok (Unix_path (String.sub s (i + 1) (String.length s - i - 1)))
+    | "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | None -> Error (Fmt.str "tcp address %S needs HOST:PORT" s)
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 && host <> "" ->
+          Ok (Tcp { host; port = p })
+        | _ -> Error (Fmt.str "bad tcp address %S (want tcp:HOST:PORT)" s)))
+    | _ ->
+      (* a bare path that happens to contain ':' — keep the whole string *)
+      Ok (Unix_path s))
+
+let to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp { host; port } -> Fmt.str "tcp:%s:%d" host port
+
+let pp ppf a = Fmt.string ppf (to_string a)
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let unlink_noerr = function
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ()
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | a -> a
+  | exception Failure _ -> (
+    match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+    | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+    | _ -> raise (Unix.Unix_error (Unix.EHOSTUNREACH, "getaddrinfo", host)))
+
+let sockaddr_of = function
+  | Unix_path p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+  | Tcp { host; port } -> (Unix.PF_INET, Unix.ADDR_INET (resolve host, port))
+
+let nodelay_noerr fd =
+  try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+
+let listen ?(backlog = 64) addr =
+  let domain, sa = sockaddr_of addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with
+     | Unix_path _ -> unlink_noerr addr
+     | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+     Unix.bind fd sa;
+     Unix.listen fd backlog;
+     Unix.set_nonblock fd
+   with e ->
+     close_noerr fd;
+     raise e);
+  fd
+
+let accept listener =
+  match Unix.accept listener with
+  | fd, _ ->
+    Unix.set_nonblock fd;
+    nodelay_noerr fd;
+    Some fd
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    None
+
+(* The shared poll loop: wait for [fd] to become ready in the given
+   direction, bounded by an absolute monotonic deadline ([None] = wait
+   forever, in slices so EINTR storms stay cheap). *)
+let wait_ready ~op ~readable fd deadline =
+  let rec go () =
+    let slice =
+      match deadline with
+      | None -> 0.25
+      | Some t ->
+        let left = t -. Monotime.now () in
+        if left <= 0. then raise (Timeout op);
+        min left 0.25
+    in
+    let r, w, _ =
+      try
+        if readable then Unix.select [ fd ] [] [] slice
+        else Unix.select [] [ fd ] [] slice
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if r = [] && w = [] then go ()
+  in
+  go ()
+
+let deadline_of = Option.map (fun s -> Monotime.now () +. s)
+
+let connect ?(deadline_s = 5.) addr =
+  let domain, sa = sockaddr_of addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  let deadline = deadline_of (Some deadline_s) in
+  (try
+     Unix.set_nonblock fd;
+     (match Unix.connect fd sa with
+     | () -> ()
+     | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+       ->
+       wait_ready ~op:"connect" ~readable:false fd deadline;
+       (* the pending connect's verdict lives in SO_ERROR *)
+       (match Unix.getsockopt_error fd with
+       | None -> ()
+       | Some e -> raise (Unix.Unix_error (e, "connect", to_string addr)))
+     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+       (* connect resumes in the background after EINTR; poll like
+          EINPROGRESS *)
+       wait_ready ~op:"connect" ~readable:false fd deadline;
+       (match Unix.getsockopt_error fd with
+       | None -> ()
+       | Some e -> raise (Unix.Unix_error (e, "connect", to_string addr))));
+     nodelay_noerr fd
+   with e ->
+     close_noerr fd;
+     raise e);
+  fd
+
+let write_all ?deadline_s fd b off len =
+  let deadline = deadline_of deadline_s in
+  let rec go off len =
+    if len > 0 then
+      match Unix.write fd b off len with
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        wait_ready ~op:"write" ~readable:false fd deadline;
+        go off len
+  in
+  go off len
+
+let read ?deadline_s fd b off len =
+  let deadline = deadline_of deadline_s in
+  let rec go () =
+    match Unix.read fd b off len with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      wait_ready ~op:"read" ~readable:true fd deadline;
+      go ()
+  in
+  go ()

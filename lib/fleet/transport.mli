@@ -1,0 +1,66 @@
+(** Fleet transport: one address grammar and deadline-bounded socket I/O
+    over Unix-domain and TCP sockets.
+
+    Every fleet file descriptor is nonblocking. The coordinator's select
+    loop must never be pinned by one wedged peer, so every read and write
+    here is bounded: a kernel buffer that stays full (or empty) past the
+    deadline raises {!Timeout}, which callers map to the same lease-loss /
+    reconnect paths as a closed connection. A blocked [Unix.write] to a
+    full socket buffer — the pre-transport failure mode — cannot happen
+    through this module.
+
+    Addresses are written [unix:PATH] (or a bare path) and
+    [tcp:HOST:PORT]; {!parse} is total. TCP connections get [TCP_NODELAY]
+    (heartbeats are tiny and latency-sensitive) and listeners get
+    [SO_REUSEADDR] (a restarted coordinator must rebind through
+    TIME_WAIT). *)
+
+exception Timeout of string
+(** An I/O deadline expired. The payload names the operation
+    ([connect]/[read]/[write]); callers treat it exactly like a peer
+    vanishing ([ECONNRESET]): drop or reconnect, never crash. *)
+
+type addr =
+  | Unix_path of string  (** Unix-domain socket at this filesystem path *)
+  | Tcp of { host : string; port : int }
+
+val parse : string -> (addr, string) result
+(** [tcp:HOST:PORT] and [unix:PATH] as written; anything else is taken as
+    a bare Unix-domain path (backward compatible with [--socket PATH]). *)
+
+val to_string : addr -> string
+(** Inverse of {!parse} ([unix:] paths keep their prefix-less spelling
+    only when they had one; this always prints the explicit form). *)
+
+val pp : Format.formatter -> addr -> unit
+
+val listen : ?backlog:int -> addr -> Unix.file_descr
+(** Bind and listen, returning a nonblocking listener. A stale Unix-domain
+    socket file is unlinked first. Raises [Unix_error] on bind failures
+    (address in use, bad host). *)
+
+val accept : Unix.file_descr -> Unix.file_descr option
+(** Accept one connection from a nonblocking listener: [None] when the
+    readiness was spurious ([EAGAIN]). The returned fd is nonblocking,
+    with [TCP_NODELAY] set when applicable. *)
+
+val connect : ?deadline_s:float -> addr -> Unix.file_descr
+(** Nonblocking connect bounded by [deadline_s] (default 5 s): the
+    in-progress connect is polled for writability and the socket error is
+    checked, so a black-holed host costs the deadline, not the kernel's
+    ~2-minute SYN timeout. Returns a nonblocking connected fd. Raises
+    {!Timeout} or [Unix_error]. *)
+
+val write_all : ?deadline_s:float -> Unix.file_descr -> bytes -> int -> int -> unit
+(** Write the whole range, polling for writability on [EAGAIN]. With no
+    deadline it waits indefinitely (poll-loop, still interrupt-safe); with
+    one, {!Timeout} fires once the budget is spent mid-write. *)
+
+val read : ?deadline_s:float -> Unix.file_descr -> bytes -> int -> int -> int
+(** One read, polling for readability first when the fd has nothing
+    buffered. Returns 0 on EOF like the syscall. *)
+
+val close_noerr : Unix.file_descr -> unit
+
+val unlink_noerr : addr -> unit
+(** Remove a Unix-domain socket file; no-op for TCP and on errors. *)

@@ -1,39 +1,58 @@
 (** A fleet worker: connect, lease shards, explore, heartbeat, return
-    results — and survive the coordinator vanishing.
+    results — and survive both the coordinator and the network vanishing.
 
     The worker is single-threaded. While a shard runs, the socket is polled
     non-blockingly from inside the exploration's leaf callback, so [Steal]
     and [Shutdown] interrupt the search cooperatively (the engine's
-    [?interrupt] flag) and heartbeats flow without a second thread. A lost
-    connection abandons the running shard — the coordinator's lease expiry
-    requeues it — and reconnects under jittered exponential backoff
-    ({!Backoff}). *)
+    [?interrupt] flag) and heartbeats flow without a second thread.
+
+    {b Reconnect-safe leases.} The connection is state, not control flow:
+    losing it mid-shard does {e not} abandon the shard. The worker keeps
+    exploring, reconnects under jittered exponential backoff ({!Backoff})
+    without ever blocking the search, and re-sends [Hello] with its
+    session [token] — the coordinator re-attaches the new connection to
+    the still-live lease, so a transient blip is a non-event. Only when
+    the outage outlasts the lease is the result dropped (the coordinator
+    has requeued the shard by then and would discard it as stale). *)
 
 open Wfc_program
 open Wfc_sim
 
 type config = {
-  socket : string;  (** Unix-domain socket path of the coordinator *)
+  addr : Transport.addr;  (** coordinator address *)
   name : string;
+  token : string;
+      (** session identity carried in [Hello]; stable across reconnects *)
   chaos : Chaos.plan;  (** fault-injection plan ({!Chaos.none} in production) *)
   seed : int;  (** backoff jitter seed *)
   connect_attempts : int;
       (** give up (with [Error]) after this many failed connects in a row *)
   hb_interval_s : float;
+  io_deadline_s : float;  (** per-connect/per-write deadline *)
+  persist : bool;
+      (** standing-fleet mode: treat [Shutdown] as "this run ended" and
+          wait for the next coordinator instead of exiting — how `wfc
+          queue` keeps one worker pool across a whole job matrix *)
   log : string -> unit;
 }
 
 val config :
   ?name:string ->
+  ?token:string ->
   ?chaos:Chaos.plan ->
   ?seed:int ->
   ?connect_attempts:int ->
   ?hb_interval_s:float ->
+  ?io_deadline_s:float ->
+  ?persist:bool ->
   ?log:(string -> unit) ->
   string ->
   config
-(** [config socket]. Defaults: name ["worker-<pid>"], no chaos, 60 connect
-    attempts, 500 ms heartbeats, silent. *)
+(** [config addr], where [addr] is parsed by {!Transport.parse} (a bare
+    string is a Unix-domain socket path). Defaults: name ["worker-<pid>"],
+    fresh token, no chaos, 60 connect attempts, 500 ms heartbeats, 5 s I/O
+    deadline, not persistent, silent. Raises [Invalid_argument] on a
+    malformed address. *)
 
 val exec_shard :
   Implementation.t ->
@@ -56,5 +75,6 @@ val impl_of_job : Checkpoint.t -> (Implementation.t, string) result
     ([protocol], [procs]) via {!Wfc_consensus.Protocols.of_name}. *)
 
 val run : config -> (unit, string) result
-(** Serve until the coordinator says [Shutdown] (or closes for good):
-    [Error] only when the coordinator could never be reached at all. *)
+(** Serve until the coordinator says [Shutdown] (or, with [persist],
+    forever): [Error] only when the coordinator could not be reached for
+    [connect_attempts] consecutive attempts. *)

@@ -1,8 +1,9 @@
-(* Fleet tests — the wfc-fleet/1 wire codec (round-trip and totality under
+(* Fleet tests — the wfc-fleet/2 wire codec (round-trip and totality under
    byte fuzz), checkpoint split/merge and torn-write rejection, chaos plan
    specs, reconnect backoff, and chaos-parity integration: a forked worker
    pool driven through kill/stall/garbage/delayed-ack faults must produce
-   the same verdict as single-process Check.verify. *)
+   the same verdict as single-process Check.verify. Wire-level (network)
+   chaos and the job queue live in test_netfleet.ml. *)
 
 open Wfc_spec
 module Checkpoint = Wfc_sim.Checkpoint
@@ -73,8 +74,8 @@ let sample_witness = Witness.make ~workloads:workloads2 ~faults:sample_faults sa
 
 let sample_msgs =
   [
-    Codec.Hello { pid = 4242; name = "worker-a" };
-    Codec.Hello { pid = 1; name = "name with\nnewline" };
+    Codec.Hello { pid = 4242; name = "worker-a"; token = "w4242.00abcd" };
+    Codec.Hello { pid = 1; name = "name with\nnewline"; token = "t" };
     Codec.Lease
       { shard = 7; lease_s = 2.5; quantum = 5000; job = mk_ck () };
     Codec.Lease
@@ -114,7 +115,10 @@ let check_roundtrip m =
 let test_codec_roundtrip_each () = List.iter check_roundtrip sample_msgs
 
 let test_codec_newline_flattening () =
-  match Codec.decode (Codec.encode (Codec.Hello { pid = 9; name = "a\nb" })) with
+  match
+    Codec.decode
+      (Codec.encode (Codec.Hello { pid = 9; name = "a\nb"; token = "t9" }))
+  with
   | Ok (Codec.Hello { name; _ }) ->
     Alcotest.(check string) "flattened" "a b" name
   | Ok m -> Alcotest.failf "wrong message: %a" Codec.pp_msg m
@@ -125,12 +129,16 @@ let test_codec_rejects () =
     [
       "";
       "wfc-fleet/9 hello";
-      "wfc-fleet/1 nonsense";
-      "wfc-fleet/1 hello";
+      (* v1 speakers have no session token: refused at the header *)
+      "wfc-fleet/1 hello\npid 1\nname a";
+      "wfc-fleet/2 nonsense";
+      "wfc-fleet/2 hello";
+      (* missing token *)
+      "wfc-fleet/2 hello\npid 1\nname a";
       (* missing fields *)
-      "wfc-fleet/1 lease\nshard 1\nlease 1.0\nquantum 5";
+      "wfc-fleet/2 lease\nshard 1\nlease 1.0\nquantum 5";
       (* no job blob *)
-      "wfc-fleet/1 result\nshard 1\noutcome done\n--\ngarbage blob";
+      "wfc-fleet/2 result\nshard 1\noutcome done\n--\ngarbage blob";
     ]
   in
   List.iter
@@ -165,7 +173,9 @@ let arb_msg =
     in
     oneof
       [
-        map2 (fun pid name -> Codec.Hello { pid; name }) small_nat name;
+        map3
+          (fun pid name token -> Codec.Hello { pid; name; token })
+          small_nat name name;
         map3
           (fun shard quantum job ->
             Codec.Lease { shard; lease_s = 1.5; quantum; job })
@@ -264,6 +274,41 @@ let prop_frames_fuzz_total =
           | Error _ -> true
       in
       drain 0)
+
+(* Adversarial fragmentation: the wire image of every message type, cut at
+   arbitrary split points (including splits inside the 4-byte length
+   prefix), must reassemble to exactly the original sequence. *)
+let prop_frames_random_splits =
+  let wire =
+    String.concat ""
+      (List.map (fun m -> Bytes.to_string (Codec.frame m)) sample_msgs)
+  in
+  let arb_cuts =
+    QCheck.(list_of_size Gen.(int_range 0 40) (int_bound (String.length wire - 1)))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"frames reassemble across arbitrary split points" arb_cuts
+    (fun cuts ->
+      let cuts = List.sort_uniq compare (0 :: cuts @ [ String.length wire ]) in
+      let frames = Codec.Frames.create () in
+      let popped = ref 0 in
+      let rec pieces = function
+        | a :: (b :: _ as rest) ->
+          feed_string frames (String.sub wire a (b - a));
+          let rec drain () =
+            match Codec.Frames.pop frames with
+            | Ok (Some _) ->
+              incr popped;
+              drain ()
+            | Ok None -> ()
+            | Error e -> QCheck.Test.fail_reportf "pop failed: %s" e
+          in
+          drain ();
+          pieces rest
+        | _ -> ()
+      in
+      pieces cuts;
+      !popped = List.length sample_msgs)
 
 (* --- checkpoint split / merge --------------------------------------------- *)
 
@@ -441,7 +486,9 @@ let serve_fleet ?(workers = 2) ?(chaos = fun _ -> Chaos.none) ?budget
     ?checkpoint ?resume ~name ~procs () =
   let socket = fresh_socket () in
   let impl = impl_of name procs in
-  let pids = if workers > 0 then Local.spawn ~chaos ~socket workers else [] in
+  let pids =
+    if workers > 0 then Local.spawn ~chaos ~addr:socket workers else []
+  in
   let config =
     Coordinator.config ~lease_s:1.5 ~quantum:60
       ~local_grace_s:(if workers = 0 then 0.01 else 5.)
@@ -607,6 +654,7 @@ let () =
           Alcotest.test_case "oversized length prefix rejected" `Quick
             test_frames_oversized_length;
           qt prop_frames_fuzz_total;
+          qt prop_frames_random_splits;
         ] );
       ( "shards",
         [
